@@ -1,0 +1,1 @@
+"""Benchmark harness regenerating the paper's Table I / Section 7 shapes."""

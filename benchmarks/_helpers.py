@@ -1,0 +1,13 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under the benchmark timer.
+
+    The exponential deciders are far too slow to be repeated for statistical
+    stability; a single timed run per sweep point is what the complexity-shape
+    experiments need (the signal is the growth across sweep points).
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

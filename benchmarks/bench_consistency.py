@@ -1,0 +1,80 @@
+"""EXP-P33 — Proposition 3.3: the consistency and extensibility problems.
+
+Paper claim: deciding whether ``Mod(T, D_m, V)`` is non-empty (consistency)
+and whether ``Ext(I, D_m, V)`` is non-empty (extensibility) are both
+Σᵖ₂-complete, already for c-instances without local conditions and fixed
+master data.  The upper-bound algorithms guess an Adom valuation
+(respectively a single Adom tuple) and check the CCs.
+
+Measured series:
+
+* consistency time vs. number of variables in the c-instance;
+* extensibility time vs. master-data size (the candidate-tuple space);
+* consistency of the Proposition 3.3 reduction instances built from
+  ``∀X ∃Y ψ`` formulas of growing size — the hardness source made executable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._helpers import run_once
+from repro.completeness.consistency import is_consistent, is_extensible
+from repro.reductions.consistency_reduction import build_consistency_reduction
+from repro.reductions.sat import random_forall_exists_instance
+from repro.workloads.generator import registry_workload
+
+VARIABLE_SWEEP = [0, 1, 2, 3]
+MASTER_SWEEP = [2, 4, 8]
+QBF_SWEEP = [(1, 1, 2), (2, 1, 3), (2, 2, 4)]
+
+
+@pytest.mark.benchmark(group="consistency: variables sweep")
+@pytest.mark.parametrize("variable_count", VARIABLE_SWEEP)
+def test_consistency_vs_variable_count(benchmark, variable_count):
+    workload = registry_workload(master_size=3, db_rows=3, variable_count=variable_count)
+    verdict = run_once(
+        benchmark,
+        is_consistent,
+        workload.cinstance,
+        workload.master,
+        workload.constraints,
+    )
+    benchmark.extra_info["variables"] = variable_count
+    benchmark.extra_info["consistent"] = verdict
+
+
+@pytest.mark.benchmark(group="extensibility: master-size sweep")
+@pytest.mark.parametrize("master_size", MASTER_SWEEP)
+def test_extensibility_vs_master_size(benchmark, master_size):
+    workload = registry_workload(master_size=master_size, db_rows=1, variable_count=0)
+    verdict = run_once(
+        benchmark,
+        is_extensible,
+        workload.ground_db,
+        workload.master,
+        workload.constraints,
+    )
+    benchmark.extra_info["master_size"] = master_size
+    benchmark.extra_info["extensible"] = verdict
+
+
+@pytest.mark.benchmark(group="consistency: Proposition 3.3 reduction instances")
+@pytest.mark.parametrize("dimensions", QBF_SWEEP, ids=lambda d: f"x{d[0]}_y{d[1]}_c{d[2]}")
+def test_consistency_of_reduction_instances(benchmark, dimensions):
+    """Consistency of instances produced by the ∀∃3SAT reduction (hardness source)."""
+    universal, existential, clauses = dimensions
+    formula = random_forall_exists_instance(universal, existential, clauses, seed=7)
+    reduction = build_consistency_reduction(formula)
+    verdict = run_once(
+        benchmark,
+        is_consistent,
+        reduction.cinstance,
+        reduction.master,
+        reduction.constraints,
+    )
+    benchmark.extra_info["qbf"] = repr(formula)
+    # Proposition 3.3: the c-instance is consistent iff the formula is false.
+    benchmark.extra_info["consistent"] = verdict
+    benchmark.extra_info["formula_true"] = reduction.formula_is_true()
+    assert verdict == (not reduction.formula_is_true())

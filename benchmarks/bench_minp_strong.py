@@ -1,0 +1,88 @@
+"""EXP-T1-MINP-S — Table I, row "strong completeness", column MINP.
+
+Paper claim: MINPˢ is Dᵖ₂-complete for ground instances but Πᵖ₃-complete for
+c-instances (Theorem 4.8) — one of the places where missing values provably
+raise the complexity.  The decider checks, for every world of ``Mod_Adom(T)``,
+that the world is complete and that dropping any single tuple breaks
+completeness (Lemma 4.7).
+
+Measured series:
+
+* ground instance vs. c-instance of the same size (the Dᵖ₂ / Πᵖ₃ gap);
+* time vs. number of variables;
+* time vs. number of database rows (each row adds a drop-one-tuple check).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._helpers import run_once
+from repro.completeness.minp import (
+    is_minimal_ground_complete,
+    is_minimal_strongly_complete,
+)
+from repro.workloads.generator import registry_workload
+
+VARIABLE_SWEEP = [0, 1, 2]
+ROW_SWEEP = [1, 2, 3]
+
+
+@pytest.mark.benchmark(group="minp-strong: ground vs c-instance")
+@pytest.mark.parametrize("kind", ["ground", "cinstance"])
+def test_minp_strong_ground_vs_cinstance(benchmark, kind):
+    """The Dᵖ₂ (ground) vs Πᵖ₃ (c-instance) gap of Theorem 4.8."""
+    workload = registry_workload(master_size=3, db_rows=2, variable_count=2)
+    if kind == "ground":
+        verdict = run_once(
+            benchmark,
+            is_minimal_ground_complete,
+            workload.ground_db,
+            workload.point_query,
+            workload.master,
+            workload.constraints,
+        )
+    else:
+        verdict = run_once(
+            benchmark,
+            is_minimal_strongly_complete,
+            workload.cinstance,
+            workload.point_query,
+            workload.master,
+            workload.constraints,
+        )
+    benchmark.extra_info["kind"] = kind
+    benchmark.extra_info["minimal"] = verdict
+
+
+@pytest.mark.benchmark(group="minp-strong: variables sweep")
+@pytest.mark.parametrize("variable_count", VARIABLE_SWEEP)
+def test_minp_strong_vs_variable_count(benchmark, variable_count):
+    workload = registry_workload(master_size=3, db_rows=2, variable_count=variable_count)
+    verdict = run_once(
+        benchmark,
+        is_minimal_strongly_complete,
+        workload.cinstance,
+        workload.point_query,
+        workload.master,
+        workload.constraints,
+    )
+    benchmark.extra_info["variables"] = variable_count
+    benchmark.extra_info["minimal"] = verdict
+
+
+@pytest.mark.benchmark(group="minp-strong: rows sweep")
+@pytest.mark.parametrize("db_rows", ROW_SWEEP)
+def test_minp_strong_vs_rows(benchmark, db_rows):
+    """Each extra row adds one Lemma 4.7 drop-one-tuple completeness check."""
+    workload = registry_workload(master_size=4, db_rows=db_rows, variable_count=1)
+    verdict = run_once(
+        benchmark,
+        is_minimal_strongly_complete,
+        workload.cinstance,
+        workload.point_query,
+        workload.master,
+        workload.constraints,
+    )
+    benchmark.extra_info["db_rows"] = db_rows
+    benchmark.extra_info["minimal"] = verdict

@@ -1,0 +1,67 @@
+"""EXP-T1-MINP-V — Table I, row "viable completeness", column MINP.
+
+Paper claim: MINPᵛ is Σᵖ₃-complete for c-instances and Dᵖ₂-complete for
+ground instances (Corollary 6.3) — like RCDPᵛ, the viable model pays for
+missing values.  The decider searches ``Mod_Adom(T)`` for a world that is a
+*minimal* complete ground instance and can exit early on success.
+
+Measured series:
+
+* ground instance vs. c-instance (the Dᵖ₂ / Σᵖ₃ gap);
+* time vs. number of variables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._helpers import run_once
+from repro.completeness.minp import (
+    is_minimal_ground_complete,
+    is_minimal_viably_complete,
+)
+from repro.workloads.generator import registry_workload
+
+VARIABLE_SWEEP = [0, 1, 2]
+
+
+@pytest.mark.benchmark(group="minp-viable: ground vs c-instance")
+@pytest.mark.parametrize("kind", ["ground", "cinstance"])
+def test_minp_viable_ground_vs_cinstance(benchmark, kind):
+    workload = registry_workload(master_size=3, db_rows=2, variable_count=2)
+    if kind == "ground":
+        verdict = run_once(
+            benchmark,
+            is_minimal_ground_complete,
+            workload.ground_db,
+            workload.point_query,
+            workload.master,
+            workload.constraints,
+        )
+    else:
+        verdict = run_once(
+            benchmark,
+            is_minimal_viably_complete,
+            workload.cinstance,
+            workload.point_query,
+            workload.master,
+            workload.constraints,
+        )
+    benchmark.extra_info["kind"] = kind
+    benchmark.extra_info["minimal"] = verdict
+
+
+@pytest.mark.benchmark(group="minp-viable: variables sweep")
+@pytest.mark.parametrize("variable_count", VARIABLE_SWEEP)
+def test_minp_viable_vs_variable_count(benchmark, variable_count):
+    workload = registry_workload(master_size=3, db_rows=2, variable_count=variable_count)
+    verdict = run_once(
+        benchmark,
+        is_minimal_viably_complete,
+        workload.cinstance,
+        workload.point_query,
+        workload.master,
+        workload.constraints,
+    )
+    benchmark.extra_info["variables"] = variable_count
+    benchmark.extra_info["minimal"] = verdict

@@ -1,0 +1,101 @@
+"""EXP-T1-MINP-W — Table I, row "weak completeness", column MINP.
+
+Paper claim: in the weak model the minimality problem splits by language —
+coDP-complete for CQ (via the drastic simplification of Lemma 5.7) but
+Πᵖ₄-complete for UCQ and ∃FO⁺ (Theorem 5.6).  Lemma 4.7 fails in the weak
+model (Example 5.5), so the general decider must examine *every* subset of
+rows, while the CQ decider only needs to look at the empty instance and at
+singletons.
+
+Measured series:
+
+* CQ decider (Lemma 5.7) vs. general subset-enumerating decider on identical
+  CQ inputs — the coDP / Πᵖ₄ gap;
+* general decider vs. number of rows (the 2^n subset enumeration).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._helpers import run_once
+from repro.completeness.minp import (
+    is_minimal_weakly_complete,
+    is_minimal_weakly_complete_cq,
+)
+from repro.queries.ucq import ucq
+from repro.workloads.generator import registry_workload
+
+ROW_SWEEP = [1, 2, 3]
+
+
+@pytest.mark.benchmark(group="minp-weak: CQ shortcut vs general decider")
+@pytest.mark.parametrize("decider", ["lemma57_cq", "general_subsets"])
+def test_minp_weak_cq_vs_general(benchmark, decider):
+    """Lemma 5.7 (coDP) vs the subset enumeration (Πᵖ₄ upper bound) on one input."""
+    workload = registry_workload(master_size=3, db_rows=3, variable_count=0)
+    if decider == "lemma57_cq":
+        verdict = run_once(
+            benchmark,
+            is_minimal_weakly_complete_cq,
+            workload.cinstance,
+            workload.point_query,
+            workload.master,
+            workload.constraints,
+        )
+    else:
+        verdict = run_once(
+            benchmark,
+            is_minimal_weakly_complete,
+            workload.cinstance,
+            workload.point_query,
+            workload.master,
+            workload.constraints,
+        )
+    benchmark.extra_info["decider"] = decider
+    benchmark.extra_info["minimal"] = verdict
+
+
+@pytest.mark.benchmark(group="minp-weak: language gap (CQ vs UCQ)")
+@pytest.mark.parametrize("language", ["CQ", "UCQ"])
+def test_minp_weak_language_gap(benchmark, language):
+    """CQ goes through Lemma 5.7; UCQ must use the general decider."""
+    workload = registry_workload(master_size=3, db_rows=2, variable_count=0)
+    if language == "CQ":
+        verdict = run_once(
+            benchmark,
+            is_minimal_weakly_complete_cq,
+            workload.cinstance,
+            workload.point_query,
+            workload.master,
+            workload.constraints,
+        )
+    else:
+        union_query = ucq("U", workload.point_query)
+        verdict = run_once(
+            benchmark,
+            is_minimal_weakly_complete,
+            workload.cinstance,
+            union_query,
+            workload.master,
+            workload.constraints,
+        )
+    benchmark.extra_info["language"] = language
+    benchmark.extra_info["minimal"] = verdict
+
+
+@pytest.mark.benchmark(group="minp-weak: rows sweep (subset enumeration)")
+@pytest.mark.parametrize("db_rows", ROW_SWEEP)
+def test_minp_weak_general_vs_rows(benchmark, db_rows):
+    """The general decider's 2^rows sub-instance enumeration."""
+    workload = registry_workload(master_size=4, db_rows=db_rows, variable_count=0)
+    verdict = run_once(
+        benchmark,
+        is_minimal_weakly_complete,
+        workload.cinstance,
+        workload.point_query,
+        workload.master,
+        workload.constraints,
+    )
+    benchmark.extra_info["db_rows"] = db_rows
+    benchmark.extra_info["minimal"] = verdict

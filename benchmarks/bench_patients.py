@@ -1,0 +1,69 @@
+"""EXP-FIG1 — Figure 1 and Examples 1.1, 2.1–2.4: the patient MDM scenario.
+
+The paper's only worked "dataset" is the UK-patients master-data scenario.
+This benchmark runs every query of the scenario (Q1–Q4) through every
+completeness model and records both the verdicts (they must match the paper's
+examples — that is asserted, not just reported) and the cost, including how
+the cost scales when the master registry grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._helpers import run_once
+from repro.completeness.models import CompletenessModel
+from repro.completeness.rcdp import is_relatively_complete
+from repro.workloads.patients import build_patient_scenario
+
+#: The verdicts the paper's examples state for the Figure 1 c-instance.
+EXPECTED_VERDICTS = {
+    ("Q1", "strong"): True,   # Example 2.3
+    ("Q1", "weak"): True,
+    ("Q1", "viable"): True,
+    ("Q4", "strong"): False,  # Example 2.3
+    ("Q4", "weak"): True,
+    ("Q4", "viable"): True,
+    ("Q3", "viable"): False,  # Example 2.2: master data says nothing about London
+}
+
+
+@pytest.mark.benchmark(group="patients: Figure 1 verdicts")
+@pytest.mark.parametrize("model", [m.value for m in CompletenessModel])
+@pytest.mark.parametrize("query_name", ["Q1", "Q2_present", "Q2_absent", "Q3", "Q4"])
+def test_patient_scenario_verdicts(benchmark, patient_scenario, query_name, model):
+    query = patient_scenario.queries()[query_name]
+    verdict = run_once(
+        benchmark,
+        is_relatively_complete,
+        patient_scenario.figure1,
+        query,
+        patient_scenario.master,
+        patient_scenario.constraints,
+        CompletenessModel(model),
+    )
+    benchmark.extra_info["query"] = query_name
+    benchmark.extra_info["model"] = model
+    benchmark.extra_info["complete"] = verdict
+    expected = EXPECTED_VERDICTS.get((query_name, model))
+    if expected is not None:
+        assert verdict == expected
+
+
+@pytest.mark.benchmark(group="patients: master registry growth")
+@pytest.mark.parametrize("extra_master_rows", [0, 2, 4])
+def test_patient_scenario_master_growth(benchmark, extra_master_rows):
+    """Cost of the strong check for Q1 as the master registry grows."""
+    scenario = build_patient_scenario(extra_master_rows=extra_master_rows)
+    verdict = run_once(
+        benchmark,
+        is_relatively_complete,
+        scenario.figure1,
+        scenario.q1,
+        scenario.master,
+        scenario.constraints,
+        CompletenessModel.STRONG,
+    )
+    benchmark.extra_info["extra_master_rows"] = extra_master_rows
+    benchmark.extra_info["complete"] = verdict
+    assert verdict is True

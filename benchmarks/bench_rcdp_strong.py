@@ -1,0 +1,109 @@
+"""EXP-T1-RCDP-S — Table I, row "strong completeness", column RCDP.
+
+Paper claim: RCDPˢ is Πᵖ₂-complete for CQ, UCQ and ∃FO⁺ (Theorem 4.1), for
+c-instances and ground instances alike, and the presence of missing values
+does not change the bound.  Operationally the decider enumerates
+``Mod_Adom(T)`` (exponential in the number of variables of ``T``) and, per
+world, the Adom valuations of the query tableau (exponential in the number of
+query variables).
+
+Measured series:
+
+* time vs. number of variables in the c-instance (fixed master) — the
+  exponential driven by missing values;
+* time vs. master-data size (fixed variables) — the polynomial-base growth of
+  the active domain;
+* ground instance vs. c-instance of the same size — the "missing values cost
+  an extra exponential" gap the paper calls out in conclusion (b).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._helpers import run_once
+from repro.completeness.ground import is_ground_complete
+from repro.completeness.strong import is_strongly_complete
+from repro.workloads.generator import registry_workload
+
+VARIABLE_SWEEP = [0, 1, 2, 3]
+MASTER_SWEEP = [2, 4, 8]
+
+
+@pytest.mark.benchmark(group="rcdp-strong: variables sweep")
+@pytest.mark.parametrize("variable_count", VARIABLE_SWEEP)
+def test_rcdp_strong_vs_variable_count(benchmark, variable_count):
+    """Exponential growth in the number of missing values (Theorem 4.1)."""
+    workload = registry_workload(master_size=3, db_rows=3, variable_count=variable_count)
+    verdict = run_once(
+        benchmark,
+        is_strongly_complete,
+        workload.cinstance,
+        workload.point_query,
+        workload.master,
+        workload.constraints,
+    )
+    benchmark.extra_info["variables"] = variable_count
+    benchmark.extra_info["strongly_complete"] = verdict
+
+
+@pytest.mark.benchmark(group="rcdp-strong: master-size sweep")
+@pytest.mark.parametrize("master_size", MASTER_SWEEP)
+def test_rcdp_strong_vs_master_size(benchmark, master_size):
+    """Polynomial growth in the master-data (active-domain) size."""
+    workload = registry_workload(master_size=master_size, db_rows=2, variable_count=1)
+    verdict = run_once(
+        benchmark,
+        is_strongly_complete,
+        workload.cinstance,
+        workload.point_query,
+        workload.master,
+        workload.constraints,
+    )
+    benchmark.extra_info["master_size"] = master_size
+    benchmark.extra_info["strongly_complete"] = verdict
+
+
+@pytest.mark.benchmark(group="rcdp-strong: ground vs c-instance")
+@pytest.mark.parametrize("kind", ["ground", "cinstance"])
+def test_rcdp_strong_ground_vs_cinstance(benchmark, kind):
+    """The same database with and without missing values (conclusion (b))."""
+    workload = registry_workload(master_size=4, db_rows=3, variable_count=2)
+    if kind == "ground":
+        verdict = run_once(
+            benchmark,
+            is_ground_complete,
+            workload.ground_db,
+            workload.point_query,
+            workload.master,
+            workload.constraints,
+        )
+    else:
+        verdict = run_once(
+            benchmark,
+            is_strongly_complete,
+            workload.cinstance,
+            workload.point_query,
+            workload.master,
+            workload.constraints,
+        )
+    benchmark.extra_info["kind"] = kind
+    benchmark.extra_info["complete"] = verdict
+
+
+@pytest.mark.benchmark(group="rcdp-strong: query language")
+@pytest.mark.parametrize("language", ["CQ", "UCQ"])
+def test_rcdp_strong_language(benchmark, language):
+    """CQ vs UCQ on identical inputs (same Πᵖ₂ cell of Table I)."""
+    workload = registry_workload(master_size=3, db_rows=2, variable_count=1)
+    query = workload.point_query if language == "CQ" else workload.union_query
+    verdict = run_once(
+        benchmark,
+        is_strongly_complete,
+        workload.cinstance,
+        query,
+        workload.master,
+        workload.constraints,
+    )
+    benchmark.extra_info["language"] = language
+    benchmark.extra_info["strongly_complete"] = verdict

@@ -1,0 +1,84 @@
+"""EXP-T1-RCDP-V — Table I, row "viable completeness", column RCDP.
+
+Paper claim: RCDPᵛ is Σᵖ₃-complete for CQ, UCQ and ∃FO⁺ for c-instances but
+only Πᵖ₂-complete for ground instances (Theorem 6.1) — missing values *do*
+make the viable model harder, unlike the strong model where the bound is the
+same for both.  The decider searches ``Mod_Adom(T)`` for a world passing the
+ground completeness test, so a positive instance can exit early while a
+negative instance must sweep every world.
+
+Measured series:
+
+* time vs. number of variables (size of the world space);
+* positive vs. negative instances (early exit vs. full sweep);
+* ground instance vs. c-instance of the same size (the Πᵖ₂ / Σᵖ₃ gap).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._helpers import run_once
+from repro.completeness.viable import is_viably_complete
+from repro.workloads.generator import registry_workload
+
+VARIABLE_SWEEP = [0, 1, 2, 3]
+
+
+@pytest.mark.benchmark(group="rcdp-viable: variables sweep")
+@pytest.mark.parametrize("variable_count", VARIABLE_SWEEP)
+def test_rcdp_viable_vs_variable_count(benchmark, variable_count):
+    """Exponential growth in the number of missing values (Theorem 6.1)."""
+    workload = registry_workload(master_size=3, db_rows=3, variable_count=variable_count)
+    verdict = run_once(
+        benchmark,
+        is_viably_complete,
+        workload.cinstance,
+        workload.point_query,
+        workload.master,
+        workload.constraints,
+    )
+    benchmark.extra_info["variables"] = variable_count
+    benchmark.extra_info["viably_complete"] = verdict
+
+
+@pytest.mark.benchmark(group="rcdp-viable: positive vs negative")
+@pytest.mark.parametrize("query_name", ["point", "full"])
+def test_rcdp_viable_positive_vs_negative(benchmark, query_name):
+    """Early exit on a viable witness vs. a full sweep over the worlds."""
+    workload = registry_workload(master_size=4, db_rows=2, variable_count=2)
+    query = workload.point_query if query_name == "point" else workload.full_query
+    verdict = run_once(
+        benchmark,
+        is_viably_complete,
+        workload.cinstance,
+        query,
+        workload.master,
+        workload.constraints,
+    )
+    benchmark.extra_info["query"] = query_name
+    benchmark.extra_info["viably_complete"] = verdict
+
+
+@pytest.mark.benchmark(group="rcdp-viable: ground vs c-instance")
+@pytest.mark.parametrize("kind", ["ground", "cinstance"])
+def test_rcdp_viable_ground_vs_cinstance(benchmark, kind):
+    """The Πᵖ₂ (ground) vs Σᵖ₃ (c-instance) gap of Theorem 6.1."""
+    from repro.ctables.cinstance import CInstance
+
+    workload = registry_workload(master_size=4, db_rows=3, variable_count=2)
+    database = (
+        CInstance.from_ground_instance(workload.ground_db)
+        if kind == "ground"
+        else workload.cinstance
+    )
+    verdict = run_once(
+        benchmark,
+        is_viably_complete,
+        database,
+        workload.point_query,
+        workload.master,
+        workload.constraints,
+    )
+    benchmark.extra_info["kind"] = kind
+    benchmark.extra_info["viably_complete"] = verdict

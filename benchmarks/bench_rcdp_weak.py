@@ -1,0 +1,83 @@
+"""EXP-T1-RCDP-W — Table I, row "weak completeness", column RCDP.
+
+Paper claim: RCDPʷ is Πᵖ₃-complete for CQ, UCQ and ∃FO⁺ and
+coNEXPTIME-complete for FP (Theorem 5.1); it is decidable for FP even though
+the strong-model problem is not.  The decider intersects query answers over
+``Mod_Adom(T)`` and over single-tuple Adom extensions of every world, so the
+measured cost grows with the number of variables (worlds) and with the size
+of the active domain (candidate extension tuples).
+
+Measured series:
+
+* time vs. number of variables (certain answer over worlds and extensions);
+* time vs. master-data size;
+* CQ vs UCQ vs FP on the same input — the FP column of Table I is decidable
+  in the weak model, which is what the FP series demonstrates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._helpers import run_once
+from repro.completeness.weak import is_weakly_complete
+from repro.workloads.generator import chain_fp_query, registry_workload
+
+VARIABLE_SWEEP = [0, 1, 2, 3]
+MASTER_SWEEP = [2, 4, 8]
+
+
+@pytest.mark.benchmark(group="rcdp-weak: variables sweep")
+@pytest.mark.parametrize("variable_count", VARIABLE_SWEEP)
+def test_rcdp_weak_vs_variable_count(benchmark, variable_count):
+    """Exponential growth in the number of missing values (Theorem 5.1)."""
+    workload = registry_workload(master_size=3, db_rows=3, variable_count=variable_count)
+    verdict = run_once(
+        benchmark,
+        is_weakly_complete,
+        workload.cinstance,
+        workload.point_query,
+        workload.master,
+        workload.constraints,
+    )
+    benchmark.extra_info["variables"] = variable_count
+    benchmark.extra_info["weakly_complete"] = verdict
+
+
+@pytest.mark.benchmark(group="rcdp-weak: master-size sweep")
+@pytest.mark.parametrize("master_size", MASTER_SWEEP)
+def test_rcdp_weak_vs_master_size(benchmark, master_size):
+    """Growth in the active-domain size (candidate extension tuples)."""
+    workload = registry_workload(master_size=master_size, db_rows=2, variable_count=1)
+    verdict = run_once(
+        benchmark,
+        is_weakly_complete,
+        workload.cinstance,
+        workload.point_query,
+        workload.master,
+        workload.constraints,
+    )
+    benchmark.extra_info["master_size"] = master_size
+    benchmark.extra_info["weakly_complete"] = verdict
+
+
+@pytest.mark.benchmark(group="rcdp-weak: query language")
+@pytest.mark.parametrize("language", ["CQ", "UCQ", "FP"])
+def test_rcdp_weak_language(benchmark, language):
+    """CQ / UCQ (Πᵖ₃ cell) vs FP (coNEXPTIME cell, still decidable)."""
+    workload = registry_workload(master_size=3, db_rows=2, variable_count=1)
+    queries = {
+        "CQ": workload.point_query,
+        "UCQ": workload.union_query,
+        "FP": chain_fp_query(),
+    }
+    verdict = run_once(
+        benchmark,
+        is_weakly_complete,
+        workload.cinstance,
+        queries[language],
+        workload.master,
+        workload.constraints,
+    )
+    benchmark.extra_info["language"] = language
+    benchmark.extra_info["weakly_complete"] = verdict

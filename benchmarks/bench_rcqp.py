@@ -1,0 +1,105 @@
+"""EXP-T1-RCQP — Table I, column RCQP.
+
+Paper claims:
+
+* **weak model** — O(1) for CQ, UCQ, ∃FO⁺ and FP (Theorem 5.4): a weakly
+  complete database always exists.  The series shows constant time regardless
+  of the input size, plus the cost of actually *constructing* the witness
+  instance from the appendix proof.
+* **strong / viable models** — NEXPTIME-complete in general (Theorem 4.5 /
+  Corollary 6.2); PTIME when every CC is IND-shaped (Corollary 7.2, the
+  boundedness test of Fan & Geerts).  The series contrasts the PTIME
+  IND-shaped test with the exponential bounded witness search for general
+  CCs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._helpers import run_once
+from repro.completeness.rcqp import (
+    construct_weakly_complete_witness,
+    rcqp_bounded_search,
+    strong_rcqp_with_ind_ccs,
+    weak_rcqp,
+)
+from repro.constraints.containment import cc, projection
+from repro.queries.atoms import atom, eq
+from repro.queries.cq import cq
+from repro.queries.terms import var
+from repro.workloads.generator import registry_workload
+
+MASTER_SWEEP = [2, 4, 8, 16]
+
+
+@pytest.mark.benchmark(group="rcqp-weak: O(1) decision")
+@pytest.mark.parametrize("master_size", MASTER_SWEEP)
+def test_weak_rcqp_constant_time(benchmark, master_size):
+    """Theorem 5.4: the weak-model answer does not depend on the input size."""
+    workload = registry_workload(master_size=master_size, db_rows=2, variable_count=1)
+    verdict = run_once(benchmark, weak_rcqp, workload.point_query)
+    benchmark.extra_info["master_size"] = master_size
+    benchmark.extra_info["exists"] = verdict
+
+
+@pytest.mark.benchmark(group="rcqp-weak: witness construction")
+@pytest.mark.parametrize("master_size", MASTER_SWEEP)
+def test_weak_rcqp_witness_construction(benchmark, master_size):
+    """Cost of building the appendix-proof witness I₀ (grows with Adom)."""
+    workload = registry_workload(master_size=master_size, db_rows=2, variable_count=0)
+    witness = run_once(
+        benchmark,
+        construct_weakly_complete_witness,
+        workload.schema,
+        workload.point_query,
+        workload.master,
+        workload.constraints,
+    )
+    benchmark.extra_info["master_size"] = master_size
+    benchmark.extra_info["witness_size"] = witness.size
+
+
+@pytest.mark.benchmark(group="rcqp-strong: IND-shaped CCs (PTIME)")
+@pytest.mark.parametrize("master_size", MASTER_SWEEP)
+def test_strong_rcqp_ind_ccs(benchmark, master_size):
+    """Corollary 7.2: the boundedness test stays polynomial in the master size."""
+    workload = registry_workload(
+        master_size=master_size, db_rows=2, variable_count=0, with_fd=False
+    )
+    verdict = run_once(
+        benchmark,
+        strong_rcqp_with_ind_ccs,
+        workload.point_query,
+        workload.schema,
+        workload.master,
+        workload.constraints,
+    )
+    benchmark.extra_info["master_size"] = master_size
+    benchmark.extra_info["exists"] = verdict
+
+
+@pytest.mark.benchmark(group="rcqp-strong: bounded witness search (general CCs)")
+@pytest.mark.parametrize("max_size", [1, 2])
+def test_strong_rcqp_bounded_search(benchmark, max_size):
+    """The NEXPTIME cell: witness search over Adom instances of bounded size."""
+    workload = registry_workload(master_size=3, db_rows=2, variable_count=0)
+    k, v = var("k"), var("v")
+    selective = cq(
+        "Selective",
+        [v],
+        atoms=[atom("Record", k, v)],
+        comparisons=[eq(k, "k0")],
+    )
+    result = run_once(
+        benchmark,
+        rcqp_bounded_search,
+        selective,
+        workload.schema,
+        workload.master,
+        workload.constraints,
+        max_size,
+    )
+    benchmark.extra_info["max_size"] = max_size
+    benchmark.extra_info["found"] = result.found
+    benchmark.extra_info["instances_examined"] = result.instances_examined

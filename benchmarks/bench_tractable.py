@@ -1,0 +1,94 @@
+"""EXP-S7-TRACTABLE — Section 7: tractable data-complexity regimes.
+
+Paper claims (Corollaries 7.1–7.3): with the query and the CCs *fixed*,
+
+* RCDP (all three models) is in PTIME for c-instances with a constant number
+  of variables,
+* RCQP is in PTIME for IND-shaped CCs (strong/viable) and O(1) (weak), and
+* MINP is in PTIME under the same side conditions.
+
+The decisive contrast with the Table I benchmarks is *what grows*: here the
+database and the master data grow while the number of variables stays
+constant, and the measured time grows polynomially; in the Table I sweeps the
+number of variables grows and the time grows exponentially.
+
+Measured series (fixed query, fixed CCs, 2 variables throughout):
+
+* RCDP^s / RCDP^w / RCDP^v vs. master-data size;
+* MINP^s vs. database rows;
+* RCQP^s (IND CCs) vs. master-data size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._helpers import run_once
+from repro.completeness.models import CompletenessModel
+from repro.completeness.tractable import (
+    minp_data_complexity,
+    rcdp_data_complexity,
+    rcqp_data_complexity,
+)
+from repro.workloads.generator import registry_workload
+
+MASTER_SWEEP = [2, 4, 8, 12]
+ROW_SWEEP = [1, 2, 3, 4]
+FIXED_VARIABLES = 2
+
+
+@pytest.mark.benchmark(group="tractable: RCDP data complexity (fixed Q, V, 2 variables)")
+@pytest.mark.parametrize("model", [m.value for m in CompletenessModel])
+@pytest.mark.parametrize("master_size", MASTER_SWEEP)
+def test_rcdp_data_complexity_scaling(benchmark, master_size, model):
+    workload = registry_workload(
+        master_size=master_size, db_rows=2, variable_count=FIXED_VARIABLES
+    )
+    verdict = run_once(
+        benchmark,
+        rcdp_data_complexity,
+        workload.cinstance,
+        workload.point_query,
+        workload.master,
+        workload.constraints,
+        CompletenessModel(model),
+    )
+    benchmark.extra_info["master_size"] = master_size
+    benchmark.extra_info["model"] = model
+    benchmark.extra_info["complete"] = verdict
+
+
+@pytest.mark.benchmark(group="tractable: MINP data complexity (fixed Q, V)")
+@pytest.mark.parametrize("db_rows", ROW_SWEEP)
+def test_minp_data_complexity_scaling(benchmark, db_rows):
+    workload = registry_workload(master_size=4, db_rows=db_rows, variable_count=1)
+    verdict = run_once(
+        benchmark,
+        minp_data_complexity,
+        workload.cinstance,
+        workload.point_query,
+        workload.master,
+        workload.constraints,
+        CompletenessModel.STRONG,
+    )
+    benchmark.extra_info["db_rows"] = db_rows
+    benchmark.extra_info["minimal"] = verdict
+
+
+@pytest.mark.benchmark(group="tractable: RCQP data complexity (IND CCs)")
+@pytest.mark.parametrize("master_size", MASTER_SWEEP)
+def test_rcqp_data_complexity_scaling(benchmark, master_size):
+    workload = registry_workload(
+        master_size=master_size, db_rows=2, variable_count=0, with_fd=False
+    )
+    verdict = run_once(
+        benchmark,
+        rcqp_data_complexity,
+        workload.point_query,
+        workload.schema,
+        workload.master,
+        workload.constraints,
+        CompletenessModel.STRONG,
+    )
+    benchmark.extra_info["master_size"] = master_size
+    benchmark.extra_info["exists"] = verdict

@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+The paper's "evaluation" is a complexity classification (Table I) plus the
+tractable data-complexity cases of Section 7, so the benchmarks measure how
+the running time of each decision procedure *scales* with the input
+parameters that drive the theoretical bounds:
+
+* the number of variables (missing values) in the c-instance — the exponent
+  of the ``Mod_Adom`` enumeration,
+* the size of the master data / active domain — the base of that exponent,
+* the number of tuples in the database — the parameter of the Section 7
+  PTIME results, and
+* the query language / completeness model — the rows and columns of Table I.
+
+Each benchmark prints (via ``--benchmark-only`` group reports) one series per
+experiment of the per-experiment index in ``DESIGN.md``; ``EXPERIMENTS.md``
+records how the measured shape relates to the paper's claims.
+
+Because most deciders are intentionally exponential, the benchmarks run each
+cell exactly once (``benchmark.pedantic(rounds=1)``) — the interesting signal
+is the growth across cells, not per-cell variance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.generator import registry_workload
+from repro.workloads.patients import build_patient_scenario
+
+
+@pytest.fixture(scope="session")
+def patient_scenario():
+    """The paper's running MDM scenario (Example 1.1 / Figure 1, trimmed)."""
+    return build_patient_scenario()
+
+
+@pytest.fixture(scope="session")
+def small_registry():
+    """A small registry workload shared by benchmarks that only need one input."""
+    return registry_workload(master_size=3, db_rows=2, variable_count=1)

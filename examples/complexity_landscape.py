@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""A miniature, executable version of Table I.
+
+The headline result of the paper is a complexity classification: for every
+combination of decision problem (RCDP / RCQP / MINP), completeness model
+(strong / weak / viable) and query language (CQ, UCQ, ∃FO⁺, FO, FP), Table I
+states whether the problem is decidable and how hard it is.
+
+This example regenerates the *operational shape* of that table on a small
+workload:
+
+* which cells the library decides exactly, which it refuses (undecidable
+  cells), and which fall back to bounded heuristics;
+* how the measured running time of the decidable cells grows when the number
+  of missing values grows (the exponent of the theoretical bounds); and
+* the O(1) weak-model RCQP cell, which stays flat.
+
+Run with:  python examples/complexity_landscape.py
+"""
+
+import time
+
+from repro.completeness import (
+    CompletenessModel,
+    is_minimal_complete,
+    is_relatively_complete,
+    rcqp,
+    weak_rcqp,
+)
+from repro.exceptions import QueryError
+from repro.queries.classify import classify
+from repro.queries.fo import fo
+from repro.queries.formulas import negate, rel
+from repro.queries.terms import var
+from repro.workloads.generator import chain_fp_query, registry_workload
+
+
+def timed(callable_, *args, **kwargs):
+    start = time.perf_counter()
+    try:
+        result = callable_(*args, **kwargs)
+        status = str(result)
+    except QueryError as error:
+        status = "undecidable (refused)"
+    elapsed = (time.perf_counter() - start) * 1000
+    return status, elapsed
+
+
+def main() -> None:
+    workload = registry_workload(master_size=3, db_rows=2, variable_count=1)
+    k, v = var("k"), var("v")
+    fo_query = fo("NotRegistered", [k], rel("Record", k, v) & negate(rel("Record", k, "v0")))
+
+    languages = {
+        "CQ": workload.point_query,
+        "UCQ": workload.union_query,
+        "FP": chain_fp_query(),
+        "FO": fo_query,
+    }
+
+    print("=" * 78)
+    print("RCDP verdicts per language and model (exact cells decide, others refuse)")
+    print("=" * 78)
+    header = f"{'language':>9s} | " + " | ".join(f"{m.value:^22s}" for m in CompletenessModel)
+    print(header)
+    print("-" * len(header))
+    for name, query in languages.items():
+        cells = []
+        for model in CompletenessModel:
+            status, elapsed = timed(
+                is_relatively_complete,
+                workload.cinstance,
+                query,
+                workload.master,
+                workload.constraints,
+                model,
+            )
+            cells.append(f"{status:>14s} {elapsed:6.1f}ms")
+        print(f"{name:>9s} | " + " | ".join(cells))
+
+    print()
+    print("=" * 78)
+    print("MINP (strong model) and RCQP per language")
+    print("=" * 78)
+    for name, query in languages.items():
+        minp_status, _ = timed(
+            is_minimal_complete,
+            workload.cinstance,
+            query,
+            workload.master,
+            workload.constraints,
+            CompletenessModel.STRONG,
+        )
+        try:
+            rcqp_weak = str(weak_rcqp(query))
+        except QueryError:
+            rcqp_weak = "undecidable (refused)"
+        print(f"  {name:>4s}:  MINP^s = {minp_status:<22s}  RCQP^w = {rcqp_weak}")
+
+    print()
+    print("=" * 78)
+    print("Growth with the number of missing values (the exponent of Table I)")
+    print("=" * 78)
+    print(f"{'#variables':>11s} | {'RCDP^s (ms)':>12s} | {'RCDP^w (ms)':>12s} | {'RCQP^w (ms)':>12s}")
+    for variable_count in (0, 1, 2, 3):
+        sweep = registry_workload(master_size=3, db_rows=3, variable_count=variable_count)
+        _, strong_ms = timed(
+            is_relatively_complete,
+            sweep.cinstance,
+            sweep.point_query,
+            sweep.master,
+            sweep.constraints,
+            CompletenessModel.STRONG,
+        )
+        _, weak_ms = timed(
+            is_relatively_complete,
+            sweep.cinstance,
+            sweep.point_query,
+            sweep.master,
+            sweep.constraints,
+            CompletenessModel.WEAK,
+        )
+        _, rcqp_ms = timed(weak_rcqp, sweep.point_query)
+        print(f"{variable_count:>11d} | {strong_ms:>12.2f} | {weak_ms:>12.2f} | {rcqp_ms:>12.4f}")
+
+    print()
+    print("Reading the table: the strong/weak RCDP columns grow quickly with the")
+    print("number of missing values (each variable multiplies the possible-world")
+    print("space by |Adom|), while the weak-model RCQP column is constant — the")
+    print("O(1) cell of Table I (Theorem 5.4).")
+
+
+if __name__ == "__main__":
+    main()

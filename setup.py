@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The build metadata lives in ``pyproject.toml``; this file exists so that the
+package can be installed in environments without the ``wheel`` package (no
+PEP 517 build isolation available offline) via ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

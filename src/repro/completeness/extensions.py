@@ -1,0 +1,230 @@
+"""Partially closed extensions ``Ext(I, D_m, V)``.
+
+``Ext(I, D_m, V)`` is the set of ground instances ``I'`` that strictly extend
+``I`` and remain partially closed, i.e. ``(I', D_m) |= V`` (Section 2.1).
+The set is infinite in general; the paper's algorithms only ever enumerate
+two restricted families of extensions, both with values drawn from the active
+domain ``Adom``:
+
+* *single-tuple extensions* ``I ∪ {t}`` — sufficient for the extensibility
+  problem (Proposition 3.3) and, for monotone queries, for the certain answer
+  over all extensions (Lemma 5.2 / Theorem 5.4); and
+* *query-tableau extensions* ``I ∪ ν(T_Q)`` — sufficient for the strong-model
+  characterisation (Lemma 4.2 / 4.3).
+
+Both enumerations are exponential in the worst case (that is the content of
+the lower bounds); the generators below accept an optional budget so callers
+can fail fast instead of looping silently.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from repro.constraints.containment import ContainmentConstraint, satisfies_all
+from repro.ctables.adom import ActiveDomain
+from repro.exceptions import BoundExceededError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.evaluation import match_conjunction
+from repro.queries.terms import Variable, is_variable
+from repro.relational.domains import Constant
+from repro.relational.instance import GroundInstance, Row
+from repro.relational.master import MasterData
+from repro.relational.schema import RelationSchema
+
+
+def is_partially_closed(
+    instance: GroundInstance,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+) -> bool:
+    """Whether ``(I, D_m) |= V``."""
+    return satisfies_all(instance, master, constraints)
+
+
+def candidate_rows(
+    relation: RelationSchema, adom: ActiveDomain, fresh_first: bool = False
+) -> Iterator[Row]:
+    """All tuples over ``Adom`` conforming to a relation schema.
+
+    Attributes with finite domains range over their finite domain, other
+    attributes over the whole active domain, exactly as in the paper's
+    extensibility algorithm (Proposition 3.3).
+
+    With ``fresh_first=True`` the enumeration visits the fresh (``New``)
+    constants of ``Adom`` before the input constants.  This does not change
+    the set of rows produced, only their order; callers that search for *one*
+    satisfying tuple (extensibility, the "unhelpful extension" short-circuit
+    of the weak model) typically find fresh-valued tuples acceptable first,
+    because fresh values rarely trigger containment-constraint violations.
+    """
+    fresh = set(adom.fresh_values)
+
+    def order(pool: list) -> list:
+        if not fresh_first:
+            return pool
+        return sorted(pool, key=lambda value: (value not in fresh, repr(value)))
+
+    pools = []
+    for attribute in relation.attributes:
+        pools.append(order(adom.pool_for(attribute.domain)))
+    for combo in itertools.product(*pools):
+        yield tuple(combo)
+
+
+def single_tuple_extensions(
+    instance: GroundInstance,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain,
+    relations: Sequence[str] | None = None,
+    limit: int | None = None,
+) -> Iterator[GroundInstance]:
+    """Partially closed extensions of ``I`` obtained by adding one Adom tuple.
+
+    Parameters
+    ----------
+    relations:
+        Restrict the relation the new tuple is added to (all relations of the
+        schema by default).
+    limit:
+        Optional cap on the number of *candidate* tuples inspected; exceeding
+        it raises :class:`BoundExceededError`.
+    """
+    names = list(relations) if relations is not None else list(
+        instance.schema.relation_names
+    )
+    inspected = 0
+    for name in names:
+        existing = instance.relation(name).rows
+        for row in candidate_rows(instance.schema[name], adom):
+            inspected += 1
+            if limit is not None and inspected > limit:
+                raise BoundExceededError(
+                    f"single-tuple extension enumeration exceeded {limit} candidates"
+                )
+            if row in existing:
+                continue
+            extended = instance.with_tuple(name, row)
+            if satisfies_all(extended, master, constraints):
+                yield extended
+
+
+def has_partially_closed_extension(
+    instance: GroundInstance,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain,
+    limit: int | None = None,
+) -> bool:
+    """Whether ``Ext(I, D_m, V)`` is non-empty.
+
+    For CCs defined by (monotone) CQs, an extension exists iff a *single
+    tuple* can be added without violating ``V`` (Proposition 3.3), and the
+    added tuple may be assumed to take values in ``Adom``.
+    """
+    for _ in single_tuple_extensions(instance, master, constraints, adom, limit=limit):
+        return True
+    return False
+
+
+def tableau_valuations(
+    query: ConjunctiveQuery,
+    adom: ActiveDomain,
+    instance: GroundInstance | None = None,
+) -> Iterator[dict[Variable, Constant]]:
+    """All valuations of a query tableau's variables over ``Adom``.
+
+    The valuations produced satisfy the query's comparison atoms (a valuation
+    violating them can never witness a new query answer).  Variables occurring
+    in finite-domain attribute positions are restricted to those domains when
+    the relation is part of the instance schema.
+    """
+    variables = sorted(query.variables(), key=lambda v: v.name)
+    restrictions: dict[Variable, list[Constant]] = {}
+    if instance is not None:
+        schema = instance.schema
+        for atom in query.atoms:
+            if atom.relation not in schema:
+                continue
+            rel_schema = schema[atom.relation]
+            for attribute, term in zip(rel_schema.attributes, atom.terms):
+                if is_variable(term) and attribute.domain.is_finite:
+                    pool = adom.pool_for(attribute.domain)
+                    current = restrictions.get(term)
+                    restrictions[term] = (
+                        pool if current is None else [v for v in current if v in pool]
+                    )
+    pools = [restrictions.get(v, adom.ordered()) for v in variables]
+    for combo in itertools.product(*pools):
+        valuation = dict(zip(variables, combo))
+        if all(c.evaluate(valuation) for c in query.comparisons):
+            yield valuation
+
+
+def tableau_extensions(
+    instance: GroundInstance,
+    query: ConjunctiveQuery,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain,
+    limit: int | None = None,
+) -> Iterator[tuple[dict[Variable, Constant], GroundInstance]]:
+    """Partially closed extensions ``I ∪ ν(T_Q)`` for Adom-valuations ``ν``.
+
+    Yields ``(ν, I ∪ ν(T_Q))`` pairs for every valuation such that the
+    extension is partially closed.  The extension need not be *strict*: if
+    ``ν(T_Q) ⊆ I`` the pair is still yielded (the strong-model check compares
+    query answers, for which equality is then immediate).
+    """
+    from repro.queries.tableau import freeze
+
+    inspected = 0
+    for valuation in tableau_valuations(query, adom, instance):
+        inspected += 1
+        if limit is not None and inspected > limit:
+            raise BoundExceededError(
+                f"tableau extension enumeration exceeded {limit} valuations"
+            )
+        additions = freeze(query.atoms, valuation)
+        extended = instance.with_tuples(additions)
+        if satisfies_all(extended, master, constraints):
+            yield valuation, extended
+
+
+def bounded_extensions(
+    instance: GroundInstance,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain,
+    max_new_tuples: int = 1,
+    limit: int | None = None,
+) -> Iterator[GroundInstance]:
+    """Partially closed extensions adding up to ``max_new_tuples`` Adom tuples.
+
+    Used by the *bounded* completeness checks for FO and FP in the strong and
+    viable models, where the exact problems are undecidable: any extension
+    found here that changes the query answer refutes completeness; finding
+    none is necessary but not sufficient for completeness.
+    """
+    frontier: list[GroundInstance] = [instance]
+    seen: set[GroundInstance] = {instance}
+    inspected = 0
+    for _ in range(max_new_tuples):
+        next_frontier: list[GroundInstance] = []
+        for current in frontier:
+            for extended in single_tuple_extensions(
+                current, master, constraints, adom
+            ):
+                inspected += 1
+                if limit is not None and inspected > limit:
+                    raise BoundExceededError(
+                        f"bounded extension enumeration exceeded {limit} instances"
+                    )
+                if extended in seen:
+                    continue
+                seen.add(extended)
+                next_frontier.append(extended)
+                yield extended
+        frontier = next_frontier

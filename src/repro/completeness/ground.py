@@ -1,0 +1,182 @@
+"""Relative completeness of ground instances.
+
+This module implements the notion the paper inherits from Fan & Geerts
+[2009, 2010b] (Section 2.1): a partially closed ground instance ``I`` is
+*complete for a query Q relative to (D_m, V)* iff ``Q(I) = Q(I')`` for every
+partially closed extension ``I'`` of ``I``.
+
+For the positive languages (CQ, UCQ, ∃FO⁺) the problem is decidable (Πᵖ₂ by
+Theorem 4.1); the decision procedure is the characterisation of Lemma 4.2 /
+4.3: ``I`` is complete iff adding any Adom-valuation of any disjunct's query
+tableau either violates ``V`` or leaves the query answer unchanged.
+
+For FO and FP the problem is undecidable; :func:`is_ground_complete_bounded`
+offers the sound-but-incomplete check that explores extensions by at most
+``max_new_tuples`` Adom tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.completeness.extensions import bounded_extensions, tableau_extensions
+from repro.constraints.containment import (
+    ContainmentConstraint,
+    constraint_set_constants,
+    constraint_set_variables,
+    satisfies_all,
+)
+from repro.ctables.adom import ActiveDomain, build_active_domain
+from repro.exceptions import CompletenessError, QueryError
+from repro.queries.classify import as_union_of_cqs, classify, supports_exact_strong_check
+from repro.queries.evaluation import Query, evaluate, query_constants
+from repro.relational.instance import GroundInstance
+from repro.relational.master import MasterData
+
+
+@dataclass(frozen=True)
+class IncompletenessWitness:
+    """A counterexample to relative completeness of a ground instance.
+
+    ``extension`` is a partially closed extension of the instance on which
+    the query produces ``new_answers`` beyond the answers on the instance
+    itself.
+    """
+
+    instance: GroundInstance
+    extension: GroundInstance
+    new_answers: frozenset
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IncompletenessWitness(+{self.extension.size - self.instance.size} tuples, "
+            f"{len(self.new_answers)} new answers)"
+        )
+
+
+def ground_active_domain(
+    instance: GroundInstance,
+    query: Query | None,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+) -> ActiveDomain:
+    """The ``Adom`` for a ground-instance completeness check.
+
+    Constants come from the instance, the master data, the CCs and the query;
+    fresh values are added for the variables of the CCs and of the query
+    (the instance itself has no variables).
+    """
+    query_consts = query_constants(query) if query is not None else frozenset()
+    query_vars = set()
+    if query is not None and hasattr(query, "variables"):
+        query_vars = set(query.variables())
+    return build_active_domain(
+        cinstance=None,
+        master=master,
+        constraint_constants=constraint_set_constants(constraints),
+        query_constants=query_consts,
+        extra_constants=instance.constants(),
+        extra_variables=constraint_set_variables(constraints) | query_vars,
+        schema=instance.schema,
+    )
+
+
+def find_ground_incompleteness_witness(
+    instance: GroundInstance,
+    query: Query,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None = None,
+    limit: int | None = None,
+) -> IncompletenessWitness | None:
+    """Search for a partially closed extension changing the query answer.
+
+    Implements the characterisation of Lemma 4.2/4.3: only extensions of the
+    form ``I ∪ ν(T_Qi)`` for Adom-valuations ``ν`` of a disjunct's tableau
+    need to be considered.  Returns ``None`` when the instance is complete.
+
+    Raises
+    ------
+    QueryError
+        If the query is not in a positive language (CQ, UCQ, ∃FO⁺); use
+        :func:`is_ground_complete_bounded` for FO/FP.
+    CompletenessError
+        If the instance is not partially closed to begin with.
+    """
+    if not supports_exact_strong_check(query):
+        raise QueryError(
+            f"exact ground completeness requires CQ/UCQ/∃FO+; got "
+            f"{classify(query).value} — use is_ground_complete_bounded instead"
+        )
+    if not satisfies_all(instance, master, constraints):
+        raise CompletenessError(
+            "the instance is not partially closed relative to (Dm, V)"
+        )
+    if adom is None:
+        adom = ground_active_domain(instance, query, master, constraints)
+    base_answer = evaluate(query, instance)
+    unfolded = as_union_of_cqs(query)
+    for disjunct in unfolded.disjuncts:
+        for _valuation, extended in tableau_extensions(
+            instance, disjunct, master, constraints, adom, limit=limit
+        ):
+            extended_answer = evaluate(query, extended)
+            if extended_answer != base_answer:
+                return IncompletenessWitness(
+                    instance=instance,
+                    extension=extended,
+                    new_answers=frozenset(extended_answer - base_answer),
+                )
+    return None
+
+
+def is_ground_complete(
+    instance: GroundInstance,
+    query: Query,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None = None,
+    limit: int | None = None,
+) -> bool:
+    """Whether a partially closed ground instance is complete for the query.
+
+    Exact for CQ, UCQ and ∃FO⁺ (Theorem 4.1 machinery).
+    """
+    witness = find_ground_incompleteness_witness(
+        instance, query, master, constraints, adom=adom, limit=limit
+    )
+    return witness is None
+
+
+def is_ground_complete_bounded(
+    instance: GroundInstance,
+    query: Query,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    max_new_tuples: int = 1,
+    adom: ActiveDomain | None = None,
+    limit: int | None = None,
+) -> bool:
+    """Bounded completeness check usable for any query language.
+
+    Explores partially closed extensions obtained by adding at most
+    ``max_new_tuples`` Adom tuples and reports whether any of them changes the
+    query answer.  A ``False`` answer is always correct (a genuine
+    counterexample was found); a ``True`` answer only means no counterexample
+    exists *within the bound* — for FO and FP no terminating exact procedure
+    exists (Theorem 4.1), so this is the best a sound checker can do.
+    """
+    if not satisfies_all(instance, master, constraints):
+        raise CompletenessError(
+            "the instance is not partially closed relative to (Dm, V)"
+        )
+    if adom is None:
+        adom = ground_active_domain(instance, query, master, constraints)
+    base_answer = evaluate(query, instance)
+    for extended in bounded_extensions(
+        instance, master, constraints, adom, max_new_tuples=max_new_tuples, limit=limit
+    ):
+        if evaluate(query, extended) != base_answer:
+            return False
+    return True

@@ -1,0 +1,228 @@
+"""MINP — the minimality problem.
+
+``MINP(L_Q)``: given ``Q``, ``D_m``, ``V`` and a partially closed
+c-instance ``T``, is ``T`` a *minimal* database complete for ``Q`` relative
+to ``(D_m, V)``?  (Section 2.3.)
+
+The notion of minimality depends on the model (Section 2.2):
+
+* **ground instances** — ``I`` is minimal iff it is complete and no proper
+  subinstance is complete; by Lemma 4.7 it suffices to drop one tuple at a
+  time.
+* **strong model** — ``T`` is a minimal strongly complete c-instance iff
+  *every* world of ``Mod(T)`` is a minimal complete ground instance.
+* **viable model** — iff *some* world of ``Mod(T)`` is a minimal complete
+  ground instance.
+* **weak model** — iff ``T`` is weakly complete and no strict sub-c-instance
+  ``T' ⊊ T`` is weakly complete.  Lemma 4.7 fails here (Example 5.5):
+  single-row removals are not enough, so all subsets of rows are examined.
+  For CQ the drastic simplification of Lemma 5.7 applies and is exposed as
+  :func:`is_minimal_weakly_complete_cq`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.completeness.ground import is_ground_complete
+from repro.completeness.models import CompletenessModel
+from repro.completeness.weak import is_weakly_complete
+from repro.constraints.containment import ContainmentConstraint
+from repro.ctables.adom import ActiveDomain
+from repro.ctables.cinstance import CInstance
+from repro.ctables.possible_worlds import default_active_domain, has_model, models
+from repro.exceptions import InconsistentCInstanceError, QueryError
+from repro.queries.classify import QueryLanguage, classify, supports_exact_strong_check
+from repro.queries.evaluation import Query
+from repro.relational.instance import GroundInstance
+from repro.relational.master import MasterData
+
+
+# ---------------------------------------------------------------------------
+# ground instances (strong/viable notion, Lemma 4.7)
+# ---------------------------------------------------------------------------
+def is_minimal_ground_complete(
+    instance: GroundInstance,
+    query: Query,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None = None,
+    limit: int | None = None,
+) -> bool:
+    """Whether ``I`` is a minimal ground instance complete for ``Q``.
+
+    By Lemma 4.7, ``I`` is minimal iff it is complete and for every tuple
+    ``t ∈ I`` the instance ``I \\ {t}`` is not complete.  (Every subinstance
+    of a partially closed instance is partially closed, Lemma 4.7(a).)
+    """
+    if not is_ground_complete(instance, query, master, constraints, adom=adom, limit=limit):
+        return False
+    for smaller in instance.proper_subinstances():
+        if is_ground_complete(smaller, query, master, constraints, adom=adom, limit=limit):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# strong and viable models for c-instances
+# ---------------------------------------------------------------------------
+def is_minimal_strongly_complete(
+    cinstance: CInstance,
+    query: Query,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None = None,
+    limit: int | None = None,
+) -> bool:
+    """MINPˢ: every world of ``Mod_Adom(T)`` is a minimal complete instance.
+
+    Exact for CQ, UCQ and ∃FO⁺ (Πᵖ₃-complete for c-instances, Theorem 4.8).
+    """
+    if not supports_exact_strong_check(query):
+        raise QueryError(
+            f"MINP^s is undecidable for {classify(query).value} (Theorem 4.8)"
+        )
+    if adom is None:
+        adom = default_active_domain(cinstance, master, constraints, query)
+    saw_world = False
+    for world in models(cinstance, master, constraints, adom):
+        saw_world = True
+        if not is_minimal_ground_complete(
+            world, query, master, constraints, adom=adom, limit=limit
+        ):
+            return False
+    if not saw_world:
+        raise InconsistentCInstanceError(
+            "Mod(T, Dm, V) is empty; minimality is only defined for partially "
+            "closed (consistent) c-instances"
+        )
+    return True
+
+
+def is_minimal_viably_complete(
+    cinstance: CInstance,
+    query: Query,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None = None,
+    limit: int | None = None,
+) -> bool:
+    """MINPᵛ: some world of ``Mod_Adom(T)`` is a minimal complete instance.
+
+    Exact for CQ, UCQ and ∃FO⁺ (Σᵖ₃-complete for c-instances, Corollary 6.3).
+    """
+    if not supports_exact_strong_check(query):
+        raise QueryError(
+            f"MINP^v is undecidable for {classify(query).value} (Corollary 6.3)"
+        )
+    if adom is None:
+        adom = default_active_domain(cinstance, master, constraints, query)
+    saw_world = False
+    for world in models(cinstance, master, constraints, adom):
+        saw_world = True
+        if is_minimal_ground_complete(
+            world, query, master, constraints, adom=adom, limit=limit
+        ):
+            return True
+    if not saw_world:
+        raise InconsistentCInstanceError(
+            "Mod(T, Dm, V) is empty; minimality is only defined for partially "
+            "closed (consistent) c-instances"
+        )
+    return False
+
+
+# ---------------------------------------------------------------------------
+# weak model
+# ---------------------------------------------------------------------------
+def is_minimal_weakly_complete(
+    cinstance: CInstance,
+    query: Query,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None = None,
+    limit: int | None = None,
+) -> bool:
+    """MINPʷ: ``T`` is weakly complete and no strict sub-c-instance is.
+
+    Exact for the monotone languages (CQ, UCQ, ∃FO⁺, FP); the enumeration of
+    sub-c-instances is exponential in ``|T|``, matching the Πᵖ₄ / coNEXPTIME
+    upper bounds of Theorem 5.6.  Note that Lemma 4.7 does *not* apply in the
+    weak model (Example 5.5), hence all subsets of rows are inspected.
+    """
+    if not is_weakly_complete(cinstance, query, master, constraints, adom=adom, limit=limit):
+        return False
+    for smaller in cinstance.strict_subinstances():
+        if is_weakly_complete(smaller, query, master, constraints, limit=limit):
+            return False
+    return True
+
+
+def is_minimal_weakly_complete_cq(
+    cinstance: CInstance,
+    query: Query,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    limit: int | None = None,
+) -> bool:
+    """MINPʷ for CQ via the characterisation of Lemma 5.7 (coDP upper bound).
+
+    ``T`` is a minimal weakly complete instance iff either the empty
+    c-instance is weakly complete and ``T`` is empty, or the empty c-instance
+    is not weakly complete, ``|T| = 1`` and ``Mod(T, D_m, V) ≠ ∅``.
+    """
+    if classify(query) is not QueryLanguage.CQ:
+        raise QueryError("the Lemma 5.7 characterisation applies to CQ only")
+    empty = CInstance(cinstance.schema)
+    empty_is_weakly_complete = is_weakly_complete(
+        empty, query, master, constraints, limit=limit
+    )
+    if empty_is_weakly_complete:
+        return cinstance.is_empty()
+    if cinstance.size != 1:
+        return False
+    return has_model(cinstance, master, constraints)
+
+
+# ---------------------------------------------------------------------------
+# unified front-end
+# ---------------------------------------------------------------------------
+def is_minimal_complete(
+    database: CInstance | GroundInstance,
+    query: Query,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    model: CompletenessModel = CompletenessModel.STRONG,
+    adom: ActiveDomain | None = None,
+    limit: int | None = None,
+) -> bool:
+    """Decide MINP for the given completeness model (exact cells only)."""
+    if isinstance(database, GroundInstance):
+        cinstance = CInstance.from_ground_instance(database)
+    else:
+        cinstance = database
+    if model is CompletenessModel.STRONG:
+        return is_minimal_strongly_complete(
+            cinstance, query, master, constraints, adom=adom, limit=limit
+        )
+    if model is CompletenessModel.WEAK:
+        return is_minimal_weakly_complete(
+            cinstance, query, master, constraints, adom=adom, limit=limit
+        )
+    if model is CompletenessModel.VIABLE:
+        return is_minimal_viably_complete(
+            cinstance, query, master, constraints, adom=adom, limit=limit
+        )
+    raise QueryError(f"unknown completeness model {model!r}")
+
+
+def minp(
+    database: CInstance | GroundInstance,
+    query: Query,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    model: CompletenessModel = CompletenessModel.STRONG,
+    **kwargs,
+) -> bool:
+    """Alias of :func:`is_minimal_complete` using the paper's problem name."""
+    return is_minimal_complete(database, query, master, constraints, model, **kwargs)

@@ -1,0 +1,40 @@
+"""The three relative-completeness models of the paper.
+
+Section 2.2 defines, relative to master data ``D_m`` and a set ``V`` of CCs,
+when a partially closed c-instance ``T`` is complete for a query ``Q``:
+
+* **strongly complete** — every possible world ``I ∈ Mod(T)`` is a relatively
+  complete ground instance (``Q(I) = Q(I')`` for every partially closed
+  extension ``I'`` of ``I``);
+* **weakly complete** — the certain answer to ``Q`` over all partially closed
+  extensions of all possible worlds can already be found over ``Mod(T)``; and
+* **viably complete** — *some* possible world is a relatively complete ground
+  instance.
+
+:class:`CompletenessModel` names the three models; the deciders in
+:mod:`repro.completeness.rcdp` (and friends) take it as a parameter, exactly
+like the paper's problem statements RCDPˢ / RCDPʷ / RCDPᵛ.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class CompletenessModel(str, Enum):
+    """Which of the paper's three completeness models is being decided."""
+
+    STRONG = "strong"
+    WEAK = "weak"
+    VIABLE = "viable"
+
+    @property
+    def symbol(self) -> str:
+        """The superscript the paper uses for the model (s / w / v)."""
+        return {"strong": "s", "weak": "w", "viable": "v"}[self.value]
+
+
+#: Convenience aliases mirroring the paper's notation.
+STRONG = CompletenessModel.STRONG
+WEAK = CompletenessModel.WEAK
+VIABLE = CompletenessModel.VIABLE

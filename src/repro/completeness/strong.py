@@ -1,0 +1,150 @@
+"""Strong relative completeness (Section 4).
+
+A partially closed c-instance ``T`` is *strongly complete* for ``Q`` relative
+to ``(D_m, V)`` iff every possible world ``I ∈ Mod(T)`` is a relatively
+complete ground instance — no matter how the missing values are filled in,
+adding tuples cannot change the query answer.
+
+Deciders:
+
+* :func:`is_strongly_complete` — exact for CQ, UCQ and ∃FO⁺ (Πᵖ₂-complete,
+  Theorem 4.1), via the characterisation of Lemma 4.2/4.3: check every world
+  in ``Mod_Adom(T)`` with the ground-instance completeness test.
+* :func:`is_strongly_complete_bounded` — sound-but-incomplete variant for FO
+  and FP, for which the problem is undecidable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.completeness.ground import (
+    IncompletenessWitness,
+    find_ground_incompleteness_witness,
+    is_ground_complete_bounded,
+)
+from repro.constraints.containment import ContainmentConstraint
+from repro.ctables.adom import ActiveDomain
+from repro.ctables.cinstance import CInstance
+from repro.ctables.possible_worlds import default_active_domain, models
+from repro.exceptions import InconsistentCInstanceError
+from repro.queries.evaluation import Query
+from repro.relational.instance import GroundInstance
+from repro.relational.master import MasterData
+
+
+@dataclass(frozen=True)
+class StrongIncompletenessWitness:
+    """A counterexample to strong completeness.
+
+    ``world`` is a possible world of the c-instance that is not relatively
+    complete; ``ground_witness`` records the extension changing the answer.
+    """
+
+    world: GroundInstance
+    ground_witness: IncompletenessWitness
+
+
+def find_strong_incompleteness_witness(
+    cinstance: CInstance,
+    query: Query,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None = None,
+    limit: int | None = None,
+    require_consistent: bool = True,
+) -> StrongIncompletenessWitness | None:
+    """Search for a world of ``T`` that is not relatively complete for ``Q``.
+
+    Returns ``None`` when ``T`` is strongly complete.  Exact for the positive
+    languages (CQ, UCQ, ∃FO⁺).
+
+    Raises
+    ------
+    InconsistentCInstanceError
+        If ``Mod(T, D_m, V)`` is empty and ``require_consistent`` is set (the
+        paper restricts attention to consistent c-instances; with
+        ``require_consistent=False`` an inconsistent c-instance is vacuously
+        strongly complete).
+    """
+    if adom is None:
+        adom = default_active_domain(cinstance, master, constraints, query)
+    saw_world = False
+    for world in models(cinstance, master, constraints, adom):
+        saw_world = True
+        witness = find_ground_incompleteness_witness(
+            world, query, master, constraints, adom=adom, limit=limit
+        )
+        if witness is not None:
+            return StrongIncompletenessWitness(world=world, ground_witness=witness)
+    if not saw_world and require_consistent:
+        raise InconsistentCInstanceError(
+            "Mod(T, Dm, V) is empty; strong completeness is only defined for "
+            "partially closed (consistent) c-instances"
+        )
+    return None
+
+
+def is_strongly_complete(
+    cinstance: CInstance,
+    query: Query,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None = None,
+    limit: int | None = None,
+    require_consistent: bool = True,
+) -> bool:
+    """Whether ``T`` is strongly complete for ``Q`` relative to ``(D_m, V)``.
+
+    Exact for CQ, UCQ and ∃FO⁺ (RCDPˢ, Theorem 4.1).
+    """
+    witness = find_strong_incompleteness_witness(
+        cinstance,
+        query,
+        master,
+        constraints,
+        adom=adom,
+        limit=limit,
+        require_consistent=require_consistent,
+    )
+    return witness is None
+
+
+def is_strongly_complete_bounded(
+    cinstance: CInstance,
+    query: Query,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    max_new_tuples: int = 1,
+    adom: ActiveDomain | None = None,
+    limit: int | None = None,
+) -> bool:
+    """Bounded strong-completeness check for arbitrary query languages.
+
+    RCDPˢ is undecidable for FO and FP (Theorem 4.1); this check explores,
+    for every world in ``Mod_Adom(T)``, extensions by at most
+    ``max_new_tuples`` Adom tuples.  ``False`` answers are definitive;
+    ``True`` answers are only "no counterexample within the bound".
+    """
+    if adom is None:
+        adom = default_active_domain(cinstance, master, constraints, query)
+    saw_world = False
+    for world in models(cinstance, master, constraints, adom):
+        saw_world = True
+        if not is_ground_complete_bounded(
+            world,
+            query,
+            master,
+            constraints,
+            max_new_tuples=max_new_tuples,
+            adom=adom,
+            limit=limit,
+        ):
+            return False
+    if not saw_world:
+        raise InconsistentCInstanceError(
+            "Mod(T, Dm, V) is empty; strong completeness is only defined for "
+            "partially closed (consistent) c-instances"
+        )
+    return True

@@ -1,0 +1,154 @@
+"""Tractable special cases (Section 7, data complexity).
+
+The general RCDP / RCQP / MINP problems have high combined complexity
+(Table I).  Section 7 identifies regimes in which the *data complexity* — the
+complexity when the query ``Q`` and the CCs ``V`` are fixed and only the
+database and master data vary — drops to PTIME or even O(1):
+
+* **Corollary 7.1** — RCDPˢ and RCDPᵛ are in PTIME for CQ/UCQ/∃FO⁺, and
+  RCDPʷ is in PTIME for CQ/UCQ/∃FO⁺/FP, when the c-instance has a *constant
+  number of variables* (few missing values) and ``Q``/``V`` are fixed.
+* **Corollary 7.2** — RCQPˢ and RCQPᵛ are in PTIME for CQ/UCQ/∃FO⁺ when the
+  CCs are INDs, and RCQPʷ is O(1) for CQ/UCQ/∃FO⁺/FP.
+* **Corollary 7.3** — MINPˢ and MINPᵛ are in PTIME for CQ/UCQ/∃FO⁺, and
+  MINPʷ is in PTIME for CQ, again for constantly many variables and fixed
+  ``Q``/``V``.
+
+The functions here are thin, *guarded* wrappers over the general deciders:
+they enforce the side conditions (so a caller cannot accidentally fall off
+the tractable cliff) and serve as the entry points of the Section 7
+benchmarks.  The underlying algorithms are the same — the point of the
+corollaries is that with the parameters fixed those algorithms run in
+polynomial time, which is what the benchmark sweeps demonstrate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.completeness.minp import (
+    is_minimal_strongly_complete,
+    is_minimal_viably_complete,
+    is_minimal_weakly_complete_cq,
+)
+from repro.completeness.models import CompletenessModel
+from repro.completeness.rcqp import (
+    strong_rcqp_with_ind_ccs,
+    weak_rcqp,
+)
+from repro.completeness.strong import is_strongly_complete
+from repro.completeness.viable import is_viably_complete
+from repro.completeness.weak import is_weakly_complete
+from repro.constraints.containment import ContainmentConstraint
+from repro.ctables.cinstance import CInstance
+from repro.exceptions import CompletenessError, QueryError
+from repro.queries.classify import (
+    QueryLanguage,
+    classify,
+    supports_exact_strong_check,
+    supports_exact_weak_check,
+)
+from repro.queries.evaluation import Query
+from repro.relational.master import MasterData
+from repro.relational.schema import DatabaseSchema
+
+#: Default bound on the number of variables for the "constantly many missing
+#: values" regime of Corollaries 7.1 and 7.3.
+DEFAULT_VARIABLE_BOUND = 3
+
+
+def _require_few_variables(cinstance: CInstance, bound: int) -> None:
+    count = len(cinstance.variables())
+    if count > bound:
+        raise CompletenessError(
+            f"the tractable case requires at most {bound} variables "
+            f"(constantly many missing values); the c-instance has {count}"
+        )
+
+
+def rcdp_data_complexity(
+    cinstance: CInstance,
+    query: Query,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    model: CompletenessModel = CompletenessModel.STRONG,
+    variable_bound: int = DEFAULT_VARIABLE_BOUND,
+) -> bool:
+    """RCDP in the PTIME data-complexity regime of Corollary 7.1.
+
+    Enforces the corollary's side conditions: the c-instance carries at most
+    ``variable_bound`` variables, and the language is CQ/UCQ/∃FO⁺ (strong and
+    viable models) or additionally FP (weak model).
+    """
+    _require_few_variables(cinstance, variable_bound)
+    if model is CompletenessModel.STRONG:
+        if not supports_exact_strong_check(query):
+            raise QueryError(
+                f"Corollary 7.1 covers CQ/UCQ/∃FO+ for RCDP^s; got {classify(query).value}"
+            )
+        return is_strongly_complete(cinstance, query, master, constraints)
+    if model is CompletenessModel.VIABLE:
+        if not supports_exact_strong_check(query):
+            raise QueryError(
+                f"Corollary 7.1 covers CQ/UCQ/∃FO+ for RCDP^v; got {classify(query).value}"
+            )
+        return is_viably_complete(cinstance, query, master, constraints)
+    if model is CompletenessModel.WEAK:
+        if not supports_exact_weak_check(query):
+            raise QueryError(
+                f"Corollary 7.1 covers CQ/UCQ/∃FO+/FP for RCDP^w; got {classify(query).value}"
+            )
+        return is_weakly_complete(cinstance, query, master, constraints)
+    raise QueryError(f"unknown completeness model {model!r}")
+
+
+def rcqp_data_complexity(
+    query: Query,
+    schema: DatabaseSchema,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    model: CompletenessModel = CompletenessModel.STRONG,
+) -> bool:
+    """RCQP in the tractable regimes of Corollary 7.2.
+
+    * weak model — O(1) for CQ/UCQ/∃FO⁺/FP;
+    * strong / viable models — PTIME when every CC is IND-shaped.
+    """
+    if model is CompletenessModel.WEAK:
+        return weak_rcqp(query)
+    if not all(c.is_inclusion_dependency() for c in constraints):
+        raise QueryError(
+            "Corollary 7.2 requires IND-shaped CCs for the strong/viable models"
+        )
+    return strong_rcqp_with_ind_ccs(query, schema, master, constraints)
+
+
+def minp_data_complexity(
+    cinstance: CInstance,
+    query: Query,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    model: CompletenessModel = CompletenessModel.STRONG,
+    variable_bound: int = DEFAULT_VARIABLE_BOUND,
+) -> bool:
+    """MINP in the PTIME data-complexity regime of Corollary 7.3."""
+    _require_few_variables(cinstance, variable_bound)
+    if model is CompletenessModel.STRONG:
+        if not supports_exact_strong_check(query):
+            raise QueryError(
+                f"Corollary 7.3 covers CQ/UCQ/∃FO+ for MINP^s; got {classify(query).value}"
+            )
+        return is_minimal_strongly_complete(cinstance, query, master, constraints)
+    if model is CompletenessModel.VIABLE:
+        if not supports_exact_strong_check(query):
+            raise QueryError(
+                f"Corollary 7.3 covers CQ/UCQ/∃FO+ for MINP^v; got {classify(query).value}"
+            )
+        return is_minimal_viably_complete(cinstance, query, master, constraints)
+    if model is CompletenessModel.WEAK:
+        if classify(query) is not QueryLanguage.CQ:
+            raise QueryError(
+                f"Corollary 7.3 covers CQ for MINP^w; got {classify(query).value}"
+            )
+        return is_minimal_weakly_complete_cq(cinstance, query, master, constraints)
+    raise QueryError(f"unknown completeness model {model!r}")

@@ -1,0 +1,119 @@
+"""Viable relative completeness (Section 6).
+
+A partially closed c-instance ``T`` is *viably complete* for ``Q`` relative
+to ``(D_m, V)`` iff there exists a possible world ``I ∈ Mod(T)`` that is a
+relatively complete ground instance — the missing values *can* be filled in
+so that the database has complete information for ``Q``.
+
+Deciders:
+
+* :func:`is_viably_complete` — exact for CQ, UCQ and ∃FO⁺ (Σᵖ₃-complete,
+  Theorem 6.1): search ``Mod_Adom(T)`` for a world passing the ground
+  completeness test.
+* :func:`is_viably_complete_bounded` — bounded variant for FO and FP (the
+  exact problems are undecidable).  Note the asymmetry with the other
+  models: because viability is an *existential* statement, the bounded check
+  can only confirm that a world has no counterexample *within the bound*; a
+  ``True`` answer is therefore heuristic while a ``False`` answer ("no world
+  survives even the bounded test") is also not conclusive.  The result is
+  best interpreted as "a candidate world was / was not found".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.completeness.ground import is_ground_complete, is_ground_complete_bounded
+from repro.constraints.containment import ContainmentConstraint
+from repro.ctables.adom import ActiveDomain
+from repro.ctables.cinstance import CInstance
+from repro.ctables.possible_worlds import default_active_domain, models
+from repro.exceptions import InconsistentCInstanceError
+from repro.queries.evaluation import Query
+from repro.relational.instance import GroundInstance
+from repro.relational.master import MasterData
+
+
+def find_viable_witness(
+    cinstance: CInstance,
+    query: Query,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None = None,
+    limit: int | None = None,
+) -> GroundInstance | None:
+    """A possible world of ``T`` that is relatively complete for ``Q``, if any.
+
+    Exact for the positive languages (CQ, UCQ, ∃FO⁺).
+    """
+    if adom is None:
+        adom = default_active_domain(cinstance, master, constraints, query)
+    saw_world = False
+    for world in models(cinstance, master, constraints, adom):
+        saw_world = True
+        if is_ground_complete(world, query, master, constraints, adom=adom, limit=limit):
+            return world
+    if not saw_world:
+        raise InconsistentCInstanceError(
+            "Mod(T, Dm, V) is empty; viable completeness is only defined for "
+            "partially closed (consistent) c-instances"
+        )
+    return None
+
+
+def is_viably_complete(
+    cinstance: CInstance,
+    query: Query,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None = None,
+    limit: int | None = None,
+) -> bool:
+    """Whether ``T`` is viably complete for ``Q`` relative to ``(D_m, V)``.
+
+    Exact for CQ, UCQ and ∃FO⁺ (RCDPᵛ, Theorem 6.1).
+    """
+    return (
+        find_viable_witness(
+            cinstance, query, master, constraints, adom=adom, limit=limit
+        )
+        is not None
+    )
+
+
+def is_viably_complete_bounded(
+    cinstance: CInstance,
+    query: Query,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    max_new_tuples: int = 1,
+    adom: ActiveDomain | None = None,
+    limit: int | None = None,
+) -> bool:
+    """Bounded viable-completeness check for arbitrary query languages.
+
+    Searches ``Mod_Adom(T)`` for a world with no answer-changing extension of
+    at most ``max_new_tuples`` Adom tuples.  See the module docstring for how
+    to interpret the verdict.
+    """
+    if adom is None:
+        adom = default_active_domain(cinstance, master, constraints, query)
+    saw_world = False
+    for world in models(cinstance, master, constraints, adom):
+        saw_world = True
+        if is_ground_complete_bounded(
+            world,
+            query,
+            master,
+            constraints,
+            max_new_tuples=max_new_tuples,
+            adom=adom,
+            limit=limit,
+        ):
+            return True
+    if not saw_world:
+        raise InconsistentCInstanceError(
+            "Mod(T, Dm, V) is empty; viable completeness is only defined for "
+            "partially closed (consistent) c-instances"
+        )
+    return False

@@ -1,0 +1,82 @@
+"""Containment constraints and classical dependencies.
+
+Containment constraints (CCs) relate a partially closed database to master
+data (Section 2.1).  Classical dependencies — FDs, INDs, CFDs and denial
+constraints — can either be encoded as CCs (keeping the completeness analysis
+decidable) or, for FD + IND sets over the database itself, make the analysis
+undecidable (Proposition 3.1); both sides of that story live here.
+"""
+
+from repro.constraints.containment import (
+    ContainmentConstraint,
+    EmptyRHS,
+    ProjectionQuery,
+    cc,
+    constraint_set_constants,
+    constraint_set_variables,
+    denial_cc,
+    projection,
+    relation_containment_cc,
+    satisfies_all,
+    violated_constraints,
+)
+from repro.constraints.dependencies import (
+    WILDCARD,
+    ConditionalFunctionalDependency,
+    DenialConstraint,
+    FunctionalDependency,
+    InclusionDependency,
+    cfd,
+    fd,
+    ind,
+    satisfies_dependencies,
+)
+from repro.constraints.encode import (
+    cfd_as_ccs,
+    denial_as_cc,
+    encode_dependencies,
+    fd_as_ccs,
+    ind_to_master_as_cc,
+)
+from repro.constraints.integrity import (
+    attribute_closure,
+    chase_fd_ind,
+    counterexample_instance,
+    fd_implies,
+    is_key,
+    minimal_keys,
+)
+
+__all__ = [
+    "ConditionalFunctionalDependency",
+    "ContainmentConstraint",
+    "DenialConstraint",
+    "EmptyRHS",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "ProjectionQuery",
+    "WILDCARD",
+    "attribute_closure",
+    "cc",
+    "cfd",
+    "cfd_as_ccs",
+    "chase_fd_ind",
+    "constraint_set_constants",
+    "constraint_set_variables",
+    "counterexample_instance",
+    "denial_as_cc",
+    "denial_cc",
+    "encode_dependencies",
+    "fd",
+    "fd_as_ccs",
+    "fd_implies",
+    "ind",
+    "ind_to_master_as_cc",
+    "is_key",
+    "minimal_keys",
+    "projection",
+    "relation_containment_cc",
+    "satisfies_all",
+    "satisfies_dependencies",
+    "violated_constraints",
+]

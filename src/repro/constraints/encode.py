@@ -1,0 +1,226 @@
+"""Encoding classical dependencies as containment constraints.
+
+Example 2.1 and Section 3 of the paper show how constraints commonly used in
+data cleaning can be pushed into the CC formalism, so that a single constraint
+language governs both relative completeness and data consistency:
+
+* a functional dependency ``R: X → A`` becomes, for each right-hand-side
+  attribute, a CC ``q ⊆ D_∅`` whose left query looks for two tuples agreeing
+  on ``X`` but disagreeing on ``A`` (so satisfaction of the CC is exactly
+  satisfaction of the FD);
+* a denial constraint (a forbidden Boolean CQ pattern) becomes ``q ⊆ D_∅``
+  directly;
+* a CFD becomes the same shape with the pattern constants folded into the
+  query;
+* an inclusion dependency *into master data* ``R[X] ⊆ R_m[Y]`` is already a
+  CC whose left query is a projection CQ — this is the IND-shaped CC class
+  for which RCQP becomes tractable (Corollary 7.2).  INDs between database
+  relations require FO on the left and are intentionally *not* encodable
+  here; Proposition 3.1 shows why admitting them is fatal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.constraints.containment import (
+    ContainmentConstraint,
+    EmptyRHS,
+    ProjectionQuery,
+)
+from repro.constraints.dependencies import (
+    WILDCARD,
+    ConditionalFunctionalDependency,
+    DenialConstraint,
+    FunctionalDependency,
+    InclusionDependency,
+)
+from repro.exceptions import ConstraintError
+from repro.queries.atoms import Comparison, RelationAtom, eq, neq
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Variable
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def _fresh_vars(prefix: str, schema: RelationSchema) -> list[Variable]:
+    return [Variable(f"{prefix}_{attribute}") for attribute in schema.attribute_names]
+
+
+def fd_as_ccs(
+    dependency: FunctionalDependency, schema: DatabaseSchema
+) -> list[ContainmentConstraint]:
+    """Encode an FD as denial-shaped CCs, one per right-hand-side attribute.
+
+    This is exactly the construction of Example 2.1 (``q_name ⊆ D_∅`` and
+    ``q_GD ⊆ D_∅`` for the FD ``NHS → name, GD``).
+    """
+    rel_schema = schema[dependency.relation]
+    constraints = []
+    for target in dependency.rhs:
+        first = _fresh_vars("t1", rel_schema)
+        second = _fresh_vars("t2", rel_schema)
+        comparisons: list[Comparison] = []
+        for attribute in dependency.lhs:
+            position = rel_schema.position_of(attribute)
+            comparisons.append(eq(first[position], second[position]))
+        target_position = rel_schema.position_of(target)
+        comparisons.append(neq(first[target_position], second[target_position]))
+        query = ConjunctiveQuery(
+            head=(),
+            atoms=(
+                RelationAtom(dependency.relation, first),
+                RelationAtom(dependency.relation, second),
+            ),
+            comparisons=tuple(comparisons),
+            name=f"violates_{dependency.relation}_{'_'.join(dependency.lhs)}_to_{target}",
+        )
+        constraints.append(
+            ContainmentConstraint(
+                query=query,
+                master_query=EmptyRHS(),
+                name=f"fd:{dependency.relation}:{','.join(dependency.lhs)}→{target}",
+            )
+        )
+    return constraints
+
+
+def denial_as_cc(dependency: DenialConstraint) -> ContainmentConstraint:
+    """Encode a denial constraint as a CC with an empty right-hand side."""
+    return ContainmentConstraint(
+        query=dependency.query,
+        master_query=EmptyRHS(),
+        name=dependency.name or f"denial:{dependency.query.name}",
+    )
+
+
+def cfd_as_ccs(
+    dependency: ConditionalFunctionalDependency, schema: DatabaseSchema
+) -> list[ContainmentConstraint]:
+    """Encode a CFD as denial-shaped CCs.
+
+    Two kinds of violations are forbidden:
+
+    * two tuples matching the LHS pattern, agreeing on ``X`` but disagreeing
+      on a wildcard RHS attribute (the FD-like part), and
+    * a single tuple matching the LHS pattern whose RHS attribute differs
+      from a constant RHS pattern component (the constant part).
+    """
+    rel_schema = schema[dependency.relation]
+    constraints: list[ContainmentConstraint] = []
+    lhs_pattern = dict(zip(dependency.lhs, dependency.lhs_pattern))
+    rhs_pattern = dict(zip(dependency.rhs, dependency.rhs_pattern))
+
+    def pattern_comparisons(variables: list[Variable]) -> list[Comparison]:
+        comparisons = []
+        for attribute, pattern_value in lhs_pattern.items():
+            if pattern_value != WILDCARD:
+                position = rel_schema.position_of(attribute)
+                comparisons.append(eq(variables[position], pattern_value))
+        return comparisons
+
+    for target in dependency.rhs:
+        target_position = rel_schema.position_of(target)
+        pattern_value = rhs_pattern[target]
+        if pattern_value == WILDCARD:
+            first = _fresh_vars("t1", rel_schema)
+            second = _fresh_vars("t2", rel_schema)
+            comparisons = pattern_comparisons(first) + pattern_comparisons(second)
+            for attribute in dependency.lhs:
+                position = rel_schema.position_of(attribute)
+                comparisons.append(eq(first[position], second[position]))
+            comparisons.append(neq(first[target_position], second[target_position]))
+            query = ConjunctiveQuery(
+                head=(),
+                atoms=(
+                    RelationAtom(dependency.relation, first),
+                    RelationAtom(dependency.relation, second),
+                ),
+                comparisons=tuple(comparisons),
+                name=f"cfd_fd_part_{dependency.relation}_{target}",
+            )
+        else:
+            row = _fresh_vars("t", rel_schema)
+            comparisons = pattern_comparisons(row)
+            comparisons.append(neq(row[target_position], pattern_value))
+            query = ConjunctiveQuery(
+                head=(),
+                atoms=(RelationAtom(dependency.relation, row),),
+                comparisons=tuple(comparisons),
+                name=f"cfd_const_part_{dependency.relation}_{target}",
+            )
+        constraints.append(
+            ContainmentConstraint(
+                query=query,
+                master_query=EmptyRHS(),
+                name=f"cfd:{dependency.relation}:{target}",
+            )
+        )
+    return constraints
+
+
+def ind_to_master_as_cc(
+    dependency: InclusionDependency,
+    schema: DatabaseSchema,
+    master_schema: DatabaseSchema,
+) -> ContainmentConstraint:
+    """Encode an IND from a database relation into a master relation as a CC.
+
+    The source relation must belong to the database schema and the target to
+    the master schema; the resulting CC has the IND shape recognised by
+    :meth:`ContainmentConstraint.is_inclusion_dependency`.
+    """
+    if dependency.source_relation not in schema:
+        raise ConstraintError(
+            f"IND source {dependency.source_relation!r} is not a database relation"
+        )
+    if dependency.target_relation not in master_schema:
+        raise ConstraintError(
+            f"IND target {dependency.target_relation!r} is not a master relation"
+        )
+    rel_schema = schema[dependency.source_relation]
+    variables = _fresh_vars("s", rel_schema)
+    head = tuple(
+        variables[rel_schema.position_of(a)] for a in dependency.source_attributes
+    )
+    query = ConjunctiveQuery(
+        head=head,
+        atoms=(RelationAtom(dependency.source_relation, variables),),
+        name=f"proj_{dependency.source_relation}",
+    )
+    return ContainmentConstraint(
+        query=query,
+        master_query=ProjectionQuery(
+            dependency.target_relation, tuple(dependency.target_attributes)
+        ),
+        name=f"ind:{dependency.source_relation}⊆{dependency.target_relation}",
+    )
+
+
+def encode_dependencies(
+    dependencies: Iterable,
+    schema: DatabaseSchema,
+    master_schema: DatabaseSchema | None = None,
+) -> list[ContainmentConstraint]:
+    """Encode a mixed collection of dependencies as CCs.
+
+    FDs, CFDs and denial constraints become denial-shaped CCs; INDs are only
+    accepted when a master schema containing their target is supplied.
+    """
+    constraints: list[ContainmentConstraint] = []
+    for dependency in dependencies:
+        if isinstance(dependency, FunctionalDependency):
+            constraints.extend(fd_as_ccs(dependency, schema))
+        elif isinstance(dependency, ConditionalFunctionalDependency):
+            constraints.extend(cfd_as_ccs(dependency, schema))
+        elif isinstance(dependency, DenialConstraint):
+            constraints.append(denial_as_cc(dependency))
+        elif isinstance(dependency, InclusionDependency):
+            if master_schema is None:
+                raise ConstraintError(
+                    "INDs can only be encoded as CCs when they point into master "
+                    "data (Proposition 3.1 shows general INDs are fatal)"
+                )
+            constraints.append(ind_to_master_as_cc(dependency, schema, master_schema))
+        else:
+            raise ConstraintError(f"cannot encode {dependency!r} as a CC")
+    return constraints

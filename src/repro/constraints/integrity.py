@@ -1,0 +1,208 @@
+"""Integrity-constraint reasoning: FD closure, implication, and the chase.
+
+Proposition 3.1 reduces the (undecidable) implication problem for FDs + INDs
+to RCDP/RCQP in the presence of such constraints.  To exercise that reduction
+the library needs the decidable fragments of the implication problem:
+
+* implication for FDs alone — decidable in linear time via attribute closure
+  (Armstrong); and
+* a *bounded* chase for FDs + INDs — sound (a proof of implication found
+  within the bound is a real proof) but incomplete in general, exactly as one
+  expects for an undecidable problem.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.constraints.dependencies import (
+    FunctionalDependency,
+    InclusionDependency,
+)
+from repro.exceptions import BoundExceededError
+from repro.relational.domains import Constant
+from repro.relational.instance import GroundInstance
+from repro.relational.schema import DatabaseSchema
+
+
+def attribute_closure(
+    attributes: Iterable[str],
+    fds: Sequence[FunctionalDependency],
+    relation: str | None = None,
+) -> frozenset[str]:
+    """The closure ``X⁺`` of an attribute set under a set of FDs.
+
+    When ``relation`` is given, only FDs over that relation participate.
+    """
+    closure = set(attributes)
+    applicable = [
+        dependency
+        for dependency in fds
+        if relation is None or dependency.relation == relation
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for dependency in applicable:
+            if set(dependency.lhs) <= closure and not set(dependency.rhs) <= closure:
+                closure |= set(dependency.rhs)
+                changed = True
+    return frozenset(closure)
+
+
+def fd_implies(
+    fds: Sequence[FunctionalDependency], candidate: FunctionalDependency
+) -> bool:
+    """Whether a set of FDs logically implies another FD (same relation)."""
+    relevant = [d for d in fds if d.relation == candidate.relation]
+    closure = attribute_closure(candidate.lhs, relevant, relation=candidate.relation)
+    return set(candidate.rhs) <= closure
+
+
+def is_key(
+    attributes: Iterable[str],
+    fds: Sequence[FunctionalDependency],
+    schema: DatabaseSchema,
+    relation: str,
+) -> bool:
+    """Whether the attribute set is a (super)key of the relation under the FDs."""
+    closure = attribute_closure(attributes, fds, relation=relation)
+    return set(schema[relation].attribute_names) <= closure
+
+
+def minimal_keys(
+    fds: Sequence[FunctionalDependency], schema: DatabaseSchema, relation: str
+) -> list[frozenset[str]]:
+    """All minimal keys of a relation under the given FDs (exponential search)."""
+    attributes = schema[relation].attribute_names
+    keys: list[frozenset[str]] = []
+    for size in range(1, len(attributes) + 1):
+        for combo in itertools.combinations(attributes, size):
+            candidate = frozenset(combo)
+            if any(key <= candidate for key in keys):
+                continue
+            if is_key(candidate, fds, schema, relation):
+                keys.append(candidate)
+    return keys
+
+
+def chase_fd_ind(
+    schema: DatabaseSchema,
+    fds: Sequence[FunctionalDependency],
+    inds: Sequence[InclusionDependency],
+    candidate: FunctionalDependency,
+    max_steps: int = 200,
+) -> bool | None:
+    """Bounded chase test of ``Θ |= φ`` for mixed FD + IND sets.
+
+    Returns ``True`` if the candidate FD is implied (the chase of the standard
+    two-tuple counterexample instance equates the target attributes within the
+    step bound), ``False`` if the chase terminates without equating them, and
+    ``None`` when the step budget is exhausted (the problem is undecidable in
+    general, so non-termination is expected for adversarial inputs).
+    """
+    rel_schema = schema[candidate.relation]
+
+    # Build the canonical two-tuple instance over labelled nulls (ints).
+    counter = itertools.count(1)
+    lhs = set(candidate.lhs)
+    first: list[int] = []
+    second: list[int] = []
+    for attribute in rel_schema.attribute_names:
+        value = next(counter)
+        first.append(value)
+        if attribute in lhs:
+            second.append(value)
+        else:
+            second.append(next(counter))
+
+    facts: dict[str, set[tuple[int, ...]]] = {name: set() for name in schema.relation_names}
+    facts[candidate.relation] = {tuple(first), tuple(second)}
+
+    def apply_equality(a: int, b: int) -> None:
+        if a == b:
+            return
+        keep, drop = (a, b) if a < b else (b, a)
+        for name, rows in facts.items():
+            facts[name] = {
+                tuple(keep if value == drop else value for value in row) for row in rows
+            }
+
+    steps = 0
+    changed = True
+    while changed:
+        changed = False
+        steps += 1
+        if steps > max_steps:
+            return None
+        # FD rules: equate RHS values of tuples agreeing on the LHS.
+        for dependency in fds:
+            rel = schema[dependency.relation]
+            lhs_pos = [rel.position_of(a) for a in dependency.lhs]
+            rhs_pos = [rel.position_of(a) for a in dependency.rhs]
+            rows = list(facts.get(dependency.relation, ()))
+            for i, row_a in enumerate(rows):
+                for row_b in rows[i + 1:]:
+                    if all(row_a[p] == row_b[p] for p in lhs_pos):
+                        for p in rhs_pos:
+                            if row_a[p] != row_b[p]:
+                                apply_equality(row_a[p], row_b[p])
+                                changed = True
+        # IND rules: copy projected tuples into the target relation with fresh nulls.
+        for dependency in inds:
+            src = schema[dependency.source_relation]
+            tgt = schema[dependency.target_relation]
+            src_pos = [src.position_of(a) for a in dependency.source_attributes]
+            tgt_pos = [tgt.position_of(a) for a in dependency.target_attributes]
+            target_rows = facts.get(dependency.target_relation, set())
+            existing_projections = {
+                tuple(row[p] for p in tgt_pos) for row in target_rows
+            }
+            for row in list(facts.get(dependency.source_relation, ())):
+                projection = tuple(row[p] for p in src_pos)
+                if projection in existing_projections:
+                    continue
+                fresh_row = [next(counter) for _ in tgt.attribute_names]
+                for value, position in zip(projection, tgt_pos):
+                    fresh_row[position] = value
+                facts[dependency.target_relation].add(tuple(fresh_row))
+                existing_projections.add(projection)
+                changed = True
+
+    # After the chase converges, check whether the target attributes were equated.
+    rhs_pos = [rel_schema.position_of(a) for a in candidate.rhs]
+    rows = list(facts[candidate.relation])
+    lhs_pos = [rel_schema.position_of(a) for a in candidate.lhs]
+    for i, row_a in enumerate(rows):
+        for row_b in rows[i + 1:]:
+            if all(row_a[p] == row_b[p] for p in lhs_pos):
+                if any(row_a[p] != row_b[p] for p in rhs_pos):
+                    return False
+    return True
+
+
+def counterexample_instance(
+    schema: DatabaseSchema,
+    candidate: FunctionalDependency,
+    values: tuple[Constant, Constant] = (0, 1),
+) -> GroundInstance:
+    """The canonical two-tuple instance violating ``candidate`` and nothing forced.
+
+    Used by tests of the Proposition 3.1 reduction: the instance satisfies any
+    FD whose left-hand side is *not* contained in the candidate's, and
+    violates the candidate itself.
+    """
+    rel_schema = schema[candidate.relation]
+    lhs = set(candidate.lhs)
+    low, high = values
+    first = []
+    second = []
+    for attribute in rel_schema.attribute_names:
+        if attribute in lhs:
+            first.append(low)
+            second.append(low)
+        else:
+            first.append(low)
+            second.append(high)
+    return GroundInstance(schema, {candidate.relation: [tuple(first), tuple(second)]})

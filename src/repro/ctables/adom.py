@@ -1,0 +1,184 @@
+"""The active domain construction ``Adom``.
+
+The decision procedures of the paper never need to consider arbitrary
+valuations of a c-instance: Proposition 3.3 (consistency/extensibility),
+Lemma 4.2/4.3 (strong model) and Lemma 5.2 (weak model) show that it suffices
+to instantiate variables with values from
+
+    ``Adom = S ∪ New ∪ df``
+
+where
+
+* ``S`` is the set of constants occurring in the c-instance ``T``, the master
+  data ``D_m``, the CCs ``V`` and (where relevant) the query ``Q``,
+* ``New`` contains one *fresh* constant per variable of ``T`` (and of ``V`` /
+  ``Q`` where relevant), distinct from everything in ``S``, and
+* ``df`` collects all values of the finite attribute domains of the schema.
+
+Variables occurring in a finite-domain attribute position must be valuated
+within that finite domain; all other variables range over the whole of
+``Adom``.  :class:`ActiveDomain` packages the constant pool together with the
+fresh values so that callers can build per-variable candidate pools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.ctables.cinstance import CInstance
+from repro.queries.terms import Variable
+from repro.relational.domains import Constant, Domain
+from repro.relational.master import MasterData
+from repro.relational.schema import DatabaseSchema
+from repro.utils.naming import FreshNameSupply
+
+
+@dataclass(frozen=True)
+class ActiveDomain:
+    """The active domain used by the Adom-restricted decision procedures."""
+
+    constants: frozenset[Constant]
+    fresh_values: tuple[Constant, ...]
+    finite_domain_values: frozenset[Constant]
+
+    def __contains__(self, value: Constant) -> bool:
+        return value in self.constants
+
+    def __len__(self) -> int:
+        return len(self.constants)
+
+    def ordered(self) -> list[Constant]:
+        """The constants in a deterministic order."""
+        return sorted(self.constants, key=repr)
+
+    def pool_for(self, restriction: Domain | None = None) -> list[Constant]:
+        """Candidate values for a variable.
+
+        ``restriction`` is the finite attribute domain constraining the
+        variable, if any; unrestricted variables range over all of ``Adom``.
+        """
+        if restriction is not None and restriction.is_finite:
+            return sorted(restriction.values, key=repr)  # type: ignore[arg-type]
+        return self.ordered()
+
+    def extend(self, extra: Iterable[Constant]) -> "ActiveDomain":
+        """A new active domain with additional constants added."""
+        return ActiveDomain(
+            constants=self.constants | frozenset(extra),
+            fresh_values=self.fresh_values,
+            finite_domain_values=self.finite_domain_values,
+        )
+
+
+def finite_domain_values(schema: DatabaseSchema) -> frozenset[Constant]:
+    """All values of finite attribute domains in a database schema (``df``)."""
+    values: set[Constant] = set()
+    for relation in schema:
+        for attribute in relation.attributes:
+            if attribute.domain.is_finite:
+                values |= set(attribute.domain.values or ())
+    return frozenset(values)
+
+
+def build_active_domain(
+    cinstance: CInstance | None = None,
+    master: MasterData | None = None,
+    constraint_constants: Iterable[Constant] = (),
+    query_constants: Iterable[Constant] = (),
+    extra_constants: Iterable[Constant] = (),
+    extra_variables: Iterable[Variable] = (),
+    schema: DatabaseSchema | None = None,
+    fresh_supply: FreshNameSupply | None = None,
+) -> ActiveDomain:
+    """Build ``Adom`` for a decision-procedure input.
+
+    Parameters
+    ----------
+    cinstance:
+        The c-instance ``T`` whose constants and variables seed ``S`` and
+        ``New``.  May be ``None`` when only a ground instance is involved
+        (pass its constants through ``extra_constants``).
+    master:
+        The master data ``D_m``.
+    constraint_constants / query_constants / extra_constants:
+        Constants contributed by the CCs ``V``, the query ``Q``, and any other
+        source (e.g. a ground instance ``I``).
+    extra_variables:
+        Variables beyond those of ``T`` that also need a fresh value each
+        (e.g. the variables of a query tableau in Lemma 4.2, or of the CCs).
+    schema:
+        The database schema whose finite attribute domains populate ``df``;
+        defaults to the c-instance's schema when available.
+    fresh_supply:
+        Optional supply used to generate the ``New`` values (deterministic by
+        default).
+    """
+    supply = fresh_supply or FreshNameSupply()
+    base: set[Constant] = set()
+    variables: set[Variable] = set(extra_variables)
+
+    if cinstance is not None:
+        base |= set(cinstance.constants())
+        variables |= cinstance.variables()
+        if schema is None:
+            schema = cinstance.schema
+    if master is not None:
+        base |= set(master.constants())
+    base |= set(constraint_constants)
+    base |= set(query_constants)
+    base |= set(extra_constants)
+
+    def next_fresh(hint: str) -> Constant:
+        # Fresh values must be genuinely new: they may not collide with any
+        # constant of the input (previously generated fresh values can end up
+        # as ordinary constants of a derived instance, e.g. an RCQP witness).
+        candidate = supply.next(hint)
+        while candidate in base:
+            candidate = supply.next(hint)
+        return candidate
+
+    fresh: list[Constant] = []
+    for variable in sorted(variables, key=lambda v: v.name):
+        fresh.append(next_fresh(variable.name))
+    if not fresh:
+        # Degenerate inputs (no variables anywhere) would otherwise leave the
+        # active domain empty, making e.g. an unconstrained empty instance
+        # look non-extensible.  One generic fresh value keeps Adom non-empty
+        # and is harmless: the paper's restriction arguments hold for any
+        # superset of the prescribed Adom.
+        fresh.append(next_fresh("adom"))
+
+    df = finite_domain_values(schema) if schema is not None else frozenset()
+
+    constants = frozenset(base) | frozenset(fresh) | df
+    return ActiveDomain(
+        constants=constants,
+        fresh_values=tuple(fresh),
+        finite_domain_values=df,
+    )
+
+
+def variable_pools(
+    variables: Iterable[Variable],
+    adom: ActiveDomain,
+    restrictions: Mapping[Variable, Domain] | None = None,
+) -> dict[Variable, list[Constant]]:
+    """Per-variable candidate pools over the active domain.
+
+    ``restrictions`` maps variables to the finite attribute domains they occur
+    in (see :meth:`CInstance.variable_domains`).
+    """
+    restrictions = restrictions or {}
+    pools: dict[Variable, list[Constant]] = {}
+    for variable in sorted(set(variables), key=lambda v: v.name):
+        pools[variable] = adom.pool_for(restrictions.get(variable))
+    return pools
+
+
+def pool_sizes(pools: Mapping[Variable, Sequence[Constant]]) -> int:
+    """The number of valuations a pool assignment induces."""
+    total = 1
+    for values in pools.values():
+        total *= len(values)
+    return total

@@ -1,0 +1,116 @@
+"""Possible worlds of a partially closed c-instance.
+
+``Mod(T, D_m, V)`` is the set of ground instances ``µ(T)`` obtained from
+valuations ``µ`` such that ``(µ(T), D_m) |= V`` (Section 2.2).  The set is
+infinite in general (variables range over infinite domains), but by
+Proposition 3.3 it suffices to consider valuations over the active domain
+``Adom``; the paper writes the restricted set ``Mod_Adom(T, D_m, V)``.
+
+This module enumerates ``Mod_Adom``.  The higher-level decision procedures
+(consistency, RCDP, RCQP, MINP) are built on top of it in
+:mod:`repro.completeness`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.constraints.containment import (
+    ContainmentConstraint,
+    constraint_set_constants,
+    constraint_set_variables,
+    satisfies_all,
+)
+from repro.ctables.adom import ActiveDomain, build_active_domain
+from repro.ctables.cinstance import CInstance
+from repro.ctables.valuation import Valuation, enumerate_valuations
+from repro.queries.evaluation import Query, query_constants
+from repro.relational.instance import GroundInstance
+from repro.relational.master import MasterData
+
+
+def default_active_domain(
+    cinstance: CInstance,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    query: Query | None = None,
+) -> ActiveDomain:
+    """The ``Adom`` of Proposition 3.3 / Theorem 4.1 for the given input.
+
+    Constants come from the c-instance, the master data, the CCs and (when
+    supplied) the query; fresh values are added for the variables of the
+    c-instance and of the CCs (and of the query when supplied).
+    """
+    query_consts = query_constants(query) if query is not None else frozenset()
+    query_vars = set()
+    if query is not None and hasattr(query, "variables"):
+        query_vars = set(query.variables())
+    return build_active_domain(
+        cinstance=cinstance,
+        master=master,
+        constraint_constants=constraint_set_constants(constraints),
+        query_constants=query_consts,
+        extra_variables=constraint_set_variables(constraints) | query_vars,
+    )
+
+
+def models_with_valuations(
+    cinstance: CInstance,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None = None,
+) -> Iterator[tuple[Valuation, GroundInstance]]:
+    """Enumerate ``(µ, µ(T))`` pairs with ``µ(T) ∈ Mod_Adom(T, D_m, V)``."""
+    if adom is None:
+        adom = default_active_domain(cinstance, master, constraints)
+    for valuation in enumerate_valuations(cinstance, adom):
+        world = cinstance.apply(valuation)
+        if satisfies_all(world, master, constraints):
+            yield valuation, world
+
+
+def models(
+    cinstance: CInstance,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None = None,
+    deduplicate: bool = True,
+) -> Iterator[GroundInstance]:
+    """Enumerate ``Mod_Adom(T, D_m, V)``.
+
+    Distinct valuations may induce the same ground instance; by default the
+    duplicates are suppressed so callers iterate over the set of worlds.
+    """
+    seen: set[GroundInstance] = set()
+    for _valuation, world in models_with_valuations(cinstance, master, constraints, adom):
+        if deduplicate:
+            if world in seen:
+                continue
+            seen.add(world)
+        yield world
+
+
+def has_model(
+    cinstance: CInstance,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None = None,
+) -> bool:
+    """Whether ``Mod(T, D_m, V)`` is non-empty (the consistency property).
+
+    By the correctness argument of Proposition 3.3, emptiness over ``Adom``
+    coincides with emptiness over all valuations.
+    """
+    for _ in models_with_valuations(cinstance, master, constraints, adom):
+        return True
+    return False
+
+
+def model_count(
+    cinstance: CInstance,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None = None,
+) -> int:
+    """The number of distinct worlds in ``Mod_Adom(T, D_m, V)``."""
+    return sum(1 for _ in models(cinstance, master, constraints, adom))

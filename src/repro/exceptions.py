@@ -1,0 +1,73 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so client
+code can catch a single base class.  Sub-classes mirror the major subsystems:
+schema/data-model errors, query construction/evaluation errors, c-table
+errors, constraint errors and decision-procedure errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an operation violates a schema."""
+
+
+class DomainError(SchemaError):
+    """A constant does not belong to the declared attribute domain."""
+
+
+class ArityError(SchemaError):
+    """A tuple, atom or query result has the wrong number of components."""
+
+
+class UnknownRelationError(SchemaError):
+    """A relation name is not declared in the schema in scope."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (unsafe, ill-typed, unknown relation, ...)."""
+
+
+class UnsafeQueryError(QueryError):
+    """A query is not range restricted / not safe for evaluation."""
+
+
+class EvaluationError(ReproError):
+    """Query evaluation failed (e.g. fixpoint did not converge in bounds)."""
+
+
+class CTableError(ReproError):
+    """A c-table or c-instance is malformed."""
+
+
+class ConditionError(CTableError):
+    """A local condition is malformed or refers to unknown variables."""
+
+
+class ValuationError(CTableError):
+    """A valuation is not well defined for the c-table it is applied to."""
+
+
+class ConstraintError(ReproError):
+    """A containment constraint or classical dependency is malformed."""
+
+
+class CompletenessError(ReproError):
+    """A relative-completeness decision procedure was invoked incorrectly."""
+
+
+class InconsistentCInstanceError(CompletenessError):
+    """Raised when ``Mod(T, D_m, V)`` is empty but a non-empty set is required."""
+
+
+class BoundExceededError(ReproError):
+    """A bounded search exhausted its configured budget without an answer."""
+
+
+class ReductionError(ReproError):
+    """A lower-bound reduction was given malformed input."""

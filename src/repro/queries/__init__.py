@@ -1,0 +1,137 @@
+"""Query languages of the paper: CQ, UCQ, ∃FO⁺, FO and FP.
+
+All five languages support equality and inequality atoms, as in Section 2.3
+of the paper.  Evaluation over ground instances lives in
+:mod:`repro.queries.evaluation`; tableau-based tooling for conjunctive
+queries (canonical databases, homomorphisms, containment) lives in
+:mod:`repro.queries.tableau`.
+"""
+
+from repro.queries.atoms import (
+    Comparison,
+    ComparisonOp,
+    RelationAtom,
+    atom,
+    eq,
+    neq,
+)
+from repro.queries.cq import ConjunctiveQuery, boolean_cq, cq
+from repro.queries.efo import (
+    ExistentialPositiveQuery,
+    cq_as_efo,
+    efo,
+    ucq_as_efo,
+)
+from repro.queries.evaluation import (
+    Query,
+    active_domain,
+    boolean_answer,
+    evaluate,
+    evaluate_cq,
+    evaluate_efo,
+    evaluate_fo,
+    evaluate_fp,
+    evaluate_ucq,
+    is_monotone,
+    match_conjunction,
+    query_arity,
+    query_constants,
+    query_relation_names,
+)
+from repro.queries.fo import FirstOrderQuery, NativeQuery, fo, native_query
+from repro.queries.formulas import (
+    And,
+    Atom,
+    Compare,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    comp,
+    conj,
+    disj,
+    exists,
+    forall,
+    negate,
+    rel,
+)
+from repro.queries.fp import FixpointQuery, Rule, fixpoint_query, rule
+from repro.queries.tableau import (
+    canonical_database,
+    contained_in,
+    equivalent,
+    find_homomorphism,
+    freeze,
+    freezing_valuation,
+    inline_equalities,
+)
+from repro.queries.terms import Variable, var, variables
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq, ucq, ucq_from
+
+__all__ = [
+    "And",
+    "Atom",
+    "Compare",
+    "Comparison",
+    "ComparisonOp",
+    "ConjunctiveQuery",
+    "Exists",
+    "ExistentialPositiveQuery",
+    "FirstOrderQuery",
+    "FixpointQuery",
+    "ForAll",
+    "Formula",
+    "NativeQuery",
+    "Not",
+    "Or",
+    "Query",
+    "RelationAtom",
+    "Rule",
+    "UnionOfConjunctiveQueries",
+    "Variable",
+    "active_domain",
+    "as_ucq",
+    "atom",
+    "boolean_answer",
+    "boolean_cq",
+    "canonical_database",
+    "comp",
+    "conj",
+    "contained_in",
+    "cq",
+    "cq_as_efo",
+    "disj",
+    "efo",
+    "eq",
+    "equivalent",
+    "evaluate",
+    "evaluate_cq",
+    "evaluate_efo",
+    "evaluate_fo",
+    "evaluate_fp",
+    "evaluate_ucq",
+    "exists",
+    "find_homomorphism",
+    "fixpoint_query",
+    "fo",
+    "forall",
+    "freeze",
+    "freezing_valuation",
+    "inline_equalities",
+    "is_monotone",
+    "match_conjunction",
+    "native_query",
+    "negate",
+    "neq",
+    "query_arity",
+    "query_constants",
+    "query_relation_names",
+    "rel",
+    "rule",
+    "ucq",
+    "ucq_as_efo",
+    "ucq_from",
+    "var",
+    "variables",
+]

@@ -1,0 +1,156 @@
+"""Atomic formulas: relation atoms and (in)equality comparisons.
+
+The query languages of the paper (Section 2.3) are built from relation atoms
+``R(t1, ..., tk)`` and comparison atoms ``t1 = t2`` / ``t1 ≠ t2``, where the
+``ti`` are terms (variables or constants).  Both kinds of atoms are immutable
+value objects shared by all five query languages and by containment
+constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Mapping
+
+from repro.exceptions import QueryError
+from repro.queries.terms import (
+    ConstantTerm,
+    Term,
+    Variable,
+    is_variable,
+    substitute_all,
+    term_constants,
+    term_variables,
+)
+
+
+@dataclass(frozen=True)
+class RelationAtom:
+    """A relation atom ``R(t1, ..., tk)``."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __init__(self, relation: str, terms: Iterable[Term]) -> None:
+        if not relation:
+            raise QueryError("relation atom needs a relation name")
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(terms))
+        if len(self.terms) == 0:
+            raise QueryError(f"relation atom {relation!r} must have at least one term")
+
+    @property
+    def arity(self) -> int:
+        """Number of terms of the atom."""
+        return len(self.terms)
+
+    def variables(self) -> set[Variable]:
+        """Variables occurring in the atom."""
+        return term_variables(self.terms)
+
+    def constants(self) -> set[ConstantTerm]:
+        """Constants occurring in the atom."""
+        return term_constants(self.terms)
+
+    def substitute(self, assignment: Mapping[Variable, ConstantTerm]) -> "RelationAtom":
+        """The atom with ``assignment`` applied to its terms."""
+        return RelationAtom(self.relation, substitute_all(self.terms, assignment))
+
+    def rename(self, renaming: Mapping[Variable, Variable]) -> "RelationAtom":
+        """The atom with variables renamed."""
+        new_terms = tuple(
+            renaming.get(t, t) if is_variable(t) else t for t in self.terms
+        )
+        return RelationAtom(self.relation, new_terms)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+
+class ComparisonOp(str, Enum):
+    """Comparison operator: equality or inequality."""
+
+    EQ = "="
+    NEQ = "!="
+
+    def negate(self) -> "ComparisonOp":
+        """The complementary operator."""
+        return ComparisonOp.NEQ if self is ComparisonOp.EQ else ComparisonOp.EQ
+
+    def holds(self, left: ConstantTerm, right: ConstantTerm) -> bool:
+        """Evaluate the operator on two constants."""
+        return (left == right) if self is ComparisonOp.EQ else (left != right)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A comparison atom ``left = right`` or ``left ≠ right``."""
+
+    left: Term
+    op: ComparisonOp
+    right: Term
+
+    def variables(self) -> set[Variable]:
+        """Variables occurring in the comparison."""
+        return term_variables((self.left, self.right))
+
+    def constants(self) -> set[ConstantTerm]:
+        """Constants occurring in the comparison."""
+        return term_constants((self.left, self.right))
+
+    def substitute(self, assignment: Mapping[Variable, ConstantTerm]) -> "Comparison":
+        """The comparison with ``assignment`` applied to both sides."""
+        left, right = substitute_all((self.left, self.right), assignment)
+        return Comparison(left, self.op, right)
+
+    def rename(self, renaming: Mapping[Variable, Variable]) -> "Comparison":
+        """The comparison with variables renamed."""
+        left = renaming.get(self.left, self.left) if is_variable(self.left) else self.left
+        right = (
+            renaming.get(self.right, self.right) if is_variable(self.right) else self.right
+        )
+        return Comparison(left, self.op, right)
+
+    def is_ground(self) -> bool:
+        """Whether both sides are constants."""
+        return not self.variables()
+
+    def evaluate_ground(self) -> bool:
+        """Evaluate a ground comparison.
+
+        Raises
+        ------
+        QueryError
+            If either side is still a variable.
+        """
+        if not self.is_ground():
+            raise QueryError(f"comparison {self!r} is not ground")
+        return self.op.holds(self.left, self.right)
+
+    def evaluate(self, assignment: Mapping[Variable, ConstantTerm]) -> bool:
+        """Evaluate the comparison under a total assignment of its variables."""
+        return self.substitute(assignment).evaluate_ground()
+
+    def negate(self) -> "Comparison":
+        """The comparison with the opposite operator."""
+        return Comparison(self.left, self.op.negate(), self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op.value} {self.right!r})"
+
+
+def atom(relation: str, *terms: Term) -> RelationAtom:
+    """Shorthand constructor for :class:`RelationAtom`."""
+    return RelationAtom(relation, terms)
+
+
+def eq(left: Term, right: Term) -> Comparison:
+    """Shorthand constructor for an equality comparison."""
+    return Comparison(left, ComparisonOp.EQ, right)
+
+
+def neq(left: Term, right: Term) -> Comparison:
+    """Shorthand constructor for an inequality comparison."""
+    return Comparison(left, ComparisonOp.NEQ, right)

@@ -1,0 +1,306 @@
+"""First-order formula trees.
+
+Shared abstract syntax for the ∃FO⁺ and FO query languages of the paper
+(Section 2.3).  A formula is one of:
+
+* :class:`Atom` — a relation atom,
+* :class:`Compare` — an equality or inequality between two terms,
+* :class:`And` / :class:`Or` — finite conjunction / disjunction,
+* :class:`Not` — negation (FO only),
+* :class:`Exists` / :class:`ForAll` — quantification (``ForAll`` is FO only).
+
+Formulas are immutable.  Evaluation lives in
+:mod:`repro.queries.evaluation`; this module only provides the structure,
+free-variable computation, substitution and the positivity check used to
+validate ∃FO⁺ queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import QueryError
+from repro.queries.atoms import Comparison, RelationAtom
+from repro.queries.terms import ConstantTerm, Term, Variable
+
+
+class Formula:
+    """Base class of all formula nodes."""
+
+    def free_variables(self) -> set[Variable]:
+        """Free variables of the formula."""
+        raise NotImplementedError
+
+    def constants(self) -> set[ConstantTerm]:
+        """Constants occurring in the formula."""
+        raise NotImplementedError
+
+    def relation_names(self) -> set[str]:
+        """Relation names referenced by the formula."""
+        raise NotImplementedError
+
+    def substitute(self, assignment: Mapping[Variable, ConstantTerm]) -> "Formula":
+        """The formula with constants substituted for free variables."""
+        raise NotImplementedError
+
+    def is_positive(self) -> bool:
+        """Whether the formula uses neither negation nor universal quantifiers."""
+        raise NotImplementedError
+
+    # Convenience combinators -------------------------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A relation atom used as a formula."""
+
+    atom: RelationAtom
+
+    def free_variables(self) -> set[Variable]:
+        return self.atom.variables()
+
+    def constants(self) -> set[ConstantTerm]:
+        return self.atom.constants()
+
+    def relation_names(self) -> set[str]:
+        return {self.atom.relation}
+
+    def substitute(self, assignment: Mapping[Variable, ConstantTerm]) -> "Atom":
+        return Atom(self.atom.substitute(assignment))
+
+    def is_positive(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return repr(self.atom)
+
+
+@dataclass(frozen=True)
+class Compare(Formula):
+    """A comparison atom used as a formula."""
+
+    comparison: Comparison
+
+    def free_variables(self) -> set[Variable]:
+        return self.comparison.variables()
+
+    def constants(self) -> set[ConstantTerm]:
+        return self.comparison.constants()
+
+    def relation_names(self) -> set[str]:
+        return set()
+
+    def substitute(self, assignment: Mapping[Variable, ConstantTerm]) -> "Compare":
+        return Compare(self.comparison.substitute(assignment))
+
+    def is_positive(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return repr(self.comparison)
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Finite conjunction."""
+
+    children: tuple[Formula, ...]
+
+    def __init__(self, children: Sequence[Formula]) -> None:
+        children = tuple(children)
+        if not children:
+            raise QueryError("conjunction must have at least one conjunct")
+        object.__setattr__(self, "children", children)
+
+    def free_variables(self) -> set[Variable]:
+        return set().union(*(c.free_variables() for c in self.children))
+
+    def constants(self) -> set[ConstantTerm]:
+        return set().union(*(c.constants() for c in self.children))
+
+    def relation_names(self) -> set[str]:
+        return set().union(*(c.relation_names() for c in self.children))
+
+    def substitute(self, assignment: Mapping[Variable, ConstantTerm]) -> "And":
+        return And(tuple(c.substitute(assignment) for c in self.children))
+
+    def is_positive(self) -> bool:
+        return all(c.is_positive() for c in self.children)
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(repr(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Finite disjunction."""
+
+    children: tuple[Formula, ...]
+
+    def __init__(self, children: Sequence[Formula]) -> None:
+        children = tuple(children)
+        if not children:
+            raise QueryError("disjunction must have at least one disjunct")
+        object.__setattr__(self, "children", children)
+
+    def free_variables(self) -> set[Variable]:
+        return set().union(*(c.free_variables() for c in self.children))
+
+    def constants(self) -> set[ConstantTerm]:
+        return set().union(*(c.constants() for c in self.children))
+
+    def relation_names(self) -> set[str]:
+        return set().union(*(c.relation_names() for c in self.children))
+
+    def substitute(self, assignment: Mapping[Variable, ConstantTerm]) -> "Or":
+        return Or(tuple(c.substitute(assignment) for c in self.children))
+
+    def is_positive(self) -> bool:
+        return all(c.is_positive() for c in self.children)
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation (only allowed in full FO)."""
+
+    child: Formula
+
+    def free_variables(self) -> set[Variable]:
+        return self.child.free_variables()
+
+    def constants(self) -> set[ConstantTerm]:
+        return self.child.constants()
+
+    def relation_names(self) -> set[str]:
+        return self.child.relation_names()
+
+    def substitute(self, assignment: Mapping[Variable, ConstantTerm]) -> "Not":
+        return Not(self.child.substitute(assignment))
+
+    def is_positive(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"¬{self.child!r}"
+
+
+class _Quantifier(Formula):
+    """Common behaviour of :class:`Exists` and :class:`ForAll`."""
+
+    variables: tuple[Variable, ...]
+    child: Formula
+    _symbol = "?"
+
+    def free_variables(self) -> set[Variable]:
+        return self.child.free_variables() - set(self.variables)
+
+    def constants(self) -> set[ConstantTerm]:
+        return self.child.constants()
+
+    def relation_names(self) -> set[str]:
+        return self.child.relation_names()
+
+    def _restricted(self, assignment: Mapping[Variable, ConstantTerm]) -> dict:
+        return {v: c for v, c in assignment.items() if v not in set(self.variables)}
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"{self._symbol}{names}.{self.child!r}"
+
+
+@dataclass(frozen=True)
+class Exists(_Quantifier):
+    """Existential quantification over one or more variables."""
+
+    variables: tuple[Variable, ...]
+    child: Formula
+    _symbol = "∃"
+
+    def __init__(self, variables: Sequence[Variable], child: Formula) -> None:
+        variables = tuple(variables)
+        if not variables:
+            raise QueryError("quantifier must bind at least one variable")
+        object.__setattr__(self, "variables", variables)
+        object.__setattr__(self, "child", child)
+
+    def substitute(self, assignment: Mapping[Variable, ConstantTerm]) -> "Exists":
+        return Exists(self.variables, self.child.substitute(self._restricted(assignment)))
+
+    def is_positive(self) -> bool:
+        return self.child.is_positive()
+
+
+@dataclass(frozen=True)
+class ForAll(_Quantifier):
+    """Universal quantification (only allowed in full FO)."""
+
+    variables: tuple[Variable, ...]
+    child: Formula
+    _symbol = "∀"
+
+    def __init__(self, variables: Sequence[Variable], child: Formula) -> None:
+        variables = tuple(variables)
+        if not variables:
+            raise QueryError("quantifier must bind at least one variable")
+        object.__setattr__(self, "variables", variables)
+        object.__setattr__(self, "child", child)
+
+    def substitute(self, assignment: Mapping[Variable, ConstantTerm]) -> "ForAll":
+        return ForAll(self.variables, self.child.substitute(self._restricted(assignment)))
+
+    def is_positive(self) -> bool:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# convenience constructors
+# ---------------------------------------------------------------------------
+def rel(relation: str, *terms: Term) -> Atom:
+    """A relation atom as a formula."""
+    return Atom(RelationAtom(relation, terms))
+
+
+def comp(comparison: Comparison) -> Compare:
+    """A comparison as a formula."""
+    return Compare(comparison)
+
+
+def conj(*children: Formula) -> Formula:
+    """Conjunction of the given formulas (single child returned as-is)."""
+    if len(children) == 1:
+        return children[0]
+    return And(children)
+
+
+def disj(*children: Formula) -> Formula:
+    """Disjunction of the given formulas (single child returned as-is)."""
+    if len(children) == 1:
+        return children[0]
+    return Or(children)
+
+
+def exists(variables: Iterable[Variable], child: Formula) -> Exists:
+    """Existential quantification helper."""
+    return Exists(tuple(variables), child)
+
+
+def forall(variables: Iterable[Variable], child: Formula) -> ForAll:
+    """Universal quantification helper."""
+    return ForAll(tuple(variables), child)
+
+
+def negate(child: Formula) -> Not:
+    """Negation helper."""
+    return Not(child)

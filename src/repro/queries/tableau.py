@@ -1,0 +1,229 @@
+"""Tableau machinery for conjunctive queries.
+
+A CQ ``Q`` can be viewed as a tableau query ``(T_Q, u_Q)``: the body atoms
+form a tableau (rows that may contain variables) and the head is the output
+summary (Section 4.1).  The strong-completeness characterisation of the paper
+(Lemma 4.2) extends a database with *valuations of the query tableau*, and
+the canonical-database / homomorphism toolkit below implements the classical
+operations needed for that and for CQ containment:
+
+* :func:`freeze` — instantiate a tableau with a valuation, producing the
+  tuples to add to an instance;
+* :func:`canonical_database` — the canonical instance of a CQ (variables
+  frozen to fresh constants);
+* :func:`find_homomorphism` / :func:`contained_in` — containment of
+  inequality-free CQs via the Chandra–Merlin homomorphism theorem;
+* :func:`equivalent` — mutual containment.
+
+Containment in the presence of ``≠`` is Πᵖ₂-hard in general; the functions
+here refuse queries with inequalities rather than give wrong answers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.exceptions import QueryError
+from repro.queries.atoms import RelationAtom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import ConstantTerm, Term, Variable, is_variable
+from repro.relational.domains import Constant
+from repro.relational.instance import GroundInstance, Row
+from repro.relational.schema import DatabaseSchema
+from repro.utils.naming import FreshNameSupply
+
+
+def freeze(
+    atoms: tuple[RelationAtom, ...],
+    valuation: Mapping[Variable, Constant],
+) -> dict[str, set[Row]]:
+    """Instantiate tableau atoms under a total valuation of their variables.
+
+    Returns a mapping from relation names to the set of ground tuples the
+    valuation produces — exactly the tuples ``ν(T_Q)`` added to an instance in
+    the strong-completeness characterisation.
+    """
+    result: dict[str, set[Row]] = {}
+    for atom in atoms:
+        row: list[Constant] = []
+        for term in atom.terms:
+            if is_variable(term):
+                if term not in valuation:
+                    raise QueryError(
+                        f"valuation does not cover variable {term!r} of {atom!r}"
+                    )
+                row.append(valuation[term])
+            else:
+                row.append(term)
+        result.setdefault(atom.relation, set()).add(tuple(row))
+    return result
+
+
+def freezing_valuation(
+    query: ConjunctiveQuery, supply: FreshNameSupply | None = None
+) -> dict[Variable, Constant]:
+    """A valuation freezing each variable of the query to a fresh constant."""
+    supply = supply or FreshNameSupply()
+    return {
+        v: supply.next(v.name)
+        for v in sorted(query.variables(), key=lambda x: x.name)
+    }
+
+
+def canonical_database(
+    query: ConjunctiveQuery,
+    schema: DatabaseSchema,
+    valuation: Mapping[Variable, Constant] | None = None,
+) -> tuple[GroundInstance, dict[Variable, Constant]]:
+    """The canonical database of a CQ over the given schema.
+
+    Variables are frozen to fresh constants unless an explicit valuation is
+    supplied.  Returns the instance together with the valuation used, so the
+    caller can recover the frozen head ``ν(u_Q)``.
+    """
+    frozen_valuation = dict(valuation) if valuation is not None else freezing_valuation(query)
+    tuples = freeze(query.atoms, frozen_valuation)
+    return GroundInstance(schema, tuples), frozen_valuation
+
+
+def _homomorphisms(
+    source_atoms: tuple[RelationAtom, ...],
+    target_atoms: tuple[RelationAtom, ...],
+    initial: Mapping[Variable, Term] | None = None,
+) -> Iterator[dict[Variable, Term]]:
+    """All homomorphisms from ``source_atoms`` to ``target_atoms``.
+
+    A homomorphism maps variables of the source to terms of the target such
+    that every source atom is mapped onto some target atom; constants must be
+    preserved.
+    """
+    source_atoms = tuple(source_atoms)
+    target_atoms = tuple(target_atoms)
+
+    def extend(index: int, mapping: dict[Variable, Term]) -> Iterator[dict[Variable, Term]]:
+        if index == len(source_atoms):
+            yield dict(mapping)
+            return
+        atom = source_atoms[index]
+        for candidate in target_atoms:
+            if candidate.relation != atom.relation or candidate.arity != atom.arity:
+                continue
+            attempt = dict(mapping)
+            ok = True
+            for src, tgt in zip(atom.terms, candidate.terms):
+                if is_variable(src):
+                    bound = attempt.get(src)
+                    if bound is None:
+                        attempt[src] = tgt
+                    elif bound != tgt:
+                        ok = False
+                        break
+                elif src != tgt:
+                    ok = False
+                    break
+            if ok:
+                yield from extend(index + 1, attempt)
+
+    yield from extend(0, dict(initial or {}))
+
+
+def find_homomorphism(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> dict[Variable, Term] | None:
+    """A head-preserving homomorphism from ``source`` into ``target``.
+
+    The homomorphism maps the head of ``source`` onto the head of ``target``
+    and each body atom of ``source`` onto a body atom of ``target``.  Returns
+    ``None`` when no such homomorphism exists.
+
+    Raises
+    ------
+    QueryError
+        If either query uses ``≠`` (containment with inequalities is not
+        captured by homomorphisms) or if the heads have different arities.
+    """
+    if not source.is_inequality_free() or not target.is_inequality_free():
+        raise QueryError("homomorphism-based containment requires inequality-free CQs")
+    if source.equality_atoms() or target.equality_atoms():
+        source = inline_equalities(source)
+        target = inline_equalities(target)
+    if source.arity != target.arity:
+        raise QueryError("queries of different arities are never comparable")
+    initial: dict[Variable, Term] = {}
+    for src_term, tgt_term in zip(source.head, target.head):
+        if is_variable(src_term):
+            bound = initial.get(src_term)
+            if bound is not None and bound != tgt_term:
+                return None
+            initial[src_term] = tgt_term
+        elif src_term != tgt_term:
+            return None
+    for mapping in _homomorphisms(source.atoms, target.atoms, initial):
+        return mapping
+    return None
+
+
+def contained_in(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+    """Whether ``left ⊆ right`` for inequality-free CQs (Chandra–Merlin)."""
+    return find_homomorphism(right, left) is not None
+
+
+def equivalent(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+    """Whether two inequality-free CQs are equivalent."""
+    return contained_in(left, right) and contained_in(right, left)
+
+
+def inline_equalities(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Eliminate equality atoms by substitution.
+
+    Equalities between a variable and a constant substitute the constant;
+    equalities between two variables substitute one for the other.  The
+    resulting query has no equality atoms and is equivalent to the input.
+    """
+    substitution: dict[Variable, Term] = {}
+
+    def resolve(term: Term) -> Term:
+        seen = set()
+        while is_variable(term) and term in substitution and term not in seen:
+            seen.add(term)
+            term = substitution[term]
+        return term
+
+    contradictory = False
+    for comp in query.equality_atoms():
+        left = resolve(comp.left)
+        right = resolve(comp.right)
+        if left == right:
+            continue
+        if is_variable(left):
+            substitution[left] = right
+        elif is_variable(right):
+            substitution[right] = left
+        else:
+            contradictory = True
+
+    def apply(term: Term) -> Term:
+        return resolve(term)
+
+    if contradictory:
+        # The query is unsatisfiable; represent it as a query over an atom
+        # that can never match by constraining a constant to differ from itself.
+        from repro.queries.atoms import neq
+
+        return ConjunctiveQuery(
+            head=tuple(apply(t) for t in query.head),
+            atoms=query.atoms,
+            comparisons=tuple(query.inequality_atoms()) + (neq(0, 0),),
+            name=query.name,
+        )
+
+    new_atoms = tuple(
+        RelationAtom(a.relation, tuple(apply(t) for t in a.terms)) for a in query.atoms
+    )
+    new_ineqs = tuple(
+        c.__class__(apply(c.left), c.op, apply(c.right)) for c in query.inequality_atoms()
+    )
+    new_head = tuple(apply(t) for t in query.head)
+    return ConjunctiveQuery(
+        head=new_head, atoms=new_atoms, comparisons=new_ineqs, name=query.name
+    )

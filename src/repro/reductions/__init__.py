@@ -1,0 +1,103 @@
+"""Executable lower-bound reductions from the paper's proofs.
+
+Each module reproduces a construction used in a hardness proof:
+
+* :mod:`repro.reductions.sat` — 3CNF / quantified Boolean formulas and a
+  brute-force solver (the source problems of the reductions);
+* :mod:`repro.reductions.gadgets` — the Figure 2 gadget relations and the CQ
+  encoding of 3CNF formulas;
+* :mod:`repro.reductions.consistency_reduction` — Proposition 3.3
+  (consistency and extensibility are Σᵖ₂-hard);
+* :mod:`repro.reductions.rcdp_weak_reduction` — Theorem 5.1(3) (weak-model
+  RCDP is Πᵖ₃-hard for CQ);
+* :mod:`repro.reductions.minp_strong_reduction` — Theorem 4.8 (strong-model
+  MINP is Πᵖ₃-hard for c-instances);
+* :mod:`repro.reductions.rcdp_viable_reduction` — Theorem 6.1 (viable-model
+  RCDP is Σᵖ₃-hard for c-instances);
+* :mod:`repro.reductions.implication` — Proposition 3.1 (FD + IND constraints
+  on the database make RCDP/RCQP undecidable).
+
+The tests instantiate every construction on small formulas and cross-check
+the claimed equivalence against the brute-force solver and the library's
+decision procedures.
+"""
+
+from repro.reductions.consistency_reduction import (
+    ConsistencyReduction,
+    build_consistency_reduction,
+)
+from repro.reductions.gadgets import (
+    FormulaEncoding,
+    and_rows,
+    assignment_atoms,
+    bool_rows,
+    encode_formula,
+    gadget_relation,
+    gadget_rows,
+    master_gadget_rows,
+    not_rows,
+    or_rows,
+)
+from repro.reductions.implication import (
+    ImplicationReduction,
+    build_implication_reduction,
+    rcdp_with_dependencies_bounded,
+)
+from repro.reductions.minp_strong_reduction import (
+    StrongMINPReduction,
+    build_strong_minp_reduction,
+)
+from repro.reductions.rcdp_viable_reduction import (
+    ViableRCDPReduction,
+    build_viable_rcdp_reduction,
+)
+from repro.reductions.rcdp_weak_reduction import (
+    WeakRCDPReduction,
+    build_weak_rcdp_reduction,
+)
+from repro.reductions.sat import (
+    Clause,
+    CNFFormula,
+    QuantifiedFormula,
+    Quantifier,
+    QuantifierBlock,
+    exists_forall_exists_3sat,
+    forall_exists_3sat,
+    random_3cnf,
+    random_exists_forall_exists_instance,
+    random_forall_exists_instance,
+)
+
+__all__ = [
+    "CNFFormula",
+    "Clause",
+    "ConsistencyReduction",
+    "FormulaEncoding",
+    "ImplicationReduction",
+    "QuantifiedFormula",
+    "Quantifier",
+    "QuantifierBlock",
+    "StrongMINPReduction",
+    "ViableRCDPReduction",
+    "WeakRCDPReduction",
+    "and_rows",
+    "assignment_atoms",
+    "bool_rows",
+    "build_consistency_reduction",
+    "build_implication_reduction",
+    "build_strong_minp_reduction",
+    "build_viable_rcdp_reduction",
+    "build_weak_rcdp_reduction",
+    "encode_formula",
+    "exists_forall_exists_3sat",
+    "forall_exists_3sat",
+    "gadget_relation",
+    "gadget_rows",
+    "master_gadget_rows",
+    "not_rows",
+    "or_rows",
+    "random_3cnf",
+    "random_exists_forall_exists_instance",
+    "random_forall_exists_instance",
+    "rcdp_with_dependencies_bounded",
+]

@@ -1,0 +1,189 @@
+"""The Proposition 3.3 reduction: ``∀X ∃Y ψ`` → consistency / extensibility.
+
+Proposition 3.3 proves Σᵖ₂-hardness of the consistency and extensibility
+problems by reduction from ``∀*∃*3SAT``.  Given ``φ = ∀X ∃Y ψ(X, Y)`` the
+construction produces
+
+* a database schema with the Figure 2 gadget relations plus ``R_X(X1..Xn)``,
+* a c-instance ``T`` whose gadget tables are fixed and whose ``R_X`` table is
+  a single all-variable row (one variable per universally quantified
+  propositional variable),
+* master data consisting of copies of the gadget relations plus an empty
+  relation, and
+* CCs fixing the gadget tables, forcing ``R_X`` to encode a truth assignment
+  of ``X``, and forbidding (via containment in the empty master relation) any
+  assignment of ``X`` for which some assignment of ``Y`` satisfies ψ.
+
+Then ``φ`` is **false** iff ``Mod(T, D_m, V) ≠ ∅`` (consistency), and — with
+an empty ``R_X`` ground instance — ``φ`` is **true** iff
+``Ext(I₀, D_m, V) = ∅`` (extensibility).  The tests instantiate the
+construction on small formulas and check both equivalences against the
+brute-force QBF solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.containment import (
+    ContainmentConstraint,
+    ProjectionQuery,
+    cc,
+    relation_containment_cc,
+)
+from repro.ctables.cinstance import CInstance
+from repro.ctables.ctable import CTable, CTableRow
+from repro.exceptions import ReductionError
+from repro.queries.atoms import RelationAtom, eq
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Variable
+from repro.reductions.gadgets import (
+    R_AND,
+    R_BOOL,
+    R_NOT,
+    R_OR,
+    RM_AND,
+    RM_BOOL,
+    RM_EMPTY,
+    RM_NOT,
+    RM_OR,
+    and_relation_schema,
+    assignment_atoms,
+    bool_relation_schema,
+    encode_formula,
+    gadget_rows,
+    master_gadget_rows,
+    not_relation_schema,
+    or_relation_schema,
+)
+from repro.reductions.sat import Quantifier, QuantifiedFormula
+from repro.relational.instance import GroundInstance
+from repro.relational.master import MasterData
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.domains import BOOLEAN_DOMAIN
+
+#: Name of the relation holding the candidate truth assignment of X.
+R_X = "R_X"
+
+
+@dataclass(frozen=True)
+class ConsistencyReduction:
+    """The output of the Proposition 3.3 construction."""
+
+    formula: QuantifiedFormula
+    schema: DatabaseSchema
+    cinstance: CInstance
+    empty_rx_instance: GroundInstance
+    master: MasterData
+    constraints: list[ContainmentConstraint]
+
+    def formula_is_true(self) -> bool:
+        """Brute-force truth value of ``φ`` (the reduction's source instance)."""
+        return self.formula.is_true()
+
+
+def _validate(formula: QuantifiedFormula) -> tuple[list[int], list[int]]:
+    if len(formula.prefix) != 2:
+        raise ReductionError("Proposition 3.3 expects a ∀X ∃Y prefix")
+    universal, existential = formula.prefix
+    if universal.quantifier is not Quantifier.FORALL:
+        raise ReductionError("the outer block must be universally quantified")
+    if existential.quantifier is not Quantifier.EXISTS:
+        raise ReductionError("the inner block must be existentially quantified")
+    if not universal.variables:
+        raise ReductionError("the universal block must bind at least one variable")
+    return list(universal.variables), list(existential.variables)
+
+
+def build_consistency_reduction(formula: QuantifiedFormula) -> ConsistencyReduction:
+    """Instantiate the Proposition 3.3 construction for a ``∀X ∃Y ψ`` formula."""
+    x_vars, y_vars = _validate(formula)
+    n = len(x_vars)
+
+    # --- database schema -------------------------------------------------
+    rx_schema = RelationSchema(R_X, [f"X{i}" for i in range(1, n + 1)])
+    schema = DatabaseSchema(
+        [
+            bool_relation_schema(R_BOOL),
+            or_relation_schema(R_OR),
+            and_relation_schema(R_AND),
+            not_relation_schema(R_NOT),
+            rx_schema,
+        ]
+    )
+
+    # --- master schema and data ------------------------------------------
+    master_schema = DatabaseSchema(
+        [
+            bool_relation_schema(RM_BOOL),
+            or_relation_schema(RM_OR),
+            and_relation_schema(RM_AND),
+            not_relation_schema(RM_NOT),
+            RelationSchema(RM_EMPTY, ["W"]),
+        ]
+    )
+    master = MasterData(master_schema, master_gadget_rows())
+
+    # --- the c-instance T --------------------------------------------------
+    tx_variables = tuple(Variable(f"x{i}") for i in x_vars)
+    tables = {name: rows for name, rows in gadget_rows().items()}
+    cinstance = CInstance(
+        schema,
+        {
+            **tables,
+            R_X: CTable(rx_schema, [CTableRow(tx_variables)]),
+        },
+    )
+    empty_rx = GroundInstance(schema, gadget_rows())
+
+    # --- containment constraints V ----------------------------------------
+    constraints: list[ContainmentConstraint] = [
+        relation_containment_cc(R_BOOL, schema, RM_BOOL, name="fix_bool"),
+        relation_containment_cc(R_OR, schema, RM_OR, name="fix_or"),
+        relation_containment_cc(R_AND, schema, RM_AND, name="fix_and"),
+        relation_containment_cc(R_NOT, schema, RM_NOT, name="fix_not"),
+    ]
+
+    # Each column of R_X must hold a Boolean value: ∃x_{-i} R_X(x̄) ⊆ Rm_bool.
+    rx_terms = tuple(Variable(f"rx{i}") for i in range(1, n + 1))
+    for index in range(n):
+        constraints.append(
+            cc(
+                ConjunctiveQuery(
+                    head=(rx_terms[index],),
+                    atoms=(RelationAtom(R_X, rx_terms),),
+                    name=f"rx_col_{index + 1}",
+                ),
+                ProjectionQuery(RM_BOOL),
+                name=f"rx_bool_{index + 1}",
+            )
+        )
+
+    # q(w) ⊆ Rm_empty: no assignment of X stored in R_X may admit a satisfying
+    # assignment of Y.
+    qx_terms = {v: Variable(f"qx{v}") for v in x_vars}
+    qy_terms = {v: Variable(f"qy{v}") for v in y_vars}
+    encoding = encode_formula(formula.matrix, {**qx_terms, **qy_terms}, prefix="enc")
+    witness_atoms = (
+        (RelationAtom(R_X, tuple(qx_terms[v] for v in x_vars)),)
+        + assignment_atoms(qy_terms, bool_relation=R_BOOL)
+        + encoding.atoms
+    )
+    witness_query = ConjunctiveQuery(
+        head=(encoding.output,),
+        atoms=witness_atoms,
+        comparisons=(eq(encoding.output, 1),),
+        name="exists_satisfying_y",
+    )
+    constraints.append(
+        cc(witness_query, ProjectionQuery(RM_EMPTY), name="forbid_satisfiable_x")
+    )
+
+    return ConsistencyReduction(
+        formula=formula,
+        schema=schema,
+        cinstance=cinstance,
+        empty_rx_instance=empty_rx,
+        master=master,
+        constraints=constraints,
+    )

@@ -1,0 +1,265 @@
+"""The Theorem 4.8 reduction: ``∃X ∀Y ∃Z ψ`` → MINPˢ for CQ.
+
+Theorem 4.8 proves Πᵖ₃-hardness of the strong-model minimality problem for
+c-instances by reduction from the complement of ``∃*∀*∃*3SAT``.  Given
+``φ = ∃X ∀Y ∃Z ψ`` the construction produces
+
+* a schema with the Figure 2 gadget relations plus ``R_X(id, X)`` (one row
+  per propositional variable of ``X``, its truth value missing) and a unary
+  selector relation ``R_s(W)``,
+* the c-instance ``T`` whose gadget tables are fixed, whose ``R_X`` rows are
+  ``(i, x_i)`` with ``x_i`` a variable, and whose ``R_s`` table holds ``{0, 1}``,
+* master data with gadget copies, a Boolean bound and an empty relation, and
+* CCs fixing the gadgets, forcing ``R_X`` to encode a single truth assignment
+  of ``X`` (Boolean values, ``id`` a key) and bounding ``R_s`` by the Boolean
+  master relation,
+* a CQ ``Q(ȳ)`` returning the truth assignments of ``Y`` for which
+  ``ψ`` evaluates — via the gadget joins — to a value stored in ``R_s``,
+  guarded by ``Q_all`` (all gadget tuples and the selector ``1`` must be
+  present, so removing them empties the answer).
+
+Then ``φ`` is **false** iff ``T`` is a *minimal* strongly complete c-instance
+for ``Q`` relative to ``(D_m, V)`` (the paper's Theorem 4.8 lower-bound
+equivalence).  The tests instantiate the construction on small formulas and
+check the equivalence against the brute-force QBF solver and the library's
+MINPˢ decider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.containment import (
+    ContainmentConstraint,
+    ProjectionQuery,
+    cc,
+    relation_containment_cc,
+)
+from repro.ctables.cinstance import CInstance
+from repro.ctables.ctable import CTable, CTableRow
+from repro.exceptions import ReductionError
+from repro.queries.atoms import RelationAtom, eq, neq
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Variable
+from repro.reductions.gadgets import (
+    R_AND,
+    R_BOOL,
+    R_NOT,
+    R_OR,
+    RM_AND,
+    RM_BOOL,
+    RM_EMPTY,
+    RM_NOT,
+    RM_OR,
+    and_relation_schema,
+    and_rows,
+    assignment_atoms,
+    bool_relation_schema,
+    bool_rows,
+    encode_formula,
+    gadget_rows,
+    master_gadget_rows,
+    not_relation_schema,
+    not_rows,
+    or_relation_schema,
+    or_rows,
+)
+from repro.reductions.sat import Quantifier, QuantifiedFormula
+from repro.relational.domains import BOOLEAN_DOMAIN
+from repro.relational.master import MasterData
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+#: Name of the relation holding the candidate truth assignment of X.
+R_X = "R_X"
+#: Name of the unary selector relation of the Theorem 4.8 / 6.1 constructions.
+R_S = "R_s"
+
+
+@dataclass(frozen=True)
+class StrongMINPReduction:
+    """The output of the Theorem 4.8 construction."""
+
+    formula: QuantifiedFormula
+    schema: DatabaseSchema
+    cinstance: CInstance
+    master: MasterData
+    constraints: list[ContainmentConstraint]
+    query: ConjunctiveQuery
+
+    def formula_is_true(self) -> bool:
+        """Brute-force truth value of ``φ``."""
+        return self.formula.is_true()
+
+
+def _validate(formula: QuantifiedFormula) -> tuple[list[int], list[int], list[int]]:
+    if len(formula.prefix) != 3:
+        raise ReductionError("Theorem 4.8 expects an ∃X ∀Y ∃Z prefix")
+    outer, middle, inner = formula.prefix
+    if outer.quantifier is not Quantifier.EXISTS:
+        raise ReductionError("the outer block must be existential")
+    if middle.quantifier is not Quantifier.FORALL:
+        raise ReductionError("the middle block must be universal")
+    if inner.quantifier is not Quantifier.EXISTS:
+        raise ReductionError("the inner block must be existential")
+    if not outer.variables or not middle.variables:
+        raise ReductionError("the X and Y blocks must be non-empty")
+    return list(outer.variables), list(middle.variables), list(inner.variables)
+
+
+def _shared_schema(x_count: int) -> tuple[DatabaseSchema, RelationSchema, RelationSchema]:
+    """The database schema shared by the Theorem 4.8 and 6.1 constructions."""
+    rx_schema = RelationSchema(R_X, ["id", ("X", BOOLEAN_DOMAIN)])
+    rs_schema = RelationSchema(R_S, [("W", BOOLEAN_DOMAIN)])
+    schema = DatabaseSchema(
+        [
+            bool_relation_schema(R_BOOL),
+            or_relation_schema(R_OR),
+            and_relation_schema(R_AND),
+            not_relation_schema(R_NOT),
+            rx_schema,
+            rs_schema,
+        ]
+    )
+    return schema, rx_schema, rs_schema
+
+
+def _shared_master() -> MasterData:
+    """Master data shared by the Theorem 4.8 and 6.1 constructions."""
+    master_schema = DatabaseSchema(
+        [
+            bool_relation_schema(RM_BOOL),
+            or_relation_schema(RM_OR),
+            and_relation_schema(RM_AND),
+            not_relation_schema(RM_NOT),
+            RelationSchema(RM_EMPTY, ["W"]),
+        ]
+    )
+    return MasterData(master_schema, master_gadget_rows())
+
+
+def _shared_constraints(schema: DatabaseSchema) -> list[ContainmentConstraint]:
+    """The CCs shared by the Theorem 4.8 and 6.1 constructions.
+
+    They fix the gadget relations, bound ``R_s`` by the Boolean master
+    relation, force every ``X`` value of ``R_X`` to be Boolean and make ``id``
+    a key of ``R_X`` (so any instance of ``R_X`` encodes a partial truth
+    assignment of the ``X`` variables).
+    """
+    constraints: list[ContainmentConstraint] = [
+        relation_containment_cc(R_BOOL, schema, RM_BOOL, name="fix_bool"),
+        relation_containment_cc(R_OR, schema, RM_OR, name="fix_or"),
+        relation_containment_cc(R_AND, schema, RM_AND, name="fix_and"),
+        relation_containment_cc(R_NOT, schema, RM_NOT, name="fix_not"),
+        relation_containment_cc(R_S, schema, RM_BOOL, name="rs_bool"),
+    ]
+    rid, rx, rx2 = Variable("rid"), Variable("rx"), Variable("rx2")
+    constraints.append(
+        cc(
+            ConjunctiveQuery(
+                head=(rx,),
+                atoms=(RelationAtom(R_X, (rid, rx)),),
+                name="rx_values",
+            ),
+            ProjectionQuery(RM_BOOL),
+            name="rx_bool",
+        )
+    )
+    constraints.append(
+        cc(
+            ConjunctiveQuery(
+                head=(rid,),
+                atoms=(RelationAtom(R_X, (rid, rx)), RelationAtom(R_X, (rid, rx2))),
+                comparisons=(neq(rx, rx2),),
+                name="rx_key_violation",
+            ),
+            ProjectionQuery(RM_EMPTY),
+            name="rx_id_key",
+        )
+    )
+    return constraints
+
+
+def _gadget_guard_atoms(require_selector_one: bool) -> tuple[RelationAtom, ...]:
+    """The ``Q_all`` guard: every gadget tuple (and optionally ``R_s(1)``) is present."""
+    atoms: list[RelationAtom] = []
+    for row in bool_rows():
+        atoms.append(RelationAtom(R_BOOL, row))
+    for row in or_rows():
+        atoms.append(RelationAtom(R_OR, row))
+    for row in and_rows():
+        atoms.append(RelationAtom(R_AND, row))
+    for row in not_rows():
+        atoms.append(RelationAtom(R_NOT, row))
+    if require_selector_one:
+        atoms.append(RelationAtom(R_S, (1,)))
+    return tuple(atoms)
+
+
+def _formula_query(
+    formula: QuantifiedFormula,
+    x_vars: list[int],
+    y_vars: list[int],
+    z_vars: list[int],
+    include_guard: bool,
+    name: str,
+) -> ConjunctiveQuery:
+    """The query ``Q(ȳ)`` of the Theorem 4.8 / 6.1 constructions."""
+    qx_terms = {v: Variable(f"qx{v}") for v in x_vars}
+    qy_terms = {v: Variable(f"qy{v}") for v in y_vars}
+    qz_terms = {v: Variable(f"qz{v}") for v in z_vars}
+    encoding = encode_formula(
+        formula.matrix, {**qx_terms, **qy_terms, **qz_terms}, prefix="enc"
+    )
+    selector = Variable("w_sel")
+    atoms = (
+        tuple(
+            RelationAtom(R_X, (index + 1, qx_terms[v]))
+            for index, v in enumerate(x_vars)
+        )
+        + assignment_atoms(qy_terms, bool_relation=R_BOOL)
+        + assignment_atoms(qz_terms, bool_relation=R_BOOL)
+        + encoding.atoms
+        + (RelationAtom(R_S, (selector,)),)
+        + (_gadget_guard_atoms(require_selector_one=True) if include_guard else ())
+    )
+    return ConjunctiveQuery(
+        head=tuple(qy_terms[v] for v in y_vars),
+        atoms=atoms,
+        comparisons=(eq(encoding.output, selector),),
+        name=name,
+    )
+
+
+def build_strong_minp_reduction(formula: QuantifiedFormula) -> StrongMINPReduction:
+    """Instantiate the Theorem 4.8 construction for an ``∃X ∀Y ∃Z ψ`` formula."""
+    x_vars, y_vars, z_vars = _validate(formula)
+
+    schema, rx_schema, rs_schema = _shared_schema(len(x_vars))
+    master = _shared_master()
+    constraints = _shared_constraints(schema)
+
+    rx_rows = [
+        CTableRow((index + 1, Variable(f"x{v}")))
+        for index, v in enumerate(x_vars)
+    ]
+    tables = dict(gadget_rows())
+    cinstance = CInstance(
+        schema,
+        {
+            **tables,
+            R_X: CTable(rx_schema, rx_rows),
+            R_S: CTable(rs_schema, [CTableRow((0,)), CTableRow((1,))]),
+        },
+    )
+
+    query = _formula_query(
+        formula, x_vars, y_vars, z_vars, include_guard=True, name="Q_thm48"
+    )
+    return StrongMINPReduction(
+        formula=formula,
+        schema=schema,
+        cinstance=cinstance,
+        master=master,
+        constraints=constraints,
+        query=query,
+    )

@@ -1,0 +1,91 @@
+"""The Theorem 6.1 reduction: ``∃X ∀Y ∃Z ψ`` → RCDPᵛ for CQ.
+
+Theorem 6.1 proves Σᵖ₃-hardness of the viable-model relatively complete
+database problem for c-instances by reduction from ``∃*∀*∃*3SAT``.  The
+construction shares the schema, master data and CCs of the Theorem 4.8
+construction (:mod:`repro.reductions.minp_strong_reduction`); the differences
+are that the selector relation ``R_s`` holds only ``{1}`` and the query drops
+the ``Q_all`` guard:
+
+    ``Q(ȳ) = ∃x̄, z̄, w (Q_X(x̄) ∧ Q_Y(ȳ) ∧ Q_Z(z̄) ∧ Q_ψ(x̄, ȳ, z̄, w) ∧ R_s(w))``.
+
+Then ``φ`` is **true** iff ``T`` is viably complete for ``Q`` relative to
+``(D_m, V)``: instantiating the missing ``X`` values with a witness
+assignment makes ``Q`` return *every* truth assignment of ``Y`` (a maximal
+answer that no extension can enlarge), whereas when ``φ`` is false every
+world misses some ``Y`` assignment that the extension adding ``0`` to
+``R_s`` reveals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.containment import ContainmentConstraint
+from repro.ctables.cinstance import CInstance
+from repro.ctables.ctable import CTable, CTableRow
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Variable
+from repro.reductions.gadgets import gadget_rows
+from repro.reductions.minp_strong_reduction import (
+    R_S,
+    R_X,
+    _formula_query,
+    _shared_constraints,
+    _shared_master,
+    _shared_schema,
+    _validate,
+)
+from repro.reductions.sat import QuantifiedFormula
+from repro.relational.master import MasterData
+from repro.relational.schema import DatabaseSchema
+
+
+@dataclass(frozen=True)
+class ViableRCDPReduction:
+    """The output of the Theorem 6.1 construction."""
+
+    formula: QuantifiedFormula
+    schema: DatabaseSchema
+    cinstance: CInstance
+    master: MasterData
+    constraints: list[ContainmentConstraint]
+    query: ConjunctiveQuery
+
+    def formula_is_true(self) -> bool:
+        """Brute-force truth value of ``φ``."""
+        return self.formula.is_true()
+
+
+def build_viable_rcdp_reduction(formula: QuantifiedFormula) -> ViableRCDPReduction:
+    """Instantiate the Theorem 6.1 construction for an ``∃X ∀Y ∃Z ψ`` formula."""
+    x_vars, y_vars, z_vars = _validate(formula)
+
+    schema, rx_schema, rs_schema = _shared_schema(len(x_vars))
+    master = _shared_master()
+    constraints = _shared_constraints(schema)
+
+    rx_rows = [
+        CTableRow((index + 1, Variable(f"x{v}")))
+        for index, v in enumerate(x_vars)
+    ]
+    cinstance = CInstance(
+        schema,
+        {
+            **dict(gadget_rows()),
+            R_X: CTable(rx_schema, rx_rows),
+            R_S: CTable(rs_schema, [CTableRow((1,))]),
+        },
+    )
+
+    query = _formula_query(
+        formula, x_vars, y_vars, z_vars, include_guard=False, name="Q_thm61"
+    )
+    return ViableRCDPReduction(
+        formula=formula,
+        schema=schema,
+        cinstance=cinstance,
+        master=master,
+        constraints=constraints,
+        query=query,
+    )

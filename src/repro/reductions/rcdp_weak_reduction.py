@@ -1,0 +1,188 @@
+"""The Theorem 5.1(3) reduction: ``∃X ∀Y ∃Z ψ`` → RCDPʷ for CQ.
+
+Theorem 5.1 proves Πᵖ₃-hardness of the weak-model relatively complete
+database problem by reduction from the complement of ``∃*∀*∃*3SAT``.  Given
+``φ = ∃X ∀Y ∃Z ψ`` the construction produces a *ground* instance ``I``
+(gadget relations plus an empty relation ``R_Y``), master data, CCs forcing
+any extension of ``R_Y`` to be a single valid truth assignment of ``Y``, and
+a CQ ``Q`` returning the truth assignments ``μ_X`` of ``X`` for which some
+``μ_Z`` makes ψ true (given the ``Y``-assignment stored in ``R_Y``).
+
+Then ``φ`` is **true** iff ``I`` is **not** weakly complete for ``Q``
+relative to ``(D_m, V)``: a witness assignment ``μ_X`` belongs to the certain
+answer over all partially closed extensions but not to ``Q(I)`` (which is
+empty because ``R_Y`` is empty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.containment import (
+    ContainmentConstraint,
+    ProjectionQuery,
+    cc,
+    relation_containment_cc,
+)
+from repro.exceptions import ReductionError
+from repro.queries.atoms import RelationAtom, eq, neq
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Variable
+from repro.reductions.gadgets import (
+    R_AND,
+    R_BOOL,
+    R_NOT,
+    R_OR,
+    RM_AND,
+    RM_BOOL,
+    RM_EMPTY,
+    RM_NOT,
+    RM_OR,
+    and_relation_schema,
+    assignment_atoms,
+    bool_relation_schema,
+    encode_formula,
+    gadget_rows,
+    master_gadget_rows,
+    not_relation_schema,
+    or_relation_schema,
+)
+from repro.reductions.sat import Quantifier, QuantifiedFormula
+from repro.relational.instance import GroundInstance
+from repro.relational.master import MasterData
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+#: Name of the relation holding the (initially missing) truth assignment of Y.
+R_Y = "R_Y"
+
+
+@dataclass(frozen=True)
+class WeakRCDPReduction:
+    """The output of the Theorem 5.1(3) construction."""
+
+    formula: QuantifiedFormula
+    schema: DatabaseSchema
+    instance: GroundInstance
+    master: MasterData
+    constraints: list[ContainmentConstraint]
+    query: ConjunctiveQuery
+
+    def formula_is_true(self) -> bool:
+        """Brute-force truth value of ``φ``."""
+        return self.formula.is_true()
+
+
+def _validate(formula: QuantifiedFormula) -> tuple[list[int], list[int], list[int]]:
+    if len(formula.prefix) != 3:
+        raise ReductionError("Theorem 5.1 expects an ∃X ∀Y ∃Z prefix")
+    outer, middle, inner = formula.prefix
+    if outer.quantifier is not Quantifier.EXISTS:
+        raise ReductionError("the outer block must be existential")
+    if middle.quantifier is not Quantifier.FORALL:
+        raise ReductionError("the middle block must be universal")
+    if inner.quantifier is not Quantifier.EXISTS:
+        raise ReductionError("the inner block must be existential")
+    if not outer.variables or not middle.variables:
+        raise ReductionError("the X and Y blocks must be non-empty")
+    return list(outer.variables), list(middle.variables), list(inner.variables)
+
+
+def build_weak_rcdp_reduction(formula: QuantifiedFormula) -> WeakRCDPReduction:
+    """Instantiate the Theorem 5.1(3) construction for an ``∃X ∀Y ∃Z ψ`` formula."""
+    x_vars, y_vars, z_vars = _validate(formula)
+    m = len(y_vars)
+
+    # --- schemas ----------------------------------------------------------
+    ry_schema = RelationSchema(R_Y, [f"Y{j}" for j in range(1, m + 1)])
+    schema = DatabaseSchema(
+        [
+            bool_relation_schema(R_BOOL),
+            or_relation_schema(R_OR),
+            and_relation_schema(R_AND),
+            not_relation_schema(R_NOT),
+            ry_schema,
+        ]
+    )
+    master_schema = DatabaseSchema(
+        [
+            bool_relation_schema(RM_BOOL),
+            or_relation_schema(RM_OR),
+            and_relation_schema(RM_AND),
+            not_relation_schema(RM_NOT),
+            RelationSchema(RM_EMPTY, ["W", "W2"]),
+        ]
+    )
+    master = MasterData(master_schema, master_gadget_rows())
+
+    # --- the ground instance I (R_Y empty) ---------------------------------
+    instance = GroundInstance(schema, gadget_rows())
+
+    # --- containment constraints V -----------------------------------------
+    constraints: list[ContainmentConstraint] = [
+        relation_containment_cc(R_BOOL, schema, RM_BOOL, name="fix_bool"),
+        relation_containment_cc(R_OR, schema, RM_OR, name="fix_or"),
+        relation_containment_cc(R_AND, schema, RM_AND, name="fix_and"),
+        relation_containment_cc(R_NOT, schema, RM_NOT, name="fix_not"),
+    ]
+    # φ_j: every column of R_Y holds a Boolean value.
+    ry_terms = tuple(Variable(f"ry{j}") for j in range(1, m + 1))
+    for index in range(m):
+        constraints.append(
+            cc(
+                ConjunctiveQuery(
+                    head=(ry_terms[index],),
+                    atoms=(RelationAtom(R_Y, ry_terms),),
+                    name=f"ry_col_{index + 1}",
+                ),
+                ProjectionQuery(RM_BOOL),
+                name=f"ry_bool_{index + 1}",
+            )
+        )
+    # φ'_j: R_Y holds at most one truth assignment (no two rows differing in
+    # any column).
+    ry_terms2 = tuple(Variable(f"ry{j}'") for j in range(1, m + 1))
+    for index in range(m):
+        constraints.append(
+            cc(
+                ConjunctiveQuery(
+                    head=(ry_terms[index], ry_terms2[index]),
+                    atoms=(
+                        RelationAtom(R_Y, ry_terms),
+                        RelationAtom(R_Y, ry_terms2),
+                    ),
+                    comparisons=(neq(ry_terms[index], ry_terms2[index]),),
+                    name=f"ry_unique_{index + 1}",
+                ),
+                ProjectionQuery(RM_EMPTY),
+                name=f"ry_single_{index + 1}",
+            )
+        )
+
+    # --- the query Q(x̄) ----------------------------------------------------
+    qx_terms = {v: Variable(f"qx{v}") for v in x_vars}
+    qy_terms = {v: Variable(f"qy{v}") for v in y_vars}
+    qz_terms = {v: Variable(f"qz{v}") for v in z_vars}
+    encoding = encode_formula(
+        formula.matrix, {**qx_terms, **qy_terms, **qz_terms}, prefix="enc"
+    )
+    atoms = (
+        assignment_atoms(qx_terms, bool_relation=R_BOOL)
+        + (RelationAtom(R_Y, tuple(qy_terms[v] for v in y_vars)),)
+        + assignment_atoms(qz_terms, bool_relation=R_BOOL)
+        + encoding.atoms
+    )
+    query = ConjunctiveQuery(
+        head=tuple(qx_terms[v] for v in x_vars),
+        atoms=atoms,
+        comparisons=(eq(encoding.output, 1),),
+        name="Q_thm51",
+    )
+
+    return WeakRCDPReduction(
+        formula=formula,
+        schema=schema,
+        instance=instance,
+        master=master,
+        constraints=constraints,
+        query=query,
+    )

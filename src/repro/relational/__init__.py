@@ -1,0 +1,53 @@
+"""Relational substrate: domains, schemas, ground instances and master data.
+
+This package implements the classical relational data model the paper builds
+on (Section 2.1): attributes with finite or infinite domains, relation and
+database schemas, ground instances (databases without missing values), master
+data, and a small set-based relational algebra used by a few of the paper's
+constructions.
+"""
+
+from repro.relational.domains import (
+    ANY,
+    BOOLEAN_DOMAIN,
+    Constant,
+    Domain,
+    finite_domain,
+    infinite_domain,
+)
+from repro.relational.instance import (
+    GroundInstance,
+    Relation,
+    Row,
+    empty_instance,
+    instance,
+)
+from repro.relational.master import MasterData, empty_master
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    RelationSchema,
+    database_schema,
+    schema,
+)
+
+__all__ = [
+    "ANY",
+    "BOOLEAN_DOMAIN",
+    "Attribute",
+    "Constant",
+    "DatabaseSchema",
+    "Domain",
+    "GroundInstance",
+    "MasterData",
+    "Relation",
+    "RelationSchema",
+    "Row",
+    "database_schema",
+    "empty_instance",
+    "empty_master",
+    "finite_domain",
+    "infinite_domain",
+    "instance",
+    "schema",
+]

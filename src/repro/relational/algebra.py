@@ -1,0 +1,160 @@
+"""Set-based relational algebra over :class:`~repro.relational.instance.Relation`.
+
+The query evaluators (``repro.queries.evaluation``) are written directly over
+homomorphism enumeration, but several parts of the paper — the SPC normal form
+argument in the appendix proof of Theorem 5.4, the encoding ``f_D`` of
+Lemma 3.2, the well-formedness queries of Lemma 4.6 — are phrased in terms of
+classical algebra operators.  This module provides those operators so that the
+corresponding constructions can be written exactly as in the paper.
+
+All operators are pure functions returning new :class:`Relation` objects.
+Selection predicates are either callables on rows or simple equality
+conditions expressed as ``(attribute, value)`` / ``(attribute, attribute)``
+pairs, which covers every use in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.exceptions import SchemaError
+from repro.relational.domains import Constant
+from repro.relational.instance import Relation, Row
+from repro.relational.schema import Attribute, RelationSchema
+
+
+RowPredicate = Callable[[Row], bool]
+
+
+def select(relation: Relation, predicate: RowPredicate) -> Relation:
+    """``σ_predicate(relation)`` with an arbitrary row predicate."""
+    return Relation(relation.schema, (row for row in relation.rows if predicate(row)))
+
+
+def select_eq(relation: Relation, attribute: str, value: Constant) -> Relation:
+    """``σ_{A = c}(relation)``."""
+    pos = relation.schema.position_of(attribute)
+    return select(relation, lambda row: row[pos] == value)
+
+
+def select_neq(relation: Relation, attribute: str, value: Constant) -> Relation:
+    """``σ_{A ≠ c}(relation)``."""
+    pos = relation.schema.position_of(attribute)
+    return select(relation, lambda row: row[pos] != value)
+
+
+def select_attr_eq(relation: Relation, left: str, right: str) -> Relation:
+    """``σ_{A = B}(relation)`` comparing two attributes of the same relation."""
+    lpos = relation.schema.position_of(left)
+    rpos = relation.schema.position_of(right)
+    return select(relation, lambda row: row[lpos] == row[rpos])
+
+
+def select_attr_neq(relation: Relation, left: str, right: str) -> Relation:
+    """``σ_{A ≠ B}(relation)`` comparing two attributes of the same relation."""
+    lpos = relation.schema.position_of(left)
+    rpos = relation.schema.position_of(right)
+    return select(relation, lambda row: row[lpos] != row[rpos])
+
+
+def project(
+    relation: Relation, attributes: Sequence[str], name: str | None = None
+) -> Relation:
+    """``π_{attributes}(relation)`` (set semantics, duplicates removed)."""
+    positions = [relation.schema.position_of(a) for a in attributes]
+    new_attrs = [relation.schema.attributes[p] for p in positions]
+    new_schema = RelationSchema(name or relation.name, new_attrs)
+    rows = {tuple(row[p] for p in positions) for row in relation.rows}
+    return Relation(new_schema, rows)
+
+
+def rename(relation: Relation, new_name: str, new_attributes: Sequence[str] | None = None) -> Relation:
+    """``ρ`` — rename the relation and optionally its attributes."""
+    if new_attributes is None:
+        new_schema = relation.schema.rename(new_name)
+    else:
+        if len(new_attributes) != relation.arity:
+            raise SchemaError("rename must preserve arity")
+        new_schema = RelationSchema(
+            new_name,
+            [
+                Attribute(new_attr, old.domain)
+                for new_attr, old in zip(new_attributes, relation.schema.attributes)
+            ],
+        )
+    return Relation(new_schema, relation.rows)
+
+
+def product(left: Relation, right: Relation, name: str = "product") -> Relation:
+    """Cartesian product ``left × right``.
+
+    Attribute names are qualified with the source relation name when the two
+    operands share attribute names.
+    """
+    left_names = set(left.schema.attribute_names)
+    attrs: list[Attribute] = []
+    for attr in left.schema.attributes:
+        attrs.append(attr)
+    for attr in right.schema.attributes:
+        if attr.name in left_names:
+            attrs.append(Attribute(f"{right.name}.{attr.name}", attr.domain))
+        else:
+            attrs.append(attr)
+    new_schema = RelationSchema(name, attrs)
+    rows = [l + r for l in left.rows for r in right.rows]
+    return Relation(new_schema, rows)
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Set union (operands must share a schema up to relation name)."""
+    _require_compatible(left, right)
+    return Relation(left.schema, left.rows | right.rows)
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Set difference (operands must share a schema up to relation name)."""
+    _require_compatible(left, right)
+    return Relation(left.schema, left.rows - right.rows)
+
+
+def intersection(left: Relation, right: Relation) -> Relation:
+    """Set intersection (operands must share a schema up to relation name)."""
+    _require_compatible(left, right)
+    return Relation(left.schema, left.rows & right.rows)
+
+
+def natural_join(left: Relation, right: Relation, name: str = "join") -> Relation:
+    """Natural join on shared attribute names."""
+    shared = [a for a in left.schema.attribute_names if a in right.schema.attribute_names]
+    left_pos = {a: left.schema.position_of(a) for a in shared}
+    right_pos = {a: right.schema.position_of(a) for a in shared}
+    right_keep = [
+        i
+        for i, attr in enumerate(right.schema.attributes)
+        if attr.name not in shared
+    ]
+    attrs = list(left.schema.attributes) + [right.schema.attributes[i] for i in right_keep]
+    new_schema = RelationSchema(name, attrs)
+    rows = []
+    for l in left.rows:
+        for r in right.rows:
+            if all(l[left_pos[a]] == r[right_pos[a]] for a in shared):
+                rows.append(l + tuple(r[i] for i in right_keep))
+    return Relation(new_schema, rows)
+
+
+def _require_compatible(left: Relation, right: Relation) -> None:
+    if left.arity != right.arity:
+        raise SchemaError("set operation on relations of different arity")
+    for a, b in zip(left.schema.attributes, right.schema.attributes):
+        if a.domain != b.domain:
+            raise SchemaError(
+                f"set operation on incompatible attribute domains {a.name}/{b.name}"
+            )
+
+
+def from_rows(
+    name: str, attributes: Sequence[str], rows: Iterable[Sequence[Constant]]
+) -> Relation:
+    """Build a relation from raw attribute names and rows (infinite domains)."""
+    return Relation(RelationSchema(name, attributes), rows)

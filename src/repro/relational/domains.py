@@ -1,0 +1,121 @@
+"""Attribute domains.
+
+The paper distinguishes attributes with *finite* domains (whose values all
+enter the active domain ``Adom`` used by the decision procedures, Section 3)
+from attributes with *infinite* domains (whose values are only ever touched
+through the constants that actually occur in the input plus finitely many
+fresh constants).  :class:`Domain` captures both cases.
+
+A domain is identified by its name.  Two convenience constructors cover the
+common cases:
+
+* :func:`infinite_domain` — a countably infinite domain of which we only ever
+  enumerate the finitely many constants mentioned by an input; and
+* :func:`finite_domain` — an explicitly enumerated finite domain (e.g. the
+  Boolean domain ``{0, 1}`` used by the gadget relations of Figure 2).
+
+Constants themselves are ordinary hashable Python values (strings, integers,
+...); the library never requires a dedicated constant wrapper type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator
+
+from repro.exceptions import DomainError
+
+#: Type alias for constants stored in relations.  Any hashable value works;
+#: strings and integers are what the examples and tests use.
+Constant = Hashable
+
+
+@dataclass(frozen=True)
+class Domain:
+    """The domain of an attribute.
+
+    Parameters
+    ----------
+    name:
+        Human readable name of the domain (``"string"``, ``"bool"``, ...).
+    values:
+        ``None`` for an infinite domain; otherwise the frozenset of admissible
+        constants.
+
+    Notes
+    -----
+    Infinite domains are *symbolic*: membership checks accept every constant,
+    and the decision procedures materialise only the constants required by the
+    ``Adom`` construction of the paper (Proposition 3.3).
+    """
+
+    name: str
+    values: frozenset[Constant] | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.values is not None and len(self.values) == 0:
+            raise DomainError(f"finite domain {self.name!r} must not be empty")
+
+    @property
+    def is_finite(self) -> bool:
+        """Whether the domain is an explicitly enumerated finite set."""
+        return self.values is not None
+
+    @property
+    def is_infinite(self) -> bool:
+        """Whether the domain is (countably) infinite."""
+        return self.values is None
+
+    def __contains__(self, value: Constant) -> bool:
+        if self.values is None:
+            return True
+        return value in self.values
+
+    def __iter__(self) -> Iterator[Constant]:
+        """Iterate over the values of a finite domain.
+
+        Raises
+        ------
+        DomainError
+            If the domain is infinite.
+        """
+        if self.values is None:
+            raise DomainError(
+                f"cannot enumerate infinite domain {self.name!r}; "
+                "use the Adom construction instead"
+            )
+        return iter(sorted(self.values, key=repr))
+
+    def __len__(self) -> int:
+        if self.values is None:
+            raise DomainError(f"infinite domain {self.name!r} has no size")
+        return len(self.values)
+
+    def check(self, value: Constant) -> None:
+        """Raise :class:`DomainError` unless ``value`` belongs to the domain."""
+        if value not in self:
+            raise DomainError(
+                f"value {value!r} is not in finite domain {self.name!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.values is None:
+            return f"Domain({self.name!r}, infinite)"
+        return f"Domain({self.name!r}, {sorted(self.values, key=repr)!r})"
+
+
+def infinite_domain(name: str = "value") -> Domain:
+    """Create a symbolic, countably infinite domain."""
+    return Domain(name=name, values=None)
+
+
+def finite_domain(name: str, values: Iterable[Constant]) -> Domain:
+    """Create a finite domain with the given values."""
+    return Domain(name=name, values=frozenset(values))
+
+
+#: The Boolean domain ``{0, 1}`` used throughout the paper's reductions.
+BOOLEAN_DOMAIN = finite_domain("bool", (0, 1))
+
+#: A generic infinite domain shared by attributes that do not care.
+ANY = infinite_domain("any")

@@ -1,0 +1,33 @@
+"""Workloads: the paper's patient MDM scenario and synthetic generators."""
+
+from repro.workloads.generator import (
+    RegistryWorkload,
+    chain_fp_query,
+    point_queries_for_keys,
+    random_cinstance,
+    registry_workload,
+)
+from repro.workloads.patients import (
+    ABSENT_NHS,
+    BOB_NHS,
+    JOHN_NHS,
+    PatientScenario,
+    build_patient_scenario,
+    display_figure1_cinstance,
+    display_schema,
+)
+
+__all__ = [
+    "ABSENT_NHS",
+    "BOB_NHS",
+    "JOHN_NHS",
+    "PatientScenario",
+    "RegistryWorkload",
+    "build_patient_scenario",
+    "chain_fp_query",
+    "display_figure1_cinstance",
+    "display_schema",
+    "point_queries_for_keys",
+    "random_cinstance",
+    "registry_workload",
+]

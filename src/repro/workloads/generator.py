@@ -1,0 +1,197 @@
+"""Synthetic workload generators for the benchmark harness.
+
+The paper has no datasets: its "experiments" are complexity claims.  The
+benchmark harness therefore needs *parameterised families* of inputs whose
+size can be swept:
+
+* :func:`registry_workload` — a generic MDM-style workload: a database
+  relation bounded by a master registry through an IND-shaped CC, with a
+  configurable number of master rows, database rows, missing values
+  (variables) and query shape.  Growing the master registry grows the active
+  domain, which is the lever the Table-I benchmarks sweep.
+* :func:`random_cinstance` — random c-instances with a controlled number of
+  rows and variables over a given schema.
+* :func:`chain_fp_query` — FP reachability queries of growing arity for the
+  weak-model FP benchmarks.
+
+All generators are deterministic given their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.constraints.containment import (
+    ContainmentConstraint,
+    cc,
+    denial_cc,
+    projection,
+)
+from repro.ctables.cinstance import CInstance
+from repro.ctables.ctable import CTable, CTableRow
+from repro.queries.atoms import RelationAtom, atom, eq, neq
+from repro.queries.cq import ConjunctiveQuery, boolean_cq, cq
+from repro.queries.fp import FixpointQuery, fixpoint_query, rule
+from repro.queries.terms import Variable, var
+from repro.queries.ucq import UnionOfConjunctiveQueries, ucq_from
+from repro.relational.instance import GroundInstance, instance
+from repro.relational.master import MasterData
+from repro.relational.schema import DatabaseSchema, database_schema, schema
+
+
+@dataclass(frozen=True)
+class RegistryWorkload:
+    """A generated MDM-style workload (database bounded by a master registry)."""
+
+    schema: DatabaseSchema
+    master: MasterData
+    constraints: list[ContainmentConstraint]
+    cinstance: CInstance
+    ground_db: GroundInstance
+    point_query: ConjunctiveQuery
+    full_query: ConjunctiveQuery
+    union_query: UnionOfConjunctiveQueries
+    master_size: int
+    variable_count: int
+
+
+def registry_workload(
+    master_size: int = 4,
+    db_rows: int = 2,
+    variable_count: int = 1,
+    with_fd: bool = True,
+    seed: int = 0,
+) -> RegistryWorkload:
+    """Build a registry workload of the requested size.
+
+    The schema is ``Record(key, value)`` bounded by the master registry
+    ``Registry(key, value)`` of ``master_size`` rows; the generated database
+    holds ``db_rows`` rows of which ``variable_count`` have a missing value.
+    The queries ask for the value of a specific key (``point_query``), for
+    all registered values (``full_query``) and for their union
+    (``union_query``).
+    """
+    rng = random.Random(seed)
+    db_schema = database_schema(schema("Record", "key", "value"))
+    master_schema = database_schema(schema("Registry", "key", "value"))
+
+    master_rows = [(f"k{i}", f"v{i}") for i in range(master_size)]
+    master = MasterData(master_schema, {"Registry": master_rows})
+
+    k, v, v2 = var("k"), var("v"), var("v2")
+    bound = cc(
+        cq("all_records", [k, v], atoms=[atom("Record", k, v)]),
+        projection("Registry", "key", "value"),
+        name="record⊆registry",
+    )
+    constraints = [bound]
+    if with_fd:
+        constraints.append(
+            denial_cc(
+                boolean_cq(
+                    "fd_key_value",
+                    atoms=[atom("Record", k, v), atom("Record", k, v2)],
+                    comparisons=[neq(v, v2)],
+                ),
+                name="fd:key→value",
+            )
+        )
+
+    rows: list[CTableRow] = []
+    chosen = rng.sample(range(master_size), k=min(db_rows, master_size))
+    for index, master_index in enumerate(chosen):
+        key, value = master_rows[master_index]
+        if index < variable_count:
+            rows.append(CTableRow((key, Variable(f"m{index}"))))
+        else:
+            rows.append(CTableRow((key, value)))
+    cinstance = CInstance(db_schema, {"Record": CTable(db_schema["Record"], rows)})
+    ground_rows = [master_rows[i] for i in chosen]
+    ground_db = instance(db_schema, Record=ground_rows)
+
+    target_key = master_rows[chosen[0]][0] if chosen else "k0"
+    point_query = cq("PointQ", [v], atoms=[atom("Record", target_key, v)])
+    full_query = cq("FullQ", [k, v], atoms=[atom("Record", k, v)])
+    union_query = ucq_from(
+        [
+            cq("U1", [v], atoms=[atom("Record", target_key, v)]),
+            cq("U2", [v], atoms=[atom("Record", k, v)], comparisons=[eq(k, "k1")]),
+        ],
+        name="UnionQ",
+    )
+
+    return RegistryWorkload(
+        schema=db_schema,
+        master=master,
+        constraints=constraints,
+        cinstance=cinstance,
+        ground_db=ground_db,
+        point_query=point_query,
+        full_query=full_query,
+        union_query=union_query,
+        master_size=master_size,
+        variable_count=variable_count,
+    )
+
+
+def random_cinstance(
+    db_schema: DatabaseSchema,
+    relation: str,
+    rows: int,
+    variable_count: int,
+    constant_pool: Sequence,
+    seed: int = 0,
+) -> CInstance:
+    """A random c-instance with the requested number of rows and variables."""
+    rng = random.Random(seed)
+    rel_schema = db_schema[relation]
+    built_rows: list[CTableRow] = []
+    variables_remaining = variable_count
+    for row_index in range(rows):
+        terms: list = []
+        for position in range(rel_schema.arity):
+            if variables_remaining > 0 and rng.random() < 0.5:
+                terms.append(Variable(f"v{row_index}_{position}"))
+                variables_remaining -= 1
+            else:
+                terms.append(rng.choice(list(constant_pool)))
+        built_rows.append(CTableRow(tuple(terms)))
+    # Force any leftover variables into the last rows deterministically.
+    row_cursor = 0
+    while variables_remaining > 0 and built_rows:
+        row = built_rows[row_cursor % len(built_rows)]
+        terms = list(row.terms)
+        terms[0] = Variable(f"extra{variables_remaining}")
+        built_rows[row_cursor % len(built_rows)] = CTableRow(tuple(terms), row.condition)
+        variables_remaining -= 1
+        row_cursor += 1
+    return CInstance(db_schema, {relation: CTable(rel_schema, built_rows)})
+
+
+def chain_fp_query(length: int = 2, relation: str = "Record") -> FixpointQuery:
+    """An FP query following ``length`` joins of the relation's key/value graph.
+
+    Used by the weak-model FP benchmarks: the fixpoint closes the binary
+    relation transitively and returns all reachable pairs.
+    """
+    x, y, z = var("x"), var("y"), var("z")
+    rules = [
+        rule(RelationAtom("Path", (x, y)), RelationAtom(relation, (x, y))),
+        rule(
+            RelationAtom("Path", (x, z)),
+            RelationAtom("Path", (x, y)),
+            RelationAtom(relation, (y, z)),
+        ),
+    ]
+    query = fixpoint_query(f"Chain{length}", output="Path", rules=rules)
+    return query
+
+
+def point_queries_for_keys(keys: Sequence[str]) -> list[ConjunctiveQuery]:
+    """One point query per key (used to build fixed query workloads)."""
+    v = var("v")
+    return [
+        cq(f"Point_{key}", [v], atoms=[atom("Record", key, v)]) for key in keys
+    ]

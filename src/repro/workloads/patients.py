@@ -1,0 +1,178 @@
+"""The paper's running MDM scenario: UK patients (Example 1.1, Figure 1).
+
+Two versions of the scenario are provided:
+
+* the **display** version uses the full 8-attribute ``MVisit`` schema of
+  Figure 1 and is meant for presentation (examples print it, tests check its
+  shape);
+* the **analysis** version trims the schema to the four attributes that the
+  paper's examples actually reason about (``NHS``, ``name``, ``city``,
+  ``yob``).  The trimming keeps the active domain small enough for the
+  exponential deciders while preserving every phenomenon of Examples
+  2.1–2.4: which queries are answerable, which completeness model accepts the
+  c-instance, and which databases are minimal.
+
+The scenario bundles the master data (the closed-world registry of Edinburgh
+patients born in 2000), the containment constraints of Example 2.1 (master
+bound plus the FD ``NHS → name`` encoded as a CC), the queries Q1–Q4 and both
+a ground database and the Figure 1 c-instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.containment import (
+    ContainmentConstraint,
+    cc,
+    denial_cc,
+    projection,
+)
+from repro.ctables.cinstance import CInstance
+from repro.ctables.conditions import condition
+from repro.ctables.ctable import CTable, CTableRow
+from repro.queries.atoms import atom, eq, neq
+from repro.queries.cq import ConjunctiveQuery, boolean_cq, cq
+from repro.queries.terms import Variable, var
+from repro.relational.instance import GroundInstance, instance
+from repro.relational.master import MasterData
+from repro.relational.schema import DatabaseSchema, database_schema, schema
+
+#: NHS numbers used throughout the scenario.
+JOHN_NHS = "915-15-335"
+BOB_NHS = "915-15-336"
+MARY_NHS = "915-15-357"
+JACK_NHS = "915-15-358"
+LOUIS_NHS = "915-15-359"
+ABSENT_NHS = "915-15-321"
+
+_n, _na, _c, _y = var("n"), var("na"), var("c"), var("y")
+_na2 = var("na2")
+
+
+def display_schema() -> DatabaseSchema:
+    """The full 8-attribute ``MVisit`` schema of Example 1.1 / Figure 1."""
+    return database_schema(
+        schema("MVisit", "NHS", "name", "city", "yob", "GD", "Date", "Diag", "DrID")
+    )
+
+
+def display_figure1_cinstance() -> CInstance:
+    """The Figure 1 c-table, verbatim (for presentation purposes)."""
+    x, z, w, u = var("x"), var("z"), var("w"), var("u")
+    db = display_schema()
+    table = CTable(
+        db["MVisit"],
+        [
+            CTableRow((JOHN_NHS, "John", "EDI", 2000, "M", "15/03/2015", "Flu", "01")),
+            CTableRow(
+                ("915-15-356", x, "EDI", z, "F", "15/03/2015", "Diabetes", "01"),
+                condition(neq(z, 2001)),
+            ),
+            CTableRow(
+                (MARY_NHS, "Mary", w, 2000, "F", "15/03/2015", "Influenza", u),
+                condition(neq(w, "EDI")),
+            ),
+            CTableRow((JACK_NHS, "Jack", "LON", 2000, "M", "15/03/2015", "Influenza", "02")),
+            CTableRow((LOUIS_NHS, "Louis", "LON", 2000, "M", "15/03/2015", "Diabetes", "03")),
+        ],
+    )
+    return CInstance(db, {"MVisit": table})
+
+
+@dataclass(frozen=True)
+class PatientScenario:
+    """The analysis version of the patients MDM scenario."""
+
+    schema: DatabaseSchema
+    master: MasterData
+    constraints: list[ContainmentConstraint]
+    q1: ConjunctiveQuery
+    q2_present: ConjunctiveQuery
+    q2_absent: ConjunctiveQuery
+    q3: ConjunctiveQuery
+    q4: ConjunctiveQuery
+    ground_db: GroundInstance
+    figure1: CInstance
+    extra_master_rows: int = field(default=0)
+
+    def queries(self) -> dict[str, ConjunctiveQuery]:
+        """The named queries of the scenario."""
+        return {
+            "Q1": self.q1,
+            "Q2_present": self.q2_present,
+            "Q2_absent": self.q2_absent,
+            "Q3": self.q3,
+            "Q4": self.q4,
+        }
+
+
+def build_patient_scenario(extra_master_rows: int = 0) -> PatientScenario:
+    """Build the analysis scenario.
+
+    ``extra_master_rows`` adds further Edinburgh-2000 patients to the master
+    data (used by the benchmarks to scale the master data size, and hence the
+    active domain, while keeping the structure of the scenario fixed).
+    """
+    db = database_schema(schema("MVisit", "NHS", "name", "city", "yob"))
+    master_schema = database_schema(schema("Patientm", "NHS", "name", "yob"))
+
+    master_rows = [(JOHN_NHS, "John", 2000), (BOB_NHS, "Bob", 2000)]
+    for index in range(extra_master_rows):
+        master_rows.append((f"915-16-{400 + index}", f"patient{index}", 2000))
+    master = MasterData(master_schema, {"Patientm": master_rows})
+
+    bound_by_master = cc(
+        cq(
+            "q2000",
+            [_n, _na],
+            atoms=[atom("MVisit", _n, _na, _c, _y)],
+            comparisons=[eq(_c, "EDI"), eq(_y, 2000)],
+        ),
+        projection("Patientm", "NHS", "name"),
+        name="edinburgh-2000",
+    )
+    fd_name = denial_cc(
+        boolean_cq(
+            "fd_nhs_name",
+            atoms=[
+                atom("MVisit", _n, _na, var("c1"), var("y1")),
+                atom("MVisit", _n, _na2, var("c2"), var("y2")),
+            ],
+            comparisons=[neq(_na, _na2)],
+        ),
+        name="fd:NHS→name",
+    )
+    constraints = [bound_by_master, fd_name]
+
+    q1 = cq("Q1", [_na], atoms=[atom("MVisit", JOHN_NHS, _na, "EDI", 2000)])
+    q2_present = cq("Q2", [_na], atoms=[atom("MVisit", BOB_NHS, _na, "EDI", 2000)])
+    q2_absent = cq("Q2'", [_na], atoms=[atom("MVisit", ABSENT_NHS, _na, "EDI", 2000)])
+    q3 = cq("Q3", [_na], atoms=[atom("MVisit", _n, _na, "LON", _y)])
+    q4 = cq("Q4", [_na], atoms=[atom("MVisit", _n, _na, "EDI", 2000)])
+
+    ground_db = instance(db, MVisit=[(JOHN_NHS, "John", "EDI", 2000)])
+
+    x, z = Variable("x"), Variable("z")
+    figure1_table = CTable(
+        db["MVisit"],
+        [
+            CTableRow((JOHN_NHS, "John", "EDI", 2000)),
+            CTableRow((BOB_NHS, x, "EDI", z), condition(neq(z, 2001))),
+        ],
+    )
+    figure1 = CInstance(db, {"MVisit": figure1_table})
+
+    return PatientScenario(
+        schema=db,
+        master=master,
+        constraints=constraints,
+        q1=q1,
+        q2_present=q2_present,
+        q2_absent=q2_absent,
+        q3=q3,
+        q4=q4,
+        ground_db=ground_db,
+        figure1=figure1,
+        extra_master_rows=extra_master_rows,
+    )

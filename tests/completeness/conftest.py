@@ -1,0 +1,153 @@
+"""Shared fixtures for the completeness tests.
+
+The *patients* fixtures encode a trimmed version of the paper's running MDM
+example (Example 1.1 / Figure 1): a database of doctor visits
+``MVisit(NHS, name, city, yob)`` bounded by master data
+``Patientm(NHS, name, yob)`` that is complete for Edinburgh patients born in
+2000.  The trimming (fewer attributes, a one-year range) keeps the active
+domain small enough for the exponential deciders while preserving every
+phenomenon the paper's examples exercise.
+"""
+
+import pytest
+
+from repro.constraints.containment import cc, denial_cc, projection
+from repro.ctables.cinstance import CInstance
+from repro.ctables.conditions import condition
+from repro.ctables.ctable import CTable, CTableRow
+from repro.queries.atoms import atom, eq, neq
+from repro.queries.cq import boolean_cq, cq
+from repro.queries.terms import var
+from repro.relational.instance import instance
+from repro.relational.master import MasterData
+from repro.relational.schema import database_schema, schema
+
+n, na, c, y = var("n"), var("na"), var("c"), var("y")
+n2, na2 = var("n2"), var("na2")
+x, z = var("x"), var("z")
+
+JOHN_NHS = "915-15-335"
+BOB_NHS = "915-15-336"
+ABSENT_NHS = "915-15-321"
+
+
+@pytest.fixture
+def visit_schema():
+    """Trimmed MVisit schema (Example 1.1)."""
+    return database_schema(schema("MVisit", "NHS", "name", "city", "yob"))
+
+
+@pytest.fixture
+def patient_master():
+    """Master data: the complete record of Edinburgh patients born in 2000."""
+    master_schema = database_schema(schema("Patientm", "NHS", "name", "yob"))
+    return MasterData(
+        master_schema,
+        {"Patientm": [(JOHN_NHS, "John", 2000), (BOB_NHS, "Bob", 2000)]},
+    )
+
+
+@pytest.fixture
+def patient_ccs():
+    """The CCs of Example 2.1 (trimmed).
+
+    * Edinburgh visits of patients born in 2000 are bounded by the master data.
+    * The FD ``NHS → name`` encoded as a denial-shaped CC.
+    """
+    bound_by_master = cc(
+        cq(
+            "q2000",
+            [n, na],
+            atoms=[atom("MVisit", n, na, c, y)],
+            comparisons=[eq(c, "EDI"), eq(y, 2000)],
+        ),
+        projection("Patientm", "NHS", "name"),
+        name="edinburgh-2000",
+    )
+    fd_name = denial_cc(
+        boolean_cq(
+            "fd_nhs_name",
+            atoms=[
+                atom("MVisit", n, na, var("c1"), var("y1")),
+                atom("MVisit", n, na2, var("c2"), var("y2")),
+            ],
+            comparisons=[neq(na, na2)],
+        ),
+        name="fd:NHS→name",
+    )
+    return [bound_by_master, fd_name]
+
+
+@pytest.fixture
+def q1():
+    """Q1 (Example 1.1): names of Edinburgh patients born in 2000 with John's NHS number."""
+    return cq(
+        "Q1",
+        [na],
+        atoms=[atom("MVisit", JOHN_NHS, na, "EDI", 2000)],
+    )
+
+
+@pytest.fixture
+def q2_absent():
+    """Q2 variant: the queried NHS number does not occur in the master data."""
+    return cq(
+        "Q2",
+        [na],
+        atoms=[atom("MVisit", ABSENT_NHS, na, "EDI", 2000)],
+    )
+
+
+@pytest.fixture
+def q2_bob():
+    """Q2 (Example 2.2): the queried NHS number occurs in the master data (Bob)."""
+    return cq(
+        "Q2b",
+        [na],
+        atoms=[atom("MVisit", BOB_NHS, na, "EDI", 2000)],
+    )
+
+
+@pytest.fixture
+def q3_london():
+    """Q3 (Example 2.2): London patients — outside the master data's scope."""
+    return cq(
+        "Q3",
+        [na],
+        atoms=[atom("MVisit", n, na, "LON", y)],
+    )
+
+
+@pytest.fixture
+def q4():
+    """Q4 (Example 2.3): names of Edinburgh patients born in 2000."""
+    return cq(
+        "Q4",
+        [na],
+        atoms=[atom("MVisit", n, na, "EDI", 2000)],
+    )
+
+
+@pytest.fixture
+def john_only_db(visit_schema):
+    """A ground instance containing only John's visit."""
+    return instance(visit_schema, MVisit=[(JOHN_NHS, "John", "EDI", 2000)])
+
+
+@pytest.fixture
+def figure1_cinstance(visit_schema):
+    """A trimmed Figure 1 c-instance.
+
+    Row ``t2`` has a missing name (``x``) and a missing year of birth (``z``)
+    with the local condition ``z ≠ 2001``; its NHS number is Bob's so the
+    scenario of Example 2.3 (viable/weak but not strong completeness for Q4)
+    is realisable.
+    """
+    table = CTable(
+        visit_schema["MVisit"],
+        [
+            CTableRow((JOHN_NHS, "John", "EDI", 2000)),
+            CTableRow((BOB_NHS, x, "EDI", z), condition(neq(z, 2001))),
+        ],
+    )
+    return CInstance(visit_schema, {"MVisit": table})

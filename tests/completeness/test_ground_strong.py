@@ -1,0 +1,220 @@
+"""Tests for ground-instance completeness and the strong model (Section 4)."""
+
+import pytest
+
+from repro.completeness.ground import (
+    find_ground_incompleteness_witness,
+    ground_active_domain,
+    is_ground_complete,
+    is_ground_complete_bounded,
+)
+from repro.completeness.strong import (
+    find_strong_incompleteness_witness,
+    is_strongly_complete,
+    is_strongly_complete_bounded,
+)
+from repro.constraints.containment import denial_cc, relation_containment_cc
+from repro.ctables.cinstance import CInstance, cinstance
+from repro.exceptions import CompletenessError, InconsistentCInstanceError, QueryError
+from repro.queries.atoms import atom
+from repro.queries.cq import boolean_cq, cq
+from repro.queries.efo import cq_as_efo
+from repro.queries.fo import fo
+from repro.queries.formulas import negate, rel
+from repro.queries.fp import fixpoint_query, rule
+from repro.queries.terms import var
+from repro.queries.ucq import ucq
+from repro.relational.instance import empty_instance, instance
+from repro.relational.master import empty_master
+from repro.relational.schema import database_schema, schema
+
+from tests.completeness.conftest import ABSENT_NHS, BOB_NHS, JOHN_NHS
+
+na, n, y, x = var("na"), var("n"), var("y"), var("x")
+
+
+class TestGroundCompletenessPatients:
+    """The ground-instance scenarios of Examples 1.1 and 2.2."""
+
+    def test_john_db_complete_for_q1(
+        self, john_only_db, q1, patient_master, patient_ccs
+    ):
+        assert is_ground_complete(john_only_db, q1, patient_master, patient_ccs)
+
+    def test_empty_db_incomplete_for_q1(
+        self, visit_schema, q1, patient_master, patient_ccs
+    ):
+        empty = empty_instance(visit_schema)
+        witness = find_ground_incompleteness_witness(
+            empty, q1, patient_master, patient_ccs
+        )
+        assert witness is not None
+        assert witness.new_answers == {("John",)}
+
+    def test_query_for_absent_nhs_is_complete_on_empty_db(
+        self, visit_schema, q2_absent, patient_master, patient_ccs
+    ):
+        # No Edinburgh-2000 visit with an NHS number outside the master data can
+        # ever be added (it would violate the CC), so the empty database already
+        # has complete information for Q2 over the absent NHS number.
+        empty = empty_instance(visit_schema)
+        assert is_ground_complete(empty, q2_absent, patient_master, patient_ccs)
+
+    def test_q2_bob_needs_the_bob_tuple(
+        self, visit_schema, q2_bob, patient_master, patient_ccs
+    ):
+        empty = empty_instance(visit_schema)
+        assert not is_ground_complete(empty, q2_bob, patient_master, patient_ccs)
+        with_bob = instance(visit_schema, MVisit=[(BOB_NHS, "Bob", "EDI", 2000)])
+        assert is_ground_complete(with_bob, q2_bob, patient_master, patient_ccs)
+
+    def test_q3_london_cannot_be_complete(
+        self, john_only_db, q3_london, patient_master, patient_ccs
+    ):
+        # Master data says nothing about London patients (Example 2.2 / Q3):
+        # new London visits can always be added, so no database is complete.
+        assert not is_ground_complete(
+            john_only_db, q3_london, patient_master, patient_ccs
+        )
+
+    def test_non_partially_closed_instance_rejected(
+        self, visit_schema, q1, patient_master, patient_ccs
+    ):
+        # A visit claiming an Edinburgh-2000 patient unknown to the master data
+        # violates the CC, so the completeness question is not even posed.
+        violating = instance(
+            visit_schema, MVisit=[(ABSENT_NHS, "Ghost", "EDI", 2000)]
+        )
+        with pytest.raises(CompletenessError):
+            is_ground_complete(violating, q1, patient_master, patient_ccs)
+
+    def test_fo_query_requires_bounded_checker(
+        self, john_only_db, patient_master, patient_ccs
+    ):
+        q = fo("Q", [na], rel("MVisit", JOHN_NHS, na, "EDI", 2000))
+        with pytest.raises(QueryError):
+            is_ground_complete(john_only_db, q, patient_master, patient_ccs)
+
+    def test_bounded_checker_on_fo_query(self):
+        # An FO query over a narrow schema asking for values *not* flagged in a
+        # second relation: the bounded check finds the single-tuple
+        # counterexample (adding a flag removes an answer), so the instance is
+        # reported incomplete.
+        db_schema = database_schema(schema("Val", "A"), schema("Flag", "A"))
+        md = empty_master(database_schema(schema("M", "A")))
+        db = instance(db_schema, Val=[(1,)])
+        q = fo("Unflagged", [x], rel("Val", x) & negate(rel("Flag", x)))
+        assert not is_ground_complete_bounded(db, q, md, [], max_new_tuples=1)
+
+    def test_ground_active_domain_contains_fresh_values(
+        self, john_only_db, q1, patient_master, patient_ccs
+    ):
+        adom = ground_active_domain(john_only_db, q1, patient_master, patient_ccs)
+        assert adom.fresh_values
+        assert JOHN_NHS in adom
+
+
+class TestGroundCompletenessOtherLanguages:
+    @pytest.fixture
+    def small_schema(self):
+        return database_schema(schema("R", "A"))
+
+    @pytest.fixture
+    def small_master(self):
+        from repro.relational.master import MasterData
+
+        return MasterData(database_schema(schema("Rm", "A")), {"Rm": [(1,), (2,)]})
+
+    def test_ucq_completeness(self, small_schema, small_master):
+        constraint = relation_containment_cc("R", small_schema, "Rm")
+        q = ucq(
+            "U",
+            cq("Q1", [x], atoms=[atom("R", x)]),
+            cq("Q2", [y], atoms=[atom("R", y)]),
+        )
+        saturated = instance(small_schema, R=[(1,), (2,)])
+        partial = instance(small_schema, R=[(1,)])
+        assert is_ground_complete(saturated, q, small_master, [constraint])
+        assert not is_ground_complete(partial, q, small_master, [constraint])
+
+    def test_efo_completeness_matches_cq(self, small_schema, small_master):
+        constraint = relation_containment_cc("R", small_schema, "Rm")
+        q_cq = cq("Q", [x], atoms=[atom("R", x)])
+        q_efo = cq_as_efo(q_cq)
+        saturated = instance(small_schema, R=[(1,), (2,)])
+        assert is_ground_complete(saturated, q_cq, small_master, [constraint])
+        assert is_ground_complete(saturated, q_efo, small_master, [constraint])
+
+    def test_boolean_query_completeness(self, small_schema, small_master):
+        constraint = relation_containment_cc("R", small_schema, "Rm")
+        q = boolean_cq("Any", atoms=[atom("R", x)])
+        # Once the query is true it stays true under extensions (monotone), so
+        # any instance making it true is complete.
+        assert is_ground_complete(
+            instance(small_schema, R=[(1,)]), q, small_master, [constraint]
+        )
+        # The empty instance is not complete: adding (1,) flips the answer.
+        assert not is_ground_complete(
+            empty_instance(small_schema), q, small_master, [constraint]
+        )
+
+    def test_fp_query_bounded_check(self, small_schema, small_master):
+        constraint = relation_containment_cc("R", small_schema, "Rm")
+        q = fixpoint_query("Reach", output="P", rules=[rule(atom("P", x), atom("R", x))])
+        saturated = instance(small_schema, R=[(1,), (2,)])
+        partial = instance(small_schema, R=[(1,)])
+        assert is_ground_complete_bounded(saturated, q, small_master, [constraint])
+        assert not is_ground_complete_bounded(partial, q, small_master, [constraint])
+
+
+class TestStrongModel:
+    def test_figure1_strongly_complete_for_q1(
+        self, figure1_cinstance, q1, patient_master, patient_ccs
+    ):
+        # Example 2.3: no matter how the missing values are filled in, Q1 keeps
+        # returning exactly John.
+        assert is_strongly_complete(
+            figure1_cinstance, q1, patient_master, patient_ccs
+        )
+
+    def test_figure1_not_strongly_complete_for_q4(
+        self, figure1_cinstance, q4, patient_master, patient_ccs
+    ):
+        # Example 2.3: the world where Bob's year of birth is not 2000 can still
+        # be extended with Bob's Edinburgh-2000 visit, changing the answer.
+        witness = find_strong_incompleteness_witness(
+            figure1_cinstance, q4, patient_master, patient_ccs
+        )
+        assert witness is not None
+        assert ("Bob",) in witness.ground_witness.new_answers
+
+    def test_ground_instances_embed_into_strong_model(
+        self, john_only_db, q1, patient_master, patient_ccs
+    ):
+        T = CInstance.from_ground_instance(john_only_db)
+        assert is_strongly_complete(T, q1, patient_master, patient_ccs)
+
+    def test_inconsistent_cinstance_raises(self, visit_schema, q1, patient_master):
+        forbid_all = denial_cc(
+            boolean_cq("forbid", atoms=[atom("MVisit", n, na, var("c"), y)])
+        )
+        T = cinstance(visit_schema, MVisit=[(JOHN_NHS, "John", "EDI", 2000)])
+        with pytest.raises(InconsistentCInstanceError):
+            is_strongly_complete(T, q1, patient_master, [forbid_all])
+
+    def test_bounded_strong_check_agrees_on_positive_queries(self):
+        # The bounded checker must agree with the exact decider on a positive
+        # query (small schema: the exhaustive single-tuple enumeration over
+        # Adom^arity stays cheap).
+        db_schema = database_schema(schema("R", "A"))
+        from repro.relational.master import MasterData
+
+        md = MasterData(database_schema(schema("Rm", "A")), {"Rm": [(1,), (2,)]})
+        constraint = relation_containment_cc("R", db_schema, "Rm")
+        q = cq("Q", [x], atoms=[atom("R", x)])
+        saturated = cinstance(db_schema, R=[(1,), (2,)])
+        partial = cinstance(db_schema, R=[(1,)])
+        assert is_strongly_complete(saturated, q, md, [constraint])
+        assert is_strongly_complete_bounded(saturated, q, md, [constraint])
+        assert not is_strongly_complete(partial, q, md, [constraint])
+        assert not is_strongly_complete_bounded(partial, q, md, [constraint])

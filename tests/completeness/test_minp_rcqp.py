@@ -1,0 +1,406 @@
+"""Tests for MINP (minimality) and RCQP (existence of complete databases)."""
+
+import pytest
+
+from repro.completeness.minp import (
+    is_minimal_complete,
+    is_minimal_ground_complete,
+    is_minimal_strongly_complete,
+    is_minimal_viably_complete,
+    is_minimal_weakly_complete,
+    is_minimal_weakly_complete_cq,
+)
+from repro.completeness.models import CompletenessModel
+from repro.completeness.rcdp import is_relatively_complete
+from repro.completeness.rcqp import (
+    construct_weakly_complete_witness,
+    is_query_bounded,
+    rcqp,
+    rcqp_bounded_search,
+    strong_rcqp_with_ind_ccs,
+    weak_rcqp,
+)
+from repro.completeness.tractable import (
+    minp_data_complexity,
+    rcdp_data_complexity,
+    rcqp_data_complexity,
+)
+from repro.completeness.weak import is_weakly_complete
+from repro.constraints.containment import cc, projection, relation_containment_cc
+from repro.ctables.cinstance import CInstance, cinstance
+from repro.exceptions import CompletenessError, QueryError
+from repro.queries.atoms import atom, eq
+from repro.queries.cq import cq
+from repro.queries.fo import fo, native_query
+from repro.queries.formulas import rel
+from repro.queries.fp import fixpoint_query, rule
+from repro.queries.terms import var
+from repro.queries.ucq import ucq
+from repro.relational.domains import BOOLEAN_DOMAIN
+from repro.relational.instance import empty_instance, instance
+from repro.relational.master import MasterData, empty_master
+from repro.relational.schema import RelationSchema, database_schema, schema
+
+from tests.completeness.conftest import BOB_NHS, JOHN_NHS
+
+x, y, z, na = var("x"), var("y"), var("z"), var("na")
+
+
+@pytest.fixture
+def bool_schema():
+    return database_schema(RelationSchema("R", [("A", BOOLEAN_DOMAIN)]))
+
+
+@pytest.fixture
+def bool_master():
+    return MasterData(
+        database_schema(RelationSchema("Rm", [("A", BOOLEAN_DOMAIN)])),
+        {"Rm": [(0,), (1,)]},
+    )
+
+
+class TestMinimalGroundInstances:
+    def test_minimal_complete_patient_db(
+        self, john_only_db, q1, patient_master, patient_ccs
+    ):
+        # Example 2.4 flavour: the single-tuple database answering Q1 is minimal.
+        assert is_minimal_ground_complete(
+            john_only_db, q1, patient_master, patient_ccs
+        )
+
+    def test_complete_but_not_minimal(
+        self, visit_schema, q1, patient_master, patient_ccs
+    ):
+        bloated = instance(
+            visit_schema,
+            MVisit=[
+                (JOHN_NHS, "John", "EDI", 2000),
+                (BOB_NHS, "Bob", "EDI", 2000),
+            ],
+        )
+        assert not is_minimal_ground_complete(
+            bloated, q1, patient_master, patient_ccs
+        )
+
+    def test_incomplete_instance_not_minimal(
+        self, visit_schema, q1, patient_master, patient_ccs
+    ):
+        assert not is_minimal_ground_complete(
+            empty_instance(visit_schema), q1, patient_master, patient_ccs
+        )
+
+    def test_empty_instance_minimal_for_unanswerable_query(
+        self, visit_schema, q2_absent, patient_master, patient_ccs
+    ):
+        # No Edinburgh-2000 visit for the absent NHS number can ever exist, so
+        # the empty database is complete and trivially minimal.
+        assert is_minimal_ground_complete(
+            empty_instance(visit_schema), q2_absent, patient_master, patient_ccs
+        )
+
+
+class TestMinimalCInstances:
+    def test_figure1_strongly_complete_but_not_minimal(
+        self, figure1_cinstance, q1, patient_master, patient_ccs
+    ):
+        # Example 2.4: the Figure 1 c-instance is strongly complete for Q1 but
+        # not minimal — dropping Bob's row keeps it complete.
+        assert not is_minimal_strongly_complete(
+            figure1_cinstance, q1, patient_master, patient_ccs
+        )
+        trimmed = figure1_cinstance.without_row("MVisit", 1)
+        assert is_minimal_strongly_complete(
+            trimmed, q1, patient_master, patient_ccs
+        )
+
+    def test_viable_minimality(
+        self, visit_schema, figure1_cinstance, q1, patient_master, patient_ccs
+    ):
+        trimmed = figure1_cinstance.without_row("MVisit", 1)
+        assert is_minimal_viably_complete(trimmed, q1, patient_master, patient_ccs)
+        # The full Figure 1 c-instance is *also* minimally viably complete:
+        # the valuation µ(z) = 2001 violates Bob's local condition, so his row
+        # is dropped and the resulting one-tuple world is a minimal complete
+        # instance (viable minimality is an existential statement).
+        assert is_minimal_viably_complete(
+            figure1_cinstance, q1, patient_master, patient_ccs
+        )
+        # A fully ground two-tuple c-instance has no such escape hatch: its
+        # only world keeps both tuples and is complete but not minimal.
+        bloated = CInstance.from_ground_instance(
+            instance(
+                visit_schema,
+                MVisit=[
+                    (JOHN_NHS, "John", "EDI", 2000),
+                    (BOB_NHS, "Bob", "EDI", 2000),
+                ],
+            )
+        )
+        assert not is_minimal_viably_complete(
+            bloated, q1, patient_master, patient_ccs
+        )
+
+    def test_unified_front_end(self, figure1_cinstance, q1, patient_master, patient_ccs):
+        trimmed = figure1_cinstance.without_row("MVisit", 1)
+        for model in CompletenessModel:
+            assert isinstance(
+                is_minimal_complete(trimmed, q1, patient_master, patient_ccs, model),
+                bool,
+            )
+
+    def test_fo_query_rejected(self, figure1_cinstance, patient_master, patient_ccs):
+        q = fo("Q", [na], rel("MVisit", JOHN_NHS, na, "EDI", 2000))
+        with pytest.raises(QueryError):
+            is_minimal_strongly_complete(
+                figure1_cinstance, q, patient_master, patient_ccs
+            )
+
+
+class TestExample55WeakMinimality:
+    """Example 5.5: Lemma 4.7 fails in the weak model."""
+
+    @pytest.fixture
+    def two_rel_schema(self):
+        return database_schema(schema("R1", "A"), schema("R2", "A"))
+
+    @pytest.fixture
+    def example_query(self):
+        # Q(x) = ∃y, z (R1(y) ∧ R2(z) ∧ x = a)
+        return cq(
+            "Q",
+            [x],
+            atoms=[atom("R1", y), atom("R2", z)],
+            comparisons=[eq(x, "a")],
+        )
+
+    @pytest.fixture
+    def md(self):
+        return empty_master(database_schema(schema("M", "A")))
+
+    def test_i0_weakly_complete_but_not_minimal(self, two_rel_schema, example_query, md):
+        i0 = CInstance.from_ground_instance(
+            instance(two_rel_schema, R1=[(0,)], R2=[(1,)])
+        )
+        assert is_weakly_complete(i0, example_query, md, [])
+        assert not is_minimal_weakly_complete(i0, example_query, md, [])
+
+    def test_empty_instance_weakly_complete_and_minimal(
+        self, two_rel_schema, example_query, md
+    ):
+        empty = CInstance.from_ground_instance(empty_instance(two_rel_schema))
+        assert is_weakly_complete(empty, example_query, md, [])
+        assert is_minimal_weakly_complete(empty, example_query, md, [])
+
+    def test_lemma_57_agrees_with_direct_check(self, two_rel_schema, example_query, md):
+        empty = CInstance.from_ground_instance(empty_instance(two_rel_schema))
+        i0 = CInstance.from_ground_instance(
+            instance(two_rel_schema, R1=[(0,)], R2=[(1,)])
+        )
+        assert is_minimal_weakly_complete_cq(empty, example_query, md, []) is True
+        assert is_minimal_weakly_complete_cq(i0, example_query, md, []) is False
+
+    def test_lemma_57_rejects_non_cq(self, two_rel_schema, md):
+        u = ucq("U", cq("Q1", [x], atoms=[atom("R1", x)]))
+        empty = CInstance.from_ground_instance(empty_instance(two_rel_schema))
+        with pytest.raises(QueryError):
+            is_minimal_weakly_complete_cq(empty, u, md, [])
+
+
+class TestWeakMinimalitySingleton:
+    def test_empty_minimal_when_certain_answer_empty(self, bool_schema, bool_master):
+        # With two incomparable master tuples, no single answer is certain over
+        # all extensions of the empty instance, so ∅ is weakly complete and is
+        # therefore the unique minimal weakly complete database (Lemma 5.7).
+        constraint = relation_containment_cc("R", bool_schema, "Rm")
+        q = cq("Q", [x], atoms=[atom("R", x)])
+        empty = CInstance(bool_schema)
+        assert is_weakly_complete(empty, q, bool_master, [constraint])
+        assert is_minimal_weakly_complete_cq(empty, q, bool_master, [constraint])
+        singleton = cinstance(bool_schema, R=[(0,)])
+        assert not is_minimal_weakly_complete_cq(singleton, q, bool_master, [constraint])
+
+    def test_singleton_minimal_when_empty_not_complete(self, bool_schema):
+        # When the master data pins down a single admissible tuple (1,), every
+        # extension of ∅ contains it, so (1,) is certain over the extensions but
+        # not over Mod(∅): the empty instance is not weakly complete, and by
+        # Lemma 5.7 any consistent singleton is then minimal weakly complete.
+        forced_master = MasterData(
+            database_schema(RelationSchema("Rm", [("A", BOOLEAN_DOMAIN)])),
+            {"Rm": [(1,)]},
+        )
+        constraint = relation_containment_cc("R", bool_schema, "Rm")
+        q = cq("Q", [x], atoms=[atom("R", x)])
+        empty = CInstance(bool_schema)
+        assert not is_weakly_complete(empty, q, forced_master, [constraint])
+        singleton = cinstance(bool_schema, R=[(1,)])
+        assert is_minimal_weakly_complete_cq(singleton, q, forced_master, [constraint])
+        # A singleton that the CC rules out represents no world at all, so it
+        # cannot be a minimal weakly complete database.
+        inconsistent = cinstance(bool_schema, R=[(0,)])
+        assert not is_minimal_weakly_complete_cq(
+            inconsistent, q, forced_master, [constraint]
+        )
+
+
+class TestRCQP:
+    def test_weak_rcqp_constant_true(self, q1):
+        assert weak_rcqp(q1) is True
+        fp = fixpoint_query("P", output="P", rules=[rule(atom("P", x), atom("R", x))])
+        assert weak_rcqp(fp) is True
+
+    def test_weak_rcqp_refuses_fo(self):
+        q = fo("Q", [x], rel("R", x))
+        with pytest.raises(QueryError):
+            weak_rcqp(q)
+
+    def test_weakly_complete_witness_construction(self, bool_schema, bool_master):
+        constraint = relation_containment_cc("R", bool_schema, "Rm")
+        q = cq("Q", [x], atoms=[atom("R", x)])
+        witness = construct_weakly_complete_witness(
+            bool_schema, q, bool_master, [constraint]
+        )
+        T = CInstance.from_ground_instance(witness)
+        assert is_weakly_complete(T, q, bool_master, [constraint])
+
+    def test_query_boundedness_with_ind_ccs(self, bool_schema, bool_master):
+        ind_cc = relation_containment_cc("R", bool_schema, "Rm")
+        bounded = cq("Q", [x], atoms=[atom("R", x)])
+        assert is_query_bounded(bounded, bool_schema, [ind_cc])
+        unbound_schema = database_schema(schema("S", "A"), bool_schema["R"])
+        free = cq("Q", [x], atoms=[atom("S", x)])
+        assert not is_query_bounded(free, unbound_schema, [ind_cc])
+
+    def test_strong_rcqp_with_ind_ccs(self, bool_schema, bool_master):
+        ind_cc = relation_containment_cc("R", bool_schema, "Rm")
+        q = cq("Q", [x], atoms=[atom("R", x)])
+        assert strong_rcqp_with_ind_ccs(q, bool_schema, bool_master, [ind_cc])
+
+    def test_strong_rcqp_requires_ind_ccs(self, bool_schema, bool_master):
+        non_ind = cc(
+            cq("q", [x], atoms=[atom("R", x)], comparisons=[eq(x, 1)]),
+            projection("Rm", "A"),
+        )
+        q = cq("Q", [x], atoms=[atom("R", x)])
+        with pytest.raises(QueryError):
+            strong_rcqp_with_ind_ccs(q, bool_schema, bool_master, [non_ind])
+
+    def test_rcqp_bounded_search_finds_witness(self, bool_schema, bool_master):
+        constraint = relation_containment_cc("R", bool_schema, "Rm")
+        q = cq("Q", [x], atoms=[atom("R", x)], comparisons=[eq(x, 1)])
+        result = rcqp_bounded_search(q, bool_schema, bool_master, [constraint], max_size=1)
+        assert result.found
+        assert is_relatively_complete(
+            result.witness, q, bool_master, [constraint], CompletenessModel.STRONG
+        )
+
+    def test_rcqp_bounded_search_negative_for_unbounded_query(self):
+        # A query over a relation not bounded by any CC: new answers can always
+        # be added (cf. Q3 in Example 2.2), so no complete database exists and
+        # the bounded search finds nothing.
+        free_schema = database_schema(schema("S", "A"))
+        md = empty_master(database_schema(schema("M", "A")))
+        q = cq("Q", [x], atoms=[atom("S", x)])
+        result = rcqp_bounded_search(q, free_schema, md, [], max_size=2)
+        assert not result.found
+
+    def test_rcqp_front_end(self, bool_schema, bool_master):
+        ind_cc = relation_containment_cc("R", bool_schema, "Rm")
+        q = cq("Q", [x], atoms=[atom("R", x)])
+        assert rcqp(q, bool_schema, bool_master, [ind_cc], model="strong")
+        assert rcqp(q, bool_schema, bool_master, [ind_cc], model="weak")
+        fp = fixpoint_query("P", output="P", rules=[rule(atom("P", x), atom("R", x))])
+        with pytest.raises(QueryError):
+            rcqp(fp, bool_schema, bool_master, [ind_cc], model="strong")
+
+
+class TestTractableWrappers:
+    def test_rcdp_data_complexity_guard(
+        self, figure1_cinstance, q1, patient_master, patient_ccs
+    ):
+        assert rcdp_data_complexity(
+            figure1_cinstance, q1, patient_master, patient_ccs,
+            CompletenessModel.STRONG,
+        )
+        with pytest.raises(CompletenessError):
+            rcdp_data_complexity(
+                figure1_cinstance, q1, patient_master, patient_ccs,
+                CompletenessModel.STRONG, variable_bound=1,
+            )
+
+    def test_rcdp_data_complexity_language_guards(
+        self, figure1_cinstance, patient_master, patient_ccs
+    ):
+        q_fo = fo("Q", [na], rel("MVisit", JOHN_NHS, na, "EDI", 2000))
+        with pytest.raises(QueryError):
+            rcdp_data_complexity(
+                figure1_cinstance, q_fo, patient_master, patient_ccs,
+                CompletenessModel.STRONG,
+            )
+
+    def test_rcqp_data_complexity(self, bool_schema, bool_master):
+        ind_cc = relation_containment_cc("R", bool_schema, "Rm")
+        q = cq("Q", [x], atoms=[atom("R", x)])
+        assert rcqp_data_complexity(
+            q, bool_schema, bool_master, [ind_cc], CompletenessModel.STRONG
+        )
+        assert rcqp_data_complexity(
+            q, bool_schema, bool_master, [ind_cc], CompletenessModel.WEAK
+        )
+        non_ind = cc(
+            cq("q", [x], atoms=[atom("R", x)], comparisons=[eq(x, 1)]),
+            projection("Rm", "A"),
+        )
+        with pytest.raises(QueryError):
+            rcqp_data_complexity(
+                q, bool_schema, bool_master, [non_ind], CompletenessModel.STRONG
+            )
+
+    def test_minp_data_complexity(self, bool_schema, bool_master):
+        constraint = relation_containment_cc("R", bool_schema, "Rm")
+        q = cq("Q", [x], atoms=[atom("R", x)])
+        saturated = cinstance(bool_schema, R=[(0,), (1,)])
+        assert minp_data_complexity(
+            saturated, q, bool_master, [constraint], CompletenessModel.STRONG
+        )
+        # Weak model: with a single admissible master tuple the empty instance
+        # is not weakly complete, so the consistent singleton is minimal.
+        forced_master = MasterData(
+            database_schema(RelationSchema("Rm", [("A", BOOLEAN_DOMAIN)])),
+            {"Rm": [(1,)]},
+        )
+        assert minp_data_complexity(
+            cinstance(bool_schema, R=[(1,)]), q, forced_master, [constraint],
+            CompletenessModel.WEAK,
+        )
+
+    def test_rcdp_front_end_dispatch(
+        self, figure1_cinstance, q4, patient_master, patient_ccs
+    ):
+        assert not is_relatively_complete(
+            figure1_cinstance, q4, patient_master, patient_ccs, CompletenessModel.STRONG
+        )
+        assert is_relatively_complete(
+            figure1_cinstance, q4, patient_master, patient_ccs, CompletenessModel.WEAK
+        )
+        assert is_relatively_complete(
+            figure1_cinstance, q4, patient_master, patient_ccs, CompletenessModel.VIABLE
+        )
+
+    def test_rcdp_front_end_language_guard(
+        self, figure1_cinstance, patient_master, patient_ccs, bool_schema, bool_master
+    ):
+        q = native_query("native", 1, lambda inst: frozenset(), monotone=False)
+        with pytest.raises(QueryError):
+            is_relatively_complete(
+                figure1_cinstance, q, patient_master, patient_ccs,
+                CompletenessModel.STRONG,
+            )
+        # With allow_bounded the undecidable cell falls back to the bounded
+        # checker (exercised on a small schema; a constant query is trivially
+        # complete, so the heuristic verdict is positive).
+        constraint = relation_containment_cc("R", bool_schema, "Rm")
+        small = cinstance(bool_schema, R=[(0,)])
+        assert is_relatively_complete(
+            small, q, bool_master, [constraint],
+            CompletenessModel.STRONG, allow_bounded=True,
+        )

@@ -1,0 +1,263 @@
+"""Tests for the weak and viable completeness models (Sections 5 and 6)."""
+
+import pytest
+
+from repro.completeness.certain import (
+    certain_answer_over_extensions,
+    certain_answer_over_models,
+)
+from repro.completeness.viable import find_viable_witness, is_viably_complete
+from repro.completeness.weak import (
+    is_weakly_complete,
+    is_weakly_complete_bounded,
+    weak_completeness_report,
+)
+from repro.constraints.containment import relation_containment_cc
+from repro.ctables.cinstance import CInstance, cinstance
+from repro.exceptions import InconsistentCInstanceError, QueryError
+from repro.queries.atoms import atom, eq
+from repro.queries.cq import cq
+from repro.queries.fo import native_query
+from repro.queries.fp import fixpoint_query, rule
+from repro.queries.terms import var
+from repro.relational.domains import BOOLEAN_DOMAIN
+from repro.relational.instance import empty_instance, instance
+from repro.relational.master import MasterData, empty_master
+from repro.relational.schema import RelationSchema, database_schema, schema
+
+from tests.completeness.conftest import BOB_NHS, JOHN_NHS
+
+x, y, na = var("x"), var("y"), var("na")
+
+
+class TestWeakModelPatients:
+    """Example 2.3: the Figure 1 c-instance under Q1 and Q4."""
+
+    def test_weakly_complete_for_q4(
+        self, figure1_cinstance, q4, patient_master, patient_ccs
+    ):
+        report = weak_completeness_report(
+            figure1_cinstance, q4, patient_master, patient_ccs
+        )
+        # The certain answer over the possible worlds is exactly John: Bob's row
+        # only matches Q4 in the worlds where his year of birth is 2000.
+        assert report.certain_over_models == {("John",)}
+        assert report.is_weakly_complete
+
+    def test_weakly_complete_for_q1(
+        self, figure1_cinstance, q1, patient_master, patient_ccs
+    ):
+        assert is_weakly_complete(figure1_cinstance, q1, patient_master, patient_ccs)
+
+    def test_strong_implies_weak_and_viable(
+        self, figure1_cinstance, q1, patient_master, patient_ccs
+    ):
+        # Observation (a) after Example 2.3: strong ⟹ weak and viable.
+        from repro.completeness.strong import is_strongly_complete
+
+        assert is_strongly_complete(figure1_cinstance, q1, patient_master, patient_ccs)
+        assert is_weakly_complete(figure1_cinstance, q1, patient_master, patient_ccs)
+        assert is_viably_complete(figure1_cinstance, q1, patient_master, patient_ccs)
+
+
+class TestViableModelPatients:
+    def test_viably_complete_for_q4(
+        self, figure1_cinstance, q4, patient_master, patient_ccs
+    ):
+        # Example 2.3: instantiating Bob's missing year of birth as 2000 yields a
+        # relatively complete world, so the c-instance is viably complete.  (The
+        # search may return a different complete world first, e.g. one in which
+        # Bob's year of birth is not 2000 and the FD blocks adding his visit.)
+        witness = find_viable_witness(
+            figure1_cinstance, q4, patient_master, patient_ccs
+        )
+        assert witness is not None
+        assert is_viably_complete(figure1_cinstance, q4, patient_master, patient_ccs)
+
+    def test_bob_valuation_is_a_viable_world(
+        self, visit_schema, q4, patient_master, patient_ccs
+    ):
+        # The specific valuation the paper uses (µ(x) = Bob, µ(z) = 2000) is a
+        # relatively complete ground instance for Q4.
+        from repro.completeness.ground import is_ground_complete
+        from repro.relational.instance import instance
+
+        bob_world = instance(
+            visit_schema,
+            MVisit=[
+                (JOHN_NHS, "John", "EDI", 2000),
+                (BOB_NHS, "Bob", "EDI", 2000),
+            ],
+        )
+        assert is_ground_complete(bob_world, q4, patient_master, patient_ccs)
+
+    def test_not_strongly_but_viably_complete(
+        self, figure1_cinstance, q4, patient_master, patient_ccs
+    ):
+        from repro.completeness.strong import is_strongly_complete
+
+        assert not is_strongly_complete(
+            figure1_cinstance, q4, patient_master, patient_ccs
+        )
+        assert is_viably_complete(figure1_cinstance, q4, patient_master, patient_ccs)
+
+    def test_ground_viable_equals_ground_strong(
+        self, john_only_db, q1, patient_master, patient_ccs
+    ):
+        # Observation (b): for ground instances viable and strong coincide.
+        T = CInstance.from_ground_instance(john_only_db)
+        from repro.completeness.strong import is_strongly_complete
+
+        assert is_viably_complete(T, q1, patient_master, patient_ccs) == \
+            is_strongly_complete(T, q1, patient_master, patient_ccs)
+
+
+class TestCertainAnswers:
+    @pytest.fixture
+    def bool_schema(self):
+        return database_schema(RelationSchema("R", [("A", BOOLEAN_DOMAIN)]))
+
+    @pytest.fixture
+    def bool_master(self):
+        return MasterData(
+            database_schema(RelationSchema("Rm", [("A", BOOLEAN_DOMAIN)])),
+            {"Rm": [(0,), (1,)]},
+        )
+
+    def test_certain_answer_over_models(self, bool_schema, bool_master):
+        T = cinstance(bool_schema, R=[(x,), (0,)])
+        q = cq("Q", [y], atoms=[atom("R", y)])
+        certain = certain_answer_over_models(T, q, bool_master, [])
+        # (0,) is in every world; the value of x varies.
+        assert certain == {(0,)}
+
+    def test_certain_answer_over_extensions(self, bool_schema, bool_master):
+        constraint = relation_containment_cc("R", bool_schema, "Rm")
+        T = cinstance(bool_schema, R=[(0,)])
+        q = cq("Q", [y], atoms=[atom("R", y)])
+        result = certain_answer_over_extensions(T, q, bool_master, [constraint])
+        # The only possible extension is {(0,), (1,)}, so the certain answer
+        # over extensions contains both tuples — strictly more than Q(T), i.e.
+        # T is not weakly complete for Q.
+        assert result.answers == {(0,), (1,)}
+        assert not result.family_is_empty
+        assert not is_weakly_complete(T, q, bool_master, [constraint])
+
+    def test_extension_family_empty(self, bool_schema, bool_master):
+        constraint = relation_containment_cc("R", bool_schema, "Rm")
+        T = cinstance(bool_schema, R=[(0,), (1,)])
+        q = cq("Q", [y], atoms=[atom("R", y)])
+        result = certain_answer_over_extensions(T, q, bool_master, [constraint])
+        assert result.family_is_empty
+        assert is_weakly_complete(T, q, bool_master, [constraint])
+
+    def test_inconsistent_cinstance_raises(self, bool_schema, bool_master):
+        from repro.constraints.containment import denial_cc
+        from repro.queries.cq import boolean_cq
+
+        forbid_all = denial_cc(boolean_cq("q", atoms=[atom("R", x)]))
+        T = cinstance(bool_schema, R=[(0,)])
+        q = cq("Q", [y], atoms=[atom("R", y)])
+        with pytest.raises(InconsistentCInstanceError):
+            certain_answer_over_models(T, q, bool_master, [forbid_all])
+        with pytest.raises(InconsistentCInstanceError):
+            is_weakly_complete(T, q, bool_master, [forbid_all])
+
+    def test_non_monotone_query_rejected(self, bool_schema, bool_master):
+        q = native_query("native", 1, lambda inst: frozenset(inst["R"].rows))
+        T = cinstance(bool_schema, R=[(0,)])
+        with pytest.raises(QueryError):
+            certain_answer_over_extensions(T, q, bool_master, [])
+        with pytest.raises(QueryError):
+            is_weakly_complete(T, q, bool_master, [])
+
+
+class TestWeakModelFP:
+    """RCDPʷ is decidable for FP (Theorem 5.1) — exercised on reachability."""
+
+    @pytest.fixture
+    def edge_schema(self):
+        return database_schema(
+            RelationSchema("E", [("src", BOOLEAN_DOMAIN), ("dst", BOOLEAN_DOMAIN)])
+        )
+
+    @pytest.fixture
+    def edge_master(self):
+        return MasterData(
+            database_schema(
+                RelationSchema("Em", [("src", BOOLEAN_DOMAIN), ("dst", BOOLEAN_DOMAIN)])
+            ),
+            {"Em": [(0, 0), (0, 1), (1, 1)]},
+        )
+
+    @pytest.fixture
+    def reach_query(self):
+        return fixpoint_query(
+            "Reach",
+            output="T",
+            rules=[
+                rule(atom("T", x, y), atom("E", x, y)),
+                rule(atom("T", x, var("z")), atom("T", x, y), atom("E", y, var("z"))),
+            ],
+        )
+
+    def test_saturated_graph_weakly_complete(self, edge_schema, edge_master, reach_query):
+        constraint = relation_containment_cc("E", edge_schema, "Em")
+        saturated = CInstance.from_ground_instance(
+            instance(edge_schema, E=[(0, 0), (0, 1), (1, 1)])
+        )
+        assert is_weakly_complete(saturated, reach_query, edge_master, [constraint])
+
+    def test_partial_graph_weakly_complete_despite_missing_edges(
+        self, edge_schema, edge_master, reach_query
+    ):
+        # With two incomparable candidate edges ((0,1) and (1,1)) neither is
+        # certain over all extensions, so the certain answer over extensions
+        # collapses back to the answer on the partial graph: weakly complete.
+        constraint = relation_containment_cc("E", edge_schema, "Em")
+        partial = CInstance.from_ground_instance(instance(edge_schema, E=[(0, 0)]))
+        report = weak_completeness_report(partial, reach_query, edge_master, [constraint])
+        assert report.is_weakly_complete
+
+    def test_partial_graph_not_weakly_complete(self, edge_schema, reach_query):
+        # When the master data pins down a single possible new edge (0,1), every
+        # partially closed extension contains it, so (0,1) is certain over the
+        # extensions but absent from the partial graph: not weakly complete.
+        forced_master = MasterData(
+            database_schema(
+                RelationSchema("Em", [("src", BOOLEAN_DOMAIN), ("dst", BOOLEAN_DOMAIN)])
+            ),
+            {"Em": [(0, 0), (0, 1)]},
+        )
+        constraint = relation_containment_cc("E", edge_schema, "Em")
+        partial = CInstance.from_ground_instance(instance(edge_schema, E=[(0, 0)]))
+        report = weak_completeness_report(partial, reach_query, forced_master, [constraint])
+        assert report.certain_over_extensions == {(0, 0), (0, 1)}
+        assert not report.is_weakly_complete
+
+
+class TestExample53:
+    """Example 5.3: weak-model RCQP differs for ground instances and c-instances."""
+
+    @pytest.fixture
+    def two_relation_schema(self):
+        return database_schema(schema("R1", "A"), schema("R2", "A"))
+
+    @pytest.fixture
+    def subset_query(self):
+        def run(inst):
+            if set(inst["R1"].rows) <= set(inst["R2"].rows):
+                return frozenset({("a",)})
+            return frozenset({("b",)})
+
+        return native_query("subset", 1, run, monotone=False)
+
+    def test_ground_instances_not_weakly_complete(self, two_relation_schema, subset_query):
+        md = empty_master(database_schema(schema("M", "A")))
+        empty = CInstance.from_ground_instance(empty_instance(two_relation_schema))
+        assert not is_weakly_complete_bounded(empty, subset_query, md, [])
+
+    def test_all_variable_cinstance_weakly_complete(self, two_relation_schema, subset_query):
+        md = empty_master(database_schema(schema("M", "A")))
+        T = cinstance(two_relation_schema, R1=[(x,)], R2=[(y,)])
+        assert is_weakly_complete_bounded(T, subset_query, md, [])

@@ -1,0 +1,198 @@
+"""Tests for containment constraints (Example 2.1 style)."""
+
+import pytest
+
+from repro.constraints.containment import (
+    ContainmentConstraint,
+    EmptyRHS,
+    ProjectionQuery,
+    cc,
+    constraint_set_constants,
+    constraint_set_variables,
+    denial_cc,
+    projection,
+    relation_containment_cc,
+    satisfies_all,
+    violated_constraints,
+)
+from repro.exceptions import ConstraintError
+from repro.queries.atoms import atom, eq, neq
+from repro.queries.cq import boolean_cq, cq
+from repro.queries.terms import var
+from repro.relational.instance import instance
+from repro.relational.master import MasterData, empty_master
+from repro.relational.schema import database_schema, schema
+
+n, na, c, y, g, d, di, i = (
+    var("n"), var("na"), var("c"), var("y"), var("g"), var("d"), var("di"), var("i"),
+)
+
+
+@pytest.fixture
+def visit_schema():
+    return database_schema(
+        schema("MVisit", "NHS", "name", "city", "yob", "GD", "Date", "Diag", "DrID")
+    )
+
+
+@pytest.fixture
+def master_schema():
+    return database_schema(schema("Patientm", "NHS", "name", "yob", "zip", "GD"))
+
+
+@pytest.fixture
+def master(master_schema):
+    return MasterData(
+        master_schema,
+        {
+            "Patientm": [
+                ("915-15-335", "John", 2000, "EH8 9AB", "M"),
+                ("915-15-336", "Bob", 2000, "EH8 9AB", "M"),
+            ]
+        },
+    )
+
+
+@pytest.fixture
+def edinburgh_cc(visit_schema):
+    """The CC of Example 2.1: Edinburgh patients born in 2000 are bounded by master."""
+    query = cq(
+        "q2000",
+        [n, na, y, g],
+        atoms=[atom("MVisit", n, na, c, y, g, d, di, i)],
+        comparisons=[eq(c, "EDI"), eq(y, 2000)],
+    )
+    return cc(query, projection("Patientm", "NHS", "name", "yob", "GD"), name="cc2000")
+
+
+class TestProjectionQuery:
+    def test_projection_evaluation(self, master):
+        p = projection("Patientm", "NHS", "yob")
+        assert ("915-15-335", 2000) in p.evaluate(master)
+
+    def test_full_relation_projection(self, master):
+        p = projection("Patientm")
+        assert p.attributes is None
+        assert len(p.evaluate(master)) == 2
+
+    def test_empty_rhs(self, master):
+        assert EmptyRHS().evaluate(master) == frozenset()
+
+
+class TestContainmentConstraintSatisfaction:
+    def test_satisfied_when_all_answers_covered(self, visit_schema, master, edinburgh_cc):
+        db = instance(
+            visit_schema,
+            MVisit=[
+                ("915-15-335", "John", "EDI", 2000, "M", "15/03/2015", "Flu", "01"),
+                ("915-15-400", "Zoe", "LON", 2000, "F", "15/03/2015", "Flu", "02"),
+            ],
+        )
+        assert edinburgh_cc.is_satisfied(db, master)
+
+    def test_violated_when_answer_not_in_master(self, visit_schema, master, edinburgh_cc):
+        db = instance(
+            visit_schema,
+            MVisit=[("915-15-999", "Ghost", "EDI", 2000, "F", "15/03/2015", "Flu", "01")],
+        )
+        assert not edinburgh_cc.is_satisfied(db, master)
+        assert edinburgh_cc.violations(db, master) == {("915-15-999", "Ghost", 2000, "F")}
+
+    def test_satisfies_all_and_violated_constraints(self, visit_schema, master, edinburgh_cc):
+        good = instance(visit_schema)
+        bad = instance(
+            visit_schema,
+            MVisit=[("915-15-999", "Ghost", "EDI", 2000, "F", "15/03/2015", "Flu", "01")],
+        )
+        assert satisfies_all(good, master, [edinburgh_cc])
+        assert violated_constraints(bad, master, [edinburgh_cc]) == [edinburgh_cc]
+
+    def test_denial_cc(self, visit_schema, master):
+        # Forbid two visits with the same NHS number but different names (the FD of Example 2.1).
+        n2, na2 = var("n2"), var("na2")
+        query = boolean_cq(
+            "qname",
+            atoms=[
+                atom("MVisit", n, na, c, y, g, d, di, i),
+                atom("MVisit", n, na2, var("c2"), var("y2"), var("g2"), var("d2"), var("di2"), var("i2")),
+            ],
+            comparisons=[neq(na, na2)],
+        )
+        constraint = denial_cc(query, name="fd_name")
+        consistent = instance(
+            visit_schema,
+            MVisit=[
+                ("915-15-335", "John", "EDI", 2000, "M", "15/03/2015", "Flu", "01"),
+                ("915-15-335", "John", "EDI", 2000, "M", "16/03/2015", "Cold", "02"),
+            ],
+        )
+        inconsistent = instance(
+            visit_schema,
+            MVisit=[
+                ("915-15-335", "John", "EDI", 2000, "M", "15/03/2015", "Flu", "01"),
+                ("915-15-335", "Johnny", "EDI", 2000, "M", "16/03/2015", "Cold", "02"),
+            ],
+        )
+        assert constraint.is_satisfied(consistent, master)
+        assert not constraint.is_satisfied(inconsistent, master)
+
+    def test_cq_right_hand_side(self, visit_schema, master_schema):
+        master = MasterData(master_schema, {"Patientm": [("1", "Ann", 1999, "Z", "F")]})
+        left = cq("l", [n], atoms=[atom("MVisit", n, na, c, y, g, d, di, i)])
+        right = cq("r", [var("m")], atoms=[atom("Patientm", var("m"), var("b"), var("yy"), var("z"), var("gg"))])
+        constraint = cc(left, right)
+        ok = instance(
+            visit_schema,
+            MVisit=[("1", "Ann", "EDI", 1999, "F", "d", "flu", "01")],
+        )
+        bad = instance(
+            visit_schema,
+            MVisit=[("2", "Eve", "EDI", 1999, "F", "d", "flu", "01")],
+        )
+        assert constraint.is_satisfied(ok, master)
+        assert not constraint.is_satisfied(bad, master)
+
+    def test_arity_mismatch_rejected(self, master_schema):
+        left = cq("l", [var("a"), var("b")], atoms=[atom("R", var("a"), var("b"))])
+        right = cq("r", [var("m")], atoms=[atom("Patientm", var("m"), var("x1"), var("x2"), var("x3"), var("x4"))])
+        with pytest.raises(ConstraintError):
+            cc(left, right)
+        with pytest.raises(ConstraintError):
+            cc(left, projection("Patientm", "NHS"))
+
+
+class TestConstraintShapes:
+    def test_relation_containment_cc(self, visit_schema, master):
+        # MVisit has arity 8 while Patientm has arity 5, so build a same-arity example.
+        db = database_schema(schema("R", "A", "B"))
+        md = MasterData(database_schema(schema("Rm", "A", "B")), {"Rm": [(1, 2)]})
+        constraint = relation_containment_cc("R", db, "Rm")
+        assert constraint.is_satisfied(instance(db, R=[(1, 2)]), md)
+        assert not constraint.is_satisfied(instance(db, R=[(3, 4)]), md)
+        assert constraint.is_inclusion_dependency()
+
+    def test_ind_shape_detection(self, visit_schema):
+        proj_query = cq(
+            "p",
+            [n],
+            atoms=[atom("MVisit", n, na, c, y, g, d, di, i)],
+        )
+        assert cc(proj_query, projection("Patientm", "NHS")).is_inclusion_dependency()
+        with_comparison = cq(
+            "p2",
+            [n],
+            atoms=[atom("MVisit", n, na, c, y, g, d, di, i)],
+            comparisons=[eq(c, "EDI")],
+        )
+        assert not cc(with_comparison, projection("Patientm", "NHS")).is_inclusion_dependency()
+
+    def test_constants_and_variables_of_constraint_sets(self, edinburgh_cc):
+        assert "EDI" in constraint_set_constants([edinburgh_cc])
+        assert 2000 in constraint_set_constants([edinburgh_cc])
+        assert n in constraint_set_variables([edinburgh_cc])
+
+    def test_empty_master_makes_empty_rhs_trivial(self, visit_schema, master_schema):
+        md = empty_master(master_schema)
+        query = boolean_cq("q", atoms=[atom("MVisit", n, na, c, y, g, d, di, i)])
+        constraint = ContainmentConstraint(query, EmptyRHS())
+        assert constraint.is_satisfied(instance(visit_schema), md)

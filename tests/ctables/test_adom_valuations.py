@@ -1,0 +1,182 @@
+"""Tests for the active-domain construction, valuations and possible worlds."""
+
+import pytest
+
+from repro.constraints.containment import cc, denial_cc, projection
+from repro.ctables.adom import build_active_domain, finite_domain_values, variable_pools
+from repro.ctables.cinstance import cinstance
+from repro.ctables.conditions import condition
+from repro.ctables.ctable import CTable, CTableRow
+from repro.ctables.possible_worlds import (
+    default_active_domain,
+    has_model,
+    model_count,
+    models,
+    models_with_valuations,
+)
+from repro.ctables.valuation import (
+    apply_valuation,
+    count_valuations,
+    enumerate_assignments,
+    enumerate_valuations,
+)
+from repro.exceptions import ValuationError
+from repro.queries.atoms import atom, neq
+from repro.queries.cq import cq
+from repro.queries.terms import var
+from repro.relational.domains import BOOLEAN_DOMAIN
+from repro.relational.master import MasterData, empty_master
+from repro.relational.schema import RelationSchema, database_schema, schema
+
+x, y, z = var("x"), var("y"), var("z")
+
+
+@pytest.fixture
+def bool_schema():
+    return database_schema(RelationSchema("R", [("A", BOOLEAN_DOMAIN), "B"]))
+
+
+@pytest.fixture
+def master_schema():
+    return database_schema(schema("Rm", "A", "B"))
+
+
+class TestActiveDomain:
+    def test_constants_from_all_sources(self, bool_schema):
+        T = cinstance(bool_schema, R=[(x, "seen")])
+        adom = build_active_domain(
+            cinstance=T,
+            constraint_constants={"from_cc"},
+            query_constants={"from_q"},
+            extra_constants={"extra"},
+        )
+        assert {"seen", "from_cc", "from_q", "extra", 0, 1} <= set(adom.constants)
+
+    def test_one_fresh_value_per_variable(self, bool_schema):
+        T = cinstance(bool_schema, R=[(x, y), (z, "c")])
+        adom = build_active_domain(cinstance=T)
+        assert len(adom.fresh_values) == 3
+        assert set(adom.fresh_values) <= set(adom.constants)
+
+    def test_fresh_values_for_extra_variables(self, bool_schema):
+        T = cinstance(bool_schema, R=[(0, "c")])
+        adom = build_active_domain(cinstance=T, extra_variables={var("q1"), var("q2")})
+        assert len(adom.fresh_values) == 2
+
+    def test_finite_domain_values_included(self, bool_schema):
+        assert finite_domain_values(bool_schema) == {0, 1}
+        adom = build_active_domain(cinstance=cinstance(bool_schema))
+        assert {0, 1} <= set(adom.constants)
+
+    def test_pool_respects_finite_domain(self, bool_schema):
+        T = cinstance(bool_schema, R=[(x, y)])
+        adom = build_active_domain(cinstance=T)
+        pools = variable_pools(T.variables(), adom, T.variable_domains())
+        assert set(pools[x]) == {0, 1}
+        assert set(pools[y]) == set(adom.constants)
+
+    def test_extend(self, bool_schema):
+        adom = build_active_domain(cinstance=cinstance(bool_schema))
+        assert "added" in adom.extend({"added"})
+
+    def test_master_constants_included(self, bool_schema, master_schema):
+        md = MasterData(master_schema, {"Rm": [(1, "master_val")]})
+        adom = build_active_domain(cinstance=cinstance(bool_schema), master=md)
+        assert "master_val" in adom
+
+
+class TestValuationEnumeration:
+    def test_enumerate_assignments_cartesian(self):
+        pools = {x: [0, 1], y: ["a"]}
+        assignments = list(enumerate_assignments(pools))
+        assert len(assignments) == 2
+        assert {a[x] for a in assignments} == {0, 1}
+        assert all(a[y] == "a" for a in assignments)
+
+    def test_empty_pool_yields_nothing(self):
+        assert list(enumerate_assignments({x: []})) == []
+
+    def test_enumerate_valuations_counts(self, bool_schema):
+        T = cinstance(bool_schema, R=[(x, y)])
+        adom = build_active_domain(cinstance=T)
+        valuations = list(enumerate_valuations(T, adom))
+        assert len(valuations) == count_valuations(T, adom)
+        # x ranges over the Boolean domain (2), y over the full Adom.
+        assert len(valuations) == 2 * len(adom.constants)
+
+    def test_fixed_variables_respected(self, bool_schema):
+        T = cinstance(bool_schema, R=[(x, y)])
+        adom = build_active_domain(cinstance=T)
+        valuations = list(enumerate_valuations(T, adom, fixed={x: 1}))
+        assert all(v[x] == 1 for v in valuations)
+        assert len(valuations) == len(adom.constants)
+
+    def test_apply_valuation_totality_check(self, bool_schema):
+        T = cinstance(bool_schema, R=[(x, y)])
+        with pytest.raises(ValuationError):
+            apply_valuation(T, {x: 1})
+
+    def test_ground_cinstance_has_single_valuation(self, bool_schema):
+        T = cinstance(bool_schema, R=[(1, "c")])
+        adom = build_active_domain(cinstance=T)
+        assert list(enumerate_valuations(T, adom)) == [{}]
+
+
+class TestPossibleWorlds:
+    def test_unconstrained_models(self, bool_schema, master_schema):
+        T = cinstance(bool_schema, R=[(x, "c")])
+        md = empty_master(master_schema)
+        worlds = list(models(T, md, []))
+        # x ranges over the Boolean domain {0, 1}: two distinct worlds.
+        assert len(worlds) == 2
+
+    def test_models_respect_conditions(self, bool_schema, master_schema):
+        table = CTable(
+            bool_schema["R"], [CTableRow((x, "c"), condition(neq(x, 0)))]
+        )
+        T = cinstance(bool_schema, R=table)
+        md = empty_master(master_schema)
+        worlds = list(models(T, md, []))
+        # x = 0 violates the condition, leaving the empty world and the x = 1 world.
+        sizes = sorted(w.size for w in worlds)
+        assert sizes == [0, 1]
+
+    def test_models_respect_ccs(self, bool_schema, master_schema):
+        md = MasterData(master_schema, {"Rm": [(1, "c")]})
+        constraint = cc(
+            cq("q", [x, y], atoms=[atom("R", x, y)]),
+            projection("Rm"),
+        )
+        T = cinstance(bool_schema, R=[(x, "c")])
+        worlds = list(models(T, md, [constraint]))
+        assert len(worlds) == 1
+        assert (1, "c") in worlds[0]["R"]
+
+    def test_has_model_and_count(self, bool_schema, master_schema):
+        md = empty_master(master_schema)
+        # A denial constraint forbidding every R tuple, combined with a
+        # condition-free row, leaves no model.
+        forbid_all = denial_cc(cq("q", [x, y], atoms=[atom("R", x, y)]))
+        T = cinstance(bool_schema, R=[(x, "c")])
+        assert not has_model(T, md, [forbid_all])
+        assert model_count(T, md, []) == 2
+
+    def test_models_with_valuations_pairs(self, bool_schema, master_schema):
+        T = cinstance(bool_schema, R=[(x, "c")])
+        md = empty_master(master_schema)
+        pairs = list(models_with_valuations(T, md, []))
+        assert all(T.apply(valuation) == world for valuation, world in pairs)
+
+    def test_default_active_domain_includes_query(self, bool_schema, master_schema):
+        T = cinstance(bool_schema, R=[(x, "c")])
+        md = empty_master(master_schema)
+        q = cq("Q", [y], atoms=[atom("R", y, "needle")])
+        adom = default_active_domain(T, md, [], query=q)
+        assert "needle" in adom
+
+    def test_duplicate_worlds_deduplicated(self, bool_schema, master_schema):
+        # Two rows with different variables can induce the same world.
+        T = cinstance(bool_schema, R=[(x, "c"), (y, "c")])
+        md = empty_master(master_schema)
+        worlds = list(models(T, md, []))
+        assert len(worlds) == len(set(worlds))

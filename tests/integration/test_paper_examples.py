@@ -1,0 +1,251 @@
+"""End-to-end tests of every worked example in the paper.
+
+Each test names the example it reproduces; the verdicts asserted here are the
+verdicts the paper states.  The tests exercise the public API the way a user
+of the library would (through :mod:`repro.workloads.patients` and the
+top-level deciders), so they also double as integration tests across the
+relational, query, c-table, constraint and completeness layers.
+"""
+
+import pytest
+
+from repro import (
+    STRONG,
+    VIABLE,
+    WEAK,
+    CompletenessModel,
+    is_consistent,
+    is_extensible,
+    is_ground_complete,
+    is_minimal_complete,
+    is_relatively_complete,
+    weak_completeness_report,
+)
+from repro.completeness.minp import is_minimal_ground_complete
+from repro.completeness.weak import is_weakly_complete, is_weakly_complete_bounded
+from repro.ctables.cinstance import CInstance, cinstance
+from repro.queries.atoms import atom, eq
+from repro.queries.cq import cq
+from repro.queries.fo import native_query
+from repro.queries.terms import var
+from repro.relational.instance import empty_instance, instance
+from repro.relational.master import empty_master
+from repro.relational.schema import database_schema, schema
+from repro.workloads.patients import (
+    ABSENT_NHS,
+    BOB_NHS,
+    JOHN_NHS,
+    build_patient_scenario,
+    display_figure1_cinstance,
+)
+
+x, y, z, na = var("x"), var("y"), var("z"), var("na")
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_patient_scenario()
+
+
+class TestExample11And22GroundInstances:
+    """Examples 1.1 and 2.2: relative completeness of ground instances."""
+
+    def test_q1_complete_when_all_master_matches_returned(self, scenario):
+        assert is_ground_complete(
+            scenario.ground_db, scenario.q1, scenario.master, scenario.constraints
+        )
+
+    def test_q2_becomes_complete_after_adding_one_tuple(self, scenario):
+        empty = empty_instance(scenario.schema)
+        assert not is_ground_complete(
+            empty, scenario.q2_present, scenario.master, scenario.constraints
+        )
+        extended = instance(
+            scenario.schema, MVisit=[(BOB_NHS, "Bob", "EDI", 2000)]
+        )
+        assert is_ground_complete(
+            extended, scenario.q2_present, scenario.master, scenario.constraints
+        )
+
+    def test_q2_absent_nhs_complete_on_empty_database(self, scenario):
+        empty = empty_instance(scenario.schema)
+        assert is_ground_complete(
+            empty, scenario.q2_absent, scenario.master, scenario.constraints
+        )
+
+    def test_q3_can_never_be_made_complete(self, scenario):
+        for db in (
+            scenario.ground_db,
+            scenario.ground_db.with_tuple("MVisit", ("915-15-999", "Zoe", "LON", 1999)),
+        ):
+            assert not is_ground_complete(
+                db, scenario.q3, scenario.master, scenario.constraints
+            )
+
+
+class TestExample23CompletenessModels:
+    """Example 2.3: the Figure 1 c-instance under the three models."""
+
+    def test_q1_strongly_complete(self, scenario):
+        assert is_relatively_complete(
+            scenario.figure1, scenario.q1, scenario.master, scenario.constraints, STRONG
+        )
+
+    def test_q4_viably_and_weakly_but_not_strongly_complete(self, scenario):
+        verdicts = {
+            model: is_relatively_complete(
+                scenario.figure1, scenario.q4, scenario.master, scenario.constraints, model
+            )
+            for model in CompletenessModel
+        }
+        assert verdicts[STRONG] is False
+        assert verdicts[WEAK] is True
+        assert verdicts[VIABLE] is True
+
+    def test_q4_certain_answer_is_john(self, scenario):
+        report = weak_completeness_report(
+            scenario.figure1, scenario.q4, scenario.master, scenario.constraints
+        )
+        assert report.certain_over_models == {("John",)}
+
+    def test_strong_implies_weak_and_viable(self, scenario):
+        for query in (scenario.q1, scenario.q2_absent):
+            if is_relatively_complete(
+                scenario.figure1, query, scenario.master, scenario.constraints, STRONG
+            ):
+                assert is_relatively_complete(
+                    scenario.figure1, query, scenario.master, scenario.constraints, WEAK
+                )
+                assert is_relatively_complete(
+                    scenario.figure1, query, scenario.master, scenario.constraints, VIABLE
+                )
+
+
+class TestExample24Minimality:
+    """Example 2.4: minimal complete databases."""
+
+    def test_single_tuple_database_is_minimal_for_q2(self, scenario):
+        single = instance(scenario.schema, MVisit=[(BOB_NHS, "Bob", "EDI", 2000)])
+        assert is_minimal_ground_complete(
+            single, scenario.q2_present, scenario.master, scenario.constraints
+        )
+
+    def test_empty_database_minimal_weakly_complete_for_q2(self, scenario):
+        # Example 2.4: D is a minimal instance weakly complete for Q2 if D is
+        # empty (the certain answer over extensions is empty because the name
+        # attached to the NHS number is not itself forced by any single world).
+        empty = CInstance.from_ground_instance(empty_instance(scenario.schema))
+        assert is_weakly_complete(
+            empty, scenario.q2_absent, scenario.master, scenario.constraints
+        )
+
+    def test_figure1_not_minimal_for_q1(self, scenario):
+        assert not is_minimal_complete(
+            scenario.figure1, scenario.q1, scenario.master, scenario.constraints, STRONG
+        )
+        trimmed = scenario.figure1.without_row("MVisit", 1)
+        assert is_minimal_complete(
+            trimmed, scenario.q1, scenario.master, scenario.constraints, STRONG
+        )
+
+
+class TestExample53WeakModelRCQPGap:
+    """Example 5.3: ground instances and c-instances differ for weak-model FO."""
+
+    @pytest.fixture
+    def pair_schema(self):
+        return database_schema(schema("R1", "A"), schema("R2", "A"))
+
+    @pytest.fixture
+    def subset_query(self):
+        def run(inst):
+            if set(inst["R1"].rows) <= set(inst["R2"].rows):
+                return frozenset({("a",)})
+            return frozenset({("b",)})
+
+        return native_query("subset", 1, run, monotone=False)
+
+    def test_no_ground_instance_weakly_complete(self, pair_schema, subset_query):
+        md = empty_master(database_schema(schema("M", "A")))
+        for db in (
+            empty_instance(pair_schema),
+            instance(pair_schema, R1=[(1,)], R2=[(1,)]),
+        ):
+            T = CInstance.from_ground_instance(db)
+            assert not is_weakly_complete_bounded(T, subset_query, md, [])
+
+    def test_all_variable_cinstance_weakly_complete(self, pair_schema, subset_query):
+        md = empty_master(database_schema(schema("M", "A")))
+        T = cinstance(pair_schema, R1=[(x,)], R2=[(y,)])
+        assert is_weakly_complete_bounded(T, subset_query, md, [])
+
+
+class TestExample55WeakMinimality:
+    """Example 5.5: Lemma 4.7 fails in the weak model."""
+
+    @pytest.fixture
+    def setup(self):
+        pair_schema = database_schema(schema("R1", "A"), schema("R2", "A"))
+        md = empty_master(database_schema(schema("M", "A")))
+        query = cq(
+            "Q",
+            [x],
+            atoms=[atom("R1", y), atom("R2", z)],
+            comparisons=[eq(x, "a")],
+        )
+        return pair_schema, md, query
+
+    def test_i0_weakly_complete_but_not_minimal(self, setup):
+        pair_schema, md, query = setup
+        i0 = CInstance.from_ground_instance(instance(pair_schema, R1=[(0,)], R2=[(1,)]))
+        empty = CInstance.from_ground_instance(empty_instance(pair_schema))
+        assert is_weakly_complete(i0, query, md, [])
+        assert is_weakly_complete(empty, query, md, [])
+        assert not is_minimal_complete(i0, query, md, [], CompletenessModel.WEAK)
+        assert is_minimal_complete(empty, query, md, [], CompletenessModel.WEAK)
+
+    def test_weak_minimality_examines_all_subinstances(self, setup):
+        # In the weak model minimality is defined against *every* strict
+        # sub-instance (not just single-tuple removals, Example 5.5); the
+        # decider therefore finds the empty instance as a counterexample to
+        # I₀'s minimality even though I₀ itself is weakly complete.
+        pair_schema, md, query = setup
+        i0 = CInstance.from_ground_instance(instance(pair_schema, R1=[(0,)], R2=[(1,)]))
+        witnesses = [
+            smaller
+            for smaller in i0.strict_subinstances()
+            if is_weakly_complete(smaller, query, md, [])
+        ]
+        assert any(smaller.is_empty() for smaller in witnesses)
+
+
+class TestFigure1DisplayVersion:
+    """The verbatim Figure 1 c-table (presentation schema)."""
+
+    def test_shape_matches_figure(self):
+        T = display_figure1_cinstance()
+        table = T["MVisit"]
+        assert len(table) == 5
+        assert table.schema.arity == 8
+        # Rows t2 and t3 carry local conditions; the others do not.
+        conditions = [not row.condition.is_true for row in table.rows]
+        assert conditions == [False, True, True, False, False]
+        # The variables of Figure 1 are x, z (row t2), w, u (row t3).
+        names = {v.name for v in table.variables()}
+        assert names == {"x", "z", "w", "u"}
+
+
+class TestConsistencyAndExtensibilityOnScenario:
+    """Section 3 analyses applied to the running scenario."""
+
+    def test_figure1_is_consistent(self, scenario):
+        assert is_consistent(scenario.figure1, scenario.master, scenario.constraints)
+
+    def test_ghost_patient_makes_it_inconsistent(self, scenario):
+        ghost = cinstance(
+            scenario.schema, MVisit=[(ABSENT_NHS, x, "EDI", 2000)]
+        )
+        assert not is_consistent(ghost, scenario.master, scenario.constraints)
+
+    def test_john_db_is_extensible(self, scenario):
+        assert is_extensible(scenario.ground_db, scenario.master, scenario.constraints)

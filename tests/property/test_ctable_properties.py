@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) on c-tables, valuations and Adom.
+
+These properties are the semantic invariants the paper's Section 2.2 relies
+on: valuations are identity on constants, dropping rows shrinks the induced
+world, the active domain always covers the input constants, and possible-world
+enumeration respects the containment constraints.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.containment import relation_containment_cc
+from repro.ctables.adom import build_active_domain
+from repro.ctables.cinstance import CInstance
+from repro.ctables.conditions import TRUE, condition
+from repro.ctables.ctable import CTable, CTableRow
+from repro.ctables.possible_worlds import models
+from repro.ctables.valuation import enumerate_valuations
+from repro.queries.atoms import eq, neq
+from repro.queries.terms import Variable
+from repro.relational.domains import BOOLEAN_DOMAIN
+from repro.relational.master import MasterData
+from repro.relational.schema import DatabaseSchema, RelationSchema, database_schema
+
+#: A small constant pool keeps the enumerations tractable while still hitting
+#: equalities between generated constants.
+CONSTANTS = st.integers(min_value=0, max_value=3)
+VARIABLE_NAMES = st.sampled_from(["x", "y", "z"])
+
+PAIR_SCHEMA = database_schema(RelationSchema("R", ["A", "B"]))
+BOOL_SCHEMA = database_schema(
+    RelationSchema("R", [("A", BOOLEAN_DOMAIN), ("B", BOOLEAN_DOMAIN)])
+)
+
+
+def terms_strategy():
+    return st.one_of(CONSTANTS, VARIABLE_NAMES.map(Variable))
+
+
+def rows_strategy(max_rows: int = 3):
+    row = st.tuples(terms_strategy(), terms_strategy())
+    return st.lists(row, min_size=0, max_size=max_rows)
+
+
+@st.composite
+def ctable_strategy(draw):
+    rows = draw(rows_strategy())
+    built = []
+    for terms in rows:
+        variables = [t for t in terms if isinstance(t, Variable)]
+        if variables and draw(st.booleans()):
+            pivot = draw(st.sampled_from(variables))
+            bound = draw(CONSTANTS)
+            comparison = eq(pivot, bound) if draw(st.booleans()) else neq(pivot, bound)
+            built.append(CTableRow(terms, condition(comparison)))
+        else:
+            built.append(CTableRow(terms, TRUE))
+    return CTable(PAIR_SCHEMA["R"], built)
+
+
+@given(ctable_strategy())
+@settings(max_examples=60, deadline=None)
+def test_valuations_cover_all_variables_and_preserve_constants(table):
+    T = CInstance(PAIR_SCHEMA, {"R": table})
+    adom = build_active_domain(cinstance=T)
+    for valuation in enumerate_valuations(T, adom):
+        assert set(valuation) == T.variables()
+        world = T.apply(valuation)
+        # Every constant of the world either occurs in the c-table or is an
+        # Adom value assigned to some variable.
+        for value in world.constants():
+            assert value in T.constants() or value in adom.constants
+
+
+@given(ctable_strategy())
+@settings(max_examples=60, deadline=None)
+def test_worlds_never_exceed_row_count(table):
+    T = CInstance(PAIR_SCHEMA, {"R": table})
+    adom = build_active_domain(cinstance=T)
+    for valuation in enumerate_valuations(T, adom):
+        world = T.apply(valuation)
+        # Conditions can only drop rows, and valuations can merge rows.
+        assert len(world["R"]) <= len(table)
+
+
+@given(ctable_strategy())
+@settings(max_examples=60, deadline=None)
+def test_removing_rows_shrinks_the_induced_world(table):
+    if len(table) == 0:
+        return
+    T = CInstance(PAIR_SCHEMA, {"R": table})
+    trimmed = T.without_row("R", 0)
+    adom = build_active_domain(cinstance=T)
+    for valuation in enumerate_valuations(T, adom):
+        full_world = T.apply(valuation)
+        small_world = trimmed.apply(valuation)
+        assert small_world["R"].issubset(full_world["R"])
+
+
+@given(ctable_strategy())
+@settings(max_examples=60, deadline=None)
+def test_active_domain_contains_input_constants_and_is_never_empty(table):
+    T = CInstance(PAIR_SCHEMA, {"R": table})
+    adom = build_active_domain(cinstance=T)
+    assert T.constants() <= set(adom.constants)
+    assert len(adom) > 0
+
+
+@given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)), max_size=3))
+@settings(max_examples=40, deadline=None)
+def test_models_satisfy_the_containment_constraints(rows):
+    master = MasterData(
+        database_schema(
+            RelationSchema("Rm", [("A", BOOLEAN_DOMAIN), ("B", BOOLEAN_DOMAIN)])
+        ),
+        {"Rm": [(0, 0), (1, 1)]},
+    )
+    constraint = relation_containment_cc("R", BOOL_SCHEMA, "Rm")
+    table = CTable(
+        BOOL_SCHEMA["R"], [CTableRow(row) for row in rows] + [CTableRow((Variable("x"), 0))]
+    )
+    T = CInstance(BOOL_SCHEMA, {"R": table})
+    for world in models(T, master, [constraint]):
+        assert world["R"].rows <= master.relation("Rm").rows
+
+
+@given(st.sets(st.sampled_from(["x", "y", "z", "w"]), min_size=0, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_fresh_values_are_distinct_and_new(variable_names):
+    variables = {Variable(name) for name in variable_names}
+    table = CTable(
+        PAIR_SCHEMA["R"], [CTableRow((variable, 7)) for variable in sorted(variables)]
+    )
+    T = CInstance(PAIR_SCHEMA, {"R": table})
+    adom = build_active_domain(cinstance=T, extra_constants={1, 2, 3})
+    fresh = adom.fresh_values
+    assert len(fresh) == len(set(fresh))
+    assert not (set(fresh) & {1, 2, 3, 7})
+    # One fresh value per variable, or a single generic one when there are none.
+    assert len(fresh) == max(1, len(variables))

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) on query evaluation and completeness models.
+
+The invariants exercised here are the ones the decision procedures lean on:
+
+* monotonicity of CQ/UCQ/FP evaluation under instance extension,
+* equivalence of a CQ with its UCQ / ∃FO⁺ wrappers,
+* the model hierarchy "strongly complete ⟹ weakly complete and viably
+  complete" (observation (a) after Example 2.3), and
+* agreement of the strong and viable models on ground instances
+  (observation (b)).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.completeness.strong import is_strongly_complete
+from repro.completeness.viable import is_viably_complete
+from repro.completeness.weak import is_weakly_complete
+from repro.constraints.containment import relation_containment_cc
+from repro.ctables.cinstance import CInstance
+from repro.queries.atoms import atom
+from repro.queries.classify import as_union_of_cqs
+from repro.queries.cq import cq
+from repro.queries.efo import cq_as_efo
+from repro.queries.evaluation import evaluate
+from repro.queries.fp import fixpoint_query, rule
+from repro.queries.terms import var
+from repro.queries.ucq import ucq
+from repro.relational.domains import BOOLEAN_DOMAIN
+from repro.relational.instance import GroundInstance, instance
+from repro.relational.master import MasterData
+from repro.relational.schema import RelationSchema, database_schema
+
+x, y, z = var("x"), var("y"), var("z")
+
+EDGE_SCHEMA = database_schema(
+    RelationSchema("E", [("src", BOOLEAN_DOMAIN), ("dst", BOOLEAN_DOMAIN)])
+)
+EDGE_MASTER = MasterData(
+    database_schema(
+        RelationSchema("Em", [("src", BOOLEAN_DOMAIN), ("dst", BOOLEAN_DOMAIN)])
+    ),
+    {"Em": [(0, 0), (0, 1), (1, 0), (1, 1)]},
+)
+
+edges_strategy = st.sets(
+    st.tuples(st.integers(0, 1), st.integers(0, 1)), min_size=0, max_size=4
+)
+
+POINT_QUERY = cq("P", [y], atoms=[atom("E", 0, y)])
+PAIR_QUERY = cq("Q", [x, y], atoms=[atom("E", x, y)])
+UNION_QUERY = ucq("U", POINT_QUERY, cq("P2", [y], atoms=[atom("E", 1, y)]))
+REACH_QUERY = fixpoint_query(
+    "Reach",
+    output="T",
+    rules=[
+        rule(atom("T", x, y), atom("E", x, y)),
+        rule(atom("T", x, z), atom("T", x, y), atom("E", y, z)),
+    ],
+)
+ALL_QUERIES = [POINT_QUERY, PAIR_QUERY, UNION_QUERY, REACH_QUERY]
+
+
+def edge_instance(edges) -> GroundInstance:
+    return instance(EDGE_SCHEMA, E=sorted(edges))
+
+
+@given(edges_strategy, edges_strategy)
+@settings(max_examples=80, deadline=None)
+def test_monotone_languages_are_monotone(edges_a, edges_b):
+    smaller = edge_instance(edges_a)
+    larger = edge_instance(edges_a | edges_b)
+    for query in ALL_QUERIES:
+        assert evaluate(query, smaller) <= evaluate(query, larger)
+
+
+@given(edges_strategy)
+@settings(max_examples=80, deadline=None)
+def test_cq_agrees_with_its_ucq_and_efo_views(edges):
+    db = edge_instance(edges)
+    assert evaluate(PAIR_QUERY, db) == evaluate(as_union_of_cqs(PAIR_QUERY), db)
+    assert evaluate(PAIR_QUERY, db) == evaluate(cq_as_efo(PAIR_QUERY), db)
+
+
+@given(edges_strategy)
+@settings(max_examples=80, deadline=None)
+def test_fixpoint_contains_its_edb_seed(edges):
+    db = edge_instance(edges)
+    closure = evaluate(REACH_QUERY, db)
+    assert db["E"].rows <= closure
+    # The transitive closure is itself transitively closed.
+    pairs = set(closure)
+    for (a, b) in pairs:
+        for (c, d) in pairs:
+            if b == c:
+                assert (a, d) in pairs
+
+
+@given(edges_strategy)
+@settings(max_examples=25, deadline=None)
+def test_strong_implies_weak_and_viable(edges):
+    constraint = relation_containment_cc("E", EDGE_SCHEMA, "Em")
+    db = edge_instance(edges)
+    T = CInstance.from_ground_instance(db)
+    if is_strongly_complete(T, PAIR_QUERY, EDGE_MASTER, [constraint]):
+        assert is_weakly_complete(T, PAIR_QUERY, EDGE_MASTER, [constraint])
+        assert is_viably_complete(T, PAIR_QUERY, EDGE_MASTER, [constraint])
+
+
+@given(edges_strategy)
+@settings(max_examples=25, deadline=None)
+def test_strong_and_viable_coincide_on_ground_instances(edges):
+    constraint = relation_containment_cc("E", EDGE_SCHEMA, "Em")
+    T = CInstance.from_ground_instance(edge_instance(edges))
+    assert is_strongly_complete(T, POINT_QUERY, EDGE_MASTER, [constraint]) == \
+        is_viably_complete(T, POINT_QUERY, EDGE_MASTER, [constraint])
+
+
+@given(edges_strategy)
+@settings(max_examples=25, deadline=None)
+def test_saturated_instance_is_complete_in_every_model(edges):
+    constraint = relation_containment_cc("E", EDGE_SCHEMA, "Em")
+    saturated = edge_instance({(0, 0), (0, 1), (1, 0), (1, 1)} | set(edges))
+    T = CInstance.from_ground_instance(saturated)
+    assert is_strongly_complete(T, PAIR_QUERY, EDGE_MASTER, [constraint])
+    assert is_weakly_complete(T, PAIR_QUERY, EDGE_MASTER, [constraint])
+    assert is_viably_complete(T, PAIR_QUERY, EDGE_MASTER, [constraint])

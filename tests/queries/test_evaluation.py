@@ -1,0 +1,288 @@
+"""Tests for query evaluation over ground instances (all five languages)."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.queries.atoms import atom, eq, neq
+from repro.queries.cq import boolean_cq, cq
+from repro.queries.efo import ExistentialPositiveQuery, cq_as_efo, efo, ucq_as_efo
+from repro.queries.evaluation import (
+    active_domain,
+    boolean_answer,
+    evaluate,
+    evaluate_fp,
+    is_monotone,
+    query_arity,
+    query_constants,
+    query_relation_names,
+)
+from repro.queries.fo import fo, native_query
+from repro.queries.formulas import conj, disj, exists, forall, negate, rel, comp
+from repro.queries.fp import fixpoint_query, rule
+from repro.queries.terms import var
+from repro.queries.ucq import ucq
+from repro.relational.schema import database_schema, schema
+from repro.relational.instance import instance
+
+x, y, z, w = var("x"), var("y"), var("z"), var("w")
+
+
+@pytest.fixture
+def graph_schema():
+    return database_schema(schema("E", "src", "dst"), schema("V", "node"))
+
+
+@pytest.fixture
+def graph(graph_schema):
+    return instance(
+        graph_schema,
+        E=[(1, 2), (2, 3), (3, 4)],
+        V=[(1,), (2,), (3,), (4,), (5,)],
+    )
+
+
+class TestCQEvaluation:
+    def test_single_atom(self, graph):
+        q = cq("Q", [x, y], atoms=[atom("E", x, y)])
+        assert evaluate(q, graph) == {(1, 2), (2, 3), (3, 4)}
+
+    def test_join(self, graph):
+        q = cq("Q", [x, z], atoms=[atom("E", x, y), atom("E", y, z)])
+        assert evaluate(q, graph) == {(1, 3), (2, 4)}
+
+    def test_constant_in_atom(self, graph):
+        q = cq("Q", [y], atoms=[atom("E", 1, y)])
+        assert evaluate(q, graph) == {(2,)}
+
+    def test_projection(self, graph):
+        q = cq("Q", [x], atoms=[atom("E", x, y)])
+        assert evaluate(q, graph) == {(1,), (2,), (3,)}
+
+    def test_inequality(self, graph):
+        q = cq("Q", [x, y], atoms=[atom("E", x, y)], comparisons=[neq(x, 1)])
+        assert evaluate(q, graph) == {(2, 3), (3, 4)}
+
+    def test_equality_comparison(self, graph):
+        q = cq(
+            "Q",
+            [x, y],
+            atoms=[atom("E", x, y)],
+            comparisons=[eq(y, 2)],
+        )
+        assert evaluate(q, graph) == {(1, 2)}
+
+    def test_equality_bound_head_variable(self, graph):
+        # A head variable bound only through an equality atom (Example 5.5 shape).
+        q = cq(
+            "Q",
+            [w],
+            atoms=[atom("V", x)],
+            comparisons=[eq(w, "flag")],
+        )
+        assert evaluate(q, graph) == {("flag",)}
+
+    def test_boolean_query_true_false(self, graph):
+        yes = boolean_cq("Yes", atoms=[atom("E", 1, 2)])
+        no = boolean_cq("No", atoms=[atom("E", 4, 1)])
+        assert boolean_answer(yes, graph) is True
+        assert boolean_answer(no, graph) is False
+
+    def test_boolean_answer_rejects_non_boolean(self, graph):
+        q = cq("Q", [x], atoms=[atom("V", x)])
+        with pytest.raises(QueryError):
+            boolean_answer(q, graph)
+
+    def test_constant_head_term(self, graph):
+        q = cq("Q", ["tag", x], atoms=[atom("V", x)])
+        assert ("tag", 5) in evaluate(q, graph)
+
+    def test_self_join_same_variable(self, graph):
+        q = cq("Q", [x], atoms=[atom("E", x, x)])
+        assert evaluate(q, graph) == frozenset()
+
+    def test_empty_relation(self, graph_schema):
+        empty = instance(graph_schema)
+        q = cq("Q", [x], atoms=[atom("V", x)])
+        assert evaluate(q, empty) == frozenset()
+
+    def test_unknown_relation_treated_as_empty(self, graph):
+        q = cq("Q", [x], atoms=[atom("Missing", x)])
+        assert evaluate(q, graph) == frozenset()
+
+
+class TestUCQEvaluation:
+    def test_union(self, graph):
+        q1 = cq("Q1", [x], atoms=[atom("E", x, 2)])
+        q2 = cq("Q2", [x], atoms=[atom("E", x, 4)])
+        assert evaluate(ucq("U", q1, q2), graph) == {(1,), (3,)}
+
+    def test_overlapping_disjuncts_deduplicated(self, graph):
+        q1 = cq("Q1", [x], atoms=[atom("V", x)])
+        q2 = cq("Q2", [x], atoms=[atom("E", x, y)])
+        assert evaluate(ucq("U", q1, q2), graph) == {(1,), (2,), (3,), (4,), (5,)}
+
+
+class TestEFOEvaluation:
+    def test_conjunction_matches_cq(self, graph):
+        q_cq = cq("Q", [x, z], atoms=[atom("E", x, y), atom("E", y, z)])
+        q_efo = cq_as_efo(q_cq)
+        assert evaluate(q_efo, graph) == evaluate(q_cq, graph)
+
+    def test_disjunction(self, graph):
+        q = efo(
+            "Q",
+            [x],
+            disj(rel("E", x, 2), rel("E", x, 4)),
+        )
+        assert evaluate(q, graph) == {(1,), (3,)}
+
+    def test_existential(self, graph):
+        q = efo("Q", [x], exists([y], conj(rel("E", x, y), rel("E", y, 4))))
+        assert evaluate(q, graph) == {(2,)}
+
+    def test_negative_formula_rejected(self):
+        with pytest.raises(QueryError):
+            ExistentialPositiveQuery([x], negate(rel("E", x, x)), name="Q")
+
+    def test_to_ucq_equivalence(self, graph):
+        q = efo(
+            "Q",
+            [x],
+            conj(rel("V", x), disj(rel("E", x, 2), rel("E", 3, x))),
+        )
+        assert evaluate(q, graph) == evaluate(q.to_ucq(), graph)
+
+    def test_ucq_as_efo_equivalence(self, graph):
+        u = ucq(
+            "U",
+            cq("Q1", [x], atoms=[atom("E", x, 2)]),
+            cq("Q2", [y], atoms=[atom("E", y, 4)]),
+        )
+        assert evaluate(ucq_as_efo(u), graph) == evaluate(u, graph)
+
+    def test_comparison_inside_formula(self, graph):
+        q = efo("Q", [x], conj(rel("V", x), comp(neq(x, 5))))
+        assert evaluate(q, graph) == {(1,), (2,), (3,), (4,)}
+
+
+class TestFOEvaluation:
+    def test_negation(self, graph):
+        # Nodes with no outgoing edge.
+        q = fo("Q", [x], conj(rel("V", x), negate(exists([y], rel("E", x, y)))))
+        assert evaluate(q, graph) == {(4,), (5,)}
+
+    def test_universal_quantification(self, graph):
+        # Nodes x such that every edge out of x goes to node 2 (vacuously true
+        # for nodes with no outgoing edge).
+        q = fo(
+            "Q",
+            [x],
+            conj(rel("V", x), forall([y], disj(negate(rel("E", x, y)), comp(eq(y, 2))))),
+        )
+        assert evaluate(q, graph) == {(1,), (4,), (5,)}
+
+    def test_boolean_fo(self, graph):
+        q = fo("Q", [], forall([x], disj(negate(rel("V", x)), comp(neq(x, 99)))))
+        assert boolean_answer(q, graph) is True
+
+    def test_fo_is_not_declared_monotone(self, graph):
+        q = fo("Q", [x], rel("V", x))
+        assert not is_monotone(q)
+
+
+class TestFPEvaluation:
+    def test_transitive_closure(self, graph):
+        tc = fixpoint_query(
+            "TC",
+            output="T",
+            rules=[
+                rule(atom("T", x, y), atom("E", x, y)),
+                rule(atom("T", x, z), atom("T", x, y), atom("E", y, z)),
+            ],
+        )
+        assert evaluate(tc, graph) == {
+            (1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4),
+        }
+
+    def test_reachability_with_constant(self, graph):
+        reach = fixpoint_query(
+            "Reach",
+            output="R",
+            rules=[
+                rule(atom("R", y), atom("E", 1, y)),
+                rule(atom("R", z), atom("R", y), atom("E", y, z)),
+            ],
+        )
+        assert evaluate(reach, graph) == {(2,), (3,), (4,)}
+
+    def test_comparison_in_rule_body(self, graph):
+        q = fixpoint_query(
+            "Q",
+            output="P",
+            rules=[rule(atom("P", x, y), atom("E", x, y), neq(x, 1))],
+        )
+        assert evaluate(q, graph) == {(2, 3), (3, 4)}
+
+    def test_fp_is_monotone(self, graph):
+        q = fixpoint_query(
+            "Q", output="P", rules=[rule(atom("P", x), atom("V", x))]
+        )
+        assert is_monotone(q)
+        larger = graph.with_tuple("V", (6,))
+        assert evaluate(q, graph) <= evaluate(q, larger)
+
+    def test_max_rounds_guard(self, graph):
+        q = fixpoint_query(
+            "Q", output="P", rules=[rule(atom("P", x), atom("V", x))]
+        )
+        assert evaluate_fp(q, graph, max_rounds=10) == {(i,) for i in range(1, 6)}
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(QueryError):
+            rule(atom("P", x, y), atom("V", x))
+
+    def test_output_must_be_idb(self):
+        with pytest.raises(QueryError):
+            fixpoint_query("Q", output="Missing", rules=[rule(atom("P", x), atom("V", x))])
+
+    def test_idb_arity_consistency(self):
+        with pytest.raises(QueryError):
+            fixpoint_query(
+                "Q",
+                output="P",
+                rules=[
+                    rule(atom("P", x), atom("V", x)),
+                    rule(atom("P", x, y), atom("E", x, y)),
+                ],
+            )
+
+
+class TestNativeQueries:
+    def test_native_query_evaluation(self, graph):
+        q = native_query(
+            "edges", 2, lambda inst: frozenset(inst["E"].rows), monotone=True
+        )
+        assert evaluate(q, graph) == {(1, 2), (2, 3), (3, 4)}
+        assert is_monotone(q)
+
+    def test_native_query_arity_check(self, graph):
+        bad = native_query("bad", 3, lambda inst: frozenset({(1, 2)}))
+        with pytest.raises(ValueError):
+            evaluate(bad, graph)
+
+
+class TestQueryMetadata:
+    def test_query_constants_and_relations(self):
+        q = cq("Q", [x], atoms=[atom("R", x, 1)], comparisons=[neq(x, "a")])
+        assert query_constants(q) == {1, "a"}
+        assert query_relation_names(q) == {"R"}
+        assert query_arity(q) == 1
+
+    def test_active_domain(self, graph):
+        q = cq("Q", [x], atoms=[atom("V", x)], comparisons=[neq(x, 99)])
+        assert 99 in active_domain(graph, q)
+        assert 1 in active_domain(graph, q)
+
+    def test_unsupported_query_type_rejected(self, graph):
+        with pytest.raises(QueryError):
+            evaluate("not a query", graph)

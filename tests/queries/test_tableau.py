@@ -1,0 +1,154 @@
+"""Tests for tableau machinery: freezing, canonical databases, containment."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.queries.atoms import atom, eq, neq
+from repro.queries.cq import cq
+from repro.queries.evaluation import evaluate
+from repro.queries.tableau import (
+    canonical_database,
+    contained_in,
+    equivalent,
+    find_homomorphism,
+    freeze,
+    freezing_valuation,
+    inline_equalities,
+)
+from repro.queries.terms import var
+from repro.relational.schema import database_schema, schema
+
+x, y, z = var("x"), var("y"), var("z")
+
+
+@pytest.fixture
+def db_schema():
+    return database_schema(schema("E", "src", "dst"))
+
+
+class TestFreezing:
+    def test_freeze_produces_ground_tuples(self):
+        atoms = (atom("E", x, y), atom("E", y, z))
+        frozen = freeze(atoms, {x: 1, y: 2, z: 3})
+        assert frozen == {"E": {(1, 2), (2, 3)}}
+
+    def test_freeze_requires_total_valuation(self):
+        with pytest.raises(QueryError):
+            freeze((atom("E", x, y),), {x: 1})
+
+    def test_freezing_valuation_covers_all_variables(self):
+        q = cq("Q", [x], atoms=[atom("E", x, y)])
+        valuation = freezing_valuation(q)
+        assert set(valuation) == {x, y}
+        assert len(set(valuation.values())) == 2
+
+    def test_canonical_database(self, db_schema):
+        q = cq("Q", [x], atoms=[atom("E", x, y), atom("E", y, x)])
+        canon, valuation = canonical_database(q, db_schema)
+        assert canon.size == 2
+        # The canonical database always satisfies the query (frozen head in answer).
+        frozen_head = tuple(valuation[t] for t in q.head)
+        assert frozen_head in evaluate(q, canon)
+
+    def test_canonical_database_with_explicit_valuation(self, db_schema):
+        q = cq("Q", [x], atoms=[atom("E", x, y)])
+        canon, _ = canonical_database(q, db_schema, valuation={x: "a", y: "b"})
+        assert ("a", "b") in canon["E"]
+
+
+class TestHomomorphismsAndContainment:
+    def test_path2_contained_in_path1(self):
+        # Q2 asks for a path of length 2, Q1 for an edge; Q2 ⊆ Q1 does not hold,
+        # but a path of length 2 implies an edge from x, so check both ways.
+        edge = cq("Edge", [x], atoms=[atom("E", x, y)])
+        path2 = cq("Path2", [x], atoms=[atom("E", x, y), atom("E", y, z)])
+        assert contained_in(path2, edge)
+        assert not contained_in(edge, path2)
+
+    def test_identical_queries_equivalent(self):
+        q1 = cq("Q1", [x], atoms=[atom("E", x, y)])
+        q2 = cq("Q2", [x], atoms=[atom("E", x, z)])
+        assert equivalent(q1, q2)
+
+    def test_redundant_atom_equivalence(self):
+        q1 = cq("Q1", [x], atoms=[atom("E", x, y)])
+        q2 = cq("Q2", [x], atoms=[atom("E", x, y), atom("E", x, z)])
+        assert equivalent(q1, q2)
+
+    def test_constant_mismatch_not_contained(self):
+        q1 = cq("Q1", [x], atoms=[atom("E", x, 1)])
+        q2 = cq("Q2", [x], atoms=[atom("E", x, 2)])
+        assert not contained_in(q1, q2)
+        assert not contained_in(q2, q1)
+
+    def test_containment_with_constants(self):
+        specific = cq("Specific", [x], atoms=[atom("E", x, 1)])
+        general = cq("General", [x], atoms=[atom("E", x, y)])
+        assert contained_in(specific, general)
+        assert not contained_in(general, specific)
+
+    def test_find_homomorphism_returns_mapping(self):
+        general = cq("General", [x], atoms=[atom("E", x, y)])
+        specific = cq("Specific", [x], atoms=[atom("E", x, 1)])
+        mapping = find_homomorphism(general, specific)
+        assert mapping is not None
+        assert mapping[y] == 1
+
+    def test_head_arity_mismatch_rejected(self):
+        q1 = cq("Q1", [x], atoms=[atom("E", x, y)])
+        q2 = cq("Q2", [x, y], atoms=[atom("E", x, y)])
+        with pytest.raises(QueryError):
+            contained_in(q1, q2)
+
+    def test_inequality_queries_rejected(self):
+        q1 = cq("Q1", [x], atoms=[atom("E", x, y)], comparisons=[neq(x, y)])
+        q2 = cq("Q2", [x], atoms=[atom("E", x, y)])
+        with pytest.raises(QueryError):
+            contained_in(q1, q2)
+
+    def test_boolean_containment(self):
+        q1 = cq("Q1", [], atoms=[atom("E", x, x)])
+        q2 = cq("Q2", [], atoms=[atom("E", x, y)])
+        assert contained_in(q1, q2)
+        assert not contained_in(q2, q1)
+
+
+class TestInlineEqualities:
+    def test_variable_constant_equality(self):
+        q = cq("Q", [x], atoms=[atom("E", x, y)], comparisons=[eq(y, 5)])
+        simplified = inline_equalities(q)
+        assert not simplified.equality_atoms()
+        assert simplified.atoms[0].terms == (x, 5)
+
+    def test_variable_variable_equality(self):
+        q = cq("Q", [x], atoms=[atom("E", x, y), atom("E", y, z)], comparisons=[eq(x, z)])
+        simplified = inline_equalities(q)
+        assert not simplified.equality_atoms()
+        # x and z collapse to a single variable.
+        assert len(simplified.variables()) == 2
+
+    def test_equality_of_head_variable_to_constant(self):
+        q = cq("Q", [x], atoms=[atom("E", y, z)], comparisons=[eq(x, "a")])
+        simplified = inline_equalities(q)
+        assert simplified.head == ("a",)
+
+    def test_semantics_preserved(self):
+        from repro.relational.instance import instance
+
+        db = database_schema(schema("E", "src", "dst"))
+        data = instance(db, E=[(1, 1), (1, 2), (2, 2)])
+        q = cq("Q", [x, y], atoms=[atom("E", x, y)], comparisons=[eq(x, y)])
+        assert evaluate(q, data) == evaluate(inline_equalities(q), data)
+
+    def test_contradictory_equalities_yield_unsatisfiable_query(self):
+        from repro.relational.instance import instance
+
+        db = database_schema(schema("E", "src", "dst"))
+        data = instance(db, E=[(1, 2)])
+        q = cq(
+            "Q",
+            [x],
+            atoms=[atom("E", x, y)],
+            comparisons=[eq(x, 1), eq(x, 2)],
+        )
+        assert evaluate(inline_equalities(q), data) == frozenset()

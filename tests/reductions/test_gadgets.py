@@ -1,0 +1,114 @@
+"""Tests for the Figure 2 gadget relations and the CQ encoding of 3CNF formulas."""
+
+import itertools
+
+import pytest
+
+from repro.exceptions import ReductionError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.evaluation import evaluate_cq
+from repro.queries.terms import Variable
+from repro.reductions.gadgets import (
+    R_AND,
+    R_BOOL,
+    R_NOT,
+    R_OR,
+    and_relation_schema,
+    and_rows,
+    assignment_atoms,
+    bool_relation_schema,
+    bool_rows,
+    encode_formula,
+    gadget_relation,
+    gadget_rows,
+    master_gadget_rows,
+    not_relation_schema,
+    not_rows,
+    or_relation_schema,
+    or_rows,
+)
+from repro.reductions.sat import CNFFormula
+from repro.relational.instance import GroundInstance
+from repro.relational.schema import DatabaseSchema
+
+
+@pytest.fixture
+def gadget_instance():
+    schema = DatabaseSchema(
+        [
+            bool_relation_schema(R_BOOL),
+            or_relation_schema(R_OR),
+            and_relation_schema(R_AND),
+            not_relation_schema(R_NOT),
+        ]
+    )
+    return GroundInstance(schema, gadget_rows())
+
+
+class TestGadgetRelations:
+    def test_figure2_row_contents(self):
+        assert set(bool_rows()) == {(0,), (1,)}
+        assert set(or_rows()) == {(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 1)}
+        assert set(and_rows()) == {(0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 1)}
+        assert set(not_rows()) == {(0, 1), (1, 0)}
+
+    def test_gadget_relation_builder(self):
+        rel = gadget_relation("I_or", "or")
+        assert rel.name == "I_or"
+        assert len(rel) == 4
+        with pytest.raises(ReductionError):
+            gadget_relation("X", "xor")
+
+    def test_master_copy_contains_empty_relation(self):
+        rows = master_gadget_rows()
+        assert rows["Rm_empty"] == []
+        assert set(rows["Rm_or"]) == set(or_rows())
+
+    def test_truth_tables_are_functions(self):
+        for rows in (or_rows(), and_rows()):
+            mapping = {}
+            for a, b, result in rows:
+                assert mapping.setdefault((a, b), result) == result
+
+
+class TestFormulaEncoding:
+    @pytest.mark.parametrize(
+        "clauses",
+        [
+            [(1,)],
+            [(-1,)],
+            [(1, 2)],
+            [(1, -2), (-1, 2)],
+            [(1, 2, 3), (-1, -2, -3)],
+            [(1, 2, -3), (-1, 3, 2), (3, 3, 1)],
+        ],
+    )
+    def test_encoding_matches_semantics(self, gadget_instance, clauses):
+        formula = CNFFormula(clauses)
+        variables = sorted(formula.variables())
+        terms = {v: Variable(f"p{v}") for v in variables}
+        encoding = encode_formula(formula, terms)
+        # Build a query returning (p1, ..., pk, truth value) over the gadgets.
+        query = ConjunctiveQuery(
+            head=tuple(terms[v] for v in variables) + (encoding.output,),
+            atoms=assignment_atoms(terms) + encoding.atoms,
+            name="eval",
+        )
+        answers = evaluate_cq(query, gadget_instance)
+        # Every Boolean assignment appears exactly once with the correct value.
+        assert len(answers) == 2 ** len(variables)
+        for values in itertools.product((0, 1), repeat=len(variables)):
+            assignment = {v: bool(val) for v, val in zip(variables, values)}
+            expected = int(formula.evaluate(assignment))
+            assert values + (expected,) in answers
+
+    def test_encoding_requires_all_variables(self):
+        formula = CNFFormula([(1, 2)])
+        with pytest.raises(ReductionError):
+            encode_formula(formula, {1: Variable("p1")})
+
+    def test_assignment_atoms_shape(self):
+        terms = {1: Variable("a"), 2: Variable("b")}
+        atoms = assignment_atoms(terms)
+        assert len(atoms) == 2
+        assert all(a.relation == R_BOOL for a in atoms)

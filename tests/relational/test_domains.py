@@ -1,0 +1,84 @@
+"""Tests for attribute domains."""
+
+import pytest
+
+from repro.exceptions import DomainError
+from repro.relational.domains import (
+    ANY,
+    BOOLEAN_DOMAIN,
+    Domain,
+    finite_domain,
+    infinite_domain,
+)
+
+
+class TestInfiniteDomain:
+    def test_contains_everything(self):
+        dom = infinite_domain("string")
+        assert "x" in dom
+        assert 42 in dom
+        assert ("a", "b") in dom
+
+    def test_is_infinite(self):
+        dom = infinite_domain()
+        assert dom.is_infinite
+        assert not dom.is_finite
+
+    def test_cannot_enumerate(self):
+        with pytest.raises(DomainError):
+            list(infinite_domain())
+
+    def test_has_no_len(self):
+        with pytest.raises(DomainError):
+            len(infinite_domain())
+
+    def test_check_accepts_all(self):
+        infinite_domain().check("anything")
+
+
+class TestFiniteDomain:
+    def test_membership(self):
+        dom = finite_domain("bool", (0, 1))
+        assert 0 in dom
+        assert 1 in dom
+        assert 2 not in dom
+
+    def test_is_finite(self):
+        dom = finite_domain("bool", (0, 1))
+        assert dom.is_finite
+        assert not dom.is_infinite
+
+    def test_enumeration_is_sorted_and_complete(self):
+        dom = finite_domain("letters", ("b", "a", "c"))
+        assert list(dom) == ["a", "b", "c"]
+
+    def test_len(self):
+        assert len(finite_domain("d", range(5))) == 5
+
+    def test_empty_finite_domain_rejected(self):
+        with pytest.raises(DomainError):
+            finite_domain("empty", ())
+
+    def test_check_rejects_outsiders(self):
+        with pytest.raises(DomainError):
+            finite_domain("bool", (0, 1)).check(7)
+
+    def test_boolean_domain_constant(self):
+        assert set(BOOLEAN_DOMAIN) == {0, 1}
+
+    def test_equality_and_hash(self):
+        a = finite_domain("bool", (0, 1))
+        b = finite_domain("bool", (1, 0))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_any_domain_is_infinite(self):
+        assert ANY.is_infinite
+
+    def test_domains_with_same_name_different_values_differ(self):
+        assert finite_domain("d", (1,)) != finite_domain("d", (1, 2))
+
+    def test_domain_dataclass_roundtrip(self):
+        dom = Domain("colours", frozenset({"red", "green"}))
+        assert dom.is_finite
+        assert "red" in dom

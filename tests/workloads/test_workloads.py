@@ -1,0 +1,92 @@
+"""Tests for the workload generators (patients scenario and registry families)."""
+
+import pytest
+
+from repro.completeness.consistency import is_consistent
+from repro.completeness.rcdp import is_relatively_complete
+from repro.completeness.models import CompletenessModel
+from repro.constraints.containment import satisfies_all
+from repro.queries.classify import QueryLanguage, classify
+from repro.queries.evaluation import evaluate
+from repro.workloads.generator import (
+    chain_fp_query,
+    point_queries_for_keys,
+    random_cinstance,
+    registry_workload,
+)
+from repro.workloads.patients import (
+    build_patient_scenario,
+    display_figure1_cinstance,
+    display_schema,
+)
+
+
+class TestPatientScenario:
+    def test_scenario_is_internally_consistent(self):
+        scenario = build_patient_scenario()
+        assert satisfies_all(scenario.ground_db, scenario.master, scenario.constraints)
+        assert is_consistent(scenario.figure1, scenario.master, scenario.constraints)
+        assert set(scenario.queries()) == {"Q1", "Q2_present", "Q2_absent", "Q3", "Q4"}
+
+    def test_extra_master_rows_grow_the_master(self):
+        base = build_patient_scenario()
+        grown = build_patient_scenario(extra_master_rows=3)
+        assert grown.master.size == base.master.size + 3
+        # The added patients do not disturb the Figure 1 verdicts for Q1.
+        assert is_relatively_complete(
+            grown.figure1, grown.q1, grown.master, grown.constraints,
+            CompletenessModel.STRONG,
+        )
+
+    def test_display_version_matches_figure(self):
+        assert display_schema()["MVisit"].arity == 8
+        assert len(display_figure1_cinstance()["MVisit"]) == 5
+
+
+class TestRegistryWorkload:
+    @pytest.mark.parametrize("variable_count", [0, 1, 2])
+    def test_requested_number_of_variables(self, variable_count):
+        workload = registry_workload(master_size=4, db_rows=3, variable_count=variable_count)
+        assert len(workload.cinstance.variables()) == variable_count
+        assert workload.cinstance.size == 3
+
+    def test_generated_instances_are_partially_closed(self):
+        workload = registry_workload(master_size=5, db_rows=4, variable_count=1)
+        assert satisfies_all(workload.ground_db, workload.master, workload.constraints)
+        assert is_consistent(workload.cinstance, workload.master, workload.constraints)
+
+    def test_queries_answer_on_the_ground_database(self):
+        workload = registry_workload(master_size=4, db_rows=2, variable_count=0)
+        assert evaluate(workload.full_query, workload.ground_db)
+        assert classify(workload.union_query) is QueryLanguage.UCQ
+
+    def test_determinism(self):
+        first = registry_workload(master_size=4, db_rows=2, variable_count=1, seed=9)
+        second = registry_workload(master_size=4, db_rows=2, variable_count=1, seed=9)
+        assert first.ground_db == second.ground_db
+        assert first.cinstance == second.cinstance
+
+    def test_without_fd_only_ind_ccs_remain(self):
+        workload = registry_workload(master_size=3, with_fd=False)
+        assert all(c.is_inclusion_dependency() for c in workload.constraints)
+
+
+class TestGeneratorHelpers:
+    def test_random_cinstance_respects_row_and_variable_budget(self):
+        workload = registry_workload(master_size=3)
+        T = random_cinstance(
+            workload.schema, "Record", rows=4, variable_count=3,
+            constant_pool=["a", "b"], seed=2,
+        )
+        assert len(T.table("Record")) == 4
+        assert len(T.variables()) >= 1
+
+    def test_chain_fp_query_is_fp(self):
+        query = chain_fp_query()
+        assert classify(query) is QueryLanguage.FP
+        assert query.arity == 2
+
+    def test_point_queries_for_keys(self):
+        queries = point_queries_for_keys(["k0", "k1"])
+        assert len(queries) == 2
+        assert all(classify(q) is QueryLanguage.CQ for q in queries)
