@@ -1,0 +1,258 @@
+"""EXP-ENGINE — pruned constraint-propagating search vs naive enumeration.
+
+Every decision procedure bottoms out in the enumeration of
+``Mod_Adom(T, D_m, V)``.  This benchmark compares the two engines behind it
+(``engine="naive"`` — the original cross-product scan — and
+``engine="propagating"`` — the backtracking search of :mod:`repro.search`)
+on the workloads the other benchmark files sweep, and extends the sweeps to
+sizes the naive path cannot reach at all.
+
+Each comparison first asserts *parity* (identical verdict / model count from
+both engines) and then reports the timings.  The headline number is the
+speedup on the largest case the naive path still finishes; the scale-up rows
+run the propagating engine alone on inputs whose cross product is out of
+reach (the naive cost column reports the number of valuations it would have
+had to materialise).
+
+Run directly (the file deliberately does not match pytest's ``test_*``
+collection patterns)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.completeness.consistency import is_consistent  # noqa: E402
+from repro.completeness.strong import is_strongly_complete  # noqa: E402
+from repro.ctables.possible_worlds import (  # noqa: E402
+    default_active_domain,
+    model_count,
+)
+from repro.ctables.valuation import count_valuations  # noqa: E402
+from repro.reductions.consistency_reduction import (  # noqa: E402
+    build_consistency_reduction,
+)
+from repro.reductions.sat import random_forall_exists_instance  # noqa: E402
+from repro.workloads.generator import registry_workload  # noqa: E402
+
+#: Acceptance floor for the headline comparison (ISSUE 1 criterion).
+REQUIRED_SPEEDUP = 3.0
+
+
+@dataclass
+class Case:
+    """One engine comparison: a label plus a verdict-returning callable."""
+
+    group: str
+    label: str
+    run: Callable[[str], object]
+    naive_feasible: bool = True
+    headline: bool = False
+
+
+@dataclass
+class Outcome:
+    case: Case
+    verdict: object
+    naive_seconds: float | None
+    engine_seconds: float
+    naive_cost_note: str = ""
+
+    @property
+    def speedup(self) -> float | None:
+        if self.naive_seconds is None or self.engine_seconds <= 0:
+            return None
+        return self.naive_seconds / self.engine_seconds
+
+
+def _timed(function: Callable[[], object]) -> tuple[object, float]:
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start
+
+
+def _registry_cases(smoke: bool) -> list[Case]:
+    consistency_sweep = [2, 3] if smoke else [2, 3, 4, 5]
+    strong_sweep = [1, 2] if smoke else [1, 2, 3]
+    cases: list[Case] = []
+    for variable_count in consistency_sweep:
+        workload = registry_workload(
+            master_size=3, db_rows=max(3, variable_count), variable_count=variable_count
+        )
+        cases.append(
+            Case(
+                group="consistency (registry)",
+                label=f"vars={variable_count}",
+                run=lambda engine, w=workload: is_consistent(
+                    w.cinstance, w.master, w.constraints, engine=engine
+                ),
+                headline=variable_count == consistency_sweep[-1],
+            )
+        )
+    for variable_count in strong_sweep:
+        workload = registry_workload(
+            master_size=3, db_rows=max(3, variable_count), variable_count=variable_count
+        )
+        cases.append(
+            Case(
+                group="rcdp-strong (registry)",
+                label=f"vars={variable_count}",
+                run=lambda engine, w=workload: is_strongly_complete(
+                    w.cinstance, w.point_query, w.master, w.constraints, engine=engine
+                ),
+                headline=variable_count == strong_sweep[-1],
+            )
+        )
+    return cases
+
+
+def _reduction_cases(smoke: bool) -> list[Case]:
+    sweep = [(1, 1, 2), (2, 1, 3)] if smoke else [(1, 1, 2), (2, 1, 3), (2, 2, 4)]
+    cases = []
+    for dimensions in sweep:
+        formula = random_forall_exists_instance(*dimensions, seed=7)
+        reduction = build_consistency_reduction(formula)
+        universal, existential, clauses = dimensions
+        cases.append(
+            Case(
+                group="consistency (Prop. 3.3 reduction)",
+                label=f"x{universal}_y{existential}_c{clauses}",
+                run=lambda engine, r=reduction: is_consistent(
+                    r.cinstance, r.master, r.constraints, engine=engine
+                ),
+            )
+        )
+    return cases
+
+
+def _model_count_cases(smoke: bool) -> list[Case]:
+    sweep = [2, 3] if smoke else [2, 3, 4]
+    cases = []
+    for variable_count in sweep:
+        workload = registry_workload(
+            master_size=4, db_rows=max(3, variable_count), variable_count=variable_count
+        )
+        cases.append(
+            Case(
+                group="model_count (registry)",
+                label=f"vars={variable_count}",
+                run=lambda engine, w=workload: model_count(
+                    w.cinstance, w.master, w.constraints, engine=engine
+                ),
+            )
+        )
+    return cases
+
+
+def _scale_up_cases(smoke: bool) -> list[Case]:
+    """Sizes whose cross product the naive path cannot materialise."""
+    sweep = [(6, 6, 6)] if smoke else [(6, 6, 6), (8, 8, 8), (10, 10, 10)]
+    cases = []
+    for master_size, db_rows, variable_count in sweep:
+        workload = registry_workload(
+            master_size=master_size, db_rows=db_rows, variable_count=variable_count
+        )
+        adom = default_active_domain(
+            workload.cinstance, workload.master, workload.constraints
+        )
+        valuations = count_valuations(workload.cinstance, adom)
+        cases.append(
+            Case(
+                group="consistency scale-up (engine only)",
+                label=(
+                    f"master={master_size} rows={db_rows} vars={variable_count} "
+                    f"(naive: {valuations:.2e} valuations)"
+                ),
+                run=lambda engine, w=workload: is_consistent(
+                    w.cinstance, w.master, w.constraints, engine=engine
+                ),
+                naive_feasible=False,
+            )
+        )
+    return cases
+
+
+def run_benchmark(smoke: bool) -> int:
+    cases = (
+        _registry_cases(smoke)
+        + _reduction_cases(smoke)
+        + _model_count_cases(smoke)
+        + _scale_up_cases(smoke)
+    )
+    outcomes: list[Outcome] = []
+    for case in cases:
+        engine_verdict, engine_seconds = _timed(lambda: case.run("propagating"))
+        if case.naive_feasible:
+            naive_verdict, naive_seconds = _timed(lambda: case.run("naive"))
+            if naive_verdict != engine_verdict:
+                print(
+                    f"PARITY FAILURE in {case.group} [{case.label}]: "
+                    f"naive={naive_verdict!r} propagating={engine_verdict!r}"
+                )
+                return 1
+        else:
+            naive_seconds = None
+        outcomes.append(Outcome(case, engine_verdict, naive_seconds, engine_seconds))
+
+    width = max(len(f"{o.case.group} [{o.case.label}]") for o in outcomes)
+    group = None
+    for outcome in outcomes:
+        if outcome.case.group != group:
+            group = outcome.case.group
+            print(f"\n== {group} ==")
+        name = f"{outcome.case.group} [{outcome.case.label}]".ljust(width)
+        naive = (
+            f"{outcome.naive_seconds * 1e3:10.2f} ms"
+            if outcome.naive_seconds is not None
+            else "   (infeasible)"
+        )
+        speed = (
+            f"{outcome.speedup:8.1f}x" if outcome.speedup is not None else "        -"
+        )
+        mark = "  <== headline" if outcome.case.headline else ""
+        print(
+            f"{name}  naive={naive}  propagating="
+            f"{outcome.engine_seconds * 1e3:10.2f} ms  speedup={speed}"
+            f"  verdict={outcome.verdict!r}{mark}"
+        )
+
+    headline = [o for o in outcomes if o.case.headline and o.speedup is not None]
+    worst = min((o.speedup for o in headline), default=None)
+    print()
+    if worst is None:
+        print("No headline comparison ran (smoke sweep too small?)")
+        return 1
+    print(
+        f"Headline speedup (largest naive-feasible RCDP-strong/consistency "
+        f"cases): {worst:.1f}x (required ≥ {REQUIRED_SPEEDUP:.0f}x)"
+    )
+    if not smoke and worst < REQUIRED_SPEEDUP:
+        print("FAILED: pruned engine did not reach the required speedup")
+        return 1
+    print("All parity checks passed.")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sweep for CI: parity checks plus a quick speedup report",
+    )
+    args = parser.parse_args()
+    return run_benchmark(smoke=args.smoke)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

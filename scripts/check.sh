@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# One-invocation correctness + speed gate.
+#
+# Runs the tier-1 test suite (includes the engine-parity tests) followed by
+# the engine smoke benchmark, so a regression in either correctness or the
+# pruned search's speed fails a single command:
+#
+#     scripts/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: pytest =="
+python -m pytest -x -q
+
+echo
+echo "== engine smoke benchmark (parity + speedup) =="
+python benchmarks/bench_engine.py --smoke
+
+echo
+echo "check.sh: all gates passed"

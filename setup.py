@@ -1,8 +1,11 @@
 """Setuptools shim.
 
-The build metadata lives in ``pyproject.toml``; this file exists so that the
-package can be installed in environments without the ``wheel`` package (no
-PEP 517 build isolation available offline) via ``pip install -e .``.
+The build metadata lives in ``pyproject.toml`` (name, version, ``src/``
+package layout); ``pip install -e .`` picks it up through the standard PEP 517
+path.  This file exists for offline environments without the ``wheel``
+package or network access (where pip's build isolation cannot bootstrap a
+backend): there, ``python setup.py develop`` installs the package with the
+same metadata, which setuptools ≥ 61 also reads from ``pyproject.toml``.
 """
 
 from setuptools import setup

@@ -88,6 +88,7 @@ from repro.ctables import (
     var_neq,
 )
 from repro.exceptions import ReproError
+from repro.search import SearchStats, WorldSearch
 from repro.queries import (
     ConjunctiveQuery,
     FixpointQuery,
@@ -139,6 +140,8 @@ __all__ = [
     "RelationSchema",
     "ReproError",
     "STRONG",
+    "SearchStats",
+    "WorldSearch",
     "UnionOfConjunctiveQueries",
     "VIABLE",
     "WEAK",

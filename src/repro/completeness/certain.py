@@ -49,6 +49,7 @@ def certain_answer_over_models(
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
+    engine: str | None = None,
 ) -> frozenset[Row]:
     """``⋂_{I ∈ Mod_Adom(T, D_m, V)} Q(I)``.
 
@@ -61,7 +62,7 @@ def certain_answer_over_models(
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints, query)
     answer: frozenset[Row] | None = None
-    for world in models(cinstance, master, constraints, adom):
+    for world in models(cinstance, master, constraints, adom, engine=engine):
         world_answer = evaluate(query, world)
         answer = world_answer if answer is None else answer & world_answer
         if not answer:
@@ -140,6 +141,7 @@ def certain_answer_over_extensions(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
+    engine: str | None = None,
 ) -> ExtensionCertainAnswer:
     """``⋂_{I ∈ Mod(T), I' ∈ Ext(I)} Q(I')`` for monotone queries.
 
@@ -165,7 +167,7 @@ def certain_answer_over_extensions(
         adom = default_active_domain(cinstance, master, constraints, query)
     answer: frozenset[Row] | None = None
     saw_world = False
-    for world in models(cinstance, master, constraints, adom):
+    for world in models(cinstance, master, constraints, adom, engine=engine):
         saw_world = True
         contribution, has_extensions = _world_contribution(
             world, query, master, constraints, adom, limit

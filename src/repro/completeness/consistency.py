@@ -39,6 +39,7 @@ def is_consistent(
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
+    engine: str | None = None,
 ) -> bool:
     """Whether ``Mod(T, D_m, V)`` is non-empty (the consistency problem).
 
@@ -47,7 +48,7 @@ def is_consistent(
     """
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints)
-    return has_model(cinstance, master, constraints, adom)
+    return has_model(cinstance, master, constraints, adom, engine=engine)
 
 
 def consistent_world(
@@ -55,11 +56,12 @@ def consistent_world(
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
+    engine: str | None = None,
 ) -> GroundInstance | None:
     """A witness world in ``Mod_Adom(T, D_m, V)``, or ``None`` if inconsistent."""
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints)
-    for world in models(cinstance, master, constraints, adom):
+    for world in models(cinstance, master, constraints, adom, engine=engine):
         return world
     return None
 

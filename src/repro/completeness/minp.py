@@ -73,6 +73,7 @@ def is_minimal_strongly_complete(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
+    engine: str | None = None,
 ) -> bool:
     """MINPˢ: every world of ``Mod_Adom(T)`` is a minimal complete instance.
 
@@ -85,7 +86,7 @@ def is_minimal_strongly_complete(
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints, query)
     saw_world = False
-    for world in models(cinstance, master, constraints, adom):
+    for world in models(cinstance, master, constraints, adom, engine=engine):
         saw_world = True
         if not is_minimal_ground_complete(
             world, query, master, constraints, adom=adom, limit=limit
@@ -106,6 +107,7 @@ def is_minimal_viably_complete(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
+    engine: str | None = None,
 ) -> bool:
     """MINPᵛ: some world of ``Mod_Adom(T)`` is a minimal complete instance.
 
@@ -118,7 +120,7 @@ def is_minimal_viably_complete(
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints, query)
     saw_world = False
-    for world in models(cinstance, master, constraints, adom):
+    for world in models(cinstance, master, constraints, adom, engine=engine):
         saw_world = True
         if is_minimal_ground_complete(
             world, query, master, constraints, adom=adom, limit=limit
@@ -142,6 +144,7 @@ def is_minimal_weakly_complete(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
+    engine: str | None = None,
 ) -> bool:
     """MINPʷ: ``T`` is weakly complete and no strict sub-c-instance is.
 
@@ -150,10 +153,14 @@ def is_minimal_weakly_complete(
     upper bounds of Theorem 5.6.  Note that Lemma 4.7 does *not* apply in the
     weak model (Example 5.5), hence all subsets of rows are inspected.
     """
-    if not is_weakly_complete(cinstance, query, master, constraints, adom=adom, limit=limit):
+    if not is_weakly_complete(
+        cinstance, query, master, constraints, adom=adom, limit=limit, engine=engine
+    ):
         return False
     for smaller in cinstance.strict_subinstances():
-        if is_weakly_complete(smaller, query, master, constraints, limit=limit):
+        if is_weakly_complete(
+            smaller, query, master, constraints, limit=limit, engine=engine
+        ):
             return False
     return True
 
@@ -164,6 +171,7 @@ def is_minimal_weakly_complete_cq(
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],
     limit: int | None = None,
+    engine: str | None = None,
 ) -> bool:
     """MINPʷ for CQ via the characterisation of Lemma 5.7 (coDP upper bound).
 
@@ -175,13 +183,13 @@ def is_minimal_weakly_complete_cq(
         raise QueryError("the Lemma 5.7 characterisation applies to CQ only")
     empty = CInstance(cinstance.schema)
     empty_is_weakly_complete = is_weakly_complete(
-        empty, query, master, constraints, limit=limit
+        empty, query, master, constraints, limit=limit, engine=engine
     )
     if empty_is_weakly_complete:
         return cinstance.is_empty()
     if cinstance.size != 1:
         return False
-    return has_model(cinstance, master, constraints)
+    return has_model(cinstance, master, constraints, engine=engine)
 
 
 # ---------------------------------------------------------------------------
@@ -195,6 +203,7 @@ def is_minimal_complete(
     model: CompletenessModel = CompletenessModel.STRONG,
     adom: ActiveDomain | None = None,
     limit: int | None = None,
+    engine: str | None = None,
 ) -> bool:
     """Decide MINP for the given completeness model (exact cells only)."""
     if isinstance(database, GroundInstance):
@@ -203,15 +212,15 @@ def is_minimal_complete(
         cinstance = database
     if model is CompletenessModel.STRONG:
         return is_minimal_strongly_complete(
-            cinstance, query, master, constraints, adom=adom, limit=limit
+            cinstance, query, master, constraints, adom=adom, limit=limit, engine=engine
         )
     if model is CompletenessModel.WEAK:
         return is_minimal_weakly_complete(
-            cinstance, query, master, constraints, adom=adom, limit=limit
+            cinstance, query, master, constraints, adom=adom, limit=limit, engine=engine
         )
     if model is CompletenessModel.VIABLE:
         return is_minimal_viably_complete(
-            cinstance, query, master, constraints, adom=adom, limit=limit
+            cinstance, query, master, constraints, adom=adom, limit=limit, engine=engine
         )
     raise QueryError(f"unknown completeness model {model!r}")
 

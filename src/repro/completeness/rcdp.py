@@ -64,6 +64,8 @@ def is_relatively_complete(
     max_new_tuples: int = 1,
     adom: ActiveDomain | None = None,
     limit: int | None = None,
+    require_consistent: bool = True,
+    engine: str | None = None,
 ) -> bool:
     """Decide RCDP for the given completeness model.
 
@@ -81,12 +83,26 @@ def is_relatively_complete(
         positive answers are heuristic.
     max_new_tuples:
         Extension budget for the bounded checks.
+    require_consistent:
+        With the default ``True``, an empty ``Mod(T, D_m, V)`` raises
+        :class:`~repro.exceptions.InconsistentCInstanceError`; with ``False``
+        the vacuous verdict of the selected model is returned instead.
+    engine:
+        World-search engine selection (see
+        :mod:`repro.ctables.possible_worlds`).
     """
     cinstance = as_cinstance(database)
     if model is CompletenessModel.STRONG:
         if supports_exact_strong_check(query):
             return is_strongly_complete(
-                cinstance, query, master, constraints, adom=adom, limit=limit
+                cinstance,
+                query,
+                master,
+                constraints,
+                adom=adom,
+                limit=limit,
+                require_consistent=require_consistent,
+                engine=engine,
             )
         if allow_bounded:
             return is_strongly_complete_bounded(
@@ -97,6 +113,8 @@ def is_relatively_complete(
                 max_new_tuples=max_new_tuples,
                 adom=adom,
                 limit=limit,
+                require_consistent=require_consistent,
+                engine=engine,
             )
         raise QueryError(
             f"RCDP^s is undecidable for {classify(query).value} (Theorem 4.1); "
@@ -105,7 +123,14 @@ def is_relatively_complete(
     if model is CompletenessModel.WEAK:
         if supports_exact_weak_check(query):
             return is_weakly_complete(
-                cinstance, query, master, constraints, adom=adom, limit=limit
+                cinstance,
+                query,
+                master,
+                constraints,
+                adom=adom,
+                limit=limit,
+                require_consistent=require_consistent,
+                engine=engine,
             )
         if allow_bounded:
             return is_weakly_complete_bounded(
@@ -116,6 +141,8 @@ def is_relatively_complete(
                 max_new_tuples=max_new_tuples,
                 adom=adom,
                 limit=limit,
+                require_consistent=require_consistent,
+                engine=engine,
             )
         raise QueryError(
             f"RCDP^w is undecidable for {classify(query).value} (Theorem 5.1); "
@@ -124,7 +151,14 @@ def is_relatively_complete(
     if model is CompletenessModel.VIABLE:
         if supports_exact_strong_check(query):
             return is_viably_complete(
-                cinstance, query, master, constraints, adom=adom, limit=limit
+                cinstance,
+                query,
+                master,
+                constraints,
+                adom=adom,
+                limit=limit,
+                require_consistent=require_consistent,
+                engine=engine,
             )
         if allow_bounded:
             return is_viably_complete_bounded(
@@ -135,6 +169,8 @@ def is_relatively_complete(
                 max_new_tuples=max_new_tuples,
                 adom=adom,
                 limit=limit,
+                require_consistent=require_consistent,
+                engine=engine,
             )
         raise QueryError(
             f"RCDP^v is undecidable for {classify(query).value} (Theorem 6.1); "

@@ -35,7 +35,12 @@ from repro.constraints.containment import (
     satisfies_all,
 )
 from repro.ctables.adom import ActiveDomain, build_active_domain
+from repro.ctables.cinstance import CInstance
+from repro.ctables.ctable import CTable, CTableRow
+from repro.ctables.possible_worlds import resolve_engine
 from repro.exceptions import QueryError
+from repro.search.engine import WorldSearch, world_key
+from repro.search.propagation import ConstraintChecker
 from repro.queries.classify import (
     QueryLanguage,
     as_union_of_cqs,
@@ -240,6 +245,90 @@ class RCQPWitness:
     instances_examined: int
 
 
+def _size_compositions(total: int, names: Sequence[str]):
+    """All distributions of ``total`` tuples over the named relations."""
+    if not names:
+        if total == 0:
+            yield {}
+        return
+    first, rest = names[0], names[1:]
+    for count in range(total + 1):
+        for tail in _size_compositions(total - count, rest):
+            yield {first: count, **tail}
+
+
+def _all_variable_cinstance(
+    schema: DatabaseSchema, counts: "dict[str, int]"
+) -> CInstance:
+    """A c-instance with ``counts[R]`` rows of pairwise-distinct variables per relation.
+
+    Its possible worlds are exactly the partially closed Adom instances with
+    at most ``counts[R]`` tuples in each relation (rows may collapse), which
+    is the candidate space of the Lemma 4.4 witness search.
+    """
+    tables: dict[str, CTable] = {}
+    for relation in schema:
+        rows = []
+        for index in range(counts.get(relation.name, 0)):
+            terms = tuple(
+                Variable(f"rcqp_{relation.name}_{index}_{position}")
+                for position in range(relation.arity)
+            )
+            rows.append(CTableRow(terms))
+        tables[relation.name] = CTable(relation, rows)
+    return CInstance(schema, tables)
+
+
+def _rcqp_engine_search(
+    query: Query,
+    schema: DatabaseSchema,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    max_size: int,
+    max_instances: int | None,
+) -> RCQPWitness:
+    """Witness search routed through the pruned world-search engine.
+
+    For every total size ``s ≤ max_size`` and every distribution of ``s``
+    rows over the relations, the worlds of the corresponding all-variable
+    c-instance are enumerated; the engine propagates the CCs on partial
+    candidates, so tuple combinations that already violate a constraint are
+    never materialised (unlike the naive combination scan, which inspects and
+    rejects them one by one).
+    """
+    base = empty_instance(schema)
+    adom = ground_active_domain(base, query, master, constraints)
+    names = list(schema.relation_names)
+    checker = ConstraintChecker(master, constraints)
+    examined = 0
+    seen: set = set()
+    for size in range(0, max_size + 1):
+        for counts in _size_compositions(size, names):
+            shape = _all_variable_cinstance(schema, counts)
+            search = WorldSearch(shape, master, constraints, adom, checker=checker)
+            # The global `seen` set already deduplicates by world_key across
+            # compositions, so the per-search dedup pass is skipped.
+            for _valuation, candidate in search.search():
+                key = world_key(candidate)
+                if key in seen:
+                    continue
+                seen.add(key)
+                examined += 1
+                if max_instances is not None and examined > max_instances:
+                    return RCQPWitness(
+                        found=False, witness=None, instances_examined=examined - 1
+                    )
+                # NOTE: the completeness check builds its own active domain —
+                # the search Adom must not be reused, because a candidate
+                # built from fresh values needs further fresh values of its
+                # own to act as the "anything else" witnesses of Lemma 4.2.
+                if is_ground_complete(candidate, query, master, constraints):
+                    return RCQPWitness(
+                        found=True, witness=candidate, instances_examined=examined
+                    )
+    return RCQPWitness(found=False, witness=None, instances_examined=examined)
+
+
 def rcqp_bounded_search(
     query: Query,
     schema: DatabaseSchema,
@@ -247,6 +336,7 @@ def rcqp_bounded_search(
     constraints: Sequence[ContainmentConstraint],
     max_size: int = 2,
     max_instances: int | None = 200_000,
+    engine: str | None = None,
 ) -> RCQPWitness:
     """Search for a ground instance complete for ``Q`` with at most ``max_size`` tuples.
 
@@ -256,7 +346,16 @@ def rcqp_bounded_search(
     NEXPTIME-complete, so the search is exponential; callers bound it with
     ``max_size`` and ``max_instances``.  A negative result only means "no
     witness within the budget".
+
+    Both engines explore the same candidate space.  ``instances_examined``
+    counts candidate instances inspected by the naive scan but partially
+    closed candidates actually tested for completeness by the propagating
+    engine (violating combinations are pruned before being counted).
     """
+    if resolve_engine(engine) == "propagating":
+        return _rcqp_engine_search(
+            query, schema, master, constraints, max_size, max_instances
+        )
     base = empty_instance(schema)
     adom = ground_active_domain(base, query, master, constraints)
     per_relation_rows = {
@@ -293,6 +392,7 @@ def rcqp(
     constraints: Sequence[ContainmentConstraint],
     model: "str | None" = None,
     max_size: int = 2,
+    engine: str | None = None,
 ) -> bool:
     """Convenience front-end for RCQP.
 
@@ -314,5 +414,5 @@ def rcqp(
     if constraints and all(c.is_inclusion_dependency() for c in constraints):
         return strong_rcqp_with_ind_ccs(query, schema, master, constraints)
     return rcqp_bounded_search(
-        query, schema, master, constraints, max_size=max_size
+        query, schema, master, constraints, max_size=max_size, engine=engine
     ).found

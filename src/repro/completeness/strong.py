@@ -54,6 +54,7 @@ def find_strong_incompleteness_witness(
     adom: ActiveDomain | None = None,
     limit: int | None = None,
     require_consistent: bool = True,
+    engine: str | None = None,
 ) -> StrongIncompletenessWitness | None:
     """Search for a world of ``T`` that is not relatively complete for ``Q``.
 
@@ -71,7 +72,7 @@ def find_strong_incompleteness_witness(
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints, query)
     saw_world = False
-    for world in models(cinstance, master, constraints, adom):
+    for world in models(cinstance, master, constraints, adom, engine=engine):
         saw_world = True
         witness = find_ground_incompleteness_witness(
             world, query, master, constraints, adom=adom, limit=limit
@@ -94,6 +95,7 @@ def is_strongly_complete(
     adom: ActiveDomain | None = None,
     limit: int | None = None,
     require_consistent: bool = True,
+    engine: str | None = None,
 ) -> bool:
     """Whether ``T`` is strongly complete for ``Q`` relative to ``(D_m, V)``.
 
@@ -107,6 +109,7 @@ def is_strongly_complete(
         adom=adom,
         limit=limit,
         require_consistent=require_consistent,
+        engine=engine,
     )
     return witness is None
 
@@ -119,6 +122,8 @@ def is_strongly_complete_bounded(
     max_new_tuples: int = 1,
     adom: ActiveDomain | None = None,
     limit: int | None = None,
+    require_consistent: bool = True,
+    engine: str | None = None,
 ) -> bool:
     """Bounded strong-completeness check for arbitrary query languages.
 
@@ -126,11 +131,15 @@ def is_strongly_complete_bounded(
     for every world in ``Mod_Adom(T)``, extensions by at most
     ``max_new_tuples`` Adom tuples.  ``False`` answers are definitive;
     ``True`` answers are only "no counterexample within the bound".
+
+    As with the exact decider, an empty ``Mod(T, D_m, V)`` raises unless
+    ``require_consistent=False`` is passed, in which case the inconsistent
+    c-instance is vacuously strongly complete.
     """
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints, query)
     saw_world = False
-    for world in models(cinstance, master, constraints, adom):
+    for world in models(cinstance, master, constraints, adom, engine=engine):
         saw_world = True
         if not is_ground_complete_bounded(
             world,
@@ -142,7 +151,7 @@ def is_strongly_complete_bounded(
             limit=limit,
         ):
             return False
-    if not saw_world:
+    if not saw_world and require_consistent:
         raise InconsistentCInstanceError(
             "Mod(T, Dm, V) is empty; strong completeness is only defined for "
             "partially closed (consistent) c-instances"

@@ -41,19 +41,23 @@ def find_viable_witness(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
+    require_consistent: bool = True,
+    engine: str | None = None,
 ) -> GroundInstance | None:
     """A possible world of ``T`` that is relatively complete for ``Q``, if any.
 
-    Exact for the positive languages (CQ, UCQ, ∃FO⁺).
+    Exact for the positive languages (CQ, UCQ, ∃FO⁺).  An empty
+    ``Mod(T, D_m, V)`` raises unless ``require_consistent=False`` is passed
+    (no world exists, so no witness exists either).
     """
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints, query)
     saw_world = False
-    for world in models(cinstance, master, constraints, adom):
+    for world in models(cinstance, master, constraints, adom, engine=engine):
         saw_world = True
         if is_ground_complete(world, query, master, constraints, adom=adom, limit=limit):
             return world
-    if not saw_world:
+    if not saw_world and require_consistent:
         raise InconsistentCInstanceError(
             "Mod(T, Dm, V) is empty; viable completeness is only defined for "
             "partially closed (consistent) c-instances"
@@ -68,6 +72,8 @@ def is_viably_complete(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
+    require_consistent: bool = True,
+    engine: str | None = None,
 ) -> bool:
     """Whether ``T`` is viably complete for ``Q`` relative to ``(D_m, V)``.
 
@@ -75,7 +81,14 @@ def is_viably_complete(
     """
     return (
         find_viable_witness(
-            cinstance, query, master, constraints, adom=adom, limit=limit
+            cinstance,
+            query,
+            master,
+            constraints,
+            adom=adom,
+            limit=limit,
+            require_consistent=require_consistent,
+            engine=engine,
         )
         is not None
     )
@@ -89,17 +102,21 @@ def is_viably_complete_bounded(
     max_new_tuples: int = 1,
     adom: ActiveDomain | None = None,
     limit: int | None = None,
+    require_consistent: bool = True,
+    engine: str | None = None,
 ) -> bool:
     """Bounded viable-completeness check for arbitrary query languages.
 
     Searches ``Mod_Adom(T)`` for a world with no answer-changing extension of
     at most ``max_new_tuples`` Adom tuples.  See the module docstring for how
-    to interpret the verdict.
+    to interpret the verdict.  An empty ``Mod(T, D_m, V)`` raises unless
+    ``require_consistent=False`` is passed (no world exists, hence no
+    candidate world either).
     """
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints, query)
     saw_world = False
-    for world in models(cinstance, master, constraints, adom):
+    for world in models(cinstance, master, constraints, adom, engine=engine):
         saw_world = True
         if is_ground_complete_bounded(
             world,
@@ -111,7 +128,7 @@ def is_viably_complete_bounded(
             limit=limit,
         ):
             return True
-    if not saw_world:
+    if not saw_world and require_consistent:
         raise InconsistentCInstanceError(
             "Mod(T, Dm, V) is empty; viable completeness is only defined for "
             "partially closed (consistent) c-instances"

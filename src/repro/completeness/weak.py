@@ -55,10 +55,16 @@ def weak_completeness_report(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
+    require_consistent: bool = True,
+    engine: str | None = None,
 ) -> WeakCompletenessReport:
     """Compute both certain answers and the weak-completeness verdict.
 
-    Exact for monotone queries (CQ, UCQ, ∃FO⁺, FP).
+    Exact for monotone queries (CQ, UCQ, ∃FO⁺, FP).  An empty
+    ``Mod(T, D_m, V)`` raises :class:`InconsistentCInstanceError` unless
+    ``require_consistent=False`` is passed, in which case the c-instance is
+    reported as vacuously weakly complete (both intersections range over an
+    empty family of worlds).
     """
     if not is_monotone(query):
         raise QueryError(
@@ -67,11 +73,21 @@ def weak_completeness_report(
         )
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints, query)
-    over_models = certain_answer_over_models(
-        cinstance, query, master, constraints, adom=adom
-    )
+    try:
+        over_models = certain_answer_over_models(
+            cinstance, query, master, constraints, adom=adom, engine=engine
+        )
+    except InconsistentCInstanceError:
+        if require_consistent:
+            raise
+        return WeakCompletenessReport(
+            certain_over_models=frozenset(),
+            certain_over_extensions=frozenset(),
+            no_world_has_extensions=True,
+            is_weakly_complete=True,
+        )
     over_extensions: ExtensionCertainAnswer = certain_answer_over_extensions(
-        cinstance, query, master, constraints, adom=adom, limit=limit
+        cinstance, query, master, constraints, adom=adom, limit=limit, engine=engine
     )
     if over_extensions.family_is_empty:
         verdict = True
@@ -92,13 +108,22 @@ def is_weakly_complete(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
+    require_consistent: bool = True,
+    engine: str | None = None,
 ) -> bool:
     """Whether ``T`` is weakly complete for ``Q`` relative to ``(D_m, V)``.
 
     Exact for CQ, UCQ, ∃FO⁺ and FP (RCDPʷ, Theorem 5.1).
     """
     return weak_completeness_report(
-        cinstance, query, master, constraints, adom=adom, limit=limit
+        cinstance,
+        query,
+        master,
+        constraints,
+        adom=adom,
+        limit=limit,
+        require_consistent=require_consistent,
+        engine=engine,
     ).is_weakly_complete
 
 
@@ -110,6 +135,8 @@ def is_weakly_complete_bounded(
     max_new_tuples: int = 1,
     adom: ActiveDomain | None = None,
     limit: int | None = None,
+    require_consistent: bool = True,
+    engine: str | None = None,
 ) -> bool:
     """Bounded weak-completeness check usable for any query language.
 
@@ -117,7 +144,9 @@ def is_weakly_complete_bounded(
     at most ``max_new_tuples`` Adom tuples.  For non-monotone queries this
     intersection may be *larger* than the true certain answer, so the verdict
     is a heuristic in both directions; the exact problem is undecidable for
-    FO (Theorem 5.1).
+    FO (Theorem 5.1).  An empty ``Mod(T, D_m, V)`` raises unless
+    ``require_consistent=False`` is passed (vacuously weakly complete, as in
+    :func:`weak_completeness_report`).
     """
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints, query)
@@ -125,7 +154,7 @@ def is_weakly_complete_bounded(
     over_extensions: frozenset[Row] | None = None
     any_extension = False
     saw_world = False
-    for world in models(cinstance, master, constraints, adom):
+    for world in models(cinstance, master, constraints, adom, engine=engine):
         saw_world = True
         world_answer = evaluate(query, world)
         over_models = (
@@ -142,10 +171,12 @@ def is_weakly_complete_bounded(
                 else over_extensions & extended_answer
             )
     if not saw_world:
-        raise InconsistentCInstanceError(
-            "Mod(T, Dm, V) is empty; weak completeness is only defined for "
-            "partially closed (consistent) c-instances"
-        )
+        if require_consistent:
+            raise InconsistentCInstanceError(
+                "Mod(T, Dm, V) is empty; weak completeness is only defined for "
+                "partially closed (consistent) c-instances"
+            )
+        return True
     if not any_extension:
         return True
     return over_models == over_extensions

@@ -17,11 +17,13 @@ from repro.ctables.cinstance import CInstance, cinstance
 from repro.ctables.conditions import TRUE, Condition, condition, var_eq, var_neq
 from repro.ctables.ctable import CTable, CTableRow
 from repro.ctables.possible_worlds import (
+    DEFAULT_ENGINE,
     default_active_domain,
     has_model,
     model_count,
     models,
     models_with_valuations,
+    resolve_engine,
 )
 from repro.ctables.valuation import (
     Valuation,
@@ -34,6 +36,8 @@ from repro.ctables.valuation import (
 __all__ = [
     "ActiveDomain",
     "CInstance",
+    "DEFAULT_ENGINE",
+    "resolve_engine",
     "CTable",
     "CTableRow",
     "Condition",

@@ -6,8 +6,24 @@ infinite in general (variables range over infinite domains), but by
 Proposition 3.3 it suffices to consider valuations over the active domain
 ``Adom``; the paper writes the restricted set ``Mod_Adom(T, D_m, V)``.
 
-This module enumerates ``Mod_Adom``.  The higher-level decision procedures
-(consistency, RCDP, RCQP, MINP) are built on top of it in
+This module enumerates ``Mod_Adom``.  Two interchangeable engines back the
+enumeration, selected with the ``engine`` keyword accepted by every function
+here (and threaded through the deciders in :mod:`repro.completeness`):
+
+* ``engine="propagating"`` (the default) — the backtracking search of
+  :mod:`repro.search`: variables are assigned one at a time, containment
+  constraints are checked on partially grounded worlds so dead branches are
+  pruned before their exponentially many completions are materialised, fresh
+  Adom values are symmetry-reduced for pure existence checks, and duplicate
+  worlds are suppressed via a canonical form;
+* ``engine="naive"`` — the original cross-product enumeration
+  (``itertools.product`` over the variable pools, constraints checked on
+  complete worlds only), kept as the reference implementation the engine is
+  parity-tested against.
+
+Both engines produce the same set of valuations and worlds (only the
+enumeration order may differ).  The higher-level decision procedures
+(consistency, RCDP, RCQP, MINP) are built on top of this module in
 :mod:`repro.completeness`.
 """
 
@@ -24,9 +40,26 @@ from repro.constraints.containment import (
 from repro.ctables.adom import ActiveDomain, build_active_domain
 from repro.ctables.cinstance import CInstance
 from repro.ctables.valuation import Valuation, enumerate_valuations
+from repro.exceptions import SearchError
 from repro.queries.evaluation import Query, query_constants
 from repro.relational.instance import GroundInstance
 from repro.relational.master import MasterData
+from repro.search.engine import WorldSearch
+
+#: Engine used when callers do not request one explicitly.
+DEFAULT_ENGINE = "propagating"
+
+_ENGINE_NAMES = ("propagating", "naive")
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Normalise an ``engine`` keyword; ``None`` means :data:`DEFAULT_ENGINE`."""
+    resolved = DEFAULT_ENGINE if engine is None else engine
+    if resolved not in _ENGINE_NAMES:
+        raise SearchError(
+            f"unknown world-search engine {engine!r}; expected one of {_ENGINE_NAMES}"
+        )
+    return resolved
 
 
 def default_active_domain(
@@ -59,14 +92,19 @@ def models_with_valuations(
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
+    engine: str | None = None,
 ) -> Iterator[tuple[Valuation, GroundInstance]]:
     """Enumerate ``(µ, µ(T))`` pairs with ``µ(T) ∈ Mod_Adom(T, D_m, V)``."""
+    engine = resolve_engine(engine)
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints)
-    for valuation in enumerate_valuations(cinstance, adom):
-        world = cinstance.apply(valuation)
-        if satisfies_all(world, master, constraints):
-            yield valuation, world
+    if engine == "naive":
+        for valuation in enumerate_valuations(cinstance, adom):
+            world = cinstance.apply(valuation)
+            if satisfies_all(world, master, constraints):
+                yield valuation, world
+        return
+    yield from WorldSearch(cinstance, master, constraints, adom).search()
 
 
 def models(
@@ -75,19 +113,30 @@ def models(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     deduplicate: bool = True,
+    engine: str | None = None,
 ) -> Iterator[GroundInstance]:
     """Enumerate ``Mod_Adom(T, D_m, V)``.
 
     Distinct valuations may induce the same ground instance; by default the
     duplicates are suppressed so callers iterate over the set of worlds.
     """
-    seen: set[GroundInstance] = set()
-    for _valuation, world in models_with_valuations(cinstance, master, constraints, adom):
-        if deduplicate:
-            if world in seen:
-                continue
-            seen.add(world)
-        yield world
+    engine = resolve_engine(engine)
+    if adom is None:
+        adom = default_active_domain(cinstance, master, constraints)
+    if engine == "naive":
+        seen: set[GroundInstance] = set()
+        for _valuation, world in models_with_valuations(
+            cinstance, master, constraints, adom, engine="naive"
+        ):
+            if deduplicate:
+                if world in seen:
+                    continue
+                seen.add(world)
+            yield world
+        return
+    yield from WorldSearch(cinstance, master, constraints, adom).worlds(
+        deduplicate=deduplicate
+    )
 
 
 def has_model(
@@ -95,15 +144,28 @@ def has_model(
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
+    engine: str | None = None,
 ) -> bool:
     """Whether ``Mod(T, D_m, V)`` is non-empty (the consistency property).
 
     By the correctness argument of Proposition 3.3, emptiness over ``Adom``
-    coincides with emptiness over all valuations.
+    coincides with emptiness over all valuations.  The propagating engine
+    additionally applies fresh-value symmetry breaking here, which preserves
+    (non-)emptiness but not the world multiset — existence is all this
+    function reports.
     """
-    for _ in models_with_valuations(cinstance, master, constraints, adom):
-        return True
-    return False
+    engine = resolve_engine(engine)
+    if engine == "naive":
+        for _ in models_with_valuations(
+            cinstance, master, constraints, adom, engine="naive"
+        ):
+            return True
+        return False
+    if adom is None:
+        adom = default_active_domain(cinstance, master, constraints)
+    return WorldSearch(
+        cinstance, master, constraints, adom, break_symmetry=True
+    ).has_world()
 
 
 def model_count(
@@ -111,6 +173,7 @@ def model_count(
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
+    engine: str | None = None,
 ) -> int:
     """The number of distinct worlds in ``Mod_Adom(T, D_m, V)``."""
-    return sum(1 for _ in models(cinstance, master, constraints, adom))
+    return sum(1 for _ in models(cinstance, master, constraints, adom, engine=engine))

@@ -67,10 +67,21 @@ def enumerate_valuations(
         yield valuation
 
 
-def count_valuations(cinstance: CInstance, adom: ActiveDomain) -> int:
-    """The number of valuations :func:`enumerate_valuations` would produce."""
+def count_valuations(
+    cinstance: CInstance,
+    adom: ActiveDomain,
+    fixed: Mapping[Variable, Constant] | None = None,
+) -> int:
+    """The number of valuations :func:`enumerate_valuations` would produce.
+
+    ``fixed`` pins variables exactly as in :func:`enumerate_valuations`:
+    pinned variables contribute no factor, only the pools of the remaining
+    free variables are multiplied.
+    """
+    fixed = dict(fixed or {})
     restrictions = cinstance.variable_domains()
-    pools = variable_pools(cinstance.variables(), adom, restrictions)
+    free_variables = cinstance.variables() - set(fixed)
+    pools = variable_pools(free_variables, adom, restrictions)
     total = 1
     for values in pools.values():
         total *= len(values)

@@ -69,5 +69,9 @@ class BoundExceededError(ReproError):
     """A bounded search exhausted its configured budget without an answer."""
 
 
+class SearchError(ReproError):
+    """A world-search engine was selected or configured incorrectly."""
+
+
 class ReductionError(ReproError):
     """A lower-bound reduction was given malformed input."""

@@ -1,0 +1,24 @@
+"""Constraint-propagating search over the possible worlds of a c-instance.
+
+The decision procedures of the paper all reduce to enumerating (or probing)
+``Mod_Adom(T, D_m, V)``.  This package provides the pruned backtracking
+engine behind that enumeration: per-variable candidate pools, early
+containment-constraint propagation on partially grounded worlds, fresh-value
+symmetry breaking for existence checks and canonical-form deduplication.
+
+:mod:`repro.ctables.possible_worlds` routes through the engine by default
+(``engine="propagating"``); the cross-product path remains available as
+``engine="naive"``.
+"""
+
+from repro.search.engine import SearchStats, WorldSearch, world_key
+from repro.search.ordering import order_variables
+from repro.search.propagation import ConstraintChecker
+
+__all__ = [
+    "ConstraintChecker",
+    "SearchStats",
+    "WorldSearch",
+    "order_variables",
+    "world_key",
+]

@@ -1,0 +1,259 @@
+"""The constraint-propagating world-search engine.
+
+The naive enumeration of ``Mod_Adom(T, D_m, V)`` materialises the full
+cross-product of variable pools (``itertools.product``) and checks the
+containment constraints only on complete worlds — exponential work even when
+a single tuple already violates a CC.  :class:`WorldSearch` replaces it with
+a backtracking search that exploits the structure of the paper's Adom
+restriction (Proposition 3.3, Lemmas 4.2/5.2):
+
+* variables are assigned one at a time, ordered for early failure and early
+  row completion (:mod:`repro.search.ordering`);
+* whenever a c-table row becomes fully grounded, its tuple joins the partial
+  world and the constraints touching that relation are re-checked
+  (:mod:`repro.search.propagation`) — a violated branch is pruned without
+  ever materialising its exponentially many completions;
+* for pure existence checks (:meth:`WorldSearch.has_world`), the fresh
+  ``New`` values of the active domain are interchangeable, so the search
+  explores only one representative per permutation class of fresh values
+  (``break_symmetry=True``); and
+* world enumeration deduplicates via a cheap canonical form
+  (:func:`world_key`) instead of hashing full :class:`GroundInstance`
+  objects.
+
+The engine enumerates exactly the valuations the naive path accepts (pruning
+is sound and complete for satisfying valuations), so
+:mod:`repro.ctables.possible_worlds` can route through it transparently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.constraints.containment import (
+    ContainmentConstraint,
+    constraint_set_constants,
+)
+from repro.ctables.adom import ActiveDomain, variable_pools
+from repro.ctables.cinstance import CInstance
+from repro.ctables.ctable import CTableRow
+from repro.ctables.valuation import Valuation
+from repro.relational.domains import Constant
+from repro.relational.instance import GroundInstance, Row
+from repro.relational.master import MasterData
+from repro.search.ordering import order_variables
+from repro.search.propagation import ConstraintChecker
+
+
+@dataclass
+class SearchStats:
+    """Counters describing one search run (reset per :class:`WorldSearch`)."""
+
+    nodes: int = 0
+    pruned: int = 0
+    worlds: int = 0
+    duplicate_worlds: int = 0
+    symmetry_skips: int = 0
+
+
+def world_key(world: GroundInstance) -> tuple[frozenset[Row], ...]:
+    """A canonical form for world deduplication.
+
+    Two worlds over the same schema are equal iff their keys are equal; the
+    key hashes only the tuple sets (in schema order), not the schema itself,
+    which makes it cheaper than hashing :class:`GroundInstance` objects in a
+    ``seen`` set.
+    """
+    return tuple(
+        world.relation(name).rows for name in world.schema.relation_names
+    )
+
+
+class WorldSearch:
+    """Backtracking enumeration of ``Mod_Adom(T, D_m, V)`` with propagation.
+
+    Parameters
+    ----------
+    cinstance, master, constraints, adom:
+        The decision-procedure input; ``adom`` defaults to the
+        :func:`~repro.ctables.possible_worlds.default_active_domain` of the
+        other three.
+    break_symmetry:
+        Restrict the search to one representative per permutation class of
+        interchangeable fresh Adom values.  Sound for existence checks only:
+        it preserves whether *some* satisfying valuation exists, not the full
+        world set, so enumerating callers must leave it off.
+    checker:
+        A prebuilt :class:`ConstraintChecker` for ``(master, constraints)``.
+        Callers that run many searches against the same master data pass one
+        to avoid re-evaluating the constraint right-hand sides per search.
+    """
+
+    def __init__(
+        self,
+        cinstance: CInstance,
+        master: MasterData,
+        constraints: Sequence[ContainmentConstraint],
+        adom: ActiveDomain | None = None,
+        *,
+        break_symmetry: bool = False,
+        checker: ConstraintChecker | None = None,
+    ) -> None:
+        if adom is None:
+            from repro.ctables.possible_worlds import default_active_domain
+
+            adom = default_active_domain(cinstance, master, constraints)
+        self._cinstance = cinstance
+        self._schema = cinstance.schema
+        self._adom = adom
+        self._checker = checker or ConstraintChecker(master, constraints)
+        self.stats = SearchStats()
+
+        restrictions = cinstance.variable_domains()
+        self._pools = variable_pools(cinstance.variables(), adom, restrictions)
+        rows = [(name, row) for name, _index, row in cinstance.rows()]
+        self._order = order_variables(
+            self._pools, [row.variables() for _name, row in rows]
+        )
+        position = {variable: i for i, variable in enumerate(self._order)}
+        # completions[0] holds the rows that are ground from the start;
+        # completions[d + 1] the rows whose last variable is order[d].
+        self._completions: list[list[tuple[str, CTableRow]]] = [
+            [] for _ in range(len(self._order) + 1)
+        ]
+        for name, row in rows:
+            row_variables = row.variables()
+            level = (
+                1 + max(position[v] for v in row_variables) if row_variables else 0
+            )
+            self._completions[level].append((name, row))
+
+        self._fresh_rank: dict[Constant, int] = {}
+        if break_symmetry:
+            self._fresh_rank = self._interchangeable_fresh_ranks(master, constraints)
+
+    # ------------------------------------------------------------------
+    # symmetry
+    # ------------------------------------------------------------------
+    def _interchangeable_fresh_ranks(
+        self,
+        master: MasterData,
+        constraints: Sequence[ContainmentConstraint],
+    ) -> dict[Constant, int]:
+        """Rank the fresh Adom values that nothing in the input distinguishes.
+
+        A fresh value is interchangeable when it occurs in no c-table term or
+        condition, no master tuple, no constraint and no finite attribute
+        domain — then any permutation of such values maps satisfying
+        valuations to satisfying valuations, and it suffices to explore
+        assignments whose fresh values are first used in rank order.
+        """
+        mentioned: set[Constant] = set(self._cinstance.constants())
+        mentioned |= set(master.constants())
+        mentioned |= set(constraint_set_constants(constraints))
+        mentioned |= set(self._adom.finite_domain_values)
+        ranks: dict[Constant, int] = {}
+        for value in self._adom.fresh_values:
+            if value not in mentioned:
+                ranks[value] = len(ranks)
+        return ranks
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search(self) -> Iterator[tuple[Valuation, GroundInstance]]:
+        """Enumerate ``(µ, µ(T))`` pairs with ``(µ(T), D_m) |= V``."""
+        facts: dict[str, set[Row]] = {
+            name: set() for name in self._schema.relation_names
+        }
+        self._apply_level(0, {}, facts)
+        if not self._checker.check(facts):
+            # The tuples fixed by the ground rows already violate a CC; by
+            # monotonicity no valuation can repair that.
+            self.stats.pruned += 1
+            return
+        yield from self._descend(0, {}, facts, 0)
+
+    def __iter__(self) -> Iterator[tuple[Valuation, GroundInstance]]:
+        return self.search()
+
+    def _apply_level(
+        self,
+        level: int,
+        valuation: Valuation,
+        facts: dict[str, set[Row]],
+    ) -> list[tuple[str, Row]]:
+        """Ground the rows completed at ``level``; return the tuples added."""
+        added: list[tuple[str, Row]] = []
+        for name, row in self._completions[level]:
+            ground = row.apply(valuation)
+            if ground is None or ground in facts[name]:
+                continue
+            facts[name].add(ground)
+            added.append((name, ground))
+        return added
+
+    def _descend(
+        self,
+        depth: int,
+        valuation: Valuation,
+        facts: dict[str, set[Row]],
+        used_fresh: int,
+    ) -> Iterator[tuple[Valuation, GroundInstance]]:
+        if depth == len(self._order):
+            world = GroundInstance(
+                self._schema, {name: tuple(rows) for name, rows in facts.items()}
+            )
+            self.stats.worlds += 1
+            yield dict(valuation), world
+            return
+        variable = self._order[depth]
+        for value in self._pools[variable]:
+            rank = self._fresh_rank.get(value)
+            if rank is None:
+                next_used = used_fresh
+            elif rank > used_fresh:
+                # A later fresh value would start a branch that is a mere
+                # renaming of one rooted at fresh value #used_fresh.
+                self.stats.symmetry_skips += 1
+                continue
+            else:
+                next_used = used_fresh + (1 if rank == used_fresh else 0)
+            self.stats.nodes += 1
+            valuation[variable] = value
+            added = self._apply_level(depth + 1, valuation, facts)
+            if not added or self._checker.check(
+                facts, touched={name for name, _row in added}
+            ):
+                yield from self._descend(depth + 1, valuation, facts, next_used)
+            else:
+                self.stats.pruned += 1
+            for name, ground in added:
+                facts[name].discard(ground)
+            del valuation[variable]
+
+    # ------------------------------------------------------------------
+    # front-ends
+    # ------------------------------------------------------------------
+    def worlds(self, deduplicate: bool = True) -> Iterator[GroundInstance]:
+        """Enumerate the worlds, suppressing duplicates by canonical form."""
+        seen: set[tuple[frozenset[Row], ...]] = set()
+        for _valuation, world in self.search():
+            if deduplicate:
+                key = world_key(world)
+                if key in seen:
+                    self.stats.duplicate_worlds += 1
+                    continue
+                seen.add(key)
+            yield world
+
+    def has_world(self) -> bool:
+        """Whether ``Mod_Adom(T, D_m, V)`` is non-empty."""
+        for _ in self.search():
+            return True
+        return False
+
+    def count_worlds(self) -> int:
+        """The number of distinct worlds."""
+        return sum(1 for _ in self.worlds(deduplicate=True))

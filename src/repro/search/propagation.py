@@ -1,0 +1,81 @@
+"""Incremental containment-constraint checking on partially grounded worlds.
+
+The pruning rule of the engine rests on monotonicity: the left-hand side of a
+containment constraint ``q(R) ⊆ p(R_m)`` is a CQ, and CQs are monotone in the
+database.  The tuples contributed by the c-table rows that are already fully
+grounded under a partial valuation form a *subset* of every world reachable
+from that partial valuation, so
+
+    ``q(definite tuples) ⊄ p(D_m)  ⟹  q(µ(T)) ⊄ p(D_m)`` for every
+    completion ``µ`` of the partial valuation,
+
+and the whole branch can be discarded.  :class:`ConstraintChecker`
+precomputes the (fixed) right-hand sides ``p(D_m)`` once and re-evaluates a
+constraint only when a relation mentioned by its left-hand side has gained a
+tuple since the last check.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Mapping, Sequence
+
+from repro.constraints.containment import ContainmentConstraint
+from repro.queries.evaluation import evaluate_cq_on_facts
+from repro.relational.instance import Row
+from repro.relational.master import MasterData
+
+
+class ConstraintChecker:
+    """Containment-constraint checks with precomputed right-hand sides."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(
+        self, master: MasterData, constraints: Sequence[ContainmentConstraint]
+    ) -> None:
+        entries: list[tuple[ContainmentConstraint, frozenset[str], frozenset[Row]]] = []
+        for constraint in constraints:
+            entries.append(
+                (
+                    constraint,
+                    frozenset(constraint.query.relation_names()),
+                    constraint.right_answer(master),
+                )
+            )
+        self._entries = entries
+
+    @property
+    def constraints(self) -> list[ContainmentConstraint]:
+        """The constraints being checked, in input order."""
+        return [constraint for constraint, _relations, _rhs in self._entries]
+
+    def check(
+        self,
+        facts: Mapping[str, AbstractSet[Row]],
+        touched: Iterable[str] | None = None,
+    ) -> bool:
+        """Whether the fact store satisfies (the relevant) constraints.
+
+        ``facts`` maps relation names to the definitely-present tuples of a
+        (partially grounded) world.  With ``touched`` given, only constraints
+        whose left-hand side mentions one of those relations are re-evaluated;
+        by the monotonicity argument above, the verdict for the others cannot
+        have changed since they were last checked.
+        """
+        touched_set = None if touched is None else set(touched)
+        for constraint, relations, rhs in self._entries:
+            if touched_set is not None and not (relations & touched_set):
+                continue
+            if not evaluate_cq_on_facts(constraint.query, facts) <= rhs:
+                return False
+        return True
+
+    def violated(
+        self, facts: Mapping[str, AbstractSet[Row]]
+    ) -> list[ContainmentConstraint]:
+        """The constraints the fact store violates (diagnostic helper)."""
+        return [
+            constraint
+            for constraint, _relations, rhs in self._entries
+            if not evaluate_cq_on_facts(constraint.query, facts) <= rhs
+        ]

@@ -1,0 +1,155 @@
+"""The ``require_consistent`` flag across exact and bounded deciders.
+
+The exact strong decider has always exposed ``require_consistent=False``
+(an inconsistent c-instance is vacuously strongly complete).  The bounded
+variants and the weak/viable exact deciders used to raise unconditionally on
+empty ``Mod(T, D_m, V)``; these tests pin the now-uniform API: every decider
+raises by default and returns its model's vacuous verdict with the flag off.
+"""
+
+import pytest
+
+from repro.completeness.models import CompletenessModel
+from repro.completeness.rcdp import is_relatively_complete
+from repro.completeness.strong import is_strongly_complete, is_strongly_complete_bounded
+from repro.completeness.viable import (
+    find_viable_witness,
+    is_viably_complete,
+    is_viably_complete_bounded,
+)
+from repro.completeness.weak import (
+    is_weakly_complete,
+    is_weakly_complete_bounded,
+    weak_completeness_report,
+)
+from repro.constraints.containment import denial_cc
+from repro.ctables.cinstance import cinstance
+from repro.exceptions import InconsistentCInstanceError
+from repro.queries.atoms import atom
+from repro.queries.cq import cq
+from repro.queries.terms import var
+from repro.relational.domains import BOOLEAN_DOMAIN
+from repro.relational.master import empty_master
+from repro.relational.schema import RelationSchema, database_schema, schema
+
+x = var("x")
+
+
+@pytest.fixture
+def inconsistent_input():
+    """A c-instance with an unconditionally present row forbidden by a CC."""
+    bool_schema = database_schema(RelationSchema("R", [("A", BOOLEAN_DOMAIN)]))
+    master = empty_master(database_schema(schema("M", "A")))
+    forbid_all = denial_cc(cq("forbid", [x], atoms=[atom("R", x)]))
+    T = cinstance(bool_schema, R=[(x,)])
+    query = cq("Q", [x], atoms=[atom("R", x)])
+    return T, query, master, [forbid_all]
+
+
+class TestBoundedVariants:
+    def test_strong_bounded_raises_by_default(self, inconsistent_input):
+        T, query, master, constraints = inconsistent_input
+        with pytest.raises(InconsistentCInstanceError):
+            is_strongly_complete_bounded(T, query, master, constraints)
+        assert (
+            is_strongly_complete_bounded(
+                T, query, master, constraints, require_consistent=False
+            )
+            is True
+        )
+
+    def test_weak_bounded_raises_by_default(self, inconsistent_input):
+        T, query, master, constraints = inconsistent_input
+        with pytest.raises(InconsistentCInstanceError):
+            is_weakly_complete_bounded(T, query, master, constraints)
+        assert (
+            is_weakly_complete_bounded(
+                T, query, master, constraints, require_consistent=False
+            )
+            is True
+        )
+
+    def test_viable_bounded_raises_by_default(self, inconsistent_input):
+        T, query, master, constraints = inconsistent_input
+        with pytest.raises(InconsistentCInstanceError):
+            is_viably_complete_bounded(T, query, master, constraints)
+        assert (
+            is_viably_complete_bounded(
+                T, query, master, constraints, require_consistent=False
+            )
+            is False
+        )
+
+
+class TestExactVariants:
+    def test_strong_exact_flag(self, inconsistent_input):
+        T, query, master, constraints = inconsistent_input
+        with pytest.raises(InconsistentCInstanceError):
+            is_strongly_complete(T, query, master, constraints)
+        assert (
+            is_strongly_complete(T, query, master, constraints, require_consistent=False)
+            is True
+        )
+
+    def test_weak_exact_flag(self, inconsistent_input):
+        T, query, master, constraints = inconsistent_input
+        with pytest.raises(InconsistentCInstanceError):
+            is_weakly_complete(T, query, master, constraints)
+        assert (
+            is_weakly_complete(T, query, master, constraints, require_consistent=False)
+            is True
+        )
+        report = weak_completeness_report(
+            T, query, master, constraints, require_consistent=False
+        )
+        assert report.is_weakly_complete and report.no_world_has_extensions
+
+    def test_viable_exact_flag(self, inconsistent_input):
+        T, query, master, constraints = inconsistent_input
+        with pytest.raises(InconsistentCInstanceError):
+            is_viably_complete(T, query, master, constraints)
+        assert (
+            is_viably_complete(T, query, master, constraints, require_consistent=False)
+            is False
+        )
+        assert (
+            find_viable_witness(T, query, master, constraints, require_consistent=False)
+            is None
+        )
+
+
+class TestFrontEndThreading:
+    @pytest.mark.parametrize(
+        "model,vacuous",
+        [
+            (CompletenessModel.STRONG, True),
+            (CompletenessModel.WEAK, True),
+            (CompletenessModel.VIABLE, False),
+        ],
+    )
+    def test_rcdp_threads_flag(self, inconsistent_input, model, vacuous):
+        T, query, master, constraints = inconsistent_input
+        with pytest.raises(InconsistentCInstanceError):
+            is_relatively_complete(T, query, master, constraints, model)
+        assert (
+            is_relatively_complete(
+                T, query, master, constraints, model, require_consistent=False
+            )
+            is vacuous
+        )
+
+    @pytest.mark.parametrize("engine", ["naive", "propagating"])
+    def test_flag_engine_combination(self, inconsistent_input, engine):
+        T, query, master, constraints = inconsistent_input
+        assert (
+            is_relatively_complete(
+                T,
+                query,
+                master,
+                constraints,
+                CompletenessModel.STRONG,
+                require_consistent=False,
+                engine=engine,
+            )
+            is True
+        )

@@ -111,6 +111,19 @@ class TestValuationEnumeration:
         assert all(v[x] == 1 for v in valuations)
         assert len(valuations) == len(adom.constants)
 
+    def test_count_valuations_respects_fixed(self, bool_schema):
+        T = cinstance(bool_schema, R=[(x, y)])
+        adom = build_active_domain(cinstance=T)
+        # Pinning x removes its pool factor, aligning the count with the
+        # enumeration (previously the count ignored `fixed` and overstated).
+        assert count_valuations(T, adom, fixed={x: 1}) == len(
+            list(enumerate_valuations(T, adom, fixed={x: 1}))
+        )
+        assert count_valuations(T, adom, fixed={x: 1, y: "c"}) == len(
+            list(enumerate_valuations(T, adom, fixed={x: 1, y: "c"}))
+        )
+        assert count_valuations(T, adom, fixed={}) == count_valuations(T, adom)
+
     def test_apply_valuation_totality_check(self, bool_schema):
         T = cinstance(bool_schema, R=[(x, y)])
         with pytest.raises(ValuationError):

@@ -1,0 +1,433 @@
+"""Parity tests: the propagating engine must agree with the naive path.
+
+The pruned world-search engine (:mod:`repro.search`) replaces the naive
+cross-product enumeration of ``Mod_Adom(T, D_m, V)``; these tests assert the
+two engines produce the identical world sets, valuation sets and decision
+verdicts on every fixture family the repository uses — workloads, the
+patients scenario, the hardness-reduction instances, conditioned rows and
+hypothesis-generated random c-tables.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.completeness.consistency import is_consistent
+from repro.completeness.minp import (
+    is_minimal_strongly_complete,
+    is_minimal_viably_complete,
+    is_minimal_weakly_complete,
+)
+from repro.completeness.rcqp import rcqp_bounded_search
+from repro.completeness.strong import is_strongly_complete
+from repro.completeness.viable import is_viably_complete
+from repro.completeness.weak import is_weakly_complete
+from repro.constraints.containment import cc, denial_cc, projection, relation_containment_cc
+from repro.ctables.cinstance import CInstance, cinstance
+from repro.ctables.conditions import condition
+from repro.ctables.ctable import CTable, CTableRow
+from repro.ctables.possible_worlds import (
+    default_active_domain,
+    has_model,
+    model_count,
+    models,
+    models_with_valuations,
+)
+from repro.exceptions import SearchError
+from repro.queries.atoms import atom, eq, neq
+from repro.queries.cq import cq
+from repro.queries.terms import Variable, var
+from repro.relational.domains import BOOLEAN_DOMAIN
+from repro.relational.master import MasterData, empty_master
+from repro.relational.schema import RelationSchema, database_schema, schema
+from repro.reductions.consistency_reduction import build_consistency_reduction
+from repro.reductions.sat import random_forall_exists_instance
+from repro.search import ConstraintChecker, WorldSearch, order_variables, world_key
+from repro.workloads.generator import registry_workload
+from repro.workloads.patients import build_patient_scenario
+
+x, y, z = var("x"), var("y"), var("z")
+
+
+def assert_world_parity(cinst, master, constraints, query=None):
+    """The two engines agree on worlds, valuations, counts and existence."""
+    adom = default_active_domain(cinst, master, constraints, query)
+    naive_worlds = set(models(cinst, master, constraints, adom, engine="naive"))
+    engine_worlds = set(models(cinst, master, constraints, adom, engine="propagating"))
+    assert naive_worlds == engine_worlds
+
+    naive_multiset = Counter(
+        models(cinst, master, constraints, adom, deduplicate=False, engine="naive")
+    )
+    engine_multiset = Counter(
+        models(cinst, master, constraints, adom, deduplicate=False, engine="propagating")
+    )
+    assert naive_multiset == engine_multiset
+
+    naive_pairs = {
+        (frozenset(valuation.items()), world)
+        for valuation, world in models_with_valuations(
+            cinst, master, constraints, adom, engine="naive"
+        )
+    }
+    engine_pairs = {
+        (frozenset(valuation.items()), world)
+        for valuation, world in models_with_valuations(
+            cinst, master, constraints, adom, engine="propagating"
+        )
+    }
+    assert naive_pairs == engine_pairs
+
+    assert model_count(cinst, master, constraints, adom, engine="naive") == model_count(
+        cinst, master, constraints, adom, engine="propagating"
+    )
+    assert has_model(cinst, master, constraints, adom, engine="naive") == has_model(
+        cinst, master, constraints, adom, engine="propagating"
+    )
+
+
+# ---------------------------------------------------------------------------
+# world-set parity across the fixture families
+# ---------------------------------------------------------------------------
+class TestWorldParity:
+    @pytest.mark.parametrize(
+        "master_size,db_rows,variable_count,with_fd",
+        [
+            (2, 2, 0, True),
+            (3, 2, 1, True),
+            (3, 3, 2, True),
+            (3, 3, 3, False),
+            (4, 3, 2, True),
+        ],
+    )
+    def test_registry_workloads(self, master_size, db_rows, variable_count, with_fd):
+        workload = registry_workload(
+            master_size=master_size,
+            db_rows=db_rows,
+            variable_count=variable_count,
+            with_fd=with_fd,
+        )
+        assert_world_parity(workload.cinstance, workload.master, workload.constraints)
+
+    def test_patient_scenario(self):
+        scenario = build_patient_scenario()
+        assert_world_parity(
+            scenario.figure1, scenario.master, scenario.constraints, scenario.q1
+        )
+
+    @pytest.mark.parametrize("dimensions", [(1, 1, 2), (2, 1, 3)])
+    def test_consistency_reduction_instances(self, dimensions):
+        universal, existential, clauses = dimensions
+        formula = random_forall_exists_instance(*dimensions, seed=7)
+        reduction = build_consistency_reduction(formula)
+        assert_world_parity(reduction.cinstance, reduction.master, reduction.constraints)
+
+    def test_conditioned_rows(self):
+        pair_schema = database_schema(schema("R", "A", "B"))
+        master = empty_master(database_schema(schema("M", "A")))
+        table = CTable(
+            pair_schema["R"],
+            [
+                CTableRow((x, "c"), condition(neq(x, "c"))),
+                CTableRow((y, z), condition(eq(y, "c"))),
+                CTableRow(("c", "d")),
+            ],
+        )
+        T = CInstance(pair_schema, {"R": table})
+        assert_world_parity(T, master, [])
+
+    def test_inconsistent_cinstance(self):
+        bool_schema = database_schema(RelationSchema("R", [("A", BOOLEAN_DOMAIN)]))
+        master = empty_master(database_schema(schema("M", "A")))
+        forbid_all = denial_cc(cq("q", [x], atoms=[atom("R", x)]))
+        T = cinstance(bool_schema, R=[(x,)])
+        assert_world_parity(T, master, [forbid_all])
+
+    def test_empty_cinstance(self):
+        pair_schema = database_schema(schema("R", "A", "B"))
+        master = empty_master(database_schema(schema("M", "A")))
+        assert_world_parity(CInstance(pair_schema), master, [])
+
+    def test_duplicate_inducing_rows(self):
+        bool_schema = database_schema(
+            RelationSchema("R", [("A", BOOLEAN_DOMAIN), "B"])
+        )
+        master = empty_master(database_schema(schema("M", "A")))
+        T = cinstance(bool_schema, R=[(x, "c"), (y, "c")])
+        assert_world_parity(T, master, [])
+
+
+# ---------------------------------------------------------------------------
+# decision-procedure parity (RCDP / MINP / RCQP, both engines)
+# ---------------------------------------------------------------------------
+class TestDeciderParity:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return build_patient_scenario()
+
+    def test_rcdp_verdicts(self, scenario):
+        for query in (scenario.q1, scenario.q4):
+            for decider in (is_strongly_complete, is_weakly_complete, is_viably_complete):
+                naive = decider(
+                    scenario.figure1,
+                    query,
+                    scenario.master,
+                    scenario.constraints,
+                    engine="naive",
+                )
+                engine = decider(
+                    scenario.figure1,
+                    query,
+                    scenario.master,
+                    scenario.constraints,
+                    engine="propagating",
+                )
+                assert naive == engine
+
+    def test_minp_verdicts(self, scenario):
+        trimmed = scenario.figure1.without_row("MVisit", 1)
+        for target in (scenario.figure1, trimmed):
+            for decider in (
+                is_minimal_strongly_complete,
+                is_minimal_viably_complete,
+                is_minimal_weakly_complete,
+            ):
+                naive = decider(
+                    target, scenario.q1, scenario.master, scenario.constraints,
+                    engine="naive",
+                )
+                engine = decider(
+                    target, scenario.q1, scenario.master, scenario.constraints,
+                    engine="propagating",
+                )
+                assert naive == engine
+
+    def test_consistency_verdicts(self):
+        for dimensions in [(1, 1, 2), (2, 1, 3), (2, 2, 4)]:
+            formula = random_forall_exists_instance(*dimensions, seed=7)
+            reduction = build_consistency_reduction(formula)
+            naive = is_consistent(
+                reduction.cinstance, reduction.master, reduction.constraints,
+                engine="naive",
+            )
+            engine = is_consistent(
+                reduction.cinstance, reduction.master, reduction.constraints,
+                engine="propagating",
+            )
+            assert naive == engine == (not reduction.formula_is_true())
+
+    @pytest.mark.parametrize("max_size", [0, 1, 2])
+    def test_rcqp_bounded_search_verdicts(self, max_size):
+        bool_schema = database_schema(RelationSchema("R", [("A", BOOLEAN_DOMAIN)]))
+        master = MasterData(
+            database_schema(RelationSchema("Rm", [("A", BOOLEAN_DOMAIN)])),
+            {"Rm": [(0,), (1,)]},
+        )
+        constraint = relation_containment_cc("R", bool_schema, "Rm")
+        query = cq("Q", [x], atoms=[atom("R", x)], comparisons=[eq(x, 1)])
+        naive = rcqp_bounded_search(
+            query, bool_schema, master, [constraint], max_size=max_size, engine="naive"
+        )
+        engine = rcqp_bounded_search(
+            query, bool_schema, master, [constraint], max_size=max_size,
+            engine="propagating",
+        )
+        assert naive.found == engine.found
+        if engine.found:
+            # Engine witnesses are drawn from the same candidate space and
+            # must themselves be complete.
+            from repro.completeness.ground import is_ground_complete
+
+            assert is_ground_complete(engine.witness, query, master, [constraint])
+
+    def test_rcqp_negative_for_unbounded_query(self):
+        free_schema = database_schema(schema("S", "A"))
+        master = empty_master(database_schema(schema("M", "A")))
+        query = cq("Q", [x], atoms=[atom("S", x)])
+        for engine in ("naive", "propagating"):
+            result = rcqp_bounded_search(
+                query, free_schema, master, [], max_size=2, engine=engine
+            )
+            assert not result.found
+
+
+# ---------------------------------------------------------------------------
+# property-style parity on random c-tables
+# ---------------------------------------------------------------------------
+PAIR_SCHEMA = database_schema(RelationSchema("R", ["A", "B"]))
+BOOL_PAIR_SCHEMA = database_schema(
+    RelationSchema("R", [("A", BOOLEAN_DOMAIN), ("B", BOOLEAN_DOMAIN)])
+)
+CONSTANTS = st.integers(min_value=0, max_value=2)
+VARIABLE_NAMES = st.sampled_from(["x", "y", "z"])
+
+
+def _terms():
+    return st.one_of(CONSTANTS, VARIABLE_NAMES.map(Variable))
+
+
+@st.composite
+def _ctables(draw):
+    rows = draw(st.lists(st.tuples(_terms(), _terms()), min_size=0, max_size=3))
+    built = []
+    for terms in rows:
+        variables = [t for t in terms if isinstance(t, Variable)]
+        if variables and draw(st.booleans()):
+            pivot = draw(st.sampled_from(variables))
+            bound = draw(CONSTANTS)
+            comparison = eq(pivot, bound) if draw(st.booleans()) else neq(pivot, bound)
+            built.append(CTableRow(terms, condition(comparison)))
+        else:
+            built.append(CTableRow(terms))
+    return CTable(PAIR_SCHEMA["R"], built)
+
+
+@given(_ctables())
+@settings(max_examples=40, deadline=None)
+def test_random_ctable_world_parity(table):
+    T = CInstance(PAIR_SCHEMA, {"R": table})
+    master = empty_master(database_schema(schema("M", "A")))
+    assert_world_parity(T, master, [])
+
+
+@given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)), max_size=2))
+@settings(max_examples=30, deadline=None)
+def test_random_constrained_world_parity(rows):
+    master = MasterData(
+        database_schema(
+            RelationSchema("Rm", [("A", BOOLEAN_DOMAIN), ("B", BOOLEAN_DOMAIN)])
+        ),
+        {"Rm": [(0, 0), (1, 1)]},
+    )
+    constraint = relation_containment_cc("R", BOOL_PAIR_SCHEMA, "Rm")
+    table = CTable(
+        BOOL_PAIR_SCHEMA["R"],
+        [CTableRow(row) for row in rows] + [CTableRow((Variable("x"), Variable("y")))],
+    )
+    T = CInstance(BOOL_PAIR_SCHEMA, {"R": table})
+    assert_world_parity(T, master, [constraint])
+
+
+# ---------------------------------------------------------------------------
+# engine internals: pruning, symmetry, canonical dedup, ordering
+# ---------------------------------------------------------------------------
+class TestEngineInternals:
+    def test_pruning_beats_cross_product(self):
+        workload = registry_workload(master_size=3, db_rows=3, variable_count=3)
+        adom = default_active_domain(
+            workload.cinstance, workload.master, workload.constraints
+        )
+        search = WorldSearch(
+            workload.cinstance, workload.master, workload.constraints, adom
+        )
+        worlds = list(search.worlds())
+        assert worlds  # the workload is consistent
+        assert search.stats.pruned > 0
+        # The cross product would visit prod(|pool|) leaves; the pruned search
+        # must visit strictly fewer nodes in total.
+        from repro.ctables.valuation import count_valuations
+
+        assert search.stats.nodes < count_valuations(workload.cinstance, adom)
+
+    def test_symmetry_breaking_preserves_existence(self):
+        pair_schema = database_schema(schema("R", "A", "B"))
+        master = empty_master(database_schema(schema("M", "A")))
+        T = cinstance(pair_schema, R=[(x, "c"), (y, "c"), (z, "d")])
+        adom = default_active_domain(T, master, [])
+        plain = WorldSearch(T, master, [], adom)
+        reduced = WorldSearch(T, master, [], adom, break_symmetry=True)
+        assert plain.has_world() and reduced.has_world()
+        exhaustive = WorldSearch(T, master, [], adom)
+        pruned = WorldSearch(T, master, [], adom, break_symmetry=True)
+        total = sum(1 for _ in exhaustive.search())
+        reduced_total = sum(1 for _ in pruned.search())
+        assert reduced_total < total
+        assert pruned.stats.symmetry_skips > 0
+
+    def test_symmetry_skips_only_fresh_permutations(self):
+        # Every satisfying valuation must be reachable from a symmetry-reduced
+        # one by permuting fresh values, so the *world sizes* seen agree.
+        pair_schema = database_schema(schema("R", "A", "B"))
+        master = empty_master(database_schema(schema("M", "A")))
+        T = cinstance(pair_schema, R=[(x, "c"), (y, "d")])
+        adom = default_active_domain(T, master, [])
+        full_sizes = {w.size for _v, w in WorldSearch(T, master, [], adom).search()}
+        reduced_sizes = {
+            w.size
+            for _v, w in WorldSearch(T, master, [], adom, break_symmetry=True).search()
+        }
+        assert full_sizes == reduced_sizes
+
+    def test_world_key_is_canonical(self):
+        pair_schema = database_schema(schema("R", "A", "B"))
+        master = empty_master(database_schema(schema("M", "A")))
+        T = cinstance(pair_schema, R=[(x, "c"), (y, "c")])
+        worlds = list(models(T, master, []))
+        assert len({world_key(w) for w in worlds}) == len(set(worlds))
+        for world in worlds:
+            assert world_key(world) == world_key(world)
+
+    def test_unknown_engine_rejected(self):
+        pair_schema = database_schema(schema("R", "A", "B"))
+        master = empty_master(database_schema(schema("M", "A")))
+        T = CInstance(pair_schema)
+        with pytest.raises(SearchError):
+            list(models(T, master, [], engine="bogus"))
+
+    def test_order_variables_complete_and_deterministic(self):
+        pools = {x: [0, 1, 2], y: [0], z: [0, 1]}
+        rows = [{x, y}, {z}]
+        first = order_variables(pools, [set(vs) for vs in rows])
+        second = order_variables(pools, [set(vs) for vs in rows])
+        assert first == second
+        assert set(first) == {x, y, z}
+        # z completes a row on its own and has a small pool: it must precede x.
+        assert first.index(z) < first.index(x)
+
+    def test_constraint_checker_touched_filtering(self):
+        bool_schema = database_schema(RelationSchema("R", [("A", BOOLEAN_DOMAIN)]))
+        master = MasterData(
+            database_schema(RelationSchema("Rm", [("A", BOOLEAN_DOMAIN)])),
+            {"Rm": [(1,)]},
+        )
+        constraint = relation_containment_cc("R", bool_schema, "Rm")
+        checker = ConstraintChecker(master, [constraint])
+        assert checker.check({"R": {(1,)}})
+        assert not checker.check({"R": {(0,)}})
+        # An untouched relation set skips the (violated) constraint entirely.
+        assert checker.check({"R": {(0,)}}, touched={"S"})
+        assert checker.violated({"R": {(0,)}}) == [constraint]
+
+    def test_ground_row_violation_prunes_at_root(self):
+        bool_schema = database_schema(RelationSchema("R", [("A", BOOLEAN_DOMAIN)]))
+        master = empty_master(database_schema(schema("M", "A")))
+        forbid_all = denial_cc(cq("q", [x], atoms=[atom("R", x)]))
+        T = cinstance(bool_schema, R=[(1,), (x,)])
+        adom = default_active_domain(T, master, [forbid_all])
+        search = WorldSearch(T, master, [forbid_all], adom)
+        assert list(search.search()) == []
+        # The fixed ground tuple already violates the denial CC: the search
+        # must die at the root without branching on x at all.
+        assert search.stats.nodes == 0
+
+
+# ---------------------------------------------------------------------------
+# engine selection surface
+# ---------------------------------------------------------------------------
+class TestEngineSelection:
+    def test_default_engine_is_propagating(self):
+        from repro.ctables.possible_worlds import DEFAULT_ENGINE, resolve_engine
+
+        assert DEFAULT_ENGINE == "propagating"
+        assert resolve_engine(None) == "propagating"
+        assert resolve_engine("naive") == "naive"
+
+    def test_worldsearch_builds_default_adom(self):
+        workload = registry_workload(master_size=2, db_rows=2, variable_count=1)
+        search = WorldSearch(workload.cinstance, workload.master, workload.constraints)
+        assert search.has_world() == has_model(
+            workload.cinstance, workload.master, workload.constraints, engine="naive"
+        )
