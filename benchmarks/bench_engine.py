@@ -1,32 +1,43 @@
-"""EXP-ENGINE — pruned constraint-propagating search vs naive enumeration.
+"""EXP-ENGINE — naive vs constraint-propagating vs SAT-backed world search.
 
 Every decision procedure bottoms out in the enumeration of
-``Mod_Adom(T, D_m, V)``.  This benchmark compares the two engines behind it
-(``engine="naive"`` — the original cross-product scan — and
-``engine="propagating"`` — the backtracking search of :mod:`repro.search`)
-on the workloads the other benchmark files sweep, and extends the sweeps to
-sizes the naive path cannot reach at all.
+``Mod_Adom(T, D_m, V)``.  This benchmark compares the three engines behind it
+(``engine="naive"`` — the original cross-product scan, ``engine="propagating"``
+— the backtracking search of :mod:`repro.search`, and ``engine="sat"`` — the
+CNF encoding solved by the DPLL solver of :mod:`repro.reductions.dpll`) on
+the workloads the other benchmark files sweep, and extends the sweeps to
+regimes each engine targets:
 
-Each comparison first asserts *parity* (identical verdict / model count from
-both engines) and then reports the timings.  The headline number is the
-speedup on the largest case the naive path still finishes; the scale-up rows
-run the propagating engine alone on inputs whose cross product is out of
-reach (the naive cost column reports the number of valuations it would have
-had to materialise).
+* sizes whose cross product the naive path cannot materialise at all (the
+  propagating/SAT-only scale-up rows), and
+* the inequality-heavy chain family
+  (:func:`repro.workloads.generator.inequality_chain_workload`), whose
+  ≠-laden constraints the monotone-CC pruner cannot prune early but the SAT
+  engine refutes by unit propagation and conflict learning.
+
+Each case first asserts *parity* (identical verdict / model count from every
+engine that runs it) and then reports the timings.  Two gates are enforced:
+
+* the propagating engine must keep its ≥ 3x headline speedup over naive on
+  the largest naive-feasible registry cases (the ISSUE 1 criterion), and
+* the SAT engine must beat the propagating engine on at least one
+  inequality-heavy case (the ISSUE 2 criterion), in smoke mode too.
 
 Run directly (the file deliberately does not match pytest's ``test_*``
 collection patterns)::
 
-    PYTHONPATH=src python benchmarks/bench_engine.py            # full sweep
-    PYTHONPATH=src python benchmarks/bench_engine.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_engine.py                  # full sweep
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke          # CI smoke
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke --json BENCH_ENGINE.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
@@ -43,10 +54,17 @@ from repro.reductions.consistency_reduction import (  # noqa: E402
     build_consistency_reduction,
 )
 from repro.reductions.sat import random_forall_exists_instance  # noqa: E402
-from repro.workloads.generator import registry_workload  # noqa: E402
+from repro.workloads.generator import (  # noqa: E402
+    inequality_chain_workload,
+    registry_workload,
+)
 
-#: Acceptance floor for the headline comparison (ISSUE 1 criterion).
+#: Acceptance floor for the propagating-vs-naive headline (ISSUE 1 criterion).
 REQUIRED_SPEEDUP = 3.0
+#: The SAT engine must beat propagating on ≥ 1 inequality-heavy case (ISSUE 2).
+REQUIRED_SAT_WIN = 1.0
+
+ALL_ENGINES = ("naive", "propagating", "sat")
 
 
 @dataclass
@@ -56,23 +74,23 @@ class Case:
     group: str
     label: str
     run: Callable[[str], object]
-    naive_feasible: bool = True
+    engines: tuple[str, ...] = ALL_ENGINES
     headline: bool = False
+    sat_showcase: bool = False
 
 
 @dataclass
 class Outcome:
     case: Case
     verdict: object
-    naive_seconds: float | None
-    engine_seconds: float
-    naive_cost_note: str = ""
+    seconds: dict[str, float] = field(default_factory=dict)
 
-    @property
-    def speedup(self) -> float | None:
-        if self.naive_seconds is None or self.engine_seconds <= 0:
+    def speedup(self, engine: str, over: str) -> float | None:
+        base = self.seconds.get(over)
+        target = self.seconds.get(engine)
+        if base is None or target is None or target <= 0:
             return None
-        return self.naive_seconds / self.engine_seconds
+        return base / target
 
 
 def _timed(function: Callable[[], object]) -> tuple[object, float]:
@@ -154,6 +172,35 @@ def _model_count_cases(smoke: bool) -> list[Case]:
     return cases
 
 
+def _inequality_cases(smoke: bool) -> list[Case]:
+    """The ≠-heavy chain family: the SAT engine's target regime.
+
+    Odd closed cycles are inconsistent; refuting them forces the propagating
+    engine through its full backtracking tree with per-node CQ re-evaluation,
+    while the SAT engine refutes the (linear-sized) CNF once.  The naive
+    cross product (``2^(2·pairs)`` valuations) only joins at the smallest
+    size.
+    """
+    sweep = [5, 9, 13] if smoke else [5, 9, 13, 17, 21]
+    cases = []
+    for pair_count in sweep:
+        workload = inequality_chain_workload(pair_count, close_cycle=True)
+        naive_feasible = pair_count <= 5
+        cases.append(
+            Case(
+                group="consistency (inequality chain)",
+                label=f"pairs={pair_count}"
+                + ("" if naive_feasible else f" (naive: 2^{2 * pair_count} valuations)"),
+                run=lambda engine, w=workload: is_consistent(
+                    w.cinstance, w.master, w.constraints, engine=engine
+                ),
+                engines=ALL_ENGINES if naive_feasible else ("propagating", "sat"),
+                sat_showcase=True,
+            )
+        )
+    return cases
+
+
 def _scale_up_cases(smoke: bool) -> list[Case]:
     """Sizes whose cross product the naive path cannot materialise."""
     sweep = [(6, 6, 6)] if smoke else [(6, 6, 6), (8, 8, 8), (10, 10, 10)]
@@ -168,7 +215,7 @@ def _scale_up_cases(smoke: bool) -> list[Case]:
         valuations = count_valuations(workload.cinstance, adom)
         cases.append(
             Case(
-                group="consistency scale-up (engine only)",
+                group="consistency scale-up (naive infeasible)",
                 label=(
                     f"master={master_size} rows={db_rows} vars={variable_count} "
                     f"(naive: {valuations:.2e} valuations)"
@@ -176,71 +223,170 @@ def _scale_up_cases(smoke: bool) -> list[Case]:
                 run=lambda engine, w=workload: is_consistent(
                     w.cinstance, w.master, w.constraints, engine=engine
                 ),
-                naive_feasible=False,
+                engines=("propagating", "sat"),
             )
         )
     return cases
 
 
-def run_benchmark(smoke: bool) -> int:
-    cases = (
-        _registry_cases(smoke)
-        + _reduction_cases(smoke)
-        + _model_count_cases(smoke)
-        + _scale_up_cases(smoke)
-    )
+def run_cases(cases: list[Case]) -> list[Outcome] | None:
+    """Time every case on its engines; ``None`` signals a parity failure."""
     outcomes: list[Outcome] = []
     for case in cases:
-        engine_verdict, engine_seconds = _timed(lambda: case.run("propagating"))
-        if case.naive_feasible:
-            naive_verdict, naive_seconds = _timed(lambda: case.run("naive"))
-            if naive_verdict != engine_verdict:
-                print(
-                    f"PARITY FAILURE in {case.group} [{case.label}]: "
-                    f"naive={naive_verdict!r} propagating={engine_verdict!r}"
-                )
-                return 1
-        else:
-            naive_seconds = None
-        outcomes.append(Outcome(case, engine_verdict, naive_seconds, engine_seconds))
+        seconds: dict[str, float] = {}
+        verdicts: dict[str, object] = {}
+        for engine in case.engines:
+            verdict, elapsed = _timed(lambda e=engine: case.run(e))
+            seconds[engine] = elapsed
+            verdicts[engine] = verdict
+        distinct = {repr(v) for v in verdicts.values()}
+        if len(distinct) > 1:
+            print(
+                f"PARITY FAILURE in {case.group} [{case.label}]: "
+                + ", ".join(f"{e}={v!r}" for e, v in verdicts.items())
+            )
+            return None
+        outcomes.append(
+            Outcome(case=case, verdict=next(iter(verdicts.values())), seconds=seconds)
+        )
+    return outcomes
 
-    width = max(len(f"{o.case.group} [{o.case.label}]") for o in outcomes)
+
+def _format_cell(outcome: Outcome, engine: str) -> str:
+    elapsed = outcome.seconds.get(engine)
+    if elapsed is None:
+        return "         -"
+    return f"{elapsed * 1e3:8.2f}ms"
+
+
+def print_report(outcomes: list[Outcome]) -> None:
+    width = max(len(f"[{o.case.label}]") for o in outcomes)
     group = None
     for outcome in outcomes:
         if outcome.case.group != group:
             group = outcome.case.group
             print(f"\n== {group} ==")
-        name = f"{outcome.case.group} [{outcome.case.label}]".ljust(width)
-        naive = (
-            f"{outcome.naive_seconds * 1e3:10.2f} ms"
-            if outcome.naive_seconds is not None
-            else "   (infeasible)"
-        )
-        speed = (
-            f"{outcome.speedup:8.1f}x" if outcome.speedup is not None else "        -"
-        )
-        mark = "  <== headline" if outcome.case.headline else ""
+            header = "".ljust(width)
+            print(f"{header}  {'naive':>10}  {'propagating':>11}  {'sat':>10}")
+        name = f"[{outcome.case.label}]".ljust(width)
+        prop_speed = outcome.speedup("propagating", over="naive")
+        sat_speed = outcome.speedup("sat", over="propagating")
+        annotations = []
+        if prop_speed is not None:
+            annotations.append(f"prop/naive={prop_speed:.1f}x")
+        if sat_speed is not None:
+            annotations.append(f"sat/prop={sat_speed:.2f}x")
+        if outcome.case.headline:
+            annotations.append("<== headline")
+        if outcome.case.sat_showcase:
+            annotations.append("<== sat gate")
         print(
-            f"{name}  naive={naive}  propagating="
-            f"{outcome.engine_seconds * 1e3:10.2f} ms  speedup={speed}"
-            f"  verdict={outcome.verdict!r}{mark}"
+            f"{name}  {_format_cell(outcome, 'naive')}  "
+            f"{_format_cell(outcome, 'propagating'):>11}  "
+            f"{_format_cell(outcome, 'sat')}  "
+            f"verdict={outcome.verdict!r}  " + " ".join(annotations)
         )
 
-    headline = [o for o in outcomes if o.case.headline and o.speedup is not None]
-    worst = min((o.speedup for o in headline), default=None)
+
+def evaluate_gates(outcomes: list[Outcome], smoke: bool) -> tuple[dict, int]:
+    """Compute the two acceptance gates; returns (summary, exit code)."""
+    headline = [
+        o.speedup("propagating", over="naive")
+        for o in outcomes
+        if o.case.headline and o.speedup("propagating", over="naive") is not None
+    ]
+    worst_headline = min(headline, default=None)
+
+    sat_wins = {
+        f"{o.case.group} [{o.case.label}]": o.speedup("sat", over="propagating")
+        for o in outcomes
+        if o.case.sat_showcase
+    }
+    best_sat = max((s for s in sat_wins.values() if s is not None), default=None)
+
+    summary = {
+        "propagating_vs_naive_headline": worst_headline,
+        "required_headline_speedup": REQUIRED_SPEEDUP,
+        "sat_vs_propagating_by_case": sat_wins,
+        "best_sat_vs_propagating": best_sat,
+        "required_sat_win": REQUIRED_SAT_WIN,
+    }
+
     print()
-    if worst is None:
-        print("No headline comparison ran (smoke sweep too small?)")
-        return 1
+    if worst_headline is None:
+        print("No headline comparison ran (sweep too small?)")
+        return summary, 1
     print(
-        f"Headline speedup (largest naive-feasible RCDP-strong/consistency "
-        f"cases): {worst:.1f}x (required ≥ {REQUIRED_SPEEDUP:.0f}x)"
+        "Headline speedup (largest naive-feasible registry cases): "
+        f"{worst_headline:.1f}x (required ≥ {REQUIRED_SPEEDUP:.0f}x"
+        f"{' in full mode' if smoke else ''})"
     )
-    if not smoke and worst < REQUIRED_SPEEDUP:
+    if not smoke and worst_headline < REQUIRED_SPEEDUP:
         print("FAILED: pruned engine did not reach the required speedup")
+        return summary, 1
+
+    if best_sat is None:
+        print("No SAT showcase case ran")
+        return summary, 1
+    print(
+        "Best SAT-vs-propagating speedup on the inequality-heavy family: "
+        f"{best_sat:.2f}x (required > {REQUIRED_SAT_WIN:.0f}x)"
+    )
+    if best_sat <= REQUIRED_SAT_WIN:
+        print("FAILED: SAT engine did not beat the propagating engine anywhere")
+        return summary, 1
+
+    print("All parity checks and perf gates passed.")
+    return summary, 0
+
+
+def write_json(
+    path: str, outcomes: list[Outcome], summary: dict, smoke: bool, status: int
+) -> None:
+    payload = {
+        "benchmark": "bench_engine",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "smoke": smoke,
+        "status": "passed" if status == 0 else "failed",
+        "engines": list(ALL_ENGINES),
+        "cases": [
+            {
+                "group": o.case.group,
+                "label": o.case.label,
+                "verdict": repr(o.verdict),
+                "seconds": {k: round(v, 6) for k, v in o.seconds.items()},
+                "speedups": {
+                    "propagating_vs_naive": o.speedup("propagating", over="naive"),
+                    "sat_vs_naive": o.speedup("sat", over="naive"),
+                    "sat_vs_propagating": o.speedup("sat", over="propagating"),
+                },
+                "headline": o.case.headline,
+                "sat_showcase": o.case.sat_showcase,
+            }
+            for o in outcomes
+        ],
+        "gates": summary,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    print(f"Wrote machine-readable results to {path}")
+
+
+def run_benchmark(smoke: bool, json_path: str | None = None) -> int:
+    cases = (
+        _registry_cases(smoke)
+        + _reduction_cases(smoke)
+        + _model_count_cases(smoke)
+        + _inequality_cases(smoke)
+        + _scale_up_cases(smoke)
+    )
+    outcomes = run_cases(cases)
+    if outcomes is None:
         return 1
-    print("All parity checks passed.")
-    return 0
+    print_report(outcomes)
+    summary, status = evaluate_gates(outcomes, smoke)
+    if json_path:
+        write_json(json_path, outcomes, summary, smoke, status)
+    return status
 
 
 def main() -> int:
@@ -250,8 +396,14 @@ def main() -> int:
         action="store_true",
         help="small sweep for CI: parity checks plus a quick speedup report",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write per-engine timings/speedups to PATH as JSON",
+    )
     args = parser.parse_args()
-    return run_benchmark(smoke=args.smoke)
+    return run_benchmark(smoke=args.smoke, json_path=args.json)
 
 
 if __name__ == "__main__":

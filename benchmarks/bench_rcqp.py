@@ -24,7 +24,6 @@ from repro.completeness.rcqp import (
     strong_rcqp_with_ind_ccs,
     weak_rcqp,
 )
-from repro.constraints.containment import cc, projection
 from repro.queries.atoms import atom, eq
 from repro.queries.cq import cq
 from repro.queries.terms import var

@@ -24,11 +24,9 @@ from repro.completeness import (
     CompletenessModel,
     is_minimal_complete,
     is_relatively_complete,
-    rcqp,
     weak_rcqp,
 )
 from repro.exceptions import QueryError
-from repro.queries.classify import classify
 from repro.queries.fo import fo
 from repro.queries.formulas import negate, rel
 from repro.queries.terms import var

@@ -1,22 +1,41 @@
 #!/usr/bin/env bash
-# One-invocation correctness + speed gate.
+# One-invocation correctness + quality + speed gate.
 #
-# Runs the tier-1 test suite (includes the engine-parity tests) followed by
-# the engine smoke benchmark, so a regression in either correctness or the
-# pruned search's speed fails a single command:
+# Runs, in order:
+#   1. ruff lint (skipped with a warning if ruff is not installed),
+#   2. the tier-1 test suite (includes the three-way engine-parity tests),
+#   3. the engine smoke benchmark (parity + the propagating-vs-naive and
+#      SAT-vs-propagating perf gates), writing machine-readable results to
+#      BENCH_ENGINE.json,
+# so a regression in lint, correctness or engine speed fails one command:
 #
 #     scripts/check.sh
+#
+# CI (.github/workflows/ci.yml) runs exactly this script and uploads
+# BENCH_ENGINE.json as the perf-trajectory artifact.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== lint: ruff =="
+if [ "${SKIP_LINT:-}" = "1" ]; then
+    echo "SKIP_LINT=1; skipping lint (CI runs it once in the dedicated lint job)"
+elif command -v ruff >/dev/null 2>&1; then
+    ruff check src tests benchmarks examples
+elif python -m ruff --version >/dev/null 2>&1; then
+    python -m ruff check src tests benchmarks examples
+else
+    echo "ruff not installed; skipping lint (CI runs it in the lint job)"
+fi
+
+echo
 echo "== tier-1: pytest =="
 python -m pytest -x -q
 
 echo
-echo "== engine smoke benchmark (parity + speedup) =="
-python benchmarks/bench_engine.py --smoke
+echo "== engine smoke benchmark (parity + speedup gates) =="
+python benchmarks/bench_engine.py --smoke --json BENCH_ENGINE.json
 
 echo
 echo "check.sh: all gates passed"

@@ -26,7 +26,6 @@ from repro.constraints.containment import ContainmentConstraint, satisfies_all
 from repro.ctables.adom import ActiveDomain
 from repro.exceptions import BoundExceededError
 from repro.queries.cq import ConjunctiveQuery
-from repro.queries.evaluation import match_conjunction
 from repro.queries.terms import Variable, is_variable
 from repro.relational.domains import Constant
 from repro.relational.instance import GroundInstance, Row

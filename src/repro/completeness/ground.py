@@ -106,7 +106,7 @@ def find_ground_incompleteness_witness(
     """
     if not supports_exact_strong_check(query):
         raise QueryError(
-            f"exact ground completeness requires CQ/UCQ/∃FO+; got "
+            "exact ground completeness requires CQ/UCQ/∃FO+; got "
             f"{classify(query).value} — use is_ground_complete_bounded instead"
         )
     if not satisfies_all(instance, master, constraints):

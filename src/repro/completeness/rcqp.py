@@ -41,6 +41,7 @@ from repro.ctables.possible_worlds import resolve_engine
 from repro.exceptions import QueryError
 from repro.search.engine import WorldSearch, world_key
 from repro.search.propagation import ConstraintChecker
+from repro.search.sat_engine import SATWorldSearch
 from repro.queries.classify import (
     QueryLanguage,
     as_union_of_cqs,
@@ -286,15 +287,18 @@ def _rcqp_engine_search(
     constraints: Sequence[ContainmentConstraint],
     max_size: int,
     max_instances: int | None,
+    engine: str = "propagating",
 ) -> RCQPWitness:
-    """Witness search routed through the pruned world-search engine.
+    """Witness search routed through a non-naive world-search engine.
 
     For every total size ``s ≤ max_size`` and every distribution of ``s``
     rows over the relations, the worlds of the corresponding all-variable
-    c-instance are enumerated; the engine propagates the CCs on partial
-    candidates, so tuple combinations that already violate a constraint are
-    never materialised (unlike the naive combination scan, which inspects and
-    rejects them one by one).
+    c-instance are enumerated.  With ``engine="propagating"`` the backtracking
+    engine propagates the CCs on partial candidates, so tuple combinations
+    that already violate a constraint are never materialised (unlike the
+    naive combination scan, which inspects and rejects them one by one); with
+    ``engine="sat"`` each composition is compiled to CNF and the DPLL solver
+    enumerates only the partially closed candidates.
     """
     base = empty_instance(schema)
     adom = ground_active_domain(base, query, master, constraints)
@@ -305,7 +309,12 @@ def _rcqp_engine_search(
     for size in range(0, max_size + 1):
         for counts in _size_compositions(size, names):
             shape = _all_variable_cinstance(schema, counts)
-            search = WorldSearch(shape, master, constraints, adom, checker=checker)
+            if engine == "sat":
+                search: WorldSearch | SATWorldSearch = SATWorldSearch(
+                    shape, master, constraints, adom, checker=checker
+                )
+            else:
+                search = WorldSearch(shape, master, constraints, adom, checker=checker)
             # The global `seen` set already deduplicates by world_key across
             # compositions, so the per-search dedup pass is skipped.
             for _valuation, candidate in search.search():
@@ -352,9 +361,11 @@ def rcqp_bounded_search(
     closed candidates actually tested for completeness by the propagating
     engine (violating combinations are pruned before being counted).
     """
-    if resolve_engine(engine) == "propagating":
+    resolved = resolve_engine(engine)
+    if resolved in ("propagating", "sat"):
         return _rcqp_engine_search(
-            query, schema, master, constraints, max_size, max_instances
+            query, schema, master, constraints, max_size, max_instances,
+            engine=resolved,
         )
     base = empty_instance(schema)
     adom = ground_active_domain(base, query, master, constraints)

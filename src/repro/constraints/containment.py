@@ -22,13 +22,13 @@ denial constraint; :func:`denial_cc` builds it directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.exceptions import ConstraintError
 from repro.queries.atoms import RelationAtom
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.evaluation import evaluate_cq
-from repro.queries.terms import Term, Variable, variables as make_variables
+from repro.queries.terms import Variable, variables as make_variables
 from repro.relational.instance import GroundInstance, Row
 from repro.relational.master import MasterData
 from repro.relational.schema import DatabaseSchema

@@ -20,7 +20,6 @@ from repro.constraints.dependencies import (
     FunctionalDependency,
     InclusionDependency,
 )
-from repro.exceptions import BoundExceededError
 from repro.relational.domains import Constant
 from repro.relational.instance import GroundInstance
 from repro.relational.schema import DatabaseSchema

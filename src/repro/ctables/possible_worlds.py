@@ -6,7 +6,7 @@ infinite in general (variables range over infinite domains), but by
 Proposition 3.3 it suffices to consider valuations over the active domain
 ``Adom``; the paper writes the restricted set ``Mod_Adom(T, D_m, V)``.
 
-This module enumerates ``Mod_Adom``.  Two interchangeable engines back the
+This module enumerates ``Mod_Adom``.  Three interchangeable engines back the
 enumeration, selected with the ``engine`` keyword accepted by every function
 here (and threaded through the deciders in :mod:`repro.completeness`):
 
@@ -16,12 +16,18 @@ here (and threaded through the deciders in :mod:`repro.completeness`):
   pruned before their exponentially many completions are materialised, fresh
   Adom values are symmetry-reduced for pure existence checks, and duplicate
   worlds are suppressed via a canonical form;
+* ``engine="sat"`` — membership in ``Mod_Adom(T, D_m, V)`` is compiled to
+  CNF (:mod:`repro.search.cnf_encoding`) and handed to the DPLL solver of
+  :mod:`repro.reductions.dpll`; existence checks are a single SAT call and
+  enumeration uses selector-projected blocking clauses.  Conditions and
+  (in)equality-heavy constraints are evaluated once, at encoding time, which
+  is the regime where this engine overtakes the propagating one;
 * ``engine="naive"`` — the original cross-product enumeration
   (``itertools.product`` over the variable pools, constraints checked on
-  complete worlds only), kept as the reference implementation the engine is
-  parity-tested against.
+  complete worlds only), kept as the reference implementation the engines
+  are parity-tested against.
 
-Both engines produce the same set of valuations and worlds (only the
+All engines produce the same set of valuations and worlds (only the
 enumeration order may differ).  The higher-level decision procedures
 (consistency, RCDP, RCQP, MINP) are built on top of this module in
 :mod:`repro.completeness`.
@@ -45,11 +51,12 @@ from repro.queries.evaluation import Query, query_constants
 from repro.relational.instance import GroundInstance
 from repro.relational.master import MasterData
 from repro.search.engine import WorldSearch
+from repro.search.sat_engine import SATWorldSearch
 
 #: Engine used when callers do not request one explicitly.
 DEFAULT_ENGINE = "propagating"
 
-_ENGINE_NAMES = ("propagating", "naive")
+_ENGINE_NAMES = ("propagating", "sat", "naive")
 
 
 def resolve_engine(engine: str | None) -> str:
@@ -104,6 +111,9 @@ def models_with_valuations(
             if satisfies_all(world, master, constraints):
                 yield valuation, world
         return
+    if engine == "sat":
+        yield from SATWorldSearch(cinstance, master, constraints, adom).search()
+        return
     yield from WorldSearch(cinstance, master, constraints, adom).search()
 
 
@@ -134,6 +144,11 @@ def models(
                 seen.add(world)
             yield world
         return
+    if engine == "sat":
+        yield from SATWorldSearch(cinstance, master, constraints, adom).worlds(
+            deduplicate=deduplicate
+        )
+        return
     yield from WorldSearch(cinstance, master, constraints, adom).worlds(
         deduplicate=deduplicate
     )
@@ -163,6 +178,8 @@ def has_model(
         return False
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints)
+    if engine == "sat":
+        return SATWorldSearch(cinstance, master, constraints, adom).has_world()
     return WorldSearch(
         cinstance, master, constraints, adom, break_symmetry=True
     ).has_world()

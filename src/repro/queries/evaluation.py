@@ -36,7 +36,7 @@ from repro.queries.formulas import (
     Or,
 )
 from repro.queries.fp import FixpointQuery
-from repro.queries.terms import ConstantTerm, Term, Variable, is_variable
+from repro.queries.terms import Term, Variable, is_variable
 from repro.queries.ucq import UnionOfConjunctiveQueries
 from repro.relational.domains import Constant
 from repro.relational.instance import GroundInstance, Row
@@ -222,8 +222,16 @@ def match_conjunction(
     yield from backtrack(0, dict(initial or {}))
 
 
-def _head_row(head: tuple[Term, ...], assignment: Mapping[Variable, Constant]) -> Row:
-    """Instantiate a query head under an assignment."""
+def instantiate_head(
+    head: tuple[Term, ...], assignment: Mapping[Variable, Constant]
+) -> Row:
+    """Instantiate a query head under an assignment.
+
+    Public companion of :func:`match_conjunction`: callers that enumerate
+    body matches themselves (e.g. the CNF encoder of
+    :mod:`repro.search.cnf_encoding`) use it to build the corresponding
+    answer rows.
+    """
     row: list[Constant] = []
     for term in head:
         if is_variable(term):
@@ -235,6 +243,10 @@ def _head_row(head: tuple[Term, ...], assignment: Mapping[Variable, Constant]) -
         else:
             row.append(term)
     return tuple(row)
+
+
+#: Internal alias kept for the evaluators below.
+_head_row = instantiate_head
 
 
 # ---------------------------------------------------------------------------

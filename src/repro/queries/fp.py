@@ -25,7 +25,7 @@ from typing import Iterable, Sequence
 
 from repro.exceptions import QueryError
 from repro.queries.atoms import Comparison, RelationAtom
-from repro.queries.terms import ConstantTerm, Term, Variable, term_constants, term_variables
+from repro.queries.terms import ConstantTerm, Variable
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,7 @@ from typing import Iterator, Mapping
 from repro.exceptions import QueryError
 from repro.queries.atoms import RelationAtom
 from repro.queries.cq import ConjunctiveQuery
-from repro.queries.terms import ConstantTerm, Term, Variable, is_variable
+from repro.queries.terms import Term, Variable, is_variable
 from repro.relational.domains import Constant
 from repro.relational.instance import GroundInstance, Row
 from repro.relational.schema import DatabaseSchema

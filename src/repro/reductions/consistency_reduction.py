@@ -60,7 +60,6 @@ from repro.reductions.sat import Quantifier, QuantifiedFormula
 from repro.relational.instance import GroundInstance
 from repro.relational.master import MasterData
 from repro.relational.schema import DatabaseSchema, RelationSchema
-from repro.relational.domains import BOOLEAN_DOMAIN
 
 #: Name of the relation holding the candidate truth assignment of X.
 R_X = "R_X"

@@ -1,0 +1,370 @@
+"""A DPLL satisfiability solver with watched-literal propagation.
+
+The lower-bound reductions (:mod:`repro.reductions.sat`) and the SAT-backed
+world-search engine (:mod:`repro.search.sat_engine`) both need a propositional
+solver that scales past the handful of variables the brute-force
+``itertools.product`` scan can enumerate.  :class:`DPLLSolver` is a classic
+trail-based DPLL procedure hardened with the standard machinery of modern
+solvers:
+
+* **unit propagation via two watched literals** — each clause of length ≥ 2
+  watches two of its literals and is only inspected when one of them is
+  falsified, so propagation cost is proportional to the clauses that can
+  actually become unit, not to the clause database size;
+* **conflict-driven clause learning (decision scheme)** — every conflict
+  learns the negation of the current decision sequence and backjumps to the
+  level where that clause asserts, so no decision prefix is ever explored
+  twice, even across restarts;
+* **conflict-driven restarts** — after a geometrically growing number of
+  conflicts the trail is reset to level zero; the learned clauses (and the
+  saved phases and variable activities) carry the progress across the
+  restart, so restarts redirect the search without losing completeness;
+* **dynamic variable activities with phase saving** — variables involved in
+  recent conflicts are branched on first, and unassigned variables remember
+  the polarity they last held.
+
+Literals follow the DIMACS convention used by :mod:`repro.reductions.sat`:
+a literal is a non-zero integer, ``+v`` for variable ``v`` and ``-v`` for its
+negation.  Variable identifiers may be arbitrary (sparse) positive integers.
+
+The solver is incremental in the way the world-search engine needs: clauses
+may be added between ``solve()`` calls (e.g. blocking clauses during model
+enumeration) and each ``solve()`` restarts the search while keeping the
+learned clauses, activities and phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import ReductionError
+
+#: Activity decay applied after every conflict (MiniSat-style bumping).
+_ACTIVITY_INC_FACTOR = 1.0 / 0.95
+#: Rescale threshold preventing float overflow of activities.
+_ACTIVITY_RESCALE = 1e100
+#: First restart after this many conflicts; grows geometrically afterwards.
+_RESTART_BASE = 64
+_RESTART_FACTOR = 1.5
+
+
+@dataclass
+class SolverStats:
+    """Counters describing the work done across all ``solve()`` calls."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    solve_calls: int = 0
+
+
+class DPLLSolver:
+    """Trail-based DPLL with watched literals, learning and restarts."""
+
+    def __init__(self, clauses: Iterable[Sequence[int]] = ()) -> None:
+        self._clauses: list[list[int]] = []
+        self._watches: dict[int, list[int]] = {}
+        self._units: list[int] = []
+        self._vars: set[int] = set()
+        self._unsat = False
+
+        self._assign: dict[int, bool] = {}
+        self._level: dict[int, int] = {}
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+
+        self._phase: dict[int, bool] = {}
+        self._activity: dict[int, float] = {}
+        self._activity_inc = 1.0
+
+        self.stats = SolverStats()
+        for clause in clauses:
+            self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    # clause database
+    # ------------------------------------------------------------------
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Add a clause; duplicates are merged and tautologies dropped.
+
+        Clauses may be added between ``solve()`` calls (the next call picks
+        them up); adding the empty clause marks the instance unsatisfiable.
+        """
+        seen: set[int] = set()
+        unique: list[int] = []
+        tautology = False
+        for lit in literals:
+            if lit == 0:
+                raise ReductionError("literal 0 is not allowed (DIMACS convention)")
+            self._vars.add(abs(lit))
+            if lit in seen:
+                continue
+            if -lit in seen:
+                tautology = True  # always satisfied; still register its variables
+                continue
+            seen.add(lit)
+            unique.append(lit)
+        if tautology:
+            return
+        if not unique:
+            self._unsat = True
+            return
+        if len(unique) == 1:
+            self._units.append(unique[0])
+            return
+        self._attach(unique)
+
+    def _attach(self, clause: list[int]) -> int:
+        """Store a (length ≥ 2) clause and watch its first two literals."""
+        index = len(self._clauses)
+        self._clauses.append(clause)
+        self._watches.setdefault(clause[0], []).append(index)
+        self._watches.setdefault(clause[1], []).append(index)
+        return index
+
+    @property
+    def num_clauses(self) -> int:
+        """Clauses in the database (input + learned, excluding units)."""
+        return len(self._clauses)
+
+    @property
+    def variables(self) -> frozenset[int]:
+        """All variable identifiers mentioned by the clause database."""
+        return frozenset(self._vars)
+
+    # ------------------------------------------------------------------
+    # assignment trail
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> bool | None:
+        value = self._assign.get(abs(lit))
+        if value is None:
+            return None
+        return value if lit > 0 else not value
+
+    def _enqueue(self, lit: int) -> bool:
+        """Assert a literal at the current level; ``False`` on conflict."""
+        current = self._value(lit)
+        if current is not None:
+            return current
+        var = abs(lit)
+        self._assign[var] = lit > 0
+        self._level[var] = len(self._trail_lim)
+        self._trail.append(lit)
+        return True
+
+    def _backtrack(self, target_level: int) -> None:
+        """Undo all assignments above ``target_level``, saving phases."""
+        if len(self._trail_lim) <= target_level:
+            return
+        cut = self._trail_lim[target_level]
+        for lit in reversed(self._trail[cut:]):
+            var = abs(lit)
+            self._phase[var] = self._assign.pop(var)
+            del self._level[var]
+        del self._trail[cut:]
+        del self._trail_lim[target_level:]
+        self._qhead = min(self._qhead, len(self._trail))
+
+    # ------------------------------------------------------------------
+    # propagation (two watched literals)
+    # ------------------------------------------------------------------
+    def _propagate(self) -> list[int] | None:
+        """Exhaust unit propagation; return a conflicting clause or ``None``."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            false_lit = -lit
+            watchers = self._watches.get(false_lit)
+            if not watchers:
+                continue
+            kept: list[int] = []
+            conflict: list[int] | None = None
+            for cursor, index in enumerate(watchers):
+                clause = self._clauses[index]
+                # Normalise: the falsified watch sits at position 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                other = clause[0]
+                if self._value(other) is True:
+                    kept.append(index)
+                    continue
+                for position in range(2, len(clause)):
+                    if self._value(clause[position]) is not False:
+                        clause[1], clause[position] = clause[position], clause[1]
+                        self._watches.setdefault(clause[1], []).append(index)
+                        break
+                else:
+                    kept.append(index)
+                    if self._value(other) is False:
+                        kept.extend(watchers[cursor + 1 :])
+                        conflict = clause
+                        break
+                    self.stats.propagations += 1
+                    self._enqueue(other)
+            self._watches[false_lit] = kept
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # heuristics
+    # ------------------------------------------------------------------
+    def _bump(self, variables: Iterable[int]) -> None:
+        for var in variables:
+            bumped = self._activity.get(var, 0.0) + self._activity_inc
+            self._activity[var] = bumped
+            if bumped > _ACTIVITY_RESCALE:
+                for key in self._activity:
+                    self._activity[key] *= 1.0 / _ACTIVITY_RESCALE
+                self._activity_inc *= 1.0 / _ACTIVITY_RESCALE
+        self._activity_inc *= _ACTIVITY_INC_FACTOR
+
+    def _pick_branch_variable(self) -> int | None:
+        best: int | None = None
+        best_activity = -1.0
+        for var in self._vars:
+            if var in self._assign:
+                continue
+            activity = self._activity.get(var, 0.0)
+            if activity > best_activity or (
+                activity == best_activity and (best is None or var < best)
+            ):
+                best = var
+                best_activity = activity
+        return best
+
+    # ------------------------------------------------------------------
+    # conflict handling (decision learning + backjumping)
+    # ------------------------------------------------------------------
+    def _decision_literals(self) -> list[int]:
+        return [self._trail[position] for position in self._trail_lim]
+
+    def _resolve_conflict(self, conflict: list[int]) -> bool:
+        """Learn from a conflict; ``False`` when the instance is refuted."""
+        self.stats.conflicts += 1
+        self._bump(abs(lit) for lit in conflict)
+        decisions = self._decision_literals()
+        if not decisions:
+            return False  # conflict with no decisions: refuted at level 0
+        self._bump(abs(lit) for lit in decisions)
+        # Decision learning: no completion of (d_1 ∧ ... ∧ d_k) is a model,
+        # so learn (¬d_k ∨ ¬d_{k-1} ∨ ... ∨ ¬d_1).  After backjumping to
+        # level k-1 the clause is asserting: ¬d_k propagates immediately.
+        learned = [-lit for lit in reversed(decisions)]
+        self.stats.learned_clauses += 1
+        self._backtrack(len(decisions) - 1)
+        if len(learned) == 1:
+            self._units.append(learned[0])
+        else:
+            # Watch the asserting literal and the now-deepest decision
+            # negation: positions 0 and 1 after the reversal above.
+            self._attach(learned)
+        return self._enqueue(learned[0])
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def solve(self) -> dict[int, bool] | None:
+        """A satisfying assignment of every variable, or ``None`` (UNSAT).
+
+        Each call restarts the search from level 0 (clauses added since the
+        previous call are picked up) while keeping learned clauses, variable
+        activities and saved phases.
+        """
+        self.stats.solve_calls += 1
+        self._backtrack(0)
+        # Reset level-0 state: re-assert all unit clauses from scratch so
+        # clauses added between solve() calls take effect.
+        for var in [abs(lit) for lit in self._trail]:
+            self._phase[var] = self._assign.pop(var)
+            self._level.pop(var, None)
+        self._trail.clear()
+        self._qhead = 0
+        if self._unsat:
+            return None
+        for lit in self._units:
+            if not self._enqueue(lit):
+                return None
+
+        conflicts_until_restart = _RESTART_BASE
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                if not self._resolve_conflict(conflict):
+                    return None
+                conflicts_until_restart -= 1
+                if conflicts_until_restart <= 0:
+                    self.stats.restarts += 1
+                    self._backtrack(0)
+                    conflicts_until_restart = int(
+                        _RESTART_BASE
+                        * _RESTART_FACTOR ** (self.stats.restarts)
+                    )
+                continue
+            variable = self._pick_branch_variable()
+            if variable is None:
+                return dict(self._assign)
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(variable if self._phase.get(variable, False) else -variable)
+
+    def enumerate_models(
+        self, project_onto: Sequence[int] | None = None
+    ) -> Iterator[dict[int, bool]]:
+        """Enumerate satisfying assignments via blocking clauses.
+
+        With ``project_onto`` given, models are enumerated up to their
+        restriction to those variables (each projection appears exactly once);
+        otherwise full models are blocked one by one.  The blocking clauses
+        stay in the solver, so interleaving with :meth:`add_clause` is safe.
+        """
+        while True:
+            model = self.solve()
+            if model is None:
+                return
+            yield model
+            scope = project_onto if project_onto is not None else sorted(model)
+            blocking = [-var if model[var] else var for var in scope]
+            if not blocking:
+                return  # nothing to block: the projection admits one model
+            self.add_clause(blocking)
+
+
+def solve_cnf(clauses: Iterable[Sequence[int]]) -> dict[int, bool] | None:
+    """One-shot convenience wrapper: solve a clause list with a fresh solver."""
+    return DPLLSolver(clauses).solve()
+
+
+def brute_force_satisfiable(
+    clauses: Sequence[Sequence[int]], assignment_limit: int = 1 << 22
+) -> bool:
+    """Exhaustive satisfiability check, used to cross-validate the solver.
+
+    Kept deliberately independent of :class:`DPLLSolver` (and of
+    :class:`repro.reductions.sat.CNFFormula`) so the two implementations share
+    no code paths; refuses instances whose assignment space exceeds
+    ``assignment_limit``.
+    """
+    import itertools
+
+    variables = sorted({abs(lit) for clause in clauses for lit in clause})
+    if 2 ** len(variables) > assignment_limit:
+        raise ReductionError(
+            f"brute-force check over {len(variables)} variables exceeds the "
+            "assignment limit; use DPLLSolver instead"
+        )
+    for values in itertools.product((False, True), repeat=len(variables)):
+        assignment: Mapping[int, bool] = dict(zip(variables, values))
+        if all(
+            any(
+                assignment[abs(lit)] == (lit > 0)
+                for lit in clause
+            )
+            for clause in clauses
+        ):
+            return True
+    return False

@@ -20,7 +20,7 @@ import itertools
 import random
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.exceptions import ReductionError
 
@@ -94,8 +94,44 @@ class CNFFormula:
         return all(clause.evaluate(assignment) for clause in self.clauses)
 
     def is_satisfiable(self) -> bool:
-        """Brute-force satisfiability check."""
+        """Satisfiability via the DPLL solver of :mod:`repro.reductions.dpll`.
+
+        The reduction validators call this on every instance they build;
+        routing it through the watched-literal solver keeps them polynomial
+        in practice instead of exponential by construction.  The old
+        exhaustive scan survives as :meth:`is_satisfiable_brute_force`, the
+        cross-check oracle for small instances.
+        """
+        from repro.reductions.dpll import DPLLSolver
+
+        solver = DPLLSolver(clause.literals for clause in self.clauses)
+        return solver.solve() is not None
+
+    def satisfying_assignment(self) -> dict[int, bool] | None:
+        """A satisfying assignment of all variables, or ``None`` (UNSAT)."""
+        from repro.reductions.dpll import DPLLSolver
+
+        solver = DPLLSolver(clause.literals for clause in self.clauses)
+        model = solver.solve()
+        if model is None:
+            return None
+        # The solver only assigns variables that occur in clauses, which for
+        # a CNFFormula is all of them.
+        return {variable: model[variable] for variable in self.variables()}
+
+    def is_satisfiable_brute_force(self, max_variables: int = 12) -> bool:
+        """Exhaustive satisfiability check (cross-check oracle).
+
+        Refuses instances beyond ``max_variables`` variables: anything larger
+        belongs to :meth:`is_satisfiable`.
+        """
         variables = sorted(self.variables())
+        if len(variables) > max_variables:
+            raise ReductionError(
+                f"brute-force satisfiability over {len(variables)} variables "
+                f"exceeds the {max_variables}-variable cross-check bound; "
+                "use is_satisfiable() (DPLL) instead"
+            )
         for values in itertools.product((False, True), repeat=len(variables)):
             if self.evaluate(dict(zip(variables, values))):
                 return True

@@ -101,7 +101,7 @@ def product(left: Relation, right: Relation, name: str = "product") -> Relation:
         else:
             attrs.append(attr)
     new_schema = RelationSchema(name, attrs)
-    rows = [l + r for l in left.rows for r in right.rows]
+    rows = [lhs + rhs for lhs in left.rows for rhs in right.rows]
     return Relation(new_schema, rows)
 
 
@@ -136,10 +136,10 @@ def natural_join(left: Relation, right: Relation, name: str = "join") -> Relatio
     attrs = list(left.schema.attributes) + [right.schema.attributes[i] for i in right_keep]
     new_schema = RelationSchema(name, attrs)
     rows = []
-    for l in left.rows:
-        for r in right.rows:
-            if all(l[left_pos[a]] == r[right_pos[a]] for a in shared):
-                rows.append(l + tuple(r[i] for i in right_keep))
+    for lhs in left.rows:
+        for rhs in right.rows:
+            if all(lhs[left_pos[a]] == rhs[right_pos[a]] for a in shared):
+                rows.append(lhs + tuple(rhs[i] for i in right_keep))
     return Relation(new_schema, rows)
 
 

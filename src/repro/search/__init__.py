@@ -1,24 +1,42 @@
-"""Constraint-propagating search over the possible worlds of a c-instance.
+"""Search engines over the possible worlds of a c-instance.
 
 The decision procedures of the paper all reduce to enumerating (or probing)
-``Mod_Adom(T, D_m, V)``.  This package provides the pruned backtracking
-engine behind that enumeration: per-variable candidate pools, early
-containment-constraint propagation on partially grounded worlds, fresh-value
-symmetry breaking for existence checks and canonical-form deduplication.
+``Mod_Adom(T, D_m, V)``.  This package provides the two non-trivial engines
+behind that enumeration:
 
-:mod:`repro.ctables.possible_worlds` routes through the engine by default
-(``engine="propagating"``); the cross-product path remains available as
-``engine="naive"``.
+* the **propagating** engine (:mod:`repro.search.engine`) — pruned
+  backtracking: per-variable candidate pools, early containment-constraint
+  propagation on partially grounded worlds, fresh-value symmetry breaking
+  for existence checks and canonical-form deduplication;
+* the **SAT** engine (:mod:`repro.search.sat_engine`) — membership is
+  compiled to CNF (:mod:`repro.search.cnf_encoding`) and decided by the
+  DPLL solver of :mod:`repro.reductions.dpll`; conditions and
+  inequality-heavy constraints are evaluated once at encoding time.
+
+:mod:`repro.ctables.possible_worlds` routes through the propagating engine
+by default (``engine="propagating"``); the SAT route is ``engine="sat"`` and
+the cross-product reference path remains available as ``engine="naive"``.
 """
 
+from repro.search.cnf_encoding import (
+    EncodingStats,
+    WorldEncoding,
+    encode_world_search,
+)
 from repro.search.engine import SearchStats, WorldSearch, world_key
 from repro.search.ordering import order_variables
 from repro.search.propagation import ConstraintChecker
+from repro.search.sat_engine import SATSearchStats, SATWorldSearch
 
 __all__ = [
     "ConstraintChecker",
+    "EncodingStats",
+    "SATSearchStats",
+    "SATWorldSearch",
     "SearchStats",
+    "WorldEncoding",
     "WorldSearch",
+    "encode_world_search",
     "order_variables",
     "world_key",
 ]

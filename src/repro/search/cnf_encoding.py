@@ -1,0 +1,348 @@
+"""CNF encoding of ``Mod_Adom(T, D_m, V)`` membership.
+
+The paper's lower bounds reduce quantified SAT *to* the completeness
+problems; this module runs the connection the other way, encoding the
+valuation search itself as propositional satisfiability so the DPLL solver
+(:mod:`repro.reductions.dpll`) can decide it.  A satisfying assignment of the
+produced formula corresponds one-to-one to a valuation ``µ`` over the active
+domain with ``(µ(T), D_m) |= V``.
+
+The encoding has three layers:
+
+**Selector variables.**  For every c-instance variable ``x`` and every value
+``a`` of its candidate pool (the active domain, narrowed by finite attribute
+domains) a selector ``s[x=a]`` states "``µ(x) = a``".  Exactly-one
+constraints per variable — an at-least-one clause plus pairwise at-most-one
+clauses — make total assignments of the selectors exactly the Adom
+valuations.  Cells of the c-table sharing a variable share its selectors.
+
+**Tuple-presence variables.**  Every c-table row can only ground to finitely
+many tuples: one per assignment of the row's variables (terms *and* local
+condition) whose condition evaluates to true — assignments falsifying the
+condition simply drop the row, so they produce no grounding.  For each
+possible tuple ``t`` of relation ``R`` a variable ``p[R,t]`` is defined by a
+Tseitin-style equivalence with the groundings that produce it::
+
+    p[R,t]  ↔  g₁ ∨ g₂ ∨ ...        gᵢ ↔ s[x=a] ∧ s[y=b] ∧ ...
+
+where each ``gᵢ`` stands for one (row, assignment) pair.  Tuples contributed
+by fully ground rows (no variables, condition true) are *baseline* facts —
+present in every world — and need no variable at all.  Because the auxiliary
+``g``/``p`` variables are functionally determined by the selectors, models
+project one-to-one onto valuations: enumerating models with selector-only
+blocking clauses enumerates valuations without duplicates.
+
+**Constraint clauses.**  A containment constraint ``q ⊆ p(D_m)`` is violated
+by a world iff some match of ``q``'s body onto the world's tuples produces a
+head row outside the (fixed) master answer.  The worlds' tuples all come from
+the candidate universe above, so every potential violation is a match of
+``q`` onto the universe; for each such match with an uncovered head the
+encoding emits the clause ::
+
+    ¬p[R₁,t₁] ∨ ... ∨ ¬p[Rₖ,tₖ]     ("not all of these tuples together")
+
+over the presence variables of the matched tuples (baseline facts contribute
+no literal — they are always present).  A violating match consisting solely
+of baseline facts makes the instance trivially inconsistent.
+
+Conditions, equalities and inequalities are therefore handled *natively*:
+row conditions vanish into the grounding step, and the ``=``/``≠``
+comparisons of the constraint queries are evaluated once, during clause
+generation, instead of once per explored world — this is what lets the SAT
+engine open up the inequality-heavy instances the monotone-CC pruner of
+:mod:`repro.search.engine` cannot prune.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.reductions.dpll import DPLLSolver
+
+from repro.constraints.containment import ContainmentConstraint
+from repro.ctables.adom import ActiveDomain, variable_pools
+from repro.ctables.cinstance import CInstance
+from repro.ctables.valuation import Valuation, enumerate_assignments
+from repro.exceptions import SearchError
+from repro.queries.evaluation import instantiate_head, match_conjunction
+from repro.queries.terms import Variable
+from repro.relational.domains import Constant
+from repro.relational.instance import Row
+from repro.relational.master import MasterData
+from repro.search.propagation import ConstraintChecker
+
+
+@dataclass
+class EncodingStats:
+    """Size counters for one :class:`WorldEncoding` build."""
+
+    selector_variables: int = 0
+    grounding_variables: int = 0
+    presence_variables: int = 0
+    clauses: int = 0
+    candidate_tuples: int = 0
+    baseline_tuples: int = 0
+    blocked_matches: int = 0
+
+
+@dataclass
+class WorldEncoding:
+    """The CNF encoding of ``Mod_Adom(T, D_m, V)`` membership.
+
+    Build with :func:`encode_world_search`.  ``clauses`` is ready for
+    :class:`repro.reductions.dpll.DPLLSolver`; :meth:`decode` turns a model
+    back into a valuation and :meth:`selector_scope` lists the variables to
+    project model enumeration onto.
+    """
+
+    variables: tuple[Variable, ...]
+    pools: Mapping[Variable, Sequence[Constant]]
+    selector: Mapping[tuple[Variable, Constant], int]
+    clauses: list[tuple[int, ...]]
+    trivially_unsat: bool
+    stats: EncodingStats = field(default_factory=EncodingStats)
+
+    def selector_scope(self) -> list[int]:
+        """Selector variable identifiers, in deterministic order.
+
+        Auxiliary grounding/presence variables are functionally determined by
+        the selectors, so blocking models on this scope enumerates each
+        valuation exactly once.
+        """
+        return [
+            self.selector[(variable, value)]
+            for variable in self.variables
+            for value in self.pools[variable]
+        ]
+
+    def decode(self, model: Mapping[int, bool]) -> Valuation:
+        """The valuation a satisfying assignment encodes."""
+        valuation: Valuation = {}
+        for variable in self.variables:
+            for value in self.pools[variable]:
+                if model.get(self.selector[(variable, value)]):
+                    valuation[variable] = value
+                    break
+            else:
+                raise SearchError(
+                    f"model assigns no value to variable {variable!r}; "
+                    "the exactly-one constraints were violated"
+                )
+        return valuation
+
+    def blocking_clause(self, valuation: Mapping[Variable, Constant]) -> tuple[int, ...]:
+        """A clause excluding exactly the given valuation."""
+        return tuple(
+            -self.selector[(variable, valuation[variable])]
+            for variable in self.variables
+        )
+
+
+def encode_world_search(
+    cinstance: CInstance,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None = None,
+    checker: ConstraintChecker | None = None,
+) -> WorldEncoding:
+    """Encode ``Mod_Adom(T, D_m, V)`` membership as CNF.
+
+    ``checker`` may supply precomputed constraint right-hand sides (shared
+    with the propagating engine); one is built from ``(master, constraints)``
+    otherwise.
+    """
+    if adom is None:
+        from repro.ctables.possible_worlds import default_active_domain
+
+        adom = default_active_domain(cinstance, master, constraints)
+    checker = checker or ConstraintChecker(master, constraints)
+
+    variables = tuple(sorted(cinstance.variables(), key=lambda v: v.name))
+    pools = variable_pools(variables, adom, cinstance.variable_domains())
+
+    stats = EncodingStats()
+    clauses: list[tuple[int, ...]] = []
+    counter = 0
+
+    def fresh_variable() -> int:
+        nonlocal counter
+        counter += 1
+        return counter
+
+    # --- selector variables and exactly-one constraints -------------------
+    selector: dict[tuple[Variable, Constant], int] = {}
+    for variable in variables:
+        pool = pools[variable]
+        ids = []
+        for value in pool:
+            selector[(variable, value)] = fresh_variable()
+            ids.append(selector[(variable, value)])
+        stats.selector_variables += len(ids)
+        if not ids:
+            # An empty pool (e.g. an empty finite-domain intersection) admits
+            # no valuation at all.
+            stats.clauses = len(clauses)
+            return WorldEncoding(
+                variables=variables,
+                pools=pools,
+                selector=selector,
+                clauses=clauses,
+                trivially_unsat=True,
+                stats=stats,
+            )
+        clauses.append(tuple(ids))
+        for i in range(len(ids)):
+            for j in range(i + 1, len(ids)):
+                clauses.append((-ids[i], -ids[j]))
+
+    # --- row groundings and tuple-presence variables -----------------------
+    # baseline[name]: tuples present in every world (from fully ground rows).
+    # producers[(name, tuple)]: conjunctions of selector literals, one per
+    # (row, assignment) grounding producing the tuple.
+    baseline: dict[str, set[Row]] = {
+        name: set() for name in cinstance.schema.relation_names
+    }
+    producers: dict[tuple[str, Row], list[tuple[int, ...]]] = {}
+    for name, _index, row in cinstance.rows():
+        row_variables = sorted(row.variables(), key=lambda v: v.name)
+        if not row_variables:
+            ground = row.apply({})
+            if ground is not None:
+                baseline[name].add(ground)
+            continue
+        row_pools = {variable: pools[variable] for variable in row_variables}
+        for assignment in enumerate_assignments(row_pools):
+            ground = row.apply(assignment)
+            if ground is None:
+                continue  # local condition falsified: the row drops out
+            conjunction = tuple(
+                selector[(variable, assignment[variable])]
+                for variable in row_variables
+            )
+            producers.setdefault((name, ground), []).append(conjunction)
+
+    # Tuples that are baseline facts need no presence variable; their other
+    # producers are irrelevant (the tuple is present regardless).
+    for (name, ground) in list(producers):
+        if ground in baseline[name]:
+            del producers[(name, ground)]
+
+    stats.baseline_tuples = sum(len(rows) for rows in baseline.values())
+    stats.candidate_tuples = stats.baseline_tuples + len(producers)
+
+    # Tseitin definitions: g ↔ conjunction (cached across tuples), p ↔ ∨ g.
+    grounding_variable: dict[tuple[int, ...], int] = {}
+
+    def literal_for_conjunction(conjunction: tuple[int, ...]) -> int:
+        if len(conjunction) == 1:
+            return conjunction[0]
+        cached = grounding_variable.get(conjunction)
+        if cached is not None:
+            return cached
+        g = fresh_variable()
+        grounding_variable[conjunction] = g
+        stats.grounding_variables += 1
+        for lit in conjunction:
+            clauses.append((-g, lit))
+        clauses.append(tuple(-lit for lit in conjunction) + (g,))
+        return g
+
+    presence: dict[tuple[str, Row], int] = {}
+    for key in sorted(producers, key=repr):
+        conjunctions = producers[key]
+        if len(conjunctions) == 1:
+            # A single producer: its grounding literal *is* the presence
+            # variable (for one-variable rows, the selector literal itself).
+            presence[key] = literal_for_conjunction(conjunctions[0])
+            continue
+        p = fresh_variable()
+        stats.presence_variables += 1
+        presence[key] = p
+        disjuncts = [literal_for_conjunction(c) for c in conjunctions]
+        for g in disjuncts:
+            clauses.append((-g, p))
+        clauses.append((-p,) + tuple(disjuncts))
+
+    # --- constraint violation clauses --------------------------------------
+    # The candidate universe: everything any world could contain.
+    universe: dict[str, frozenset[Row]] = {}
+    for name in cinstance.schema.relation_names:
+        rows = set(baseline[name])
+        rows.update(ground for (rel, ground) in producers if rel == name)
+        universe[name] = frozenset(rows)
+
+    trivially_unsat = False
+    blocked: set[tuple[int, ...]] = set()
+    for constraint, _relations, rhs in checker.entries:
+        query = constraint.query
+        for match in match_conjunction(query.atoms, query.comparisons, universe):
+            head = instantiate_head(query.head, match)
+            if head in rhs:
+                continue
+            stats.blocked_matches += 1
+            literals: set[int] = set()
+            baseline_only = True
+            for atom in query.atoms:
+                ground = tuple(
+                    match[term] if isinstance(term, Variable) else term
+                    for term in atom.terms
+                )
+                if ground in baseline[atom.relation]:
+                    continue  # always present: contributes no literal
+                baseline_only = False
+                literals.add(-presence[(atom.relation, ground)])
+            if baseline_only:
+                # The fixed part of the c-instance already violates the
+                # constraint: no valuation can repair it.
+                trivially_unsat = True
+                break
+            clause = tuple(sorted(literals))
+            if clause not in blocked:
+                blocked.add(clause)
+                clauses.append(clause)
+        if trivially_unsat:
+            break
+
+    stats.clauses = len(clauses)
+    return WorldEncoding(
+        variables=variables,
+        pools=pools,
+        selector=selector,
+        clauses=clauses,
+        trivially_unsat=trivially_unsat,
+        stats=stats,
+    )
+
+
+def iter_solver_models(
+    encoding: WorldEncoding, solver: DPLLSolver | None = None
+) -> Iterator[Valuation]:
+    """Enumerate the valuations satisfying the encoding.
+
+    This is the one solve → decode → block loop shared by the SAT engine
+    (:meth:`repro.search.sat_engine.SATWorldSearch.search`) and the tests.
+    Each satisfying valuation is yielded exactly once: its blocking clause
+    (one negated selector literal per c-instance variable) is added before
+    re-solving, and the auxiliary encoding variables are functionally
+    determined by the selectors, so nothing is dropped or duplicated.
+    ``solver`` may be supplied to observe its statistics; it must be fresh
+    (built from ``encoding.clauses``).
+    """
+    from repro.reductions.dpll import DPLLSolver
+
+    if encoding.trivially_unsat:
+        return
+    if solver is None:
+        solver = DPLLSolver(encoding.clauses)
+    while True:
+        model = solver.solve()
+        if model is None:
+            return
+        valuation = encoding.decode(model)
+        yield valuation
+        blocking = encoding.blocking_clause(valuation)
+        if not blocking:
+            return  # no variables: the single empty valuation is it
+        solver.add_clause(blocking)

@@ -28,7 +28,7 @@ is sound and complete for satisfying valuations), so
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from repro.constraints.containment import (

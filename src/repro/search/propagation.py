@@ -49,6 +49,16 @@ class ConstraintChecker:
         """The constraints being checked, in input order."""
         return [constraint for constraint, _relations, _rhs in self._entries]
 
+    @property
+    def entries(self) -> list[tuple[ContainmentConstraint, frozenset[str], frozenset[Row]]]:
+        """``(constraint, LHS relation names, precomputed RHS answer)`` triples.
+
+        Exposed so other engines (e.g. the CNF encoder of
+        :mod:`repro.search.cnf_encoding`) can share the per-master-data
+        right-hand-side evaluation instead of redoing it.
+        """
+        return list(self._entries)
+
     def check(
         self,
         facts: Mapping[str, AbstractSet[Row]],

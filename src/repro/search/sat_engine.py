@@ -1,0 +1,136 @@
+"""The SAT-backed world-search engine (``engine="sat"``).
+
+:class:`SATWorldSearch` decides and enumerates ``Mod_Adom(T, D_m, V)`` by
+handing the CNF encoding of :mod:`repro.search.cnf_encoding` to the DPLL
+solver of :mod:`repro.reductions.dpll`.  It mirrors the API of
+:class:`repro.search.engine.WorldSearch`, so
+:mod:`repro.ctables.possible_worlds` routes through it transparently:
+
+* :meth:`has_world` runs a single satisfiability check — existence questions
+  (consistency, the MINP emptiness probe) never enumerate anything;
+* :meth:`search` enumerates satisfying assignments with selector-projected
+  blocking clauses, yielding each Adom valuation exactly once together with
+  its world — exactly the pairs the naive cross-product scan accepts;
+* :meth:`worlds` deduplicates by the shared canonical form
+  (:func:`repro.search.engine.world_key`).
+
+Compared with the propagating engine, the SAT route front-loads all
+constraint reasoning into clause generation: conditions and
+(in)equality-heavy containment constraints are evaluated once, and the solver
+then explores the valuation space with unit propagation, learned conflicts
+and restarts instead of per-node conjunctive-query re-evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.constraints.containment import ContainmentConstraint
+from repro.ctables.adom import ActiveDomain
+from repro.ctables.cinstance import CInstance
+from repro.ctables.valuation import Valuation
+from repro.reductions.dpll import DPLLSolver, SolverStats
+from repro.relational.instance import GroundInstance, Row
+from repro.relational.master import MasterData
+from repro.search.cnf_encoding import (
+    EncodingStats,
+    WorldEncoding,
+    encode_world_search,
+    iter_solver_models,
+)
+from repro.search.engine import world_key
+from repro.search.propagation import ConstraintChecker
+
+
+@dataclass
+class SATSearchStats:
+    """Counters describing one SAT-backed search run."""
+
+    worlds: int = 0
+    duplicate_worlds: int = 0
+    encoding: EncodingStats | None = None
+    solver: SolverStats | None = None
+
+
+class SATWorldSearch:
+    """SAT-backed enumeration of ``Mod_Adom(T, D_m, V)``.
+
+    Parameters mirror :class:`repro.search.engine.WorldSearch`: the
+    decision-procedure input plus an optional prebuilt
+    :class:`ConstraintChecker` whose precomputed right-hand sides the encoder
+    reuses.  The CNF encoding is built eagerly (its cost corresponds to the
+    constraint pre-evaluation of the other engines); the solver is created
+    lazily per search.
+    """
+
+    def __init__(
+        self,
+        cinstance: CInstance,
+        master: MasterData,
+        constraints: Sequence[ContainmentConstraint],
+        adom: ActiveDomain | None = None,
+        *,
+        checker: ConstraintChecker | None = None,
+    ) -> None:
+        if adom is None:
+            from repro.ctables.possible_worlds import default_active_domain
+
+            adom = default_active_domain(cinstance, master, constraints)
+        self._cinstance = cinstance
+        self._adom = adom
+        self._encoding: WorldEncoding = encode_world_search(
+            cinstance, master, constraints, adom, checker=checker
+        )
+        self.stats = SATSearchStats(encoding=self._encoding.stats)
+
+    @property
+    def encoding(self) -> WorldEncoding:
+        """The CNF encoding backing the search."""
+        return self._encoding
+
+    def _solver(self) -> DPLLSolver:
+        solver = DPLLSolver(self._encoding.clauses)
+        self.stats.solver = solver.stats
+        return solver
+
+    # ------------------------------------------------------------------
+    # front-ends (API parity with WorldSearch)
+    # ------------------------------------------------------------------
+    def search(self) -> Iterator[tuple[Valuation, GroundInstance]]:
+        """Enumerate ``(µ, µ(T))`` pairs with ``(µ(T), D_m) |= V``.
+
+        Every satisfying Adom valuation is yielded exactly once (see
+        :func:`repro.search.cnf_encoding.iter_solver_models`, the shared
+        blocking-clause enumeration loop).
+        """
+        if self._encoding.trivially_unsat:
+            return
+        for valuation in iter_solver_models(self._encoding, self._solver()):
+            self.stats.worlds += 1
+            yield valuation, self._cinstance.apply(valuation)
+
+    def __iter__(self) -> Iterator[tuple[Valuation, GroundInstance]]:
+        return self.search()
+
+    def worlds(self, deduplicate: bool = True) -> Iterator[GroundInstance]:
+        """Enumerate the worlds, suppressing duplicates by canonical form."""
+        seen: set[tuple[frozenset[Row], ...]] = set()
+        for _valuation, world in self.search():
+            if deduplicate:
+                key = world_key(world)
+                if key in seen:
+                    self.stats.duplicate_worlds += 1
+                    continue
+                seen.add(key)
+            yield world
+
+    def has_world(self) -> bool:
+        """Whether ``Mod_Adom(T, D_m, V)`` is non-empty (single SAT call)."""
+        if self._encoding.trivially_unsat:
+            return False
+        return self._solver().solve() is not None
+
+    def count_worlds(self) -> int:
+        """The number of distinct worlds."""
+        return sum(1 for _ in self.worlds(deduplicate=True))

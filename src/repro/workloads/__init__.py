@@ -1,8 +1,10 @@
 """Workloads: the paper's patient MDM scenario and synthetic generators."""
 
 from repro.workloads.generator import (
+    InequalityChainWorkload,
     RegistryWorkload,
     chain_fp_query,
+    inequality_chain_workload,
     point_queries_for_keys,
     random_cinstance,
     registry_workload,
@@ -20,6 +22,7 @@ from repro.workloads.patients import (
 __all__ = [
     "ABSENT_NHS",
     "BOB_NHS",
+    "InequalityChainWorkload",
     "JOHN_NHS",
     "PatientScenario",
     "RegistryWorkload",
@@ -27,6 +30,7 @@ __all__ = [
     "chain_fp_query",
     "display_figure1_cinstance",
     "display_schema",
+    "inequality_chain_workload",
     "point_queries_for_keys",
     "random_cinstance",
     "registry_workload",

@@ -13,6 +13,9 @@ size can be swept:
   rows and variables over a given schema.
 * :func:`chain_fp_query` — FP reachability queries of growing arity for the
   weak-model FP benchmarks.
+* :func:`inequality_chain_workload` — the inequality-heavy family targeted
+  by the SAT engine: FD-forced equalities plus a ≠-chain of denial CCs over
+  a Boolean value column, closable into an (odd ⇒ inconsistent) cycle.
 
 All generators are deterministic given their ``seed``.
 """
@@ -36,9 +39,10 @@ from repro.queries.cq import ConjunctiveQuery, boolean_cq, cq
 from repro.queries.fp import FixpointQuery, fixpoint_query, rule
 from repro.queries.terms import Variable, var
 from repro.queries.ucq import UnionOfConjunctiveQueries, ucq_from
+from repro.relational.domains import BOOLEAN_DOMAIN
 from repro.relational.instance import GroundInstance, instance
-from repro.relational.master import MasterData
-from repro.relational.schema import DatabaseSchema, database_schema, schema
+from repro.relational.master import MasterData, empty_master
+from repro.relational.schema import DatabaseSchema, RelationSchema, database_schema, schema
 
 
 @dataclass(frozen=True)
@@ -187,6 +191,84 @@ def chain_fp_query(length: int = 2, relation: str = "Record") -> FixpointQuery:
     ]
     query = fixpoint_query(f"Chain{length}", output="Path", rules=rules)
     return query
+
+
+@dataclass(frozen=True)
+class InequalityChainWorkload:
+    """An inequality-heavy workload (FD + ≠-chained denial constraints)."""
+
+    schema: DatabaseSchema
+    master: MasterData
+    constraints: list[ContainmentConstraint]
+    cinstance: CInstance
+    pair_count: int
+    cycle: bool
+
+
+def inequality_chain_workload(
+    pair_count: int, close_cycle: bool = True
+) -> InequalityChainWorkload:
+    """Build the inequality-heavy chain family of size ``pair_count``.
+
+    The schema is ``Record(key, value)`` with a Boolean value column.  For
+    each ``i < pair_count`` the c-instance holds two rows ``(kᵢ, aᵢ)`` and
+    ``(kᵢ, bᵢ)`` with fresh variables; the constraints are
+
+    * an FD-style denial CC (``Record(k,v) ∧ Record(k,v') ∧ v ≠ v' ⊆ ∅``)
+      forcing ``aᵢ = bᵢ``, and
+    * one denial CC per chain link (``Record(kᵢ,v) ∧ Record(kᵢ₊₁,v') ∧
+      v = v' ⊆ ∅``) forcing consecutive keys to carry *different* values.
+
+    With ``close_cycle`` the last key links back to the first, so an odd
+    ``pair_count`` makes the instance inconsistent (a proper 2-colouring of
+    an odd cycle cannot exist) while an even one stays consistent.  Every
+    constraint turns on an (in)equality comparison, which is the regime the
+    SAT engine handles natively and the monotone-CC pruner cannot prune
+    early; the benchmark harness sweeps this family for the
+    naive/propagating/sat comparison.
+    """
+    db_schema = database_schema(
+        RelationSchema("Record", ["key", ("value", BOOLEAN_DOMAIN)])
+    )
+    master = empty_master(database_schema(schema("M", "A")))
+    k, v, v2 = var("k"), var("v"), var("v2")
+    constraints = [
+        denial_cc(
+            boolean_cq(
+                "fd_key_value",
+                atoms=[atom("Record", k, v), atom("Record", k, v2)],
+                comparisons=[neq(v, v2)],
+            ),
+            name="fd:key→value",
+        )
+    ]
+    links = [(i, i + 1) for i in range(pair_count - 1)]
+    if close_cycle:
+        links.append((pair_count - 1, 0))
+    for a, b in links:
+        constraints.append(
+            denial_cc(
+                boolean_cq(
+                    f"link_{a}_{b}",
+                    atoms=[atom("Record", f"k{a}", v), atom("Record", f"k{b}", v2)],
+                    comparisons=[eq(v, v2)],
+                ),
+                name=f"neq:k{a},k{b}",
+            )
+        )
+    rows: list[CTableRow] = []
+    for index in range(pair_count):
+        rows.append(CTableRow((f"k{index}", Variable(f"a{index}"))))
+        rows.append(CTableRow((f"k{index}", Variable(f"b{index}"))))
+    cinst = CInstance(db_schema, {"Record": CTable(db_schema["Record"], rows)})
+    return InequalityChainWorkload(
+        schema=db_schema,
+        master=master,
+        constraints=constraints,
+        cinstance=cinst,
+        pair_count=pair_count,
+        cycle=close_cycle,
+    )
 
 
 def point_queries_for_keys(keys: Sequence[str]) -> list[ConjunctiveQuery]:

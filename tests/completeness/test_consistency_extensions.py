@@ -17,7 +17,7 @@ from repro.completeness.extensions import (
     tableau_extensions,
     tableau_valuations,
 )
-from repro.constraints.containment import cc, denial_cc, projection, relation_containment_cc
+from repro.constraints.containment import denial_cc, relation_containment_cc
 from repro.ctables.adom import build_active_domain
 from repro.ctables.cinstance import CInstance, cinstance
 from repro.ctables.conditions import condition

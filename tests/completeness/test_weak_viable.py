@@ -15,7 +15,7 @@ from repro.completeness.weak import (
 from repro.constraints.containment import relation_containment_cc
 from repro.ctables.cinstance import CInstance, cinstance
 from repro.exceptions import InconsistentCInstanceError, QueryError
-from repro.queries.atoms import atom, eq
+from repro.queries.atoms import atom
 from repro.queries.cq import cq
 from repro.queries.fo import native_query
 from repro.queries.fp import fixpoint_query, rule

@@ -5,7 +5,6 @@ import pytest
 from repro.constraints.containment import (
     ContainmentConstraint,
     EmptyRHS,
-    ProjectionQuery,
     cc,
     constraint_set_constants,
     constraint_set_variables,

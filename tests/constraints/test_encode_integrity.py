@@ -24,7 +24,7 @@ from repro.queries.atoms import atom, neq
 from repro.queries.cq import boolean_cq
 from repro.queries.terms import var
 from repro.relational.instance import instance
-from repro.relational.master import MasterData, empty_master
+from repro.relational.master import MasterData
 from repro.relational.schema import database_schema, schema
 
 

@@ -34,7 +34,6 @@ from repro.relational.schema import database_schema, schema
 from repro.workloads.patients import (
     ABSENT_NHS,
     BOB_NHS,
-    JOHN_NHS,
     build_patient_scenario,
     display_figure1_cinstance,
 )

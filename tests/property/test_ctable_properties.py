@@ -21,7 +21,7 @@ from repro.queries.atoms import eq, neq
 from repro.queries.terms import Variable
 from repro.relational.domains import BOOLEAN_DOMAIN
 from repro.relational.master import MasterData
-from repro.relational.schema import DatabaseSchema, RelationSchema, database_schema
+from repro.relational.schema import RelationSchema, database_schema
 
 #: A small constant pool keeps the enumerations tractable while still hitting
 #: equalities between generated constants.

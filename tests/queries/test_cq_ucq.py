@@ -4,7 +4,7 @@ import pytest
 
 from repro.exceptions import QueryError, UnsafeQueryError
 from repro.queries.atoms import atom, eq, neq
-from repro.queries.cq import ConjunctiveQuery, boolean_cq, cq
+from repro.queries.cq import boolean_cq, cq
 from repro.queries.terms import var
 from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq, ucq, ucq_from
 

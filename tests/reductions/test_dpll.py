@@ -1,0 +1,192 @@
+"""Tests for the DPLL solver and its wiring into ``CNFFormula``.
+
+The solver is cross-validated against an independent exhaustive check on
+hypothesis-generated random 3CNFs (satisfiability, model validity and model
+counts under enumeration) and exercised on structured instances — implication
+chains, pigeonhole formulas — that require real propagation, learning and
+restarts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ReductionError
+from repro.reductions.dpll import (
+    DPLLSolver,
+    brute_force_satisfiable,
+    solve_cnf,
+)
+from repro.reductions.sat import CNFFormula, random_3cnf
+
+import random
+
+
+# ---------------------------------------------------------------------------
+# strategy: random CNF clause lists over a small variable range
+# ---------------------------------------------------------------------------
+_LITERALS = st.integers(min_value=1, max_value=8).flatmap(
+    lambda v: st.sampled_from([v, -v])
+)
+_CLAUSES = st.lists(
+    st.lists(_LITERALS, min_size=1, max_size=3).map(tuple),
+    min_size=1,
+    max_size=24,
+)
+
+
+def _satisfies(clauses, model) -> bool:
+    return all(
+        any(model[abs(lit)] == (lit > 0) for lit in clause) for clause in clauses
+    )
+
+
+@given(_CLAUSES)
+@settings(max_examples=150, deadline=None)
+def test_dpll_agrees_with_brute_force(clauses):
+    model = solve_cnf(clauses)
+    expected = brute_force_satisfiable(clauses)
+    assert (model is not None) == expected
+    if model is not None:
+        assert _satisfies(clauses, model)
+
+
+@given(_CLAUSES)
+@settings(max_examples=60, deadline=None)
+def test_enumeration_matches_brute_force_model_count(clauses):
+    import itertools
+
+    variables = sorted({abs(lit) for clause in clauses for lit in clause})
+    expected = 0
+    for values in itertools.product((False, True), repeat=len(variables)):
+        if _satisfies(clauses, dict(zip(variables, values))):
+            expected += 1
+    seen = set()
+    for model in DPLLSolver(clauses).enumerate_models():
+        key = tuple(sorted(model.items()))
+        assert key not in seen, "enumeration yielded a duplicate model"
+        seen.add(key)
+        assert _satisfies(clauses, model)
+    assert len(seen) == expected
+
+
+@given(st.integers(min_value=1, max_value=10), st.integers(min_value=1, max_value=30))
+@settings(max_examples=60, deadline=None)
+def test_cnf_formula_dpll_agrees_with_brute_force(variable_count, clause_count):
+    rng = random.Random(variable_count * 1000 + clause_count)
+    formula = random_3cnf(list(range(1, variable_count + 1)), clause_count, rng)
+    assert formula.is_satisfiable() == formula.is_satisfiable_brute_force()
+
+
+# ---------------------------------------------------------------------------
+# structured instances
+# ---------------------------------------------------------------------------
+class TestSolverBasics:
+    def test_empty_clause_is_unsat(self):
+        solver = DPLLSolver()
+        solver.add_clause([])
+        assert solver.solve() is None
+
+    def test_unit_conflict(self):
+        assert solve_cnf([[1], [-1]]) is None
+
+    def test_tautology_registers_variables(self):
+        solver = DPLLSolver([[1, -1]])
+        model = solver.solve()
+        assert model is not None and set(model) == {1}
+
+    def test_duplicate_literals_merged(self):
+        assert solve_cnf([[1, 1, 1]]) == {1: True}
+
+    def test_implication_chain_propagates(self):
+        # x1 ∧ (x1→x2) ∧ ... ∧ (x_{n-1}→x_n): solved by propagation alone.
+        n = 200
+        clauses = [[1]] + [[-i, i + 1] for i in range(1, n)]
+        solver = DPLLSolver(clauses)
+        model = solver.solve()
+        assert model == {i: True for i in range(1, n + 1)}
+        assert solver.stats.decisions == 0
+
+    def test_chain_with_contradiction_is_unsat_without_decisions(self):
+        n = 50
+        clauses = [[1]] + [[-i, i + 1] for i in range(1, n)] + [[-n]]
+        solver = DPLLSolver(clauses)
+        assert solver.solve() is None
+        assert solver.stats.decisions == 0
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ReductionError):
+            DPLLSolver([[0]])
+
+    def test_incremental_blocking(self):
+        solver = DPLLSolver([[1, 2]])
+        models = set()
+        while True:
+            model = solver.solve()
+            if model is None:
+                break
+            key = (model[1], model[2])
+            assert key not in models
+            models.add(key)
+            solver.add_clause([-1 if model[1] else 1, -2 if model[2] else 2])
+        assert models == {(True, True), (True, False), (False, True)}
+
+    def test_projected_enumeration(self):
+        # x2 is forced; projecting onto x1 yields exactly two models.
+        solver = DPLLSolver([[2], [1, -1]])
+        models = list(solver.enumerate_models(project_onto=[1]))
+        assert sorted(model[1] for model in models) == [False, True]
+
+
+def _pigeonhole(pigeons: int, holes: int) -> list[list[int]]:
+    def var(pigeon: int, hole: int) -> int:
+        return pigeon * holes + hole + 1
+
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return clauses
+
+
+class TestSolverSearch:
+    def test_pigeonhole_unsat(self):
+        solver = DPLLSolver(_pigeonhole(6, 5))
+        assert solver.solve() is None
+        assert solver.stats.conflicts > 0
+        assert solver.stats.learned_clauses > 0
+
+    def test_pigeonhole_sat(self):
+        solver = DPLLSolver(_pigeonhole(5, 5))
+        model = solver.solve()
+        assert model is not None
+        assert _satisfies(_pigeonhole(5, 5), model)
+
+    def test_restarts_fire_on_hard_instances(self):
+        solver = DPLLSolver(_pigeonhole(7, 6))
+        assert solver.solve() is None
+        assert solver.stats.restarts > 0
+
+    def test_brute_force_refuses_large_instances(self):
+        clauses = [[v] for v in range(1, 40)]
+        with pytest.raises(ReductionError):
+            brute_force_satisfiable(clauses)
+
+    def test_cnf_formula_brute_force_bound(self):
+        formula = CNFFormula([[v] for v in range(1, 14)])
+        with pytest.raises(ReductionError):
+            formula.is_satisfiable_brute_force()
+        assert formula.is_satisfiable()
+
+    def test_satisfying_assignment_is_total_and_valid(self):
+        formula = CNFFormula([(1, 2), (-1, 3), (-2, -3)])
+        assignment = formula.satisfying_assignment()
+        assert assignment is not None
+        assert set(assignment) == formula.variables()
+        assert formula.evaluate(assignment)
+
+    def test_satisfying_assignment_none_when_unsat(self):
+        formula = CNFFormula([(1,), (-1,)])
+        assert formula.satisfying_assignment() is None

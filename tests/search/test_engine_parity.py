@@ -1,11 +1,12 @@
-"""Parity tests: the propagating engine must agree with the naive path.
+"""Parity tests: every engine must agree with the naive reference path.
 
-The pruned world-search engine (:mod:`repro.search`) replaces the naive
-cross-product enumeration of ``Mod_Adom(T, D_m, V)``; these tests assert the
-two engines produce the identical world sets, valuation sets and decision
-verdicts on every fixture family the repository uses — workloads, the
-patients scenario, the hardness-reduction instances, conditioned rows and
-hypothesis-generated random c-tables.
+The pruned world-search engine and the SAT-backed engine
+(:mod:`repro.search`) replace the naive cross-product enumeration of
+``Mod_Adom(T, D_m, V)``; these tests assert all engines produce the
+identical world sets, valuation sets and decision verdicts on every fixture
+family the repository uses — workloads, the patients scenario, the
+hardness-reduction instances, conditioned rows and hypothesis-generated
+random c-tables.
 """
 
 from __future__ import annotations
@@ -25,7 +26,7 @@ from repro.completeness.rcqp import rcqp_bounded_search
 from repro.completeness.strong import is_strongly_complete
 from repro.completeness.viable import is_viably_complete
 from repro.completeness.weak import is_weakly_complete
-from repro.constraints.containment import cc, denial_cc, projection, relation_containment_cc
+from repro.constraints.containment import denial_cc, relation_containment_cc
 from repro.ctables.cinstance import CInstance, cinstance
 from repro.ctables.conditions import condition
 from repro.ctables.ctable import CTable, CTableRow
@@ -52,41 +53,49 @@ from repro.workloads.patients import build_patient_scenario
 x, y, z = var("x"), var("y"), var("z")
 
 
+#: The engines parity-checked against the naive reference enumeration.
+CHECKED_ENGINES = ("propagating", "sat")
+
+
 def assert_world_parity(cinst, master, constraints, query=None):
-    """The two engines agree on worlds, valuations, counts and existence."""
+    """All engines agree on worlds, valuations, counts and existence."""
     adom = default_active_domain(cinst, master, constraints, query)
     naive_worlds = set(models(cinst, master, constraints, adom, engine="naive"))
-    engine_worlds = set(models(cinst, master, constraints, adom, engine="propagating"))
-    assert naive_worlds == engine_worlds
-
     naive_multiset = Counter(
         models(cinst, master, constraints, adom, deduplicate=False, engine="naive")
     )
-    engine_multiset = Counter(
-        models(cinst, master, constraints, adom, deduplicate=False, engine="propagating")
-    )
-    assert naive_multiset == engine_multiset
-
     naive_pairs = {
         (frozenset(valuation.items()), world)
         for valuation, world in models_with_valuations(
             cinst, master, constraints, adom, engine="naive"
         )
     }
-    engine_pairs = {
-        (frozenset(valuation.items()), world)
-        for valuation, world in models_with_valuations(
-            cinst, master, constraints, adom, engine="propagating"
-        )
-    }
-    assert naive_pairs == engine_pairs
+    naive_count = model_count(cinst, master, constraints, adom, engine="naive")
+    naive_has = has_model(cinst, master, constraints, adom, engine="naive")
 
-    assert model_count(cinst, master, constraints, adom, engine="naive") == model_count(
-        cinst, master, constraints, adom, engine="propagating"
-    )
-    assert has_model(cinst, master, constraints, adom, engine="naive") == has_model(
-        cinst, master, constraints, adom, engine="propagating"
-    )
+    for engine in CHECKED_ENGINES:
+        engine_worlds = set(models(cinst, master, constraints, adom, engine=engine))
+        assert naive_worlds == engine_worlds, engine
+
+        engine_multiset = Counter(
+            models(cinst, master, constraints, adom, deduplicate=False, engine=engine)
+        )
+        assert naive_multiset == engine_multiset, engine
+
+        engine_pairs = {
+            (frozenset(valuation.items()), world)
+            for valuation, world in models_with_valuations(
+                cinst, master, constraints, adom, engine=engine
+            )
+        }
+        assert naive_pairs == engine_pairs, engine
+
+        assert naive_count == model_count(
+            cinst, master, constraints, adom, engine=engine
+        ), engine
+        assert naive_has == has_model(
+            cinst, master, constraints, adom, engine=engine
+        ), engine
 
 
 # ---------------------------------------------------------------------------
@@ -178,14 +187,15 @@ class TestDeciderParity:
                     scenario.constraints,
                     engine="naive",
                 )
-                engine = decider(
-                    scenario.figure1,
-                    query,
-                    scenario.master,
-                    scenario.constraints,
-                    engine="propagating",
-                )
-                assert naive == engine
+                for engine_name in CHECKED_ENGINES:
+                    engine = decider(
+                        scenario.figure1,
+                        query,
+                        scenario.master,
+                        scenario.constraints,
+                        engine=engine_name,
+                    )
+                    assert naive == engine, engine_name
 
     def test_minp_verdicts(self, scenario):
         trimmed = scenario.figure1.without_row("MVisit", 1)
@@ -199,11 +209,12 @@ class TestDeciderParity:
                     target, scenario.q1, scenario.master, scenario.constraints,
                     engine="naive",
                 )
-                engine = decider(
-                    target, scenario.q1, scenario.master, scenario.constraints,
-                    engine="propagating",
-                )
-                assert naive == engine
+                for engine_name in CHECKED_ENGINES:
+                    engine = decider(
+                        target, scenario.q1, scenario.master, scenario.constraints,
+                        engine=engine_name,
+                    )
+                    assert naive == engine, engine_name
 
     def test_consistency_verdicts(self):
         for dimensions in [(1, 1, 2), (2, 1, 3), (2, 2, 4)]:
@@ -213,11 +224,13 @@ class TestDeciderParity:
                 reduction.cinstance, reduction.master, reduction.constraints,
                 engine="naive",
             )
-            engine = is_consistent(
-                reduction.cinstance, reduction.master, reduction.constraints,
-                engine="propagating",
-            )
-            assert naive == engine == (not reduction.formula_is_true())
+            assert naive == (not reduction.formula_is_true())
+            for engine_name in CHECKED_ENGINES:
+                engine = is_consistent(
+                    reduction.cinstance, reduction.master, reduction.constraints,
+                    engine=engine_name,
+                )
+                assert naive == engine, engine_name
 
     @pytest.mark.parametrize("max_size", [0, 1, 2])
     def test_rcqp_bounded_search_verdicts(self, max_size):
@@ -231,23 +244,24 @@ class TestDeciderParity:
         naive = rcqp_bounded_search(
             query, bool_schema, master, [constraint], max_size=max_size, engine="naive"
         )
-        engine = rcqp_bounded_search(
-            query, bool_schema, master, [constraint], max_size=max_size,
-            engine="propagating",
-        )
-        assert naive.found == engine.found
-        if engine.found:
-            # Engine witnesses are drawn from the same candidate space and
-            # must themselves be complete.
-            from repro.completeness.ground import is_ground_complete
+        for engine_name in CHECKED_ENGINES:
+            engine = rcqp_bounded_search(
+                query, bool_schema, master, [constraint], max_size=max_size,
+                engine=engine_name,
+            )
+            assert naive.found == engine.found, engine_name
+            if engine.found:
+                # Engine witnesses are drawn from the same candidate space and
+                # must themselves be complete.
+                from repro.completeness.ground import is_ground_complete
 
-            assert is_ground_complete(engine.witness, query, master, [constraint])
+                assert is_ground_complete(engine.witness, query, master, [constraint])
 
     def test_rcqp_negative_for_unbounded_query(self):
         free_schema = database_schema(schema("S", "A"))
         master = empty_master(database_schema(schema("M", "A")))
         query = cq("Q", [x], atoms=[atom("S", x)])
-        for engine in ("naive", "propagating"):
+        for engine in ("naive",) + CHECKED_ENGINES:
             result = rcqp_bounded_search(
                 query, free_schema, master, [], max_size=2, engine=engine
             )
@@ -424,6 +438,7 @@ class TestEngineSelection:
         assert DEFAULT_ENGINE == "propagating"
         assert resolve_engine(None) == "propagating"
         assert resolve_engine("naive") == "naive"
+        assert resolve_engine("sat") == "sat"
 
     def test_worldsearch_builds_default_adom(self):
         workload = registry_workload(master_size=2, db_rows=2, variable_count=1)
