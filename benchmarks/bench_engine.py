@@ -1,27 +1,36 @@
-"""EXP-ENGINE — naive vs constraint-propagating vs SAT-backed world search.
+"""EXP-ENGINE — four-way world-search comparison (naive / propagating / SAT / parallel).
 
 Every decision procedure bottoms out in the enumeration of
-``Mod_Adom(T, D_m, V)``.  This benchmark compares the three engines behind it
+``Mod_Adom(T, D_m, V)``.  This benchmark compares the four engines behind it
 (``engine="naive"`` — the original cross-product scan, ``engine="propagating"``
-— the backtracking search of :mod:`repro.search`, and ``engine="sat"`` — the
-CNF encoding solved by the DPLL solver of :mod:`repro.reductions.dpll`) on
-the workloads the other benchmark files sweep, and extends the sweeps to
-regimes each engine targets:
+— the backtracking search of :mod:`repro.search`, ``engine="sat"`` — the
+CNF encoding solved by the DPLL solver of :mod:`repro.reductions.dpll`, and
+``engine="parallel"`` — the sharded process-parallel engine of
+:mod:`repro.search.parallel`) on the workloads the other benchmark files
+sweep, and extends the sweeps to regimes each engine targets:
 
 * sizes whose cross product the naive path cannot materialise at all (the
-  propagating/SAT-only scale-up rows), and
+  propagating/SAT-only scale-up rows),
 * the inequality-heavy chain family
   (:func:`repro.workloads.generator.inequality_chain_workload`), whose
   ≠-laden constraints the monotone-CC pruner cannot prune early but the SAT
-  engine refutes by unit propagation and conflict learning.
+  engine refutes by unit propagation and conflict learning, and
+* the wide-pool family (:func:`repro.workloads.generator.wide_pool_workload`),
+  whose root-wide, pruning-heavy search tree is the sharding regime of the
+  parallel engine.
 
 Each case first asserts *parity* (identical verdict / model count from every
-engine that runs it) and then reports the timings.  Two gates are enforced:
+engine that runs it) and then reports the timings.  Three gates are enforced:
 
 * the propagating engine must keep its ≥ 3x headline speedup over naive on
-  the largest naive-feasible registry cases (the ISSUE 1 criterion), and
+  the largest naive-feasible registry cases (the ISSUE 1 criterion),
 * the SAT engine must beat the propagating engine on at least one
-  inequality-heavy case (the ISSUE 2 criterion), in smoke mode too.
+  inequality-heavy case (the ISSUE 2 criterion), in smoke mode too, and
+* the parallel engine at 4 workers must reach a ≥ 2x speedup over the
+  propagating engine on the wide-pool family (the ISSUE 3 criterion) —
+  enforced whenever the host has at least 4 CPUs (a single-core host cannot
+  physically exhibit a process-parallel speedup; the gate is then reported
+  as skipped).
 
 Run directly (the file deliberately does not match pytest's ``test_*``
 collection patterns)::
@@ -35,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from dataclasses import dataclass, field
@@ -54,17 +64,30 @@ from repro.reductions.consistency_reduction import (  # noqa: E402
     build_consistency_reduction,
 )
 from repro.reductions.sat import random_forall_exists_instance  # noqa: E402
+from repro.search.parallel import shutdown_pools  # noqa: E402
 from repro.workloads.generator import (  # noqa: E402
     inequality_chain_workload,
     registry_workload,
+    wide_pool_workload,
 )
 
 #: Acceptance floor for the propagating-vs-naive headline (ISSUE 1 criterion).
 REQUIRED_SPEEDUP = 3.0
 #: The SAT engine must beat propagating on ≥ 1 inequality-heavy case (ISSUE 2).
 REQUIRED_SAT_WIN = 1.0
+#: The parallel engine must reach this speedup over propagating on the
+#: wide-pool family (ISSUE 3 criterion), at the worker count below.
+REQUIRED_PARALLEL_SPEEDUP = 2.0
+PARALLEL_GATE_WORKERS = 4
 
-ALL_ENGINES = ("naive", "propagating", "sat")
+ALL_ENGINES = ("naive", "propagating", "sat", "parallel")
+
+
+def _host_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
 
 
 @dataclass
@@ -77,6 +100,7 @@ class Case:
     engines: tuple[str, ...] = ALL_ENGINES
     headline: bool = False
     sat_showcase: bool = False
+    parallel_showcase: bool = False
 
 
 @dataclass
@@ -223,7 +247,58 @@ def _scale_up_cases(smoke: bool) -> list[Case]:
                 run=lambda engine, w=workload: is_consistent(
                     w.cinstance, w.master, w.constraints, engine=engine
                 ),
-                engines=("propagating", "sat"),
+                engines=("propagating", "sat", "parallel"),
+            )
+        )
+    return cases
+
+
+def _wide_pool_cases(smoke: bool) -> list[Case]:
+    """The wide-pool family: the parallel engine's target regime.
+
+    Every variable's candidate pool is the whole (wide) active domain and the
+    all-distinct denial CC makes the per-node pruning work heavy, so the
+    search tree shards cleanly across worker processes.  In the pigeonhole
+    regime (``rows > values_per_key``) the instance is inconsistent and every
+    engine must exhaust the tree — the worst case the strong/weak deciders
+    face on every world visit.  The naive cross product (and the grounding-
+    heavy CNF encoding of the SAT engine) are not competitive here, so the
+    comparison is propagating vs parallel, with ``workers=4`` pinned on the
+    parallel side (the gate's worker count).
+    """
+    exists_sweep = [(6, 5), (7, 6)] if smoke else [(6, 5), (7, 6), (8, 6)]
+    count_sweep = [(6, 6)] if smoke else [(6, 6), (7, 6)]
+    cases = []
+
+    def workers_for(engine: str) -> int | None:
+        return PARALLEL_GATE_WORKERS if engine == "parallel" else None
+
+    for rows, values_per_key in exists_sweep:
+        workload = wide_pool_workload(rows, values_per_key)
+        cases.append(
+            Case(
+                group="consistency (wide pool)",
+                label=f"rows={rows} vpk={values_per_key}",
+                run=lambda engine, w=workload: is_consistent(
+                    w.cinstance, w.master, w.constraints,
+                    engine=engine, workers=workers_for(engine),
+                ),
+                engines=("propagating", "parallel"),
+                parallel_showcase=True,
+            )
+        )
+    for rows, values_per_key in count_sweep:
+        workload = wide_pool_workload(rows, values_per_key)
+        cases.append(
+            Case(
+                group="model_count (wide pool)",
+                label=f"rows={rows} vpk={values_per_key}",
+                run=lambda engine, w=workload: model_count(
+                    w.cinstance, w.master, w.constraints,
+                    engine=engine, workers=workers_for(engine),
+                ),
+                engines=("propagating", "parallel"),
+                parallel_showcase=True,
             )
         )
     return cases
@@ -267,23 +342,32 @@ def print_report(outcomes: list[Outcome]) -> None:
             group = outcome.case.group
             print(f"\n== {group} ==")
             header = "".ljust(width)
-            print(f"{header}  {'naive':>10}  {'propagating':>11}  {'sat':>10}")
+            print(
+                f"{header}  {'naive':>10}  {'propagating':>11}  {'sat':>10}  "
+                f"{'parallel':>10}"
+            )
         name = f"[{outcome.case.label}]".ljust(width)
         prop_speed = outcome.speedup("propagating", over="naive")
         sat_speed = outcome.speedup("sat", over="propagating")
+        parallel_speed = outcome.speedup("parallel", over="propagating")
         annotations = []
         if prop_speed is not None:
             annotations.append(f"prop/naive={prop_speed:.1f}x")
         if sat_speed is not None:
             annotations.append(f"sat/prop={sat_speed:.2f}x")
+        if parallel_speed is not None:
+            annotations.append(f"par/prop={parallel_speed:.2f}x")
         if outcome.case.headline:
             annotations.append("<== headline")
         if outcome.case.sat_showcase:
             annotations.append("<== sat gate")
+        if outcome.case.parallel_showcase:
+            annotations.append("<== parallel gate")
         print(
             f"{name}  {_format_cell(outcome, 'naive')}  "
             f"{_format_cell(outcome, 'propagating'):>11}  "
             f"{_format_cell(outcome, 'sat')}  "
+            f"{_format_cell(outcome, 'parallel')}  "
             f"verdict={outcome.verdict!r}  " + " ".join(annotations)
         )
 
@@ -304,12 +388,29 @@ def evaluate_gates(outcomes: list[Outcome], smoke: bool) -> tuple[dict, int]:
     }
     best_sat = max((s for s in sat_wins.values() if s is not None), default=None)
 
+    parallel_wins = {
+        f"{o.case.group} [{o.case.label}]": o.speedup("parallel", over="propagating")
+        for o in outcomes
+        if o.case.parallel_showcase
+    }
+    best_parallel = max(
+        (s for s in parallel_wins.values() if s is not None), default=None
+    )
+    host_cpus = _host_cpus()
+    parallel_gate_enforced = host_cpus >= PARALLEL_GATE_WORKERS
+
     summary = {
         "propagating_vs_naive_headline": worst_headline,
         "required_headline_speedup": REQUIRED_SPEEDUP,
         "sat_vs_propagating_by_case": sat_wins,
         "best_sat_vs_propagating": best_sat,
         "required_sat_win": REQUIRED_SAT_WIN,
+        "parallel_vs_propagating_by_case": parallel_wins,
+        "best_parallel_vs_propagating": best_parallel,
+        "required_parallel_speedup": REQUIRED_PARALLEL_SPEEDUP,
+        "parallel_gate_workers": PARALLEL_GATE_WORKERS,
+        "host_cpus": host_cpus,
+        "parallel_gate_enforced": parallel_gate_enforced,
     }
 
     print()
@@ -336,6 +437,29 @@ def evaluate_gates(outcomes: list[Outcome], smoke: bool) -> tuple[dict, int]:
         print("FAILED: SAT engine did not beat the propagating engine anywhere")
         return summary, 1
 
+    if best_parallel is None:
+        print("No parallel showcase case ran")
+        return summary, 1
+    print(
+        "Best parallel-vs-propagating speedup on the wide-pool family "
+        f"(workers={PARALLEL_GATE_WORKERS}): {best_parallel:.2f}x "
+        f"(required >= {REQUIRED_PARALLEL_SPEEDUP:.0f}x on hosts with >= "
+        f"{PARALLEL_GATE_WORKERS} CPUs; this host has {host_cpus})"
+    )
+    if parallel_gate_enforced:
+        if best_parallel < REQUIRED_PARALLEL_SPEEDUP:
+            print(
+                "FAILED: parallel engine did not reach the required speedup "
+                "over the propagating engine on the wide-pool family"
+            )
+            return summary, 1
+    else:
+        print(
+            f"parallel gate SKIPPED: host has {host_cpus} CPU(s) < "
+            f"{PARALLEL_GATE_WORKERS}; a process-parallel speedup cannot be "
+            "demonstrated here (parity above still covered the engine)"
+        )
+
     print("All parity checks and perf gates passed.")
     return summary, 0
 
@@ -359,9 +483,13 @@ def write_json(
                     "propagating_vs_naive": o.speedup("propagating", over="naive"),
                     "sat_vs_naive": o.speedup("sat", over="naive"),
                     "sat_vs_propagating": o.speedup("sat", over="propagating"),
+                    "parallel_vs_propagating": o.speedup(
+                        "parallel", over="propagating"
+                    ),
                 },
                 "headline": o.case.headline,
                 "sat_showcase": o.case.sat_showcase,
+                "parallel_showcase": o.case.parallel_showcase,
             }
             for o in outcomes
         ],
@@ -378,15 +506,19 @@ def run_benchmark(smoke: bool, json_path: str | None = None) -> int:
         + _model_count_cases(smoke)
         + _inequality_cases(smoke)
         + _scale_up_cases(smoke)
+        + _wide_pool_cases(smoke)
     )
-    outcomes = run_cases(cases)
-    if outcomes is None:
-        return 1
-    print_report(outcomes)
-    summary, status = evaluate_gates(outcomes, smoke)
-    if json_path:
-        write_json(json_path, outcomes, summary, smoke, status)
-    return status
+    try:
+        outcomes = run_cases(cases)
+        if outcomes is None:
+            return 1
+        print_report(outcomes)
+        summary, status = evaluate_gates(outcomes, smoke)
+        if json_path:
+            write_json(json_path, outcomes, summary, smoke, status)
+        return status
+    finally:
+        shutdown_pools()
 
 
 def main() -> int:

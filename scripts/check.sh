@@ -3,20 +3,32 @@
 #
 # Runs, in order:
 #   1. ruff lint (skipped with a warning if ruff is not installed),
-#   2. the tier-1 test suite (includes the three-way engine-parity tests),
-#   3. the engine smoke benchmark (parity + the propagating-vs-naive and
-#      SAT-vs-propagating perf gates), writing machine-readable results to
+#   2. the tier-1 test suite (includes the four-way engine-parity tests),
+#      with `-p no:cacheprovider` so runs are stateless, and with coverage
+#      (`--cov=repro --cov-fail-under=$COV_FAIL_UNDER`) when pytest-cov is
+#      installed, so a PR cannot silently drop tested lines,
+#   3. the engine smoke benchmark (four-way parity + the propagating-vs-naive,
+#      SAT-vs-propagating and parallel-vs-propagating perf gates; the
+#      parallel gate needs >= 4 host CPUs and reports itself as skipped on
+#      smaller machines), writing machine-readable results to
 #      BENCH_ENGINE.json,
-# so a regression in lint, correctness or engine speed fails one command:
+# so a regression in lint, correctness, coverage or engine speed fails one
+# command:
 #
 #     scripts/check.sh
 #
 # CI (.github/workflows/ci.yml) runs exactly this script and uploads
-# BENCH_ENGINE.json as the perf-trajectory artifact.
+# BENCH_ENGINE.json as the perf-trajectory artifact; a dedicated CI job
+# repeats the suite under pytest-cov.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+# Set just below the measured line coverage of the seed of this PR, so
+# future PRs can lower it only deliberately (override via env if a PR
+# legitimately shifts the base).
+COV_FAIL_UNDER="${COV_FAIL_UNDER:-90}"
 
 echo "== lint: ruff =="
 if [ "${SKIP_LINT:-}" = "1" ]; then
@@ -31,10 +43,20 @@ fi
 
 echo
 echo "== tier-1: pytest =="
-python -m pytest -x -q
+COV_ARGS=()
+if [ "${SKIP_COV:-}" = "1" ]; then
+    echo "SKIP_COV=1; skipping the coverage floor (CI enforces it in the" \
+         "dedicated coverage job)"
+elif python -c "import pytest_cov" >/dev/null 2>&1; then
+    COV_ARGS=(--cov=repro --cov-report=term --cov-fail-under="$COV_FAIL_UNDER")
+else
+    echo "pytest-cov not installed; running without the coverage floor" \
+         "(CI enforces it in the coverage job)"
+fi
+python -m pytest -x -q -p no:cacheprovider "${COV_ARGS[@]}"
 
 echo
-echo "== engine smoke benchmark (parity + speedup gates) =="
+echo "== engine smoke benchmark (four-way parity + speedup gates) =="
 python benchmarks/bench_engine.py --smoke --json BENCH_ENGINE.json
 
 echo

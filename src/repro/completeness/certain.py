@@ -50,6 +50,7 @@ def certain_answer_over_models(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> frozenset[Row]:
     """``⋂_{I ∈ Mod_Adom(T, D_m, V)} Q(I)``.
 
@@ -62,7 +63,7 @@ def certain_answer_over_models(
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints, query)
     answer: frozenset[Row] | None = None
-    for world in models(cinstance, master, constraints, adom, engine=engine):
+    for world in models(cinstance, master, constraints, adom, engine=engine, workers=workers):
         world_answer = evaluate(query, world)
         answer = world_answer if answer is None else answer & world_answer
         if not answer:
@@ -142,6 +143,7 @@ def certain_answer_over_extensions(
     adom: ActiveDomain | None = None,
     limit: int | None = None,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> ExtensionCertainAnswer:
     """``⋂_{I ∈ Mod(T), I' ∈ Ext(I)} Q(I')`` for monotone queries.
 
@@ -167,7 +169,7 @@ def certain_answer_over_extensions(
         adom = default_active_domain(cinstance, master, constraints, query)
     answer: frozenset[Row] | None = None
     saw_world = False
-    for world in models(cinstance, master, constraints, adom, engine=engine):
+    for world in models(cinstance, master, constraints, adom, engine=engine, workers=workers):
         saw_world = True
         contribution, has_extensions = _world_contribution(
             world, query, master, constraints, adom, limit

@@ -40,6 +40,7 @@ def is_consistent(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> bool:
     """Whether ``Mod(T, D_m, V)`` is non-empty (the consistency problem).
 
@@ -48,7 +49,7 @@ def is_consistent(
     """
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints)
-    return has_model(cinstance, master, constraints, adom, engine=engine)
+    return has_model(cinstance, master, constraints, adom, engine=engine, workers=workers)
 
 
 def consistent_world(
@@ -57,11 +58,12 @@ def consistent_world(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> GroundInstance | None:
     """A witness world in ``Mod_Adom(T, D_m, V)``, or ``None`` if inconsistent."""
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints)
-    for world in models(cinstance, master, constraints, adom, engine=engine):
+    for world in models(cinstance, master, constraints, adom, engine=engine, workers=workers):
         return world
     return None
 

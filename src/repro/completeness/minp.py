@@ -74,6 +74,7 @@ def is_minimal_strongly_complete(
     adom: ActiveDomain | None = None,
     limit: int | None = None,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> bool:
     """MINPˢ: every world of ``Mod_Adom(T)`` is a minimal complete instance.
 
@@ -86,7 +87,7 @@ def is_minimal_strongly_complete(
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints, query)
     saw_world = False
-    for world in models(cinstance, master, constraints, adom, engine=engine):
+    for world in models(cinstance, master, constraints, adom, engine=engine, workers=workers):
         saw_world = True
         if not is_minimal_ground_complete(
             world, query, master, constraints, adom=adom, limit=limit
@@ -108,6 +109,7 @@ def is_minimal_viably_complete(
     adom: ActiveDomain | None = None,
     limit: int | None = None,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> bool:
     """MINPᵛ: some world of ``Mod_Adom(T)`` is a minimal complete instance.
 
@@ -120,7 +122,7 @@ def is_minimal_viably_complete(
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints, query)
     saw_world = False
-    for world in models(cinstance, master, constraints, adom, engine=engine):
+    for world in models(cinstance, master, constraints, adom, engine=engine, workers=workers):
         saw_world = True
         if is_minimal_ground_complete(
             world, query, master, constraints, adom=adom, limit=limit
@@ -145,6 +147,7 @@ def is_minimal_weakly_complete(
     adom: ActiveDomain | None = None,
     limit: int | None = None,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> bool:
     """MINPʷ: ``T`` is weakly complete and no strict sub-c-instance is.
 
@@ -154,12 +157,12 @@ def is_minimal_weakly_complete(
     weak model (Example 5.5), hence all subsets of rows are inspected.
     """
     if not is_weakly_complete(
-        cinstance, query, master, constraints, adom=adom, limit=limit, engine=engine
+        cinstance, query, master, constraints, adom=adom, limit=limit, engine=engine, workers=workers
     ):
         return False
     for smaller in cinstance.strict_subinstances():
         if is_weakly_complete(
-            smaller, query, master, constraints, limit=limit, engine=engine
+            smaller, query, master, constraints, limit=limit, engine=engine, workers=workers
         ):
             return False
     return True
@@ -172,6 +175,7 @@ def is_minimal_weakly_complete_cq(
     constraints: Sequence[ContainmentConstraint],
     limit: int | None = None,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> bool:
     """MINPʷ for CQ via the characterisation of Lemma 5.7 (coDP upper bound).
 
@@ -183,13 +187,13 @@ def is_minimal_weakly_complete_cq(
         raise QueryError("the Lemma 5.7 characterisation applies to CQ only")
     empty = CInstance(cinstance.schema)
     empty_is_weakly_complete = is_weakly_complete(
-        empty, query, master, constraints, limit=limit, engine=engine
+        empty, query, master, constraints, limit=limit, engine=engine, workers=workers
     )
     if empty_is_weakly_complete:
         return cinstance.is_empty()
     if cinstance.size != 1:
         return False
-    return has_model(cinstance, master, constraints, engine=engine)
+    return has_model(cinstance, master, constraints, engine=engine, workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -204,6 +208,7 @@ def is_minimal_complete(
     adom: ActiveDomain | None = None,
     limit: int | None = None,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> bool:
     """Decide MINP for the given completeness model (exact cells only)."""
     if isinstance(database, GroundInstance):
@@ -212,15 +217,15 @@ def is_minimal_complete(
         cinstance = database
     if model is CompletenessModel.STRONG:
         return is_minimal_strongly_complete(
-            cinstance, query, master, constraints, adom=adom, limit=limit, engine=engine
+            cinstance, query, master, constraints, adom=adom, limit=limit, engine=engine, workers=workers
         )
     if model is CompletenessModel.WEAK:
         return is_minimal_weakly_complete(
-            cinstance, query, master, constraints, adom=adom, limit=limit, engine=engine
+            cinstance, query, master, constraints, adom=adom, limit=limit, engine=engine, workers=workers
         )
     if model is CompletenessModel.VIABLE:
         return is_minimal_viably_complete(
-            cinstance, query, master, constraints, adom=adom, limit=limit, engine=engine
+            cinstance, query, master, constraints, adom=adom, limit=limit, engine=engine, workers=workers
         )
     raise QueryError(f"unknown completeness model {model!r}")
 

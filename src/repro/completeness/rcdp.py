@@ -66,6 +66,7 @@ def is_relatively_complete(
     limit: int | None = None,
     require_consistent: bool = True,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> bool:
     """Decide RCDP for the given completeness model.
 
@@ -90,6 +91,9 @@ def is_relatively_complete(
     engine:
         World-search engine selection (see
         :mod:`repro.ctables.possible_worlds`).
+    workers:
+        Process-pool size for ``engine="parallel"`` (default: one worker per
+        available CPU); ignored by the other engines.
     """
     cinstance = as_cinstance(database)
     if model is CompletenessModel.STRONG:
@@ -103,6 +107,7 @@ def is_relatively_complete(
                 limit=limit,
                 require_consistent=require_consistent,
                 engine=engine,
+                workers=workers,
             )
         if allow_bounded:
             return is_strongly_complete_bounded(
@@ -115,6 +120,7 @@ def is_relatively_complete(
                 limit=limit,
                 require_consistent=require_consistent,
                 engine=engine,
+                workers=workers,
             )
         raise QueryError(
             f"RCDP^s is undecidable for {classify(query).value} (Theorem 4.1); "
@@ -131,6 +137,7 @@ def is_relatively_complete(
                 limit=limit,
                 require_consistent=require_consistent,
                 engine=engine,
+                workers=workers,
             )
         if allow_bounded:
             return is_weakly_complete_bounded(
@@ -143,6 +150,7 @@ def is_relatively_complete(
                 limit=limit,
                 require_consistent=require_consistent,
                 engine=engine,
+                workers=workers,
             )
         raise QueryError(
             f"RCDP^w is undecidable for {classify(query).value} (Theorem 5.1); "
@@ -159,6 +167,7 @@ def is_relatively_complete(
                 limit=limit,
                 require_consistent=require_consistent,
                 engine=engine,
+                workers=workers,
             )
         if allow_bounded:
             return is_viably_complete_bounded(
@@ -171,6 +180,7 @@ def is_relatively_complete(
                 limit=limit,
                 require_consistent=require_consistent,
                 engine=engine,
+                workers=workers,
             )
         raise QueryError(
             f"RCDP^v is undecidable for {classify(query).value} (Theorem 6.1); "

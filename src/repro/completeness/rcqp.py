@@ -40,6 +40,7 @@ from repro.ctables.ctable import CTable, CTableRow
 from repro.ctables.possible_worlds import resolve_engine
 from repro.exceptions import QueryError
 from repro.search.engine import WorldSearch, world_key
+from repro.search.parallel import ParallelWorldSearch
 from repro.search.propagation import ConstraintChecker
 from repro.search.sat_engine import SATWorldSearch
 from repro.queries.classify import (
@@ -288,6 +289,7 @@ def _rcqp_engine_search(
     max_size: int,
     max_instances: int | None,
     engine: str = "propagating",
+    workers: int | None = None,
 ) -> RCQPWitness:
     """Witness search routed through a non-naive world-search engine.
 
@@ -298,7 +300,9 @@ def _rcqp_engine_search(
     that already violate a constraint are never materialised (unlike the
     naive combination scan, which inspects and rejects them one by one); with
     ``engine="sat"`` each composition is compiled to CNF and the DPLL solver
-    enumerates only the partially closed candidates.
+    enumerates only the partially closed candidates; ``engine="parallel"``
+    shards each composition's candidate enumeration over a process pool
+    (small compositions take its serial fallback automatically).
     """
     base = empty_instance(schema)
     adom = ground_active_domain(base, query, master, constraints)
@@ -309,9 +313,15 @@ def _rcqp_engine_search(
     for size in range(0, max_size + 1):
         for counts in _size_compositions(size, names):
             shape = _all_variable_cinstance(schema, counts)
+            search: WorldSearch | SATWorldSearch | ParallelWorldSearch
             if engine == "sat":
-                search: WorldSearch | SATWorldSearch = SATWorldSearch(
+                search = SATWorldSearch(
                     shape, master, constraints, adom, checker=checker
+                )
+            elif engine == "parallel":
+                search = ParallelWorldSearch(
+                    shape, master, constraints, adom, workers=workers,
+                    checker=checker,
                 )
             else:
                 search = WorldSearch(shape, master, constraints, adom, checker=checker)
@@ -346,6 +356,7 @@ def rcqp_bounded_search(
     max_size: int = 2,
     max_instances: int | None = 200_000,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> RCQPWitness:
     """Search for a ground instance complete for ``Q`` with at most ``max_size`` tuples.
 
@@ -356,16 +367,16 @@ def rcqp_bounded_search(
     ``max_size`` and ``max_instances``.  A negative result only means "no
     witness within the budget".
 
-    Both engines explore the same candidate space.  ``instances_examined``
+    All engines explore the same candidate space.  ``instances_examined``
     counts candidate instances inspected by the naive scan but partially
     closed candidates actually tested for completeness by the propagating
     engine (violating combinations are pruned before being counted).
     """
     resolved = resolve_engine(engine)
-    if resolved in ("propagating", "sat"):
+    if resolved in ("propagating", "sat", "parallel"):
         return _rcqp_engine_search(
             query, schema, master, constraints, max_size, max_instances,
-            engine=resolved,
+            engine=resolved, workers=workers,
         )
     base = empty_instance(schema)
     adom = ground_active_domain(base, query, master, constraints)
@@ -404,6 +415,7 @@ def rcqp(
     model: "str | None" = None,
     max_size: int = 2,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> bool:
     """Convenience front-end for RCQP.
 
@@ -425,5 +437,5 @@ def rcqp(
     if constraints and all(c.is_inclusion_dependency() for c in constraints):
         return strong_rcqp_with_ind_ccs(query, schema, master, constraints)
     return rcqp_bounded_search(
-        query, schema, master, constraints, max_size=max_size, engine=engine
+        query, schema, master, constraints, max_size=max_size, engine=engine, workers=workers
     ).found

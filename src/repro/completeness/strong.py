@@ -55,6 +55,7 @@ def find_strong_incompleteness_witness(
     limit: int | None = None,
     require_consistent: bool = True,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> StrongIncompletenessWitness | None:
     """Search for a world of ``T`` that is not relatively complete for ``Q``.
 
@@ -72,7 +73,7 @@ def find_strong_incompleteness_witness(
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints, query)
     saw_world = False
-    for world in models(cinstance, master, constraints, adom, engine=engine):
+    for world in models(cinstance, master, constraints, adom, engine=engine, workers=workers):
         saw_world = True
         witness = find_ground_incompleteness_witness(
             world, query, master, constraints, adom=adom, limit=limit
@@ -96,6 +97,7 @@ def is_strongly_complete(
     limit: int | None = None,
     require_consistent: bool = True,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> bool:
     """Whether ``T`` is strongly complete for ``Q`` relative to ``(D_m, V)``.
 
@@ -109,7 +111,7 @@ def is_strongly_complete(
         adom=adom,
         limit=limit,
         require_consistent=require_consistent,
-        engine=engine,
+        engine=engine, workers=workers,
     )
     return witness is None
 
@@ -124,6 +126,7 @@ def is_strongly_complete_bounded(
     limit: int | None = None,
     require_consistent: bool = True,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> bool:
     """Bounded strong-completeness check for arbitrary query languages.
 
@@ -139,7 +142,7 @@ def is_strongly_complete_bounded(
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints, query)
     saw_world = False
-    for world in models(cinstance, master, constraints, adom, engine=engine):
+    for world in models(cinstance, master, constraints, adom, engine=engine, workers=workers):
         saw_world = True
         if not is_ground_complete_bounded(
             world,

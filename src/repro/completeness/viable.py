@@ -43,6 +43,7 @@ def find_viable_witness(
     limit: int | None = None,
     require_consistent: bool = True,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> GroundInstance | None:
     """A possible world of ``T`` that is relatively complete for ``Q``, if any.
 
@@ -53,7 +54,7 @@ def find_viable_witness(
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints, query)
     saw_world = False
-    for world in models(cinstance, master, constraints, adom, engine=engine):
+    for world in models(cinstance, master, constraints, adom, engine=engine, workers=workers):
         saw_world = True
         if is_ground_complete(world, query, master, constraints, adom=adom, limit=limit):
             return world
@@ -74,6 +75,7 @@ def is_viably_complete(
     limit: int | None = None,
     require_consistent: bool = True,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> bool:
     """Whether ``T`` is viably complete for ``Q`` relative to ``(D_m, V)``.
 
@@ -88,7 +90,7 @@ def is_viably_complete(
             adom=adom,
             limit=limit,
             require_consistent=require_consistent,
-            engine=engine,
+            engine=engine, workers=workers,
         )
         is not None
     )
@@ -104,6 +106,7 @@ def is_viably_complete_bounded(
     limit: int | None = None,
     require_consistent: bool = True,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> bool:
     """Bounded viable-completeness check for arbitrary query languages.
 
@@ -116,7 +119,7 @@ def is_viably_complete_bounded(
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints, query)
     saw_world = False
-    for world in models(cinstance, master, constraints, adom, engine=engine):
+    for world in models(cinstance, master, constraints, adom, engine=engine, workers=workers):
         saw_world = True
         if is_ground_complete_bounded(
             world,

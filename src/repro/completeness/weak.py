@@ -57,6 +57,7 @@ def weak_completeness_report(
     limit: int | None = None,
     require_consistent: bool = True,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> WeakCompletenessReport:
     """Compute both certain answers and the weak-completeness verdict.
 
@@ -75,7 +76,7 @@ def weak_completeness_report(
         adom = default_active_domain(cinstance, master, constraints, query)
     try:
         over_models = certain_answer_over_models(
-            cinstance, query, master, constraints, adom=adom, engine=engine
+            cinstance, query, master, constraints, adom=adom, engine=engine, workers=workers
         )
     except InconsistentCInstanceError:
         if require_consistent:
@@ -87,7 +88,7 @@ def weak_completeness_report(
             is_weakly_complete=True,
         )
     over_extensions: ExtensionCertainAnswer = certain_answer_over_extensions(
-        cinstance, query, master, constraints, adom=adom, limit=limit, engine=engine
+        cinstance, query, master, constraints, adom=adom, limit=limit, engine=engine, workers=workers
     )
     if over_extensions.family_is_empty:
         verdict = True
@@ -110,6 +111,7 @@ def is_weakly_complete(
     limit: int | None = None,
     require_consistent: bool = True,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> bool:
     """Whether ``T`` is weakly complete for ``Q`` relative to ``(D_m, V)``.
 
@@ -123,7 +125,7 @@ def is_weakly_complete(
         adom=adom,
         limit=limit,
         require_consistent=require_consistent,
-        engine=engine,
+        engine=engine, workers=workers,
     ).is_weakly_complete
 
 
@@ -137,6 +139,7 @@ def is_weakly_complete_bounded(
     limit: int | None = None,
     require_consistent: bool = True,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> bool:
     """Bounded weak-completeness check usable for any query language.
 
@@ -154,7 +157,7 @@ def is_weakly_complete_bounded(
     over_extensions: frozenset[Row] | None = None
     any_extension = False
     saw_world = False
-    for world in models(cinstance, master, constraints, adom, engine=engine):
+    for world in models(cinstance, master, constraints, adom, engine=engine, workers=workers):
         saw_world = True
         world_answer = evaluate(query, world)
         over_models = (

@@ -6,7 +6,7 @@ infinite in general (variables range over infinite domains), but by
 Proposition 3.3 it suffices to consider valuations over the active domain
 ``Adom``; the paper writes the restricted set ``Mod_Adom(T, D_m, V)``.
 
-This module enumerates ``Mod_Adom``.  Three interchangeable engines back the
+This module enumerates ``Mod_Adom``.  Four interchangeable engines back the
 enumeration, selected with the ``engine`` keyword accepted by every function
 here (and threaded through the deciders in :mod:`repro.completeness`):
 
@@ -22,13 +22,22 @@ here (and threaded through the deciders in :mod:`repro.completeness`):
   enumeration uses selector-projected blocking clauses.  Conditions and
   (in)equality-heavy constraints are evaluated once, at encoding time, which
   is the regime where this engine overtakes the propagating one;
+* ``engine="parallel"`` — the sharded process-parallel engine of
+  :mod:`repro.search.parallel`: the propagating search tree is partitioned by
+  the first ordered variable's pool values (pairs of the first two variables
+  when the first pool is small) and the shards are farmed to a process pool,
+  with results merged in shard order so the enumeration is order-identical
+  to the serial propagating engine.  The ``workers`` keyword (default: one
+  per available CPU) sizes the pool; small searches silently fall back to
+  the serial path; and
 * ``engine="naive"`` — the original cross-product enumeration
   (``itertools.product`` over the variable pools, constraints checked on
   complete worlds only), kept as the reference implementation the engines
   are parity-tested against.
 
 All engines produce the same set of valuations and worlds (only the
-enumeration order may differ).  The higher-level decision procedures
+enumeration order may differ; ``"parallel"`` even reproduces the
+``"propagating"`` order exactly).  The higher-level decision procedures
 (consistency, RCDP, RCQP, MINP) are built on top of this module in
 :mod:`repro.completeness`.
 """
@@ -51,12 +60,13 @@ from repro.queries.evaluation import Query, query_constants
 from repro.relational.instance import GroundInstance
 from repro.relational.master import MasterData
 from repro.search.engine import WorldSearch
+from repro.search.parallel import ParallelWorldSearch
 from repro.search.sat_engine import SATWorldSearch
 
 #: Engine used when callers do not request one explicitly.
 DEFAULT_ENGINE = "propagating"
 
-_ENGINE_NAMES = ("propagating", "sat", "naive")
+_ENGINE_NAMES = ("propagating", "sat", "parallel", "naive")
 
 
 def resolve_engine(engine: str | None) -> str:
@@ -100,8 +110,13 @@ def models_with_valuations(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> Iterator[tuple[Valuation, GroundInstance]]:
-    """Enumerate ``(µ, µ(T))`` pairs with ``µ(T) ∈ Mod_Adom(T, D_m, V)``."""
+    """Enumerate ``(µ, µ(T))`` pairs with ``µ(T) ∈ Mod_Adom(T, D_m, V)``.
+
+    ``workers`` sizes the process pool of ``engine="parallel"`` (default: one
+    worker per available CPU); the other engines ignore it.
+    """
     engine = resolve_engine(engine)
     if adom is None:
         adom = default_active_domain(cinstance, master, constraints)
@@ -114,6 +129,11 @@ def models_with_valuations(
     if engine == "sat":
         yield from SATWorldSearch(cinstance, master, constraints, adom).search()
         return
+    if engine == "parallel":
+        yield from ParallelWorldSearch(
+            cinstance, master, constraints, adom, workers=workers
+        ).search()
+        return
     yield from WorldSearch(cinstance, master, constraints, adom).search()
 
 
@@ -124,11 +144,13 @@ def models(
     adom: ActiveDomain | None = None,
     deduplicate: bool = True,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> Iterator[GroundInstance]:
     """Enumerate ``Mod_Adom(T, D_m, V)``.
 
     Distinct valuations may induce the same ground instance; by default the
     duplicates are suppressed so callers iterate over the set of worlds.
+    ``workers`` sizes the process pool of ``engine="parallel"``.
     """
     engine = resolve_engine(engine)
     if adom is None:
@@ -149,6 +171,11 @@ def models(
             deduplicate=deduplicate
         )
         return
+    if engine == "parallel":
+        yield from ParallelWorldSearch(
+            cinstance, master, constraints, adom, workers=workers
+        ).worlds(deduplicate=deduplicate)
+        return
     yield from WorldSearch(cinstance, master, constraints, adom).worlds(
         deduplicate=deduplicate
     )
@@ -160,6 +187,7 @@ def has_model(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> bool:
     """Whether ``Mod(T, D_m, V)`` is non-empty (the consistency property).
 
@@ -167,7 +195,8 @@ def has_model(
     coincides with emptiness over all valuations.  The propagating engine
     additionally applies fresh-value symmetry breaking here, which preserves
     (non-)emptiness but not the world multiset — existence is all this
-    function reports.
+    function reports.  The parallel engine races its shards and cancels the
+    losers as soon as one shard reports a model.
     """
     engine = resolve_engine(engine)
     if engine == "naive":
@@ -180,6 +209,10 @@ def has_model(
         adom = default_active_domain(cinstance, master, constraints)
     if engine == "sat":
         return SATWorldSearch(cinstance, master, constraints, adom).has_world()
+    if engine == "parallel":
+        return ParallelWorldSearch(
+            cinstance, master, constraints, adom, workers=workers
+        ).has_world()
     return WorldSearch(
         cinstance, master, constraints, adom, break_symmetry=True
     ).has_world()
@@ -191,6 +224,12 @@ def model_count(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> int:
     """The number of distinct worlds in ``Mod_Adom(T, D_m, V)``."""
-    return sum(1 for _ in models(cinstance, master, constraints, adom, engine=engine))
+    return sum(
+        1
+        for _ in models(
+            cinstance, master, constraints, adom, engine=engine, workers=workers
+        )
+    )

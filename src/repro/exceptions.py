@@ -73,5 +73,14 @@ class SearchError(ReproError):
     """A world-search engine was selected or configured incorrectly."""
 
 
+class SearchCancelledError(SearchError):
+    """A cooperative world search was cancelled via its ``stop_check`` hook.
+
+    Raised by :class:`repro.search.engine.WorldSearch` when the caller-supplied
+    ``stop_check`` callable reports ``True`` mid-search.  The parallel engine
+    uses it to abort outstanding shards once another shard has found a model.
+    """
+
+
 class ReductionError(ReproError):
     """A lower-bound reduction was given malformed input."""

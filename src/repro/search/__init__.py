@@ -1,8 +1,8 @@
 """Search engines over the possible worlds of a c-instance.
 
 The decision procedures of the paper all reduce to enumerating (or probing)
-``Mod_Adom(T, D_m, V)``.  This package provides the two non-trivial engines
-behind that enumeration:
+``Mod_Adom(T, D_m, V)``.  This package provides the three non-trivial
+engines behind that enumeration:
 
 * the **propagating** engine (:mod:`repro.search.engine`) — pruned
   backtracking: per-variable candidate pools, early containment-constraint
@@ -11,10 +11,17 @@ behind that enumeration:
 * the **SAT** engine (:mod:`repro.search.sat_engine`) — membership is
   compiled to CNF (:mod:`repro.search.cnf_encoding`) and decided by the
   DPLL solver of :mod:`repro.reductions.dpll`; conditions and
-  inequality-heavy constraints are evaluated once at encoding time.
+  inequality-heavy constraints are evaluated once at encoding time;
+* the **parallel** engine (:mod:`repro.search.parallel`) — the propagating
+  search tree is sharded by the first ordered variable's pool values (pairs
+  of the first two when the first pool is small) and the shards are run by a
+  process pool, with shard-order merging so the output is order-identical to
+  the serial propagating engine, early cancellation of outstanding shards
+  for existence checks, and a serial fallback for small searches.
 
 :mod:`repro.ctables.possible_worlds` routes through the propagating engine
-by default (``engine="propagating"``); the SAT route is ``engine="sat"`` and
+by default (``engine="propagating"``); the SAT route is ``engine="sat"``,
+the sharded route is ``engine="parallel"`` (with a ``workers=`` knob) and
 the cross-product reference path remains available as ``engine="naive"``.
 """
 
@@ -25,12 +32,20 @@ from repro.search.cnf_encoding import (
 )
 from repro.search.engine import SearchStats, WorldSearch, world_key
 from repro.search.ordering import order_variables
+from repro.search.parallel import (
+    ParallelSearchStats,
+    ParallelWorldSearch,
+    resolve_workers,
+    shutdown_pools,
+)
 from repro.search.propagation import ConstraintChecker
 from repro.search.sat_engine import SATSearchStats, SATWorldSearch
 
 __all__ = [
     "ConstraintChecker",
     "EncodingStats",
+    "ParallelSearchStats",
+    "ParallelWorldSearch",
     "SATSearchStats",
     "SATWorldSearch",
     "SearchStats",
@@ -38,5 +53,7 @@ __all__ = [
     "WorldSearch",
     "encode_world_search",
     "order_variables",
+    "resolve_workers",
+    "shutdown_pools",
     "world_key",
 ]

@@ -29,7 +29,7 @@ is sound and complete for satisfying valuations), so
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.constraints.containment import (
     ContainmentConstraint,
@@ -39,11 +39,16 @@ from repro.ctables.adom import ActiveDomain, variable_pools
 from repro.ctables.cinstance import CInstance
 from repro.ctables.ctable import CTableRow
 from repro.ctables.valuation import Valuation
+from repro.exceptions import SearchCancelledError, SearchError
+from repro.queries.terms import Variable
 from repro.relational.domains import Constant
 from repro.relational.instance import GroundInstance, Row
 from repro.relational.master import MasterData
 from repro.search.ordering import order_variables
 from repro.search.propagation import ConstraintChecker
+
+#: How many search nodes may elapse between two ``stop_check`` polls.
+STOP_CHECK_STRIDE = 64
 
 
 @dataclass
@@ -88,6 +93,21 @@ class WorldSearch:
         A prebuilt :class:`ConstraintChecker` for ``(master, constraints)``.
         Callers that run many searches against the same master data pass one
         to avoid re-evaluating the constraint right-hand sides per search.
+    order:
+        A forced variable-assignment order (must cover exactly the variables
+        of the c-instance).  The parallel engine pins the serial order here so
+        every shard enumerates its subtree in the same sequence the serial
+        search would, making the merged output order-identical to serial.
+    pool_overrides:
+        Per-variable replacement candidate pools, intersected with the
+        variable's Adom pool.  The parallel engine restricts the shard
+        variables to a single value each; the subtree under that prefix is
+        then exactly the corresponding branch of the serial search.
+    stop_check:
+        A zero-argument callable polled every :data:`STOP_CHECK_STRIDE` search
+        nodes; returning ``True`` aborts the search by raising
+        :class:`~repro.exceptions.SearchCancelledError`.  Used for
+        cross-process cancellation of existence checks.
     """
 
     def __init__(
@@ -99,6 +119,9 @@ class WorldSearch:
         *,
         break_symmetry: bool = False,
         checker: ConstraintChecker | None = None,
+        order: Sequence[Variable] | None = None,
+        pool_overrides: Mapping[Variable, Sequence[Constant]] | None = None,
+        stop_check: Callable[[], bool] | None = None,
     ) -> None:
         if adom is None:
             from repro.ctables.possible_worlds import default_active_domain
@@ -108,14 +131,32 @@ class WorldSearch:
         self._schema = cinstance.schema
         self._adom = adom
         self._checker = checker or ConstraintChecker(master, constraints)
+        self._stop_check = stop_check
         self.stats = SearchStats()
 
         restrictions = cinstance.variable_domains()
         self._pools = variable_pools(cinstance.variables(), adom, restrictions)
+        if pool_overrides:
+            for variable, values in pool_overrides.items():
+                if variable not in self._pools:
+                    raise SearchError(
+                        f"pool override for {variable!r}, which is not a "
+                        "variable of the c-instance"
+                    )
+                allowed = set(self._pools[variable])
+                self._pools[variable] = [v for v in values if v in allowed]
         rows = [(name, row) for name, _index, row in cinstance.rows()]
-        self._order = order_variables(
-            self._pools, [row.variables() for _name, row in rows]
-        )
+        if order is not None:
+            if set(order) != set(self._pools) or len(order) != len(self._pools):
+                raise SearchError(
+                    "forced variable order must cover exactly the variables "
+                    "of the c-instance"
+                )
+            self._order = list(order)
+        else:
+            self._order = order_variables(
+                self._pools, [row.variables() for _name, row in rows]
+            )
         position = {variable: i for i, variable in enumerate(self._order)}
         # completions[0] holds the rows that are ground from the start;
         # completions[d + 1] the rows whose last variable is order[d].
@@ -132,6 +173,16 @@ class WorldSearch:
         self._fresh_rank: dict[Constant, int] = {}
         if break_symmetry:
             self._fresh_rank = self._interchangeable_fresh_ranks(master, constraints)
+
+    @property
+    def order(self) -> list[Variable]:
+        """The variable-assignment order the search uses (deterministic)."""
+        return list(self._order)
+
+    @property
+    def pools(self) -> dict[Variable, list[Constant]]:
+        """The per-variable candidate pools (after any overrides)."""
+        return {variable: list(pool) for variable, pool in self._pools.items()}
 
     # ------------------------------------------------------------------
     # symmetry
@@ -221,6 +272,12 @@ class WorldSearch:
             else:
                 next_used = used_fresh + (1 if rank == used_fresh else 0)
             self.stats.nodes += 1
+            if (
+                self._stop_check is not None
+                and self.stats.nodes % STOP_CHECK_STRIDE == 0
+                and self._stop_check()
+            ):
+                raise SearchCancelledError("world search cancelled by stop_check")
             valuation[variable] = value
             added = self._apply_level(depth + 1, valuation, facts)
             if not added or self._checker.check(

@@ -271,6 +271,80 @@ def inequality_chain_workload(
     )
 
 
+@dataclass(frozen=True)
+class WidePoolWorkload:
+    """A wide-first-pool workload (the parallel engine's target regime)."""
+
+    schema: DatabaseSchema
+    master: MasterData
+    constraints: list[ContainmentConstraint]
+    cinstance: CInstance
+    rows: int
+    values_per_key: int
+    consistent: bool
+
+
+def wide_pool_workload(rows: int, values_per_key: int) -> WidePoolWorkload:
+    """Build the wide-pool family targeted by ``engine="parallel"``.
+
+    The schema is ``Record(key, value)`` bounded by the master registry
+    ``Registry(key, value)``, which holds every pair ``(kᵢ, vⱼ)`` for
+    ``i < rows`` and ``j < values_per_key`` — each key may carry any of the
+    shared values.  The c-instance has one row ``(kᵢ, wᵢ)`` per key with a
+    fresh variable ``wᵢ``, and the constraints are
+
+    * the registry bound (``Record ⊆ π_{key,value}(Registry)``), restricting
+      each ``wᵢ`` to the ``values_per_key`` shared values, and
+    * an all-distinct denial CC (``Record(k,v) ∧ Record(k',v') ∧ k ≠ k' ∧
+      v = v' ⊆ ∅``), forbidding two keys from carrying the same value.
+
+    By pigeonhole the instance is consistent iff ``rows ≤ values_per_key``;
+    in the inconsistent regime every decider must exhaust the whole search
+    tree.  Every variable's candidate pool is the full active domain
+    (``rows + values_per_key`` registry constants plus one fresh value per
+    variable), so the tree is *wide at the root* — the regime where sharding
+    the first variable's pool across worker processes pays off — while the
+    per-node pruning work (a join of the all-distinct CC over the grounded
+    rows) is heavy enough to dominate process-pool overhead.
+    """
+    db_schema = database_schema(schema("Record", "key", "value"))
+    master_schema = database_schema(schema("Registry", "key", "value"))
+    master_rows = [
+        (f"k{i}", f"v{j}") for i in range(rows) for j in range(values_per_key)
+    ]
+    master = MasterData(master_schema, {"Registry": master_rows})
+
+    k, v, k2, v2 = var("k"), var("v"), var("k2"), var("v2")
+    constraints = [
+        cc(
+            cq("all_records", [k, v], atoms=[atom("Record", k, v)]),
+            projection("Registry", "key", "value"),
+            name="record⊆registry",
+        ),
+        denial_cc(
+            boolean_cq(
+                "all_distinct",
+                atoms=[atom("Record", k, v), atom("Record", k2, v2)],
+                comparisons=[neq(k, k2), eq(v, v2)],
+            ),
+            name="all-distinct:value",
+        ),
+    ]
+    table_rows = [
+        CTableRow((f"k{i}", Variable(f"w{i}"))) for i in range(rows)
+    ]
+    cinst = CInstance(db_schema, {"Record": CTable(db_schema["Record"], table_rows)})
+    return WidePoolWorkload(
+        schema=db_schema,
+        master=master,
+        constraints=constraints,
+        cinstance=cinst,
+        rows=rows,
+        values_per_key=values_per_key,
+        consistent=rows <= values_per_key,
+    )
+
+
 def point_queries_for_keys(keys: Sequence[str]) -> list[ConjunctiveQuery]:
     """One point query per key (used to build fixed query workloads)."""
     v = var("v")

@@ -1,0 +1,214 @@
+"""Reusable differential-testing harness for the world-search engines.
+
+Any instance can be run through every engine and compared against the naive
+reference enumeration in one call:
+
+* :func:`assert_engine_parity` — identical world sets, world multisets,
+  ``(valuation, world)`` pair sets, model counts and existence verdicts from
+  every engine, plus an *order-identity* check between ``"parallel"`` and
+  ``"propagating"`` (the parallel engine promises to reproduce the serial
+  enumeration order exactly, not just the same sets);
+* :func:`assert_decider_parity` — identical verdicts from an
+  ``engine``-accepting decision procedure across engines;
+* :func:`assert_workers_independent` — the parallel engine's results do not
+  depend on the ``workers`` count or on the order shards are submitted in.
+
+New engines join the corpus by being added to :data:`ALL_ENGINES`; every
+parity test in ``tests/search`` routes through this module, so a fifth
+engine lands with four-way (then five-way) parity guaranteed by
+construction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.ctables.possible_worlds import (
+    default_active_domain,
+    has_model,
+    model_count,
+    models,
+    models_with_valuations,
+)
+from repro.search.parallel import ParallelWorldSearch
+
+#: Every world-search engine the repository ships, reference first.
+ALL_ENGINES = ("naive", "propagating", "sat", "parallel")
+
+#: The engine the others are compared against.
+REFERENCE_ENGINE = "naive"
+
+#: The engines checked against the reference by default.
+CHECKED_ENGINES = tuple(e for e in ALL_ENGINES if e != REFERENCE_ENGINE)
+
+
+@dataclass
+class EngineObservation:
+    """Everything one engine reports about one instance."""
+
+    engine: str
+    worlds: frozenset
+    world_multiset: Counter
+    pairs: frozenset
+    ordered_worlds: tuple
+    count: int
+    has: bool
+
+
+def observe_engine(
+    cinst, master, constraints, adom, engine, workers=None
+) -> EngineObservation:
+    """Run one instance through one engine, capturing every public surface."""
+    return EngineObservation(
+        engine=engine,
+        worlds=frozenset(
+            models(cinst, master, constraints, adom, engine=engine, workers=workers)
+        ),
+        world_multiset=Counter(
+            models(
+                cinst,
+                master,
+                constraints,
+                adom,
+                deduplicate=False,
+                engine=engine,
+                workers=workers,
+            )
+        ),
+        pairs=frozenset(
+            (frozenset(valuation.items()), world)
+            for valuation, world in models_with_valuations(
+                cinst, master, constraints, adom, engine=engine, workers=workers
+            )
+        ),
+        ordered_worlds=tuple(
+            models(cinst, master, constraints, adom, engine=engine, workers=workers)
+        ),
+        count=model_count(
+            cinst, master, constraints, adom, engine=engine, workers=workers
+        ),
+        has=has_model(
+            cinst, master, constraints, adom, engine=engine, workers=workers
+        ),
+    )
+
+
+def assert_engine_parity(
+    cinst,
+    master,
+    constraints,
+    query=None,
+    engines: Sequence[str] = CHECKED_ENGINES,
+    workers: int | None = None,
+    adom=None,
+) -> dict[str, EngineObservation]:
+    """All engines agree with the reference on every observable surface.
+
+    Returns the per-engine observations so callers can make extra assertions
+    (e.g. on expected world counts) without re-running the engines.
+    """
+    if adom is None:
+        adom = default_active_domain(cinst, master, constraints, query)
+    reference = observe_engine(
+        cinst, master, constraints, adom, REFERENCE_ENGINE, workers=workers
+    )
+    observations = {REFERENCE_ENGINE: reference}
+    for engine in engines:
+        observed = observe_engine(
+            cinst, master, constraints, adom, engine, workers=workers
+        )
+        observations[engine] = observed
+        assert observed.worlds == reference.worlds, engine
+        assert observed.world_multiset == reference.world_multiset, engine
+        assert observed.pairs == reference.pairs, engine
+        assert observed.count == reference.count, engine
+        assert observed.has == reference.has, engine
+    if "parallel" in observations and "propagating" in observations:
+        # Stronger than set parity: the merged shard enumeration must be
+        # order-identical to the serial propagating enumeration.
+        assert (
+            observations["parallel"].ordered_worlds
+            == observations["propagating"].ordered_worlds
+        )
+    return observations
+
+
+def assert_decider_parity(
+    run: Callable[[str], object], engines: Sequence[str] = CHECKED_ENGINES
+) -> object:
+    """An ``engine``-accepting decision procedure returns one verdict for all.
+
+    ``run`` is called once per engine (reference first) and every verdict is
+    compared against the reference's; the reference verdict is returned.
+    """
+    reference = run(REFERENCE_ENGINE)
+    for engine in engines:
+        assert run(engine) == reference, engine
+    return reference
+
+
+def parallel_observation(
+    cinst,
+    master,
+    constraints,
+    adom=None,
+    workers: int | None = 2,
+    shard_order: str = "pool",
+) -> tuple[tuple, bool]:
+    """(ordered pair list, existence) from a *forced* parallel run.
+
+    ``min_parallel_valuations=0`` disables the serial fallback, so even tiny
+    instances exercise the sharded process-pool path.
+    """
+    if adom is None:
+        adom = default_active_domain(cinst, master, constraints)
+
+    def build() -> ParallelWorldSearch:
+        return ParallelWorldSearch(
+            cinst,
+            master,
+            constraints,
+            adom,
+            workers=workers,
+            min_parallel_valuations=0,
+            shard_order=shard_order,
+        )
+
+    pairs = tuple(
+        (frozenset(valuation.items()), world) for valuation, world in build().search()
+    )
+    return pairs, build().has_world()
+
+
+def assert_workers_independent(
+    cinst,
+    master,
+    constraints,
+    adom=None,
+    workers_settings: Sequence[int | None] = (1, 2, None),
+) -> None:
+    """Parallel results are identical across worker counts and shard orders.
+
+    ``None`` means the default (one worker per available CPU); ``workers=1``
+    takes the serial fallback, so this also pins parallel-vs-serial parity.
+    Each worker count is additionally run with reversed shard submission.
+    """
+    if adom is None:
+        adom = default_active_domain(cinst, master, constraints)
+    reference = None
+    for workers in workers_settings:
+        for shard_order in ("pool", "reversed"):
+            observed = parallel_observation(
+                cinst,
+                master,
+                constraints,
+                adom,
+                workers=workers,
+                shard_order=shard_order,
+            )
+            if reference is None:
+                reference = observed
+            else:
+                assert observed == reference, (workers, shard_order)

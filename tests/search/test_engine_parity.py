@@ -1,21 +1,30 @@
 """Parity tests: every engine must agree with the naive reference path.
 
-The pruned world-search engine and the SAT-backed engine
-(:mod:`repro.search`) replace the naive cross-product enumeration of
-``Mod_Adom(T, D_m, V)``; these tests assert all engines produce the
-identical world sets, valuation sets and decision verdicts on every fixture
-family the repository uses — workloads, the patients scenario, the
+The pruned world-search engine, the SAT-backed engine and the sharded
+process-parallel engine (:mod:`repro.search`) replace the naive cross-product
+enumeration of ``Mod_Adom(T, D_m, V)``; these tests assert all engines
+produce identical world sets, valuation sets and decision verdicts on every
+fixture family the repository uses — workloads, the patients scenario, the
 hardness-reduction instances, conditioned rows and hypothesis-generated
 random c-tables.
+
+The comparisons themselves live in the reusable differential harness
+(:mod:`harness` in this directory): each fixture family is one
+:func:`harness.assert_engine_parity` / :func:`harness.assert_decider_parity`
+call, and a new engine joins the whole corpus by being added to
+``harness.ALL_ENGINES``.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from harness import (
+    CHECKED_ENGINES,
+    assert_decider_parity,
+    assert_engine_parity,
+)
 from repro.completeness.consistency import is_consistent
 from repro.completeness.minp import (
     is_minimal_strongly_complete,
@@ -33,9 +42,7 @@ from repro.ctables.ctable import CTable, CTableRow
 from repro.ctables.possible_worlds import (
     default_active_domain,
     has_model,
-    model_count,
     models,
-    models_with_valuations,
 )
 from repro.exceptions import SearchError
 from repro.queries.atoms import atom, eq, neq
@@ -47,59 +54,14 @@ from repro.relational.schema import RelationSchema, database_schema, schema
 from repro.reductions.consistency_reduction import build_consistency_reduction
 from repro.reductions.sat import random_forall_exists_instance
 from repro.search import ConstraintChecker, WorldSearch, order_variables, world_key
-from repro.workloads.generator import registry_workload
+from repro.workloads.generator import registry_workload, wide_pool_workload
 from repro.workloads.patients import build_patient_scenario
 
 x, y, z = var("x"), var("y"), var("z")
 
 
-#: The engines parity-checked against the naive reference enumeration.
-CHECKED_ENGINES = ("propagating", "sat")
-
-
-def assert_world_parity(cinst, master, constraints, query=None):
-    """All engines agree on worlds, valuations, counts and existence."""
-    adom = default_active_domain(cinst, master, constraints, query)
-    naive_worlds = set(models(cinst, master, constraints, adom, engine="naive"))
-    naive_multiset = Counter(
-        models(cinst, master, constraints, adom, deduplicate=False, engine="naive")
-    )
-    naive_pairs = {
-        (frozenset(valuation.items()), world)
-        for valuation, world in models_with_valuations(
-            cinst, master, constraints, adom, engine="naive"
-        )
-    }
-    naive_count = model_count(cinst, master, constraints, adom, engine="naive")
-    naive_has = has_model(cinst, master, constraints, adom, engine="naive")
-
-    for engine in CHECKED_ENGINES:
-        engine_worlds = set(models(cinst, master, constraints, adom, engine=engine))
-        assert naive_worlds == engine_worlds, engine
-
-        engine_multiset = Counter(
-            models(cinst, master, constraints, adom, deduplicate=False, engine=engine)
-        )
-        assert naive_multiset == engine_multiset, engine
-
-        engine_pairs = {
-            (frozenset(valuation.items()), world)
-            for valuation, world in models_with_valuations(
-                cinst, master, constraints, adom, engine=engine
-            )
-        }
-        assert naive_pairs == engine_pairs, engine
-
-        assert naive_count == model_count(
-            cinst, master, constraints, adom, engine=engine
-        ), engine
-        assert naive_has == has_model(
-            cinst, master, constraints, adom, engine=engine
-        ), engine
-
-
 # ---------------------------------------------------------------------------
-# world-set parity across the fixture families
+# world-set parity across the fixture families (four-way, via the harness)
 # ---------------------------------------------------------------------------
 class TestWorldParity:
     @pytest.mark.parametrize(
@@ -119,20 +81,29 @@ class TestWorldParity:
             variable_count=variable_count,
             with_fd=with_fd,
         )
-        assert_world_parity(workload.cinstance, workload.master, workload.constraints)
+        assert_engine_parity(workload.cinstance, workload.master, workload.constraints)
 
     def test_patient_scenario(self):
         scenario = build_patient_scenario()
-        assert_world_parity(
+        assert_engine_parity(
             scenario.figure1, scenario.master, scenario.constraints, scenario.q1
         )
 
+    def test_wide_pool_workload(self):
+        workload = wide_pool_workload(rows=3, values_per_key=2)
+        assert not workload.consistent
+        observations = assert_engine_parity(
+            workload.cinstance, workload.master, workload.constraints
+        )
+        assert observations["naive"].count == 0
+
     @pytest.mark.parametrize("dimensions", [(1, 1, 2), (2, 1, 3)])
     def test_consistency_reduction_instances(self, dimensions):
-        universal, existential, clauses = dimensions
         formula = random_forall_exists_instance(*dimensions, seed=7)
         reduction = build_consistency_reduction(formula)
-        assert_world_parity(reduction.cinstance, reduction.master, reduction.constraints)
+        assert_engine_parity(
+            reduction.cinstance, reduction.master, reduction.constraints
+        )
 
     def test_conditioned_rows(self):
         pair_schema = database_schema(schema("R", "A", "B"))
@@ -146,19 +117,20 @@ class TestWorldParity:
             ],
         )
         T = CInstance(pair_schema, {"R": table})
-        assert_world_parity(T, master, [])
+        assert_engine_parity(T, master, [])
 
     def test_inconsistent_cinstance(self):
         bool_schema = database_schema(RelationSchema("R", [("A", BOOLEAN_DOMAIN)]))
         master = empty_master(database_schema(schema("M", "A")))
         forbid_all = denial_cc(cq("q", [x], atoms=[atom("R", x)]))
         T = cinstance(bool_schema, R=[(x,)])
-        assert_world_parity(T, master, [forbid_all])
+        observations = assert_engine_parity(T, master, [forbid_all])
+        assert not observations["naive"].has
 
     def test_empty_cinstance(self):
         pair_schema = database_schema(schema("R", "A", "B"))
         master = empty_master(database_schema(schema("M", "A")))
-        assert_world_parity(CInstance(pair_schema), master, [])
+        assert_engine_parity(CInstance(pair_schema), master, [])
 
     def test_duplicate_inducing_rows(self):
         bool_schema = database_schema(
@@ -166,11 +138,11 @@ class TestWorldParity:
         )
         master = empty_master(database_schema(schema("M", "A")))
         T = cinstance(bool_schema, R=[(x, "c"), (y, "c")])
-        assert_world_parity(T, master, [])
+        assert_engine_parity(T, master, [])
 
 
 # ---------------------------------------------------------------------------
-# decision-procedure parity (RCDP / MINP / RCQP, both engines)
+# decision-procedure parity (RCDP / MINP / RCQP, every engine)
 # ---------------------------------------------------------------------------
 class TestDeciderParity:
     @pytest.fixture(scope="class")
@@ -180,22 +152,15 @@ class TestDeciderParity:
     def test_rcdp_verdicts(self, scenario):
         for query in (scenario.q1, scenario.q4):
             for decider in (is_strongly_complete, is_weakly_complete, is_viably_complete):
-                naive = decider(
-                    scenario.figure1,
-                    query,
-                    scenario.master,
-                    scenario.constraints,
-                    engine="naive",
-                )
-                for engine_name in CHECKED_ENGINES:
-                    engine = decider(
+                assert_decider_parity(
+                    lambda engine, d=decider, q=query: d(
                         scenario.figure1,
-                        query,
+                        q,
                         scenario.master,
                         scenario.constraints,
-                        engine=engine_name,
+                        engine=engine,
                     )
-                    assert naive == engine, engine_name
+                )
 
     def test_minp_verdicts(self, scenario):
         trimmed = scenario.figure1.without_row("MVisit", 1)
@@ -205,32 +170,23 @@ class TestDeciderParity:
                 is_minimal_viably_complete,
                 is_minimal_weakly_complete,
             ):
-                naive = decider(
-                    target, scenario.q1, scenario.master, scenario.constraints,
-                    engine="naive",
-                )
-                for engine_name in CHECKED_ENGINES:
-                    engine = decider(
-                        target, scenario.q1, scenario.master, scenario.constraints,
-                        engine=engine_name,
+                assert_decider_parity(
+                    lambda engine, d=decider, t=target: d(
+                        t, scenario.q1, scenario.master, scenario.constraints,
+                        engine=engine,
                     )
-                    assert naive == engine, engine_name
+                )
 
     def test_consistency_verdicts(self):
         for dimensions in [(1, 1, 2), (2, 1, 3), (2, 2, 4)]:
             formula = random_forall_exists_instance(*dimensions, seed=7)
             reduction = build_consistency_reduction(formula)
-            naive = is_consistent(
-                reduction.cinstance, reduction.master, reduction.constraints,
-                engine="naive",
-            )
-            assert naive == (not reduction.formula_is_true())
-            for engine_name in CHECKED_ENGINES:
-                engine = is_consistent(
-                    reduction.cinstance, reduction.master, reduction.constraints,
-                    engine=engine_name,
+            verdict = assert_decider_parity(
+                lambda engine, r=reduction: is_consistent(
+                    r.cinstance, r.master, r.constraints, engine=engine
                 )
-                assert naive == engine, engine_name
+            )
+            assert verdict == (not reduction.formula_is_true())
 
     @pytest.mark.parametrize("max_size", [0, 1, 2])
     def test_rcqp_bounded_search_verdicts(self, max_size):
@@ -304,7 +260,7 @@ def _ctables(draw):
 def test_random_ctable_world_parity(table):
     T = CInstance(PAIR_SCHEMA, {"R": table})
     master = empty_master(database_schema(schema("M", "A")))
-    assert_world_parity(T, master, [])
+    assert_engine_parity(T, master, [])
 
 
 @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)), max_size=2))
@@ -322,7 +278,7 @@ def test_random_constrained_world_parity(rows):
         [CTableRow(row) for row in rows] + [CTableRow((Variable("x"), Variable("y")))],
     )
     T = CInstance(BOOL_PAIR_SCHEMA, {"R": table})
-    assert_world_parity(T, master, [constraint])
+    assert_engine_parity(T, master, [constraint])
 
 
 # ---------------------------------------------------------------------------
@@ -439,6 +395,7 @@ class TestEngineSelection:
         assert resolve_engine(None) == "propagating"
         assert resolve_engine("naive") == "naive"
         assert resolve_engine("sat") == "sat"
+        assert resolve_engine("parallel") == "parallel"
 
     def test_worldsearch_builds_default_adom(self):
         workload = registry_workload(master_size=2, db_rows=2, variable_count=1)

@@ -1,16 +1,20 @@
 """SAT engine internals: the CNF encoding, model decoding and enumeration.
 
-Three-way world/verdict parity across the shared fixture corpus lives in
-``test_engine_parity.py`` (every check there runs ``engine="sat"`` too);
-this module exercises what is specific to the SAT route — the encoding's
+Four-way world/verdict parity across the shared fixture corpus lives in
+``test_engine_parity.py``, built on the differential harness of
+:mod:`harness` (every check there runs ``engine="sat"`` too); this module
+exercises what is specific to the SAT route — the encoding's
 selector/presence structure, trivial-unsat detection, condition handling,
-inequality-heavy instances and the engine's stats surface.
+inequality-heavy instances and the engine's stats surface.  The handful of
+parity-shaped checks below route through the same harness with the corpus
+narrowed to the SAT engine.
 """
 
 from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
+from harness import assert_decider_parity, assert_engine_parity
 from repro.completeness.consistency import is_consistent
 from repro.constraints.containment import denial_cc, relation_containment_cc
 from repro.ctables.cinstance import CInstance, cinstance
@@ -160,35 +164,24 @@ class TestInequalityHeavyInstances:
     def test_odd_cycle_is_inconsistent_even_cycle_is_not(self):
         for pair_count, expected in ((3, False), (4, True)):
             workload = inequality_chain_workload(pair_count, close_cycle=True)
-            for engine in ("sat", "propagating"):
-                verdict = is_consistent(
-                    workload.cinstance,
-                    workload.master,
-                    workload.constraints,
-                    engine=engine,
-                )
-                assert verdict == expected, engine
+            verdict = assert_decider_parity(
+                lambda engine, w=workload: is_consistent(
+                    w.cinstance, w.master, w.constraints, engine=engine
+                ),
+                engines=("sat", "propagating"),
+            )
+            assert verdict == expected
 
     def test_open_chain_world_parity(self):
         workload = inequality_chain_workload(3, close_cycle=False)
-        adom = default_active_domain(
-            workload.cinstance, workload.master, workload.constraints
+        observations = assert_engine_parity(
+            workload.cinstance,
+            workload.master,
+            workload.constraints,
+            engines=("sat",),
         )
-        naive = set(
-            models(
-                workload.cinstance, workload.master, workload.constraints,
-                adom, engine="naive",
-            )
-        )
-        sat = set(
-            models(
-                workload.cinstance, workload.master, workload.constraints,
-                adom, engine="sat",
-            )
-        )
-        assert naive == sat
         # The chain alternates: exactly two world families survive.
-        assert len(sat) == 2
+        assert len(observations["sat"].worlds) == 2
 
 
 # ---------------------------------------------------------------------------
@@ -222,10 +215,7 @@ def _conditioned_ctables(draw):
 @settings(max_examples=40, deadline=None)
 def test_random_conditioned_ctable_sat_parity(table):
     T = CInstance(PAIR_SCHEMA, {"R": table})
-    adom = default_active_domain(T, EMPTY_MASTER, [])
-    naive = set(models(T, EMPTY_MASTER, [], adom, engine="naive"))
-    sat = set(models(T, EMPTY_MASTER, [], adom, engine="sat"))
-    assert naive == sat
+    assert_engine_parity(T, EMPTY_MASTER, [], engines=("sat",))
 
 
 @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)), max_size=2))
@@ -246,7 +236,4 @@ def test_random_constrained_sat_parity(rows):
         [CTableRow(row) for row in rows] + [CTableRow((Variable("x"), Variable("y")))],
     )
     T = CInstance(bool_pair, {"R": table})
-    adom = default_active_domain(T, master, [constraint])
-    naive = set(models(T, master, [constraint], adom, engine="naive"))
-    sat = set(models(T, master, [constraint], adom, engine="sat"))
-    assert naive == sat
+    assert_engine_parity(T, master, [constraint], engines=("sat",))
