@@ -41,7 +41,7 @@ def test_consistency_vs_variable_count(benchmark, variable_count):
         workload.constraints,
     )
     benchmark.extra_info["variables"] = variable_count
-    benchmark.extra_info["consistent"] = verdict
+    benchmark.extra_info["consistent"] = bool(verdict)
 
 
 @pytest.mark.benchmark(group="extensibility: master-size sweep")
@@ -75,6 +75,6 @@ def test_consistency_of_reduction_instances(benchmark, dimensions):
     )
     benchmark.extra_info["qbf"] = repr(formula)
     # Proposition 3.3: the c-instance is consistent iff the formula is false.
-    benchmark.extra_info["consistent"] = verdict
+    benchmark.extra_info["consistent"] = bool(verdict)
     benchmark.extra_info["formula_true"] = reduction.formula_is_true()
     assert verdict == (not reduction.formula_is_true())

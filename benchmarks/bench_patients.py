@@ -44,7 +44,7 @@ def test_patient_scenario_verdicts(benchmark, patient_scenario, query_name, mode
     )
     benchmark.extra_info["query"] = query_name
     benchmark.extra_info["model"] = model
-    benchmark.extra_info["complete"] = verdict
+    benchmark.extra_info["complete"] = bool(verdict)
     expected = EXPECTED_VERDICTS.get((query_name, model))
     if expected is not None:
         assert verdict == expected
@@ -65,5 +65,5 @@ def test_patient_scenario_master_growth(benchmark, extra_master_rows):
         CompletenessModel.STRONG,
     )
     benchmark.extra_info["extra_master_rows"] = extra_master_rows
-    benchmark.extra_info["complete"] = verdict
-    assert verdict is True
+    benchmark.extra_info["complete"] = verdict.holds
+    assert verdict.holds is True

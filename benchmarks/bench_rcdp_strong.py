@@ -88,7 +88,7 @@ def test_rcdp_strong_ground_vs_cinstance(benchmark, kind):
             workload.constraints,
         )
     benchmark.extra_info["kind"] = kind
-    benchmark.extra_info["complete"] = verdict
+    benchmark.extra_info["complete"] = bool(verdict)
 
 
 @pytest.mark.benchmark(group="rcdp-strong: query language")

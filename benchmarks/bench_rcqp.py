@@ -100,5 +100,5 @@ def test_strong_rcqp_bounded_search(benchmark, max_size):
         max_size,
     )
     benchmark.extra_info["max_size"] = max_size
-    benchmark.extra_info["found"] = result.found
-    benchmark.extra_info["instances_examined"] = result.instances_examined
+    benchmark.extra_info["found"] = result.holds
+    benchmark.extra_info["instances_examined"] = result.stats.candidates_examined

@@ -55,7 +55,7 @@ def test_rcdp_data_complexity_scaling(benchmark, master_size, model):
     )
     benchmark.extra_info["master_size"] = master_size
     benchmark.extra_info["model"] = model
-    benchmark.extra_info["complete"] = verdict
+    benchmark.extra_info["complete"] = bool(verdict)
 
 
 @pytest.mark.benchmark(group="tractable: MINP data complexity (fixed Q, V)")

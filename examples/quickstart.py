@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Quickstart: is my database complete for my query, relative to master data?
 
-This walks through the paper's opening example (Example 1.1 / Figure 1):
+This walks through the paper's opening example (Example 1.1 / Figure 1)
+using the ``Database`` facade — the stable 2.0 API:
 
 1. a master registry of Edinburgh patients born in 2000 (closed world),
 2. a visits database with *missing tuples* (it is open world outside the
@@ -13,10 +14,8 @@ This walks through the paper's opening example (Example 1.1 / Figure 1):
 Run with:  python examples/quickstart.py
 """
 
-from repro.completeness import (
-    CompletenessModel,
-    is_relatively_complete,
-)
+from repro import Database, EngineConfig
+from repro.completeness import CompletenessModel
 from repro.workloads import build_patient_scenario, display_figure1_cinstance
 
 
@@ -43,6 +42,20 @@ def main() -> None:
     for constraint in scenario.constraints:
         print(" ", constraint)
 
+    # One facade holds the whole analysis context: the c-instance, the
+    # master data, the constraints, a cached Adom and a prebuilt constraint
+    # checker shared by every call below.
+    db = Database(scenario.figure1, scenario.master, scenario.constraints)
+
+    print()
+    print("=" * 72)
+    print("Consistency: is the c-instance satisfiable at all?")
+    print("=" * 72)
+    consistency = db.is_consistent()
+    print(f"  consistent: {consistency.holds}  (engine: {consistency.engine_used})")
+    print(f"  one concrete possible world: {consistency.witness!r}")
+    print(f"  distinct possible worlds over Adom: {db.count().value}")
+
     print()
     print("=" * 72)
     print("Relative completeness of the (analysis) c-instance")
@@ -55,10 +68,27 @@ def main() -> None:
     for label, query in queries.items():
         print(f"\n  {label}: {query!r}")
         for model in (CompletenessModel.STRONG, CompletenessModel.WEAK, CompletenessModel.VIABLE):
-            verdict = is_relatively_complete(
-                scenario.figure1, query, scenario.master, scenario.constraints, model
-            )
-            print(f"    {model.value:>7} completeness: {verdict}")
+            decision = db.complete(query, model)
+            note = ""
+            if model is CompletenessModel.STRONG and not decision:
+                # Rich results: the strong decider hands back the
+                # counterexample — a world plus the extension that changes
+                # the query answer.
+                ground = decision.witness.ground_witness
+                added = ground.extension.size - ground.instance.size
+                note = f"  (counterexample adds {added} tuple(s))"
+            print(f"    {model.value:>7} completeness: {decision.holds}{note}")
+
+    print()
+    print("=" * 72)
+    print("Engine selection through EngineConfig (same verdicts, any engine)")
+    print("=" * 72)
+    for config in ("propagating", EngineConfig(name="sat"), EngineConfig(name="parallel", workers=2)):
+        decision = db.complete(scenario.q1, CompletenessModel.STRONG, engine=config)
+        print(
+            f"  engine={decision.engine_used:<12} strong(Q1)={decision.holds}  "
+            f"wall={decision.stats.wall_time * 1e3:.1f}ms"
+        )
 
     print()
     print("Reading the verdicts:")

@@ -3,17 +3,23 @@
 #
 # Runs, in order:
 #   1. ruff lint (skipped with a warning if ruff is not installed),
-#   2. the tier-1 test suite (includes the four-way engine-parity tests),
-#      with `-p no:cacheprovider` so runs are stateless, and with coverage
+#   2. the public-API stability check (tests/api/test_public_surface.py):
+#      repro.__all__, the Database facade signatures, the Decision /
+#      EngineConfig field lists and the built-in engine set must match the
+#      reviewed snapshot (regenerate deliberately with
+#      scripts/update_api_snapshot.py),
+#   3. the tier-1 test suite (includes the four-way engine-parity tests and
+#      the facade-vs-functional parity suite), with `-p no:cacheprovider` so
+#      runs are stateless, and with coverage
 #      (`--cov=repro --cov-fail-under=$COV_FAIL_UNDER`) when pytest-cov is
 #      installed, so a PR cannot silently drop tested lines,
-#   3. the engine smoke benchmark (four-way parity + the propagating-vs-naive,
+#   4. the engine smoke benchmark (four-way parity + the propagating-vs-naive,
 #      SAT-vs-propagating and parallel-vs-propagating perf gates; the
 #      parallel gate needs >= 4 host CPUs and reports itself as skipped on
 #      smaller machines), writing machine-readable results to
 #      BENCH_ENGINE.json,
-# so a regression in lint, correctness, coverage or engine speed fails one
-# command:
+# so a regression in lint, API surface, correctness, coverage or engine
+# speed fails one command:
 #
 #     scripts/check.sh
 #
@@ -40,6 +46,10 @@ elif python -m ruff --version >/dev/null 2>&1; then
 else
     echo "ruff not installed; skipping lint (CI runs it in the lint job)"
 fi
+
+echo
+echo "== public API surface (snapshot gate) =="
+python -m pytest -q -p no:cacheprovider tests/api/test_public_surface.py
 
 echo
 echo "== tier-1: pytest =="

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Regenerate tests/api/public_api_snapshot.json from the live library.
+
+Run after a *deliberate* public-API change, then review the snapshot diff in
+code review like any other change:
+
+    python scripts/update_api_snapshot.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "tests" / "api"))
+
+from surface import build_surface  # noqa: E402
+
+
+def main() -> int:
+    snapshot_path = ROOT / "tests" / "api" / "public_api_snapshot.json"
+    snapshot_path.write_text(
+        json.dumps(build_surface(), indent=2, sort_keys=False) + "\n"
+    )
+    print(f"wrote {snapshot_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

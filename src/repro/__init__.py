@@ -36,14 +36,25 @@ Subpackages
 
 Quickstart
 ----------
->>> from repro import build_patient_scenario, is_relatively_complete, STRONG
+>>> from repro import Database, build_patient_scenario, STRONG
 >>> s = build_patient_scenario()
->>> is_relatively_complete(s.figure1, s.q1, s.master, s.constraints, STRONG)
+>>> db = Database(s.figure1, s.master, s.constraints)
+>>> bool(db.complete(s.q1, STRONG))
 True
+
+The :class:`Database` facade caches the ``Adom`` and the constraint checker
+across calls and returns rich :class:`Decision` objects; the functional API
+(``is_relatively_complete`` and friends) remains available and returns the
+same :class:`Decision` objects (truthy like the old booleans).  World-search
+engines are pluggable through :func:`register_engine` and selected with
+:class:`EngineConfig` (or a plain name string) everywhere an ``engine=``
+keyword is accepted.
 """
 
 from __future__ import annotations
 
+from repro.api import Database
+from repro.decision import Decision, DecisionStats
 from repro.completeness import (
     STRONG,
     VIABLE,
@@ -88,7 +99,15 @@ from repro.ctables import (
     var_neq,
 )
 from repro.exceptions import ReproError
-from repro.search import SearchStats, WorldSearch
+from repro.search import (
+    EngineCapabilities,
+    EngineConfig,
+    SearchStats,
+    WorldSearch,
+    engine_names,
+    register_engine,
+    unregister_engine,
+)
 from repro.queries import (
     ConjunctiveQuery,
     FixpointQuery,
@@ -122,7 +141,7 @@ from repro.relational import (
 )
 from repro.workloads import build_patient_scenario, registry_workload
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "BOOLEAN_DOMAIN",
@@ -133,7 +152,12 @@ __all__ = [
     "Condition",
     "ConjunctiveQuery",
     "ContainmentConstraint",
+    "Database",
     "DatabaseSchema",
+    "Decision",
+    "DecisionStats",
+    "EngineCapabilities",
+    "EngineConfig",
     "FixpointQuery",
     "GroundInstance",
     "MasterData",
@@ -160,6 +184,7 @@ __all__ = [
     "denial_cc",
     "empty_instance",
     "empty_master",
+    "engine_names",
     "eq",
     "evaluate",
     "fd",
@@ -184,12 +209,14 @@ __all__ = [
     "projection",
     "rcdp",
     "rcqp",
+    "register_engine",
     "registry_workload",
     "relation_containment_cc",
     "rule",
     "satisfies_all",
     "schema",
     "ucq",
+    "unregister_engine",
     "var",
     "var_eq",
     "var_neq",

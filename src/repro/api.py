@@ -1,0 +1,390 @@
+"""``repro.api`` — the unified :class:`Database` facade.
+
+The paper's decision problems all share one context: a c-instance ``T``
+bounded by master data ``D_m`` and containment constraints ``V``, analysed
+over the Prop. 3.3 active domain ``Adom``.  The functional API threads that
+context (plus engine selection) through every call; the facade holds it
+once::
+
+    from repro import Database, EngineConfig, STRONG
+
+    db = Database(cinstance, master, constraints)
+    db.is_consistent()                          # Decision with witness world
+    db.count(engine="sat")                      # native SAT model counting
+    db.complete(query, model=STRONG)            # RCDP, rich Decision
+    db.minp(query)                              # MINP
+    db.rcqp(query, engine=EngineConfig(name="parallel", workers=4))
+
+What the facade adds over the functional layer:
+
+* **cached ``Adom``** — the Proposition 3.3 active domain is computed once
+  per (database, query) pair and reused across calls;
+* **a prebuilt ``ConstraintChecker``** — the constraint right-hand sides are
+  evaluated against the master data once per facade, then shared with every
+  checker-accepting engine (via the registry's ambient-checker channel, so
+  the sharing reaches engines created deep inside the deciders);
+* **uniform engine selection** — every method accepts ``engine=`` as a name
+  string or an :class:`~repro.search.registry.EngineConfig` (name + workers
+  + per-engine options), resolved through the engine registry, with a
+  facade-level default set at construction;
+* **rich results** — decision-problem methods return
+  :class:`~repro.decision.Decision` objects carrying the witness, the
+  engine used and the run stats.
+
+Capability-driven fast paths: :meth:`Database.count` routes to
+engine-native counting when the engine's registry capabilities declare
+``counts_natively``; :meth:`Database.is_consistent` asks for fresh-value
+symmetry breaking from engines that support it when no witness is
+requested.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.completeness.certain import (
+    certain_answer_over_extensions,
+    certain_answer_over_models,
+)
+from repro.completeness.consistency import is_consistent as _is_consistent
+from repro.completeness.minp import is_minimal_complete as _is_minimal_complete
+from repro.completeness.models import CompletenessModel
+from repro.completeness.rcdp import as_cinstance, is_relatively_complete
+from repro.completeness.rcqp import rcqp as _rcqp
+from repro.constraints.containment import ContainmentConstraint
+from repro.ctables.adom import ActiveDomain
+from repro.ctables.cinstance import CInstance
+from repro.ctables.possible_worlds import (
+    default_active_domain,
+    model_count,
+    models,
+    models_with_valuations,
+)
+from repro.ctables.valuation import Valuation
+from repro.decision import Decision, DecisionRecorder
+from repro.queries.evaluation import Query
+from repro.relational.instance import GroundInstance, Row
+from repro.relational.master import MasterData
+from repro.search.propagation import ConstraintChecker
+from repro.search.registry import EngineConfig, use_checker
+
+__all__ = ["Database", "Decision", "EngineConfig"]
+
+
+class Database:
+    """A partially closed database: ``(T, D_m, V)`` with cached analysis state.
+
+    Parameters
+    ----------
+    database:
+        A :class:`~repro.ctables.cinstance.CInstance` or a
+        :class:`~repro.relational.instance.GroundInstance` (coerced to the
+        variable-free c-instance it trivially is).
+    master:
+        The closed-world master data ``D_m``.
+    constraints:
+        The containment constraints ``V`` tying the database to the master
+        data.
+    engine:
+        The facade-level default engine selection — a registered engine name,
+        an :class:`~repro.search.registry.EngineConfig`, or ``None`` for the
+        registry default.  Every method takes an ``engine=`` override.
+    """
+
+    def __init__(
+        self,
+        database: CInstance | GroundInstance,
+        master: MasterData,
+        constraints: Sequence[ContainmentConstraint] = (),
+        *,
+        engine: EngineConfig | str | None = None,
+    ) -> None:
+        self._cinstance = as_cinstance(database)
+        self._master = master
+        self._constraints: tuple[ContainmentConstraint, ...] = tuple(constraints)
+        self._default_engine = EngineConfig.coerce(engine)
+        self._checker = ConstraintChecker(master, self._constraints)
+        self._base_adom: ActiveDomain | None = None
+        self._query_adoms: dict[Any, ActiveDomain] = {}
+
+    # ------------------------------------------------------------------
+    # context accessors
+    # ------------------------------------------------------------------
+    @property
+    def cinstance(self) -> CInstance:
+        """The underlying c-instance ``T``."""
+        return self._cinstance
+
+    @property
+    def master(self) -> MasterData:
+        """The master data ``D_m``."""
+        return self._master
+
+    @property
+    def constraints(self) -> tuple[ContainmentConstraint, ...]:
+        """The containment constraints ``V``."""
+        return self._constraints
+
+    @property
+    def checker(self) -> ConstraintChecker:
+        """The prebuilt constraint checker shared with the engines."""
+        return self._checker
+
+    @property
+    def default_engine(self) -> EngineConfig:
+        """The facade-level default engine selection."""
+        return self._default_engine
+
+    def adom(self, query: Query | None = None) -> ActiveDomain:
+        """The Prop. 3.3 ``Adom``, cached per (database, query) pair.
+
+        Unhashable queries are accommodated by recomputing (the cache is an
+        optimisation, never a requirement).
+        """
+        if query is None:
+            if self._base_adom is None:
+                self._base_adom = default_active_domain(
+                    self._cinstance, self._master, self._constraints
+                )
+            return self._base_adom
+        try:
+            cached = self._query_adoms.get(query)
+        except TypeError:  # unhashable query
+            return default_active_domain(
+                self._cinstance, self._master, self._constraints, query
+            )
+        if cached is None:
+            cached = default_active_domain(
+                self._cinstance, self._master, self._constraints, query
+            )
+            self._query_adoms[query] = cached
+        return cached
+
+    def _engine(self, engine: EngineConfig | str | None) -> EngineConfig:
+        """The effective engine selection for one call."""
+        if engine is None:
+            return self._default_engine
+        return EngineConfig.coerce(engine)
+
+    # ------------------------------------------------------------------
+    # world-level surfaces
+    # ------------------------------------------------------------------
+    def worlds(
+        self,
+        *,
+        deduplicate: bool = True,
+        engine: EngineConfig | str | None = None,
+    ) -> Iterator[GroundInstance]:
+        """Enumerate ``Mod_Adom(T, D_m, V)`` (the possible worlds).
+
+        The prebuilt checker is passed explicitly (not via the ambient
+        channel): this generator may stay suspended arbitrarily long, and
+        ambient state held across a suspension would leak into unrelated
+        callers.
+        """
+        return models(
+            self._cinstance,
+            self._master,
+            self._constraints,
+            self.adom(),
+            deduplicate=deduplicate,
+            engine=self._engine(engine),
+            checker=self._checker,
+        )
+
+    def valuations(
+        self, *, engine: EngineConfig | str | None = None
+    ) -> Iterator[tuple[Valuation, GroundInstance]]:
+        """Enumerate ``(µ, µ(T))`` pairs over the Adom valuations.
+
+        As with :meth:`worlds`, the shared checker travels as an explicit
+        argument because the generator may suspend.
+        """
+        return models_with_valuations(
+            self._cinstance,
+            self._master,
+            self._constraints,
+            self.adom(),
+            engine=self._engine(engine),
+            checker=self._checker,
+        )
+
+    def is_consistent(
+        self,
+        *,
+        engine: EngineConfig | str | None = None,
+        witness: bool = True,
+    ) -> Decision:
+        """Whether ``Mod(T, D_m, V)`` is non-empty (the consistency problem).
+
+        By default the positive decision carries a concrete witness world;
+        pass ``witness=False`` for the cheaper existence-only probe (engines
+        may then use symmetry breaking and early cancellation).
+        """
+        with use_checker(self._checker):
+            return _is_consistent(
+                self._cinstance,
+                self._master,
+                self._constraints,
+                adom=self.adom(),
+                engine=self._engine(engine),
+                witness=witness,
+            )
+
+    def count(self, *, engine: EngineConfig | str | None = None) -> Decision:
+        """The number of distinct possible worlds, as a Decision.
+
+        ``.value`` is the count and the decision is truthy iff at least one
+        world exists.  Engines whose registry capabilities declare
+        ``counts_natively`` count without materialising worlds (SAT
+        blocking-clause enumeration, parallel shard-count merging).
+        """
+        config = self._engine(engine)
+        rec = DecisionRecorder("model-count", config)
+        with rec:
+            count = model_count(
+                self._cinstance,
+                self._master,
+                self._constraints,
+                self.adom(),
+                engine=config,
+                checker=self._checker,
+            )
+        return rec.decision(count > 0, value=count)
+
+    # ------------------------------------------------------------------
+    # decision problems
+    # ------------------------------------------------------------------
+    def complete(
+        self,
+        query: Query,
+        model: CompletenessModel = CompletenessModel.STRONG,
+        *,
+        allow_bounded: bool = False,
+        max_new_tuples: int = 1,
+        limit: int | None = None,
+        require_consistent: bool = True,
+        engine: EngineConfig | str | None = None,
+    ) -> Decision:
+        """RCDP: is the database complete for ``query`` under ``model``?
+
+        The strong model attaches a
+        :class:`~repro.completeness.strong.StrongIncompletenessWitness`
+        counterexample to negative decisions, the viable model attaches the
+        relatively complete witness world to positive ones, and the weak
+        model attaches its
+        :class:`~repro.completeness.weak.WeakCompletenessReport` as
+        ``.details``.
+        """
+        with use_checker(self._checker):
+            return is_relatively_complete(
+                self._cinstance,
+                query,
+                self._master,
+                self._constraints,
+                model,
+                allow_bounded=allow_bounded,
+                max_new_tuples=max_new_tuples,
+                adom=self.adom(query),
+                limit=limit,
+                require_consistent=require_consistent,
+                engine=self._engine(engine),
+            )
+
+    def rcdp(
+        self,
+        query: Query,
+        model: CompletenessModel = CompletenessModel.STRONG,
+        **kwargs: Any,
+    ) -> Decision:
+        """Alias of :meth:`complete` using the paper's problem name."""
+        return self.complete(query, model, **kwargs)
+
+    def minp(
+        self,
+        query: Query,
+        model: CompletenessModel = CompletenessModel.STRONG,
+        *,
+        limit: int | None = None,
+        engine: EngineConfig | str | None = None,
+    ) -> Decision:
+        """MINP: is the database a *minimal* complete database for ``query``?"""
+        with use_checker(self._checker):
+            return _is_minimal_complete(
+                self._cinstance,
+                query,
+                self._master,
+                self._constraints,
+                model,
+                adom=self.adom(query),
+                limit=limit,
+                engine=self._engine(engine),
+            )
+
+    def rcqp(
+        self,
+        query: Query,
+        model: CompletenessModel = CompletenessModel.STRONG,
+        *,
+        max_size: int = 2,
+        engine: EngineConfig | str | None = None,
+    ) -> Decision:
+        """RCQP: does *any* database complete for ``query`` exist?
+
+        Uses this database's schema, master data and constraints; the
+        c-instance contents play no role in RCQP (the problem quantifies
+        over all databases).
+        """
+        with use_checker(self._checker):
+            return _rcqp(
+                query,
+                self._cinstance.schema,
+                self._master,
+                self._constraints,
+                model=model.value if isinstance(model, CompletenessModel) else model,
+                max_size=max_size,
+                engine=self._engine(engine),
+            )
+
+    # ------------------------------------------------------------------
+    # certain answers
+    # ------------------------------------------------------------------
+    def certain_answers(
+        self, query: Query, *, engine: EngineConfig | str | None = None
+    ) -> frozenset[Row]:
+        """``⋂_{I ∈ Mod_Adom(T, D_m, V)} Q(I)`` — certain over the worlds."""
+        with use_checker(self._checker):
+            return certain_answer_over_models(
+                self._cinstance,
+                query,
+                self._master,
+                self._constraints,
+                adom=self.adom(query),
+                engine=self._engine(engine),
+            )
+
+    def certain_answers_over_extensions(
+        self,
+        query: Query,
+        *,
+        limit: int | None = None,
+        engine: EngineConfig | str | None = None,
+    ) -> frozenset[Row]:
+        """Certain answer over all partially closed extensions of all worlds."""
+        with use_checker(self._checker):
+            return certain_answer_over_extensions(
+                self._cinstance,
+                query,
+                self._master,
+                self._constraints,
+                adom=self.adom(query),
+                limit=limit,
+                engine=self._engine(engine),
+            ).answers
+
+    def __repr__(self) -> str:
+        return (
+            f"Database({self._cinstance.size} c-rows, "
+            f"{len(self._constraints)} constraints, "
+            f"engine={self._default_engine.name or 'default'})"
+        )

@@ -27,6 +27,7 @@ from repro.exceptions import InconsistentCInstanceError, QueryError
 from repro.queries.evaluation import Query, evaluate, is_monotone
 from repro.relational.instance import Row
 from repro.relational.master import MasterData
+from repro.search.registry import EngineConfig
 
 
 @dataclass(frozen=True)
@@ -49,7 +50,7 @@ def certain_answer_over_models(
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
 ) -> frozenset[Row]:
     """``⋂_{I ∈ Mod_Adom(T, D_m, V)} Q(I)``.
@@ -142,7 +143,7 @@ def certain_answer_over_extensions(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
 ) -> ExtensionCertainAnswer:
     """``⋂_{I ∈ Mod(T), I' ∈ Ext(I)} Q(I')`` for monotone queries.

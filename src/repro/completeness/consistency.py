@@ -30,8 +30,10 @@ from repro.constraints.containment import (
 from repro.ctables.adom import ActiveDomain, build_active_domain
 from repro.ctables.cinstance import CInstance
 from repro.ctables.possible_worlds import default_active_domain, has_model, models
+from repro.decision import Decision, DecisionRecorder
 from repro.relational.instance import GroundInstance
 from repro.relational.master import MasterData
+from repro.search.registry import EngineConfig
 
 
 def is_consistent(
@@ -39,17 +41,43 @@ def is_consistent(
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
-) -> bool:
+    *,
+    witness: bool = False,
+) -> Decision:
     """Whether ``Mod(T, D_m, V)`` is non-empty (the consistency problem).
 
     Following Proposition 3.3, only valuations over ``Adom`` are considered;
     this is without loss of generality.
+
+    Returns a :class:`~repro.decision.Decision` (truthy iff consistent).
+    With ``witness=True`` a positive decision carries a concrete world of
+    ``Mod_Adom(T, D_m, V)`` in ``.witness``; the default existence-only
+    check is cheaper because engines may apply fresh-value symmetry breaking
+    and early cancellation, neither of which preserves the first world.
     """
-    if adom is None:
-        adom = default_active_domain(cinstance, master, constraints)
-    return has_model(cinstance, master, constraints, adom, engine=engine, workers=workers)
+    rec = DecisionRecorder("consistency", engine)
+    with rec:
+        if adom is None:
+            adom = default_active_domain(cinstance, master, constraints)
+        world: GroundInstance | None = None
+        if witness:
+            world = next(
+                iter(
+                    models(
+                        cinstance, master, constraints, adom,
+                        engine=engine, workers=workers,
+                    )
+                ),
+                None,
+            )
+            holds = world is not None
+        else:
+            holds = has_model(
+                cinstance, master, constraints, adom, engine=engine, workers=workers
+            )
+    return rec.decision(holds, witness=world)
 
 
 def consistent_world(
@@ -57,7 +85,7 @@ def consistent_world(
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
 ) -> GroundInstance | None:
     """A witness world in ``Mod_Adom(T, D_m, V)``, or ``None`` if inconsistent."""
@@ -90,18 +118,34 @@ def is_extensible(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
-) -> bool:
+    *,
+    witness: bool = False,
+) -> Decision:
     """Whether ``Ext(I, D_m, V)`` is non-empty (the extensibility problem).
 
     Because the CCs are defined by monotone CQ queries, an extension exists
     iff a *single* tuple with values from ``Adom`` can be added without
     violating ``V`` (the argument in the proof of Proposition 3.3).
+
+    Returns a :class:`~repro.decision.Decision`; with ``witness=True`` a
+    positive decision carries a single-tuple partially closed extension of
+    ``I`` in ``.witness``.
     """
-    if adom is None:
-        adom = extensibility_active_domain(instance, master, constraints)
-    return has_partially_closed_extension(
-        instance, master, constraints, adom, limit=limit
-    )
+    rec = DecisionRecorder("extensibility")
+    with rec:
+        if adom is None:
+            adom = extensibility_active_domain(instance, master, constraints)
+        extended: GroundInstance | None = None
+        if witness:
+            extended = extension_witness(
+                instance, master, constraints, adom, limit=limit
+            )
+            holds = extended is not None
+        else:
+            holds = has_partially_closed_extension(
+                instance, master, constraints, adom, limit=limit
+            )
+    return rec.decision(holds, witness=extended)
 
 
 def extension_witness(

@@ -28,9 +28,15 @@ from repro.constraints.containment import (
     satisfies_all,
 )
 from repro.ctables.adom import ActiveDomain, build_active_domain
+from repro.decision import Decision, DecisionRecorder
 from repro.exceptions import CompletenessError, QueryError
 from repro.queries.classify import as_union_of_cqs, classify, supports_exact_strong_check
-from repro.queries.evaluation import Query, evaluate, query_constants
+from repro.queries.evaluation import (
+    Query,
+    evaluate,
+    query_constants,
+    query_variables,
+)
 from repro.relational.instance import GroundInstance
 from repro.relational.master import MasterData
 
@@ -68,9 +74,7 @@ def ground_active_domain(
     (the instance itself has no variables).
     """
     query_consts = query_constants(query) if query is not None else frozenset()
-    query_vars = set()
-    if query is not None and hasattr(query, "variables"):
-        query_vars = set(query.variables())
+    query_vars = set(query_variables(query)) if query is not None else set()
     return build_active_domain(
         cinstance=None,
         master=master,
@@ -138,15 +142,20 @@ def is_ground_complete(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
-) -> bool:
+) -> Decision:
     """Whether a partially closed ground instance is complete for the query.
 
-    Exact for CQ, UCQ and ∃FO⁺ (Theorem 4.1 machinery).
+    Exact for CQ, UCQ and ∃FO⁺ (Theorem 4.1 machinery).  Returns a
+    :class:`~repro.decision.Decision` whose ``.witness`` is the
+    :class:`IncompletenessWitness` counterexample when the verdict is
+    negative.
     """
-    witness = find_ground_incompleteness_witness(
-        instance, query, master, constraints, adom=adom, limit=limit
-    )
-    return witness is None
+    rec = DecisionRecorder("ground-completeness")
+    with rec:
+        witness = find_ground_incompleteness_witness(
+            instance, query, master, constraints, adom=adom, limit=limit
+        )
+    return rec.decision(witness is None, witness=witness)
 
 
 def is_ground_complete_bounded(
@@ -157,26 +166,40 @@ def is_ground_complete_bounded(
     max_new_tuples: int = 1,
     adom: ActiveDomain | None = None,
     limit: int | None = None,
-) -> bool:
+) -> Decision:
     """Bounded completeness check usable for any query language.
 
     Explores partially closed extensions obtained by adding at most
     ``max_new_tuples`` Adom tuples and reports whether any of them changes the
-    query answer.  A ``False`` answer is always correct (a genuine
-    counterexample was found); a ``True`` answer only means no counterexample
-    exists *within the bound* — for FO and FP no terminating exact procedure
-    exists (Theorem 4.1), so this is the best a sound checker can do.
+    query answer.  A negative decision is always correct (a genuine
+    counterexample was found, attached as the witness); a positive decision
+    only means no counterexample exists *within the bound* — for FO and FP no
+    terminating exact procedure exists (Theorem 4.1), so this is the best a
+    sound checker can do.  The decision is marked ``exact=False``.
     """
-    if not satisfies_all(instance, master, constraints):
-        raise CompletenessError(
-            "the instance is not partially closed relative to (Dm, V)"
-        )
-    if adom is None:
-        adom = ground_active_domain(instance, query, master, constraints)
-    base_answer = evaluate(query, instance)
-    for extended in bounded_extensions(
-        instance, master, constraints, adom, max_new_tuples=max_new_tuples, limit=limit
-    ):
-        if evaluate(query, extended) != base_answer:
-            return False
-    return True
+    rec = DecisionRecorder("ground-completeness", exact=False)
+    with rec:
+        if not satisfies_all(instance, master, constraints):
+            raise CompletenessError(
+                "the instance is not partially closed relative to (Dm, V)"
+            )
+        if adom is None:
+            adom = ground_active_domain(instance, query, master, constraints)
+        base_answer = evaluate(query, instance)
+        witness: IncompletenessWitness | None = None
+        for extended in bounded_extensions(
+            instance, master, constraints, adom,
+            max_new_tuples=max_new_tuples, limit=limit,
+        ):
+            extended_answer = evaluate(query, extended)
+            if extended_answer != base_answer:
+                witness = IncompletenessWitness(
+                    instance=instance,
+                    extension=extended,
+                    new_answers=frozenset(extended_answer - base_answer),
+                )
+                break
+    # A found counterexample is definitive; only the positive "no
+    # counterexample within the bound" verdict is heuristic.
+    rec.exact = witness is not None
+    return rec.decision(witness is None, witness=witness)

@@ -31,11 +31,13 @@ from repro.constraints.containment import ContainmentConstraint
 from repro.ctables.adom import ActiveDomain
 from repro.ctables.cinstance import CInstance
 from repro.ctables.possible_worlds import default_active_domain, has_model, models
+from repro.decision import Decision, DecisionRecorder
 from repro.exceptions import InconsistentCInstanceError, QueryError
 from repro.queries.classify import QueryLanguage, classify, supports_exact_strong_check
 from repro.queries.evaluation import Query
 from repro.relational.instance import GroundInstance
 from repro.relational.master import MasterData
+from repro.search.registry import EngineConfig
 
 
 # ---------------------------------------------------------------------------
@@ -48,19 +50,36 @@ def is_minimal_ground_complete(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
-) -> bool:
+) -> Decision:
     """Whether ``I`` is a minimal ground instance complete for ``Q``.
 
     By Lemma 4.7, ``I`` is minimal iff it is complete and for every tuple
     ``t ∈ I`` the instance ``I \\ {t}`` is not complete.  (Every subinstance
     of a partially closed instance is partially closed, Lemma 4.7(a).)
+
+    A negative :class:`~repro.decision.Decision` carries the refuting
+    evidence in ``.witness``: the incompleteness witness of ``I`` itself, or
+    the smaller complete subinstance.
     """
-    if not is_ground_complete(instance, query, master, constraints, adom=adom, limit=limit):
-        return False
-    for smaller in instance.proper_subinstances():
-        if is_ground_complete(smaller, query, master, constraints, adom=adom, limit=limit):
-            return False
-    return True
+    rec = DecisionRecorder("minp")
+    with rec:
+        complete = is_ground_complete(
+            instance, query, master, constraints, adom=adom, limit=limit
+        )
+        if not complete:
+            return_witness: object = complete.witness
+            holds = False
+        else:
+            holds = True
+            return_witness = None
+            for smaller in instance.proper_subinstances():
+                if is_ground_complete(
+                    smaller, query, master, constraints, adom=adom, limit=limit
+                ):
+                    holds = False
+                    return_witness = smaller
+                    break
+    return rec.decision(holds, witness=return_witness)
 
 
 # ---------------------------------------------------------------------------
@@ -73,32 +92,40 @@ def is_minimal_strongly_complete(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
-) -> bool:
+) -> Decision:
     """MINPˢ: every world of ``Mod_Adom(T)`` is a minimal complete instance.
 
     Exact for CQ, UCQ and ∃FO⁺ (Πᵖ₃-complete for c-instances, Theorem 4.8).
+    A negative :class:`~repro.decision.Decision` carries the offending world
+    in ``.witness``.
     """
-    if not supports_exact_strong_check(query):
-        raise QueryError(
-            f"MINP^s is undecidable for {classify(query).value} (Theorem 4.8)"
-        )
-    if adom is None:
-        adom = default_active_domain(cinstance, master, constraints, query)
-    saw_world = False
-    for world in models(cinstance, master, constraints, adom, engine=engine, workers=workers):
-        saw_world = True
-        if not is_minimal_ground_complete(
-            world, query, master, constraints, adom=adom, limit=limit
+    rec = DecisionRecorder("minp", engine, model=CompletenessModel.STRONG)
+    with rec:
+        if not supports_exact_strong_check(query):
+            raise QueryError(
+                f"MINP^s is undecidable for {classify(query).value} (Theorem 4.8)"
+            )
+        if adom is None:
+            adom = default_active_domain(cinstance, master, constraints, query)
+        saw_world = False
+        witness: GroundInstance | None = None
+        for world in models(
+            cinstance, master, constraints, adom, engine=engine, workers=workers
         ):
-            return False
-    if not saw_world:
-        raise InconsistentCInstanceError(
-            "Mod(T, Dm, V) is empty; minimality is only defined for partially "
-            "closed (consistent) c-instances"
-        )
-    return True
+            saw_world = True
+            if not is_minimal_ground_complete(
+                world, query, master, constraints, adom=adom, limit=limit
+            ):
+                witness = world
+                break
+        if not saw_world:
+            raise InconsistentCInstanceError(
+                "Mod(T, Dm, V) is empty; minimality is only defined for partially "
+                "closed (consistent) c-instances"
+            )
+    return rec.decision(witness is None, witness=witness)
 
 
 def is_minimal_viably_complete(
@@ -108,32 +135,40 @@ def is_minimal_viably_complete(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
-) -> bool:
+) -> Decision:
     """MINPᵛ: some world of ``Mod_Adom(T)`` is a minimal complete instance.
 
     Exact for CQ, UCQ and ∃FO⁺ (Σᵖ₃-complete for c-instances, Corollary 6.3).
+    A positive :class:`~repro.decision.Decision` carries the minimal complete
+    world in ``.witness``.
     """
-    if not supports_exact_strong_check(query):
-        raise QueryError(
-            f"MINP^v is undecidable for {classify(query).value} (Corollary 6.3)"
-        )
-    if adom is None:
-        adom = default_active_domain(cinstance, master, constraints, query)
-    saw_world = False
-    for world in models(cinstance, master, constraints, adom, engine=engine, workers=workers):
-        saw_world = True
-        if is_minimal_ground_complete(
-            world, query, master, constraints, adom=adom, limit=limit
+    rec = DecisionRecorder("minp", engine, model=CompletenessModel.VIABLE)
+    with rec:
+        if not supports_exact_strong_check(query):
+            raise QueryError(
+                f"MINP^v is undecidable for {classify(query).value} (Corollary 6.3)"
+            )
+        if adom is None:
+            adom = default_active_domain(cinstance, master, constraints, query)
+        saw_world = False
+        witness: GroundInstance | None = None
+        for world in models(
+            cinstance, master, constraints, adom, engine=engine, workers=workers
         ):
-            return True
-    if not saw_world:
-        raise InconsistentCInstanceError(
-            "Mod(T, Dm, V) is empty; minimality is only defined for partially "
-            "closed (consistent) c-instances"
-        )
-    return False
+            saw_world = True
+            if is_minimal_ground_complete(
+                world, query, master, constraints, adom=adom, limit=limit
+            ):
+                witness = world
+                break
+        if not saw_world:
+            raise InconsistentCInstanceError(
+                "Mod(T, Dm, V) is empty; minimality is only defined for partially "
+                "closed (consistent) c-instances"
+            )
+    return rec.decision(witness is not None, witness=witness)
 
 
 # ---------------------------------------------------------------------------
@@ -146,26 +181,39 @@ def is_minimal_weakly_complete(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
-) -> bool:
+) -> Decision:
     """MINPʷ: ``T`` is weakly complete and no strict sub-c-instance is.
 
     Exact for the monotone languages (CQ, UCQ, ∃FO⁺, FP); the enumeration of
     sub-c-instances is exponential in ``|T|``, matching the Πᵖ₄ / coNEXPTIME
     upper bounds of Theorem 5.6.  Note that Lemma 4.7 does *not* apply in the
-    weak model (Example 5.5), hence all subsets of rows are inspected.
+    weak model (Example 5.5), hence all subsets of rows are inspected.  A
+    negative :class:`~repro.decision.Decision` carries the refuting evidence
+    in ``.witness``: ``None`` when ``T`` itself is not weakly complete, else
+    the smaller weakly complete sub-c-instance.
     """
-    if not is_weakly_complete(
-        cinstance, query, master, constraints, adom=adom, limit=limit, engine=engine, workers=workers
-    ):
-        return False
-    for smaller in cinstance.strict_subinstances():
-        if is_weakly_complete(
-            smaller, query, master, constraints, limit=limit, engine=engine, workers=workers
+    rec = DecisionRecorder("minp", engine, model=CompletenessModel.WEAK)
+    with rec:
+        if not is_weakly_complete(
+            cinstance, query, master, constraints, adom=adom, limit=limit,
+            engine=engine, workers=workers,
         ):
-            return False
-    return True
+            holds = False
+            witness: CInstance | None = None
+        else:
+            holds = True
+            witness = None
+            for smaller in cinstance.strict_subinstances():
+                if is_weakly_complete(
+                    smaller, query, master, constraints, limit=limit,
+                    engine=engine, workers=workers,
+                ):
+                    holds = False
+                    witness = smaller
+                    break
+    return rec.decision(holds, witness=witness)
 
 
 def is_minimal_weakly_complete_cq(
@@ -174,26 +222,33 @@ def is_minimal_weakly_complete_cq(
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],
     limit: int | None = None,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
-) -> bool:
+) -> Decision:
     """MINPʷ for CQ via the characterisation of Lemma 5.7 (coDP upper bound).
 
     ``T`` is a minimal weakly complete instance iff either the empty
     c-instance is weakly complete and ``T`` is empty, or the empty c-instance
     is not weakly complete, ``|T| = 1`` and ``Mod(T, D_m, V) ≠ ∅``.
     """
-    if classify(query) is not QueryLanguage.CQ:
-        raise QueryError("the Lemma 5.7 characterisation applies to CQ only")
-    empty = CInstance(cinstance.schema)
-    empty_is_weakly_complete = is_weakly_complete(
-        empty, query, master, constraints, limit=limit, engine=engine, workers=workers
-    )
-    if empty_is_weakly_complete:
-        return cinstance.is_empty()
-    if cinstance.size != 1:
-        return False
-    return has_model(cinstance, master, constraints, engine=engine, workers=workers)
+    rec = DecisionRecorder("minp", engine, model=CompletenessModel.WEAK)
+    with rec:
+        if classify(query) is not QueryLanguage.CQ:
+            raise QueryError("the Lemma 5.7 characterisation applies to CQ only")
+        empty = CInstance(cinstance.schema)
+        empty_is_weakly_complete = is_weakly_complete(
+            empty, query, master, constraints, limit=limit,
+            engine=engine, workers=workers,
+        )
+        if empty_is_weakly_complete:
+            holds = cinstance.is_empty()
+        elif cinstance.size != 1:
+            holds = False
+        else:
+            holds = has_model(
+                cinstance, master, constraints, engine=engine, workers=workers
+            )
+    return rec.decision(holds)
 
 
 # ---------------------------------------------------------------------------
@@ -207,9 +262,9 @@ def is_minimal_complete(
     model: CompletenessModel = CompletenessModel.STRONG,
     adom: ActiveDomain | None = None,
     limit: int | None = None,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
-) -> bool:
+) -> Decision:
     """Decide MINP for the given completeness model (exact cells only)."""
     if isinstance(database, GroundInstance):
         cinstance = CInstance.from_ground_instance(database)
@@ -237,6 +292,6 @@ def minp(
     constraints: Sequence[ContainmentConstraint],
     model: CompletenessModel = CompletenessModel.STRONG,
     **kwargs,
-) -> bool:
+) -> Decision:
     """Alias of :func:`is_minimal_complete` using the paper's problem name."""
     return is_minimal_complete(database, query, master, constraints, model, **kwargs)

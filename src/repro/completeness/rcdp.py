@@ -36,6 +36,7 @@ from repro.completeness.weak import is_weakly_complete, is_weakly_complete_bound
 from repro.constraints.containment import ContainmentConstraint
 from repro.ctables.adom import ActiveDomain
 from repro.ctables.cinstance import CInstance
+from repro.decision import Decision
 from repro.exceptions import QueryError
 from repro.queries.classify import (
     classify,
@@ -45,6 +46,7 @@ from repro.queries.classify import (
 from repro.queries.evaluation import Query
 from repro.relational.instance import GroundInstance
 from repro.relational.master import MasterData
+from repro.search.registry import EngineConfig
 
 
 def as_cinstance(database: CInstance | GroundInstance) -> CInstance:
@@ -65,10 +67,18 @@ def is_relatively_complete(
     adom: ActiveDomain | None = None,
     limit: int | None = None,
     require_consistent: bool = True,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
-) -> bool:
+) -> Decision:
     """Decide RCDP for the given completeness model.
+
+    Returns the per-model decider's :class:`~repro.decision.Decision`
+    (truthy iff complete): the strong model attaches a
+    :class:`~repro.completeness.strong.StrongIncompletenessWitness`
+    counterexample to negative verdicts, the viable model attaches the
+    relatively complete witness world to positive ones, and the weak model
+    attaches its :class:`~repro.completeness.weak.WeakCompletenessReport`
+    as ``.details``.
 
     Parameters
     ----------
@@ -196,6 +206,6 @@ def rcdp(
     constraints: Sequence[ContainmentConstraint],
     model: CompletenessModel = CompletenessModel.STRONG,
     **kwargs,
-) -> bool:
+) -> Decision:
     """Alias of :func:`is_relatively_complete` using the paper's problem name."""
     return is_relatively_complete(database, query, master, constraints, model, **kwargs)

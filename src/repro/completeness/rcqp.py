@@ -37,12 +37,16 @@ from repro.constraints.containment import (
 from repro.ctables.adom import ActiveDomain, build_active_domain
 from repro.ctables.cinstance import CInstance
 from repro.ctables.ctable import CTable, CTableRow
-from repro.ctables.possible_worlds import resolve_engine
+from repro.decision import Decision, DecisionRecorder
 from repro.exceptions import QueryError
-from repro.search.engine import WorldSearch, world_key
-from repro.search.parallel import ParallelWorldSearch
+from repro.search.engine import world_key
 from repro.search.propagation import ConstraintChecker
-from repro.search.sat_engine import SATWorldSearch
+from repro.search.registry import (
+    EngineConfig,
+    EngineSpec,
+    ambient_checker,
+    use_checker,
+)
 from repro.queries.classify import (
     QueryLanguage,
     as_union_of_cqs,
@@ -61,15 +65,20 @@ from repro.relational.schema import DatabaseSchema
 # ---------------------------------------------------------------------------
 # weak model: O(1) plus constructive witness (Theorem 5.4)
 # ---------------------------------------------------------------------------
-def weak_rcqp(query: Query) -> bool:
+def weak_rcqp(query: Query) -> Decision:
     """RCQPʷ: does a weakly complete database exist?
 
     Constant-time ``True`` for CQ, UCQ, ∃FO⁺ and FP (Theorem 5.4).  For FO
     the problem is undecidable for ground instances and open for c-instances
     (Example 5.3), so the function refuses to answer.
     """
+    from repro.completeness.models import CompletenessModel
+
     if supports_exact_weak_check(query):
-        return True
+        rec = DecisionRecorder("rcqp", model=CompletenessModel.WEAK)
+        with rec:
+            pass
+        return rec.decision(True)
     raise QueryError(
         f"RCQP^w for {classify(query).value} is undecidable/open (Theorem 5.4); "
         "no exact answer is available"
@@ -200,7 +209,7 @@ def strong_rcqp_with_ind_ccs(
     schema: DatabaseSchema,
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],
-) -> bool:
+) -> Decision:
     """RCQPˢ (= RCQPᵛ) for CQ/UCQ/∃FO⁺ when every CC is IND-shaped.
 
     Implements the PTIME characterisation behind Corollary 7.2: a relatively
@@ -213,26 +222,36 @@ def strong_rcqp_with_ind_ccs(
         If some CC is not IND-shaped (the characterisation does not apply) or
         the query is not positive.
     """
-    if not all(c.is_inclusion_dependency() for c in constraints):
-        raise QueryError(
-            "strong_rcqp_with_ind_ccs requires every CC to be IND-shaped; "
-            "use rcqp_bounded_search for general CCs"
-        )
-    unfolded = as_union_of_cqs(query)
-    if all(is_query_bounded(d, schema, constraints) for d in unfolded.disjuncts):
-        return True
-    adom = build_active_domain(
-        cinstance=None,
-        master=master,
-        constraint_constants=constraint_set_constants(constraints),
-        query_constants=query_constants(query),
-        extra_variables=set(unfolded.variables()) | constraint_set_variables(constraints),
-        schema=schema,
-    )
-    return not any(
-        _query_satisfiable_under_constraints(d, schema, master, constraints, adom)
-        for d in unfolded.disjuncts
-    )
+    from repro.completeness.models import CompletenessModel
+
+    rec = DecisionRecorder("rcqp", model=CompletenessModel.STRONG)
+    with rec:
+        if not all(c.is_inclusion_dependency() for c in constraints):
+            raise QueryError(
+                "strong_rcqp_with_ind_ccs requires every CC to be IND-shaped; "
+                "use rcqp_bounded_search for general CCs"
+            )
+        unfolded = as_union_of_cqs(query)
+        if all(is_query_bounded(d, schema, constraints) for d in unfolded.disjuncts):
+            holds = True
+        else:
+            adom = build_active_domain(
+                cinstance=None,
+                master=master,
+                constraint_constants=constraint_set_constants(constraints),
+                query_constants=query_constants(query),
+                extra_variables=(
+                    set(unfolded.variables()) | constraint_set_variables(constraints)
+                ),
+                schema=schema,
+            )
+            holds = not any(
+                _query_satisfiable_under_constraints(
+                    d, schema, master, constraints, adom
+                )
+                for d in unfolded.disjuncts
+            )
+    return rec.decision(holds)
 
 
 # ---------------------------------------------------------------------------
@@ -240,7 +259,13 @@ def strong_rcqp_with_ind_ccs(
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class RCQPWitness:
-    """Outcome of a bounded RCQP witness search."""
+    """Outcome of a bounded RCQP witness search.
+
+    Legacy payload carried in ``Decision.details`` by
+    :func:`rcqp_bounded_search`; the pre-2.0 attribute access paths
+    (``decision.found``, ``decision.instances_examined``) still work through
+    deprecation shims on :class:`~repro.decision.Decision`.
+    """
 
     found: bool
     witness: GroundInstance | None
@@ -288,63 +313,65 @@ def _rcqp_engine_search(
     constraints: Sequence[ContainmentConstraint],
     max_size: int,
     max_instances: int | None,
-    engine: str = "propagating",
+    spec: EngineSpec,
     workers: int | None = None,
+    options=None,
 ) -> RCQPWitness:
-    """Witness search routed through a non-naive world-search engine.
+    """Witness search routed through a registered world-search engine.
 
     For every total size ``s ≤ max_size`` and every distribution of ``s``
     rows over the relations, the worlds of the corresponding all-variable
-    c-instance are enumerated.  With ``engine="propagating"`` the backtracking
-    engine propagates the CCs on partial candidates, so tuple combinations
-    that already violate a constraint are never materialised (unlike the
-    naive combination scan, which inspects and rejects them one by one); with
-    ``engine="sat"`` each composition is compiled to CNF and the DPLL solver
-    enumerates only the partially closed candidates; ``engine="parallel"``
-    shards each composition's candidate enumeration over a process pool
-    (small compositions take its serial fallback automatically).
+    c-instance are enumerated by the engine the registry resolved.  The
+    propagating engine prunes tuple combinations that already violate a
+    constraint before they are materialised (unlike the naive combination
+    scan, which inspects and rejects them one by one); the SAT engine
+    compiles each composition to CNF so the DPLL solver enumerates only the
+    partially closed candidates; the parallel engine shards each
+    composition's enumeration over a process pool (small compositions take
+    its serial fallback automatically).  Any engine registered through
+    :func:`repro.search.registry.register_engine` slots in the same way.
     """
     base = empty_instance(schema)
     adom = ground_active_domain(base, query, master, constraints)
     names = list(schema.relation_names)
-    checker = ConstraintChecker(master, constraints)
+    # Reuse a caller-installed checker (e.g. the Database facade's prebuilt
+    # one — it is keyed on exactly this (master, constraints) pair) instead
+    # of re-evaluating the constraint right-hand sides per call.
+    checker = ambient_checker() or ConstraintChecker(master, constraints)
     examined = 0
     seen: set = set()
-    for size in range(0, max_size + 1):
-        for counts in _size_compositions(size, names):
-            shape = _all_variable_cinstance(schema, counts)
-            search: WorldSearch | SATWorldSearch | ParallelWorldSearch
-            if engine == "sat":
-                search = SATWorldSearch(
-                    shape, master, constraints, adom, checker=checker
+    with use_checker(checker):
+        for size in range(0, max_size + 1):
+            for counts in _size_compositions(size, names):
+                shape = _all_variable_cinstance(schema, counts)
+                search = spec.create(
+                    shape, master, constraints, adom,
+                    workers=workers, options=options,
                 )
-            elif engine == "parallel":
-                search = ParallelWorldSearch(
-                    shape, master, constraints, adom, workers=workers,
-                    checker=checker,
-                )
-            else:
-                search = WorldSearch(shape, master, constraints, adom, checker=checker)
-            # The global `seen` set already deduplicates by world_key across
-            # compositions, so the per-search dedup pass is skipped.
-            for _valuation, candidate in search.search():
-                key = world_key(candidate)
-                if key in seen:
-                    continue
-                seen.add(key)
-                examined += 1
-                if max_instances is not None and examined > max_instances:
-                    return RCQPWitness(
-                        found=False, witness=None, instances_examined=examined - 1
-                    )
-                # NOTE: the completeness check builds its own active domain —
-                # the search Adom must not be reused, because a candidate
-                # built from fresh values needs further fresh values of its
-                # own to act as the "anything else" witnesses of Lemma 4.2.
-                if is_ground_complete(candidate, query, master, constraints):
-                    return RCQPWitness(
-                        found=True, witness=candidate, instances_examined=examined
-                    )
+                # The global `seen` set already deduplicates by world_key
+                # across compositions, so the per-search dedup pass is
+                # skipped.
+                for _valuation, candidate in search.search():
+                    key = world_key(candidate)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    examined += 1
+                    if max_instances is not None and examined > max_instances:
+                        return RCQPWitness(
+                            found=False, witness=None,
+                            instances_examined=examined - 1,
+                        )
+                    # NOTE: the completeness check builds its own active
+                    # domain — the search Adom must not be reused, because a
+                    # candidate built from fresh values needs further fresh
+                    # values of its own to act as the "anything else"
+                    # witnesses of Lemma 4.2.
+                    if is_ground_complete(candidate, query, master, constraints):
+                        return RCQPWitness(
+                            found=True, witness=candidate,
+                            instances_examined=examined,
+                        )
     return RCQPWitness(found=False, witness=None, instances_examined=examined)
 
 
@@ -355,29 +382,59 @@ def rcqp_bounded_search(
     constraints: Sequence[ContainmentConstraint],
     max_size: int = 2,
     max_instances: int | None = 200_000,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
-) -> RCQPWitness:
+) -> Decision:
     """Search for a ground instance complete for ``Q`` with at most ``max_size`` tuples.
 
     By Lemma 4.4 a complete c-instance of size ≤ K exists iff a complete
     ground instance of size ≤ K does, so the search ranges over ground
     instances built from Adom tuples.  The general problem is
     NEXPTIME-complete, so the search is exponential; callers bound it with
-    ``max_size`` and ``max_instances``.  A negative result only means "no
-    witness within the budget".
+    ``max_size`` and ``max_instances``.  A negative decision only means "no
+    witness within the budget" (it is marked ``exact=False``); a positive
+    decision carries the complete ground instance in ``.witness``.
 
-    All engines explore the same candidate space.  ``instances_examined``
-    counts candidate instances inspected by the naive scan but partially
-    closed candidates actually tested for completeness by the propagating
-    engine (violating combinations are pruned before being counted).
+    All engines explore the same candidate space.
+    ``.stats.candidates_examined`` counts candidate instances inspected by
+    the naive scan but partially closed candidates actually tested for
+    completeness by the other engines (violating combinations are pruned
+    before being counted).
     """
-    resolved = resolve_engine(engine)
-    if resolved in ("propagating", "sat", "parallel"):
-        return _rcqp_engine_search(
-            query, schema, master, constraints, max_size, max_instances,
-            engine=resolved, workers=workers,
-        )
+    rec = DecisionRecorder("rcqp", engine, exact=False)
+    with rec:
+        config = EngineConfig.coerce(engine)
+        spec = config.spec()
+        resolved_workers = workers if workers is not None else config.workers
+        if spec.name != "naive":
+            outcome = _rcqp_engine_search(
+                query, schema, master, constraints, max_size, max_instances,
+                spec=spec, workers=resolved_workers, options=config.options,
+            )
+        else:
+            outcome = _rcqp_naive_search(
+                query, schema, master, constraints, max_size, max_instances
+            )
+    # A found witness is definitive (the instance *is* complete); only the
+    # negative "no witness within the budget" verdict is heuristic.
+    rec.exact = outcome.found
+    return rec.decision(
+        outcome.found,
+        witness=outcome.witness,
+        details=outcome,
+        candidates_examined=outcome.instances_examined,
+    )
+
+
+def _rcqp_naive_search(
+    query: Query,
+    schema: DatabaseSchema,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    max_size: int,
+    max_instances: int | None,
+) -> RCQPWitness:
+    """The original combination scan over all Adom tuples (reference path)."""
     base = empty_instance(schema)
     adom = ground_active_domain(base, query, master, constraints)
     per_relation_rows = {
@@ -414,15 +471,16 @@ def rcqp(
     constraints: Sequence[ContainmentConstraint],
     model: "str | None" = None,
     max_size: int = 2,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
-) -> bool:
+) -> Decision:
     """Convenience front-end for RCQP.
 
     * weak model — the O(1) answer of Theorem 5.4;
     * strong / viable models — the IND-shaped PTIME characterisation when it
-      applies, otherwise the bounded witness search (a ``True`` answer is
-      definitive, a ``False`` answer means "no witness within the budget").
+      applies, otherwise the bounded witness search (a positive decision is
+      definitive and carries the witness instance, a negative one means "no
+      witness within the budget" and is marked ``exact=False``).
     """
     from repro.completeness.models import CompletenessModel
 
@@ -435,7 +493,10 @@ def rcqp(
             "(Theorem 4.5); no exact answer is available"
         )
     if constraints and all(c.is_inclusion_dependency() for c in constraints):
-        return strong_rcqp_with_ind_ccs(query, schema, master, constraints)
+        return strong_rcqp_with_ind_ccs(
+            query, schema, master, constraints
+        ).with_(model=resolved)
     return rcqp_bounded_search(
-        query, schema, master, constraints, max_size=max_size, engine=engine, workers=workers
-    ).found
+        query, schema, master, constraints, max_size=max_size, engine=engine,
+        workers=workers,
+    ).with_(model=resolved)

@@ -24,14 +24,17 @@ from repro.completeness.ground import (
     find_ground_incompleteness_witness,
     is_ground_complete_bounded,
 )
+from repro.completeness.models import CompletenessModel
 from repro.constraints.containment import ContainmentConstraint
 from repro.ctables.adom import ActiveDomain
 from repro.ctables.cinstance import CInstance
 from repro.ctables.possible_worlds import default_active_domain, models
+from repro.decision import Decision, DecisionRecorder
 from repro.exceptions import InconsistentCInstanceError
 from repro.queries.evaluation import Query
 from repro.relational.instance import GroundInstance
 from repro.relational.master import MasterData
+from repro.search.registry import EngineConfig
 
 
 @dataclass(frozen=True)
@@ -54,7 +57,7 @@ def find_strong_incompleteness_witness(
     adom: ActiveDomain | None = None,
     limit: int | None = None,
     require_consistent: bool = True,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
 ) -> StrongIncompletenessWitness | None:
     """Search for a world of ``T`` that is not relatively complete for ``Q``.
@@ -96,24 +99,29 @@ def is_strongly_complete(
     adom: ActiveDomain | None = None,
     limit: int | None = None,
     require_consistent: bool = True,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
-) -> bool:
+) -> Decision:
     """Whether ``T`` is strongly complete for ``Q`` relative to ``(D_m, V)``.
 
-    Exact for CQ, UCQ and ∃FO⁺ (RCDPˢ, Theorem 4.1).
+    Exact for CQ, UCQ and ∃FO⁺ (RCDPˢ, Theorem 4.1).  Returns a
+    :class:`~repro.decision.Decision` whose ``.witness`` carries the
+    :class:`StrongIncompletenessWitness` counterexample (an incomplete world
+    plus the answer-changing extension) when the verdict is negative.
     """
-    witness = find_strong_incompleteness_witness(
-        cinstance,
-        query,
-        master,
-        constraints,
-        adom=adom,
-        limit=limit,
-        require_consistent=require_consistent,
-        engine=engine, workers=workers,
-    )
-    return witness is None
+    rec = DecisionRecorder("rcdp", engine, model=CompletenessModel.STRONG)
+    with rec:
+        witness = find_strong_incompleteness_witness(
+            cinstance,
+            query,
+            master,
+            constraints,
+            adom=adom,
+            limit=limit,
+            require_consistent=require_consistent,
+            engine=engine, workers=workers,
+        )
+    return rec.decision(witness is None, witness=witness)
 
 
 def is_strongly_complete_bounded(
@@ -125,38 +133,53 @@ def is_strongly_complete_bounded(
     adom: ActiveDomain | None = None,
     limit: int | None = None,
     require_consistent: bool = True,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
-) -> bool:
+) -> Decision:
     """Bounded strong-completeness check for arbitrary query languages.
 
     RCDPˢ is undecidable for FO and FP (Theorem 4.1); this check explores,
     for every world in ``Mod_Adom(T)``, extensions by at most
-    ``max_new_tuples`` Adom tuples.  ``False`` answers are definitive;
-    ``True`` answers are only "no counterexample within the bound".
+    ``max_new_tuples`` Adom tuples.  Negative decisions are definitive (the
+    witness is the counterexample); positive decisions are only "no
+    counterexample within the bound" and are marked ``exact=False``.
 
     As with the exact decider, an empty ``Mod(T, D_m, V)`` raises unless
     ``require_consistent=False`` is passed, in which case the inconsistent
     c-instance is vacuously strongly complete.
     """
-    if adom is None:
-        adom = default_active_domain(cinstance, master, constraints, query)
-    saw_world = False
-    for world in models(cinstance, master, constraints, adom, engine=engine, workers=workers):
-        saw_world = True
-        if not is_ground_complete_bounded(
-            world,
-            query,
-            master,
-            constraints,
-            max_new_tuples=max_new_tuples,
-            adom=adom,
-            limit=limit,
+    rec = DecisionRecorder(
+        "rcdp", engine, model=CompletenessModel.STRONG, exact=False
+    )
+    with rec:
+        if adom is None:
+            adom = default_active_domain(cinstance, master, constraints, query)
+        saw_world = False
+        witness: StrongIncompletenessWitness | None = None
+        for world in models(
+            cinstance, master, constraints, adom, engine=engine, workers=workers
         ):
-            return False
-    if not saw_world and require_consistent:
-        raise InconsistentCInstanceError(
-            "Mod(T, Dm, V) is empty; strong completeness is only defined for "
-            "partially closed (consistent) c-instances"
-        )
-    return True
+            saw_world = True
+            ground = is_ground_complete_bounded(
+                world,
+                query,
+                master,
+                constraints,
+                max_new_tuples=max_new_tuples,
+                adom=adom,
+                limit=limit,
+            )
+            if not ground:
+                witness = StrongIncompletenessWitness(
+                    world=world, ground_witness=ground.witness
+                )
+                break
+        if not saw_world and require_consistent:
+            raise InconsistentCInstanceError(
+                "Mod(T, Dm, V) is empty; strong completeness is only defined for "
+                "partially closed (consistent) c-instances"
+            )
+    # A found counterexample is definitive; only the positive "no
+    # counterexample within the bound" verdict is heuristic.
+    rec.exact = witness is not None
+    return rec.decision(witness is None, witness=witness)

@@ -41,6 +41,7 @@ from repro.completeness.viable import is_viably_complete
 from repro.completeness.weak import is_weakly_complete
 from repro.constraints.containment import ContainmentConstraint
 from repro.ctables.cinstance import CInstance
+from repro.decision import Decision
 from repro.exceptions import CompletenessError, QueryError
 from repro.queries.classify import (
     QueryLanguage,
@@ -73,7 +74,7 @@ def rcdp_data_complexity(
     constraints: Sequence[ContainmentConstraint],
     model: CompletenessModel = CompletenessModel.STRONG,
     variable_bound: int = DEFAULT_VARIABLE_BOUND,
-) -> bool:
+) -> Decision:
     """RCDP in the PTIME data-complexity regime of Corollary 7.1.
 
     Enforces the corollary's side conditions: the c-instance carries at most
@@ -108,7 +109,7 @@ def rcqp_data_complexity(
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],
     model: CompletenessModel = CompletenessModel.STRONG,
-) -> bool:
+) -> Decision:
     """RCQP in the tractable regimes of Corollary 7.2.
 
     * weak model — O(1) for CQ/UCQ/∃FO⁺/FP;
@@ -130,7 +131,7 @@ def minp_data_complexity(
     constraints: Sequence[ContainmentConstraint],
     model: CompletenessModel = CompletenessModel.STRONG,
     variable_bound: int = DEFAULT_VARIABLE_BOUND,
-) -> bool:
+) -> Decision:
     """MINP in the PTIME data-complexity regime of Corollary 7.3."""
     _require_few_variables(cinstance, variable_bound)
     if model is CompletenessModel.STRONG:

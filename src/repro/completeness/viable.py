@@ -24,14 +24,17 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.completeness.ground import is_ground_complete, is_ground_complete_bounded
+from repro.completeness.models import CompletenessModel
 from repro.constraints.containment import ContainmentConstraint
 from repro.ctables.adom import ActiveDomain
 from repro.ctables.cinstance import CInstance
 from repro.ctables.possible_worlds import default_active_domain, models
+from repro.decision import Decision, DecisionRecorder
 from repro.exceptions import InconsistentCInstanceError
 from repro.queries.evaluation import Query
 from repro.relational.instance import GroundInstance
 from repro.relational.master import MasterData
+from repro.search.registry import EngineConfig
 
 
 def find_viable_witness(
@@ -42,7 +45,7 @@ def find_viable_witness(
     adom: ActiveDomain | None = None,
     limit: int | None = None,
     require_consistent: bool = True,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
 ) -> GroundInstance | None:
     """A possible world of ``T`` that is relatively complete for ``Q``, if any.
@@ -74,15 +77,18 @@ def is_viably_complete(
     adom: ActiveDomain | None = None,
     limit: int | None = None,
     require_consistent: bool = True,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
-) -> bool:
+) -> Decision:
     """Whether ``T`` is viably complete for ``Q`` relative to ``(D_m, V)``.
 
-    Exact for CQ, UCQ and ∃FO⁺ (RCDPᵛ, Theorem 6.1).
+    Exact for CQ, UCQ and ∃FO⁺ (RCDPᵛ, Theorem 6.1).  A positive
+    :class:`~repro.decision.Decision` carries the relatively complete world
+    in ``.witness``.
     """
-    return (
-        find_viable_witness(
+    rec = DecisionRecorder("rcdp", engine, model=CompletenessModel.VIABLE)
+    with rec:
+        witness = find_viable_witness(
             cinstance,
             query,
             master,
@@ -92,8 +98,7 @@ def is_viably_complete(
             require_consistent=require_consistent,
             engine=engine, workers=workers,
         )
-        is not None
-    )
+    return rec.decision(witness is not None, witness=witness)
 
 
 def is_viably_complete_bounded(
@@ -105,35 +110,44 @@ def is_viably_complete_bounded(
     adom: ActiveDomain | None = None,
     limit: int | None = None,
     require_consistent: bool = True,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
-) -> bool:
+) -> Decision:
     """Bounded viable-completeness check for arbitrary query languages.
 
     Searches ``Mod_Adom(T)`` for a world with no answer-changing extension of
     at most ``max_new_tuples`` Adom tuples.  See the module docstring for how
-    to interpret the verdict.  An empty ``Mod(T, D_m, V)`` raises unless
-    ``require_consistent=False`` is passed (no world exists, hence no
-    candidate world either).
+    to interpret the verdict (the decision is marked ``exact=False``); a
+    positive decision carries the candidate world in ``.witness``.  An empty
+    ``Mod(T, D_m, V)`` raises unless ``require_consistent=False`` is passed
+    (no world exists, hence no candidate world either).
     """
-    if adom is None:
-        adom = default_active_domain(cinstance, master, constraints, query)
-    saw_world = False
-    for world in models(cinstance, master, constraints, adom, engine=engine, workers=workers):
-        saw_world = True
-        if is_ground_complete_bounded(
-            world,
-            query,
-            master,
-            constraints,
-            max_new_tuples=max_new_tuples,
-            adom=adom,
-            limit=limit,
+    rec = DecisionRecorder(
+        "rcdp", engine, model=CompletenessModel.VIABLE, exact=False
+    )
+    with rec:
+        if adom is None:
+            adom = default_active_domain(cinstance, master, constraints, query)
+        saw_world = False
+        witness: GroundInstance | None = None
+        for world in models(
+            cinstance, master, constraints, adom, engine=engine, workers=workers
         ):
-            return True
-    if not saw_world and require_consistent:
-        raise InconsistentCInstanceError(
-            "Mod(T, Dm, V) is empty; viable completeness is only defined for "
-            "partially closed (consistent) c-instances"
-        )
-    return False
+            saw_world = True
+            if is_ground_complete_bounded(
+                world,
+                query,
+                master,
+                constraints,
+                max_new_tuples=max_new_tuples,
+                adom=adom,
+                limit=limit,
+            ):
+                witness = world
+                break
+        if not saw_world and require_consistent:
+            raise InconsistentCInstanceError(
+                "Mod(T, Dm, V) is empty; viable completeness is only defined for "
+                "partially closed (consistent) c-instances"
+            )
+    return rec.decision(witness is not None, witness=witness)

@@ -6,9 +6,12 @@ infinite in general (variables range over infinite domains), but by
 Proposition 3.3 it suffices to consider valuations over the active domain
 ``Adom``; the paper writes the restricted set ``Mod_Adom(T, D_m, V)``.
 
-This module enumerates ``Mod_Adom``.  Four interchangeable engines back the
-enumeration, selected with the ``engine`` keyword accepted by every function
-here (and threaded through the deciders in :mod:`repro.completeness`):
+This module enumerates ``Mod_Adom``.  The enumeration is backed by
+interchangeable engines resolved through the registry of
+:mod:`repro.search.registry`; every function here (and every decider in
+:mod:`repro.completeness`) accepts an ``engine`` keyword naming one —
+a string, an :class:`~repro.search.registry.EngineConfig`, or ``None`` for
+the default.  The built-in engines:
 
 * ``engine="propagating"`` (the default) — the backtracking search of
   :mod:`repro.search`: variables are assigned one at a time, containment
@@ -31,52 +34,107 @@ here (and threaded through the deciders in :mod:`repro.completeness`):
   per available CPU) sizes the pool; small searches silently fall back to
   the serial path; and
 * ``engine="naive"`` — the original cross-product enumeration
-  (``itertools.product`` over the variable pools, constraints checked on
-  complete worlds only), kept as the reference implementation the engines
-  are parity-tested against.
+  (:class:`~repro.search.naive.NaiveWorldSearch`), kept as the reference
+  implementation the engines are parity-tested against.
 
-All engines produce the same set of valuations and worlds (only the
-enumeration order may differ; ``"parallel"`` even reproduces the
-``"propagating"`` order exactly).  The higher-level decision procedures
-(consistency, RCDP, RCQP, MINP) are built on top of this module in
-:mod:`repro.completeness`.
+Additional engines registered through
+:func:`repro.search.registry.register_engine` are selectable here without
+any change to this module.  All engines produce the same set of valuations
+and worlds (only the enumeration order may differ; engines whose
+capabilities declare ``order_identical`` reproduce the ``"propagating"``
+order exactly).  The higher-level decision procedures (consistency, RCDP,
+RCQP, MINP) are built on top of this module in :mod:`repro.completeness`.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+import warnings
+from typing import Any, Iterator, Mapping, Sequence
 
 from repro.constraints.containment import (
     ContainmentConstraint,
     constraint_set_constants,
     constraint_set_variables,
-    satisfies_all,
 )
 from repro.ctables.adom import ActiveDomain, build_active_domain
 from repro.ctables.cinstance import CInstance
-from repro.ctables.valuation import Valuation, enumerate_valuations
-from repro.exceptions import SearchError
-from repro.queries.evaluation import Query, query_constants
+from repro.ctables.valuation import Valuation
+from repro.queries.evaluation import Query, query_constants, query_variables
 from repro.relational.instance import GroundInstance
 from repro.relational.master import MasterData
-from repro.search.engine import WorldSearch
-from repro.search.parallel import ParallelWorldSearch
-from repro.search.sat_engine import SATWorldSearch
+from repro.search.propagation import ConstraintChecker
+from repro.search.registry import (
+    DEFAULT_ENGINE,
+    EngineConfig,
+    EngineSpec,
+    WorldSearchLike,
+)
 
-#: Engine used when callers do not request one explicitly.
-DEFAULT_ENGINE = "propagating"
+__all__ = [
+    "DEFAULT_ENGINE",
+    "default_active_domain",
+    "has_model",
+    "model_count",
+    "models",
+    "models_with_valuations",
+    "resolve_engine",
+]
 
-_ENGINE_NAMES = ("propagating", "sat", "parallel", "naive")
+def resolve_engine(engine: EngineConfig | str | None) -> str:
+    """Deprecated: normalise an ``engine`` keyword to a validated name.
+
+    Kept as a shim for pre-registry callers; use
+    :func:`repro.search.registry.resolve_engine_name` (or pass the selection
+    straight through — every ``engine=`` keyword now coerces it) instead.
+    """
+    warnings.warn(
+        "resolve_engine is deprecated; use "
+        "repro.search.registry.resolve_engine_name",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.search.registry import resolve_engine_name
+
+    return resolve_engine_name(engine)
 
 
-def resolve_engine(engine: str | None) -> str:
-    """Normalise an ``engine`` keyword; ``None`` means :data:`DEFAULT_ENGINE`."""
-    resolved = DEFAULT_ENGINE if engine is None else engine
-    if resolved not in _ENGINE_NAMES:
-        raise SearchError(
-            f"unknown world-search engine {engine!r}; expected one of {_ENGINE_NAMES}"
-        )
-    return resolved
+def _engine_plan(
+    engine: EngineConfig | str | None, workers: int | None
+) -> tuple[EngineSpec, int | None, Mapping[str, Any]]:
+    """Resolve an engine selection to ``(spec, workers, factory options)``.
+
+    An explicit ``workers=`` argument wins over the config's ``workers``
+    field (the keyword is the more local declaration).
+    """
+    config = EngineConfig.coerce(engine)
+    spec = config.spec()
+    return spec, workers if workers is not None else config.workers, config.options
+
+
+def _make_search(
+    cinstance: CInstance,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None,
+    engine: EngineConfig | str | None,
+    workers: int | None,
+    *,
+    existence: bool = False,
+    checker: "ConstraintChecker | None" = None,
+) -> WorldSearchLike:
+    spec, workers, options = _engine_plan(engine, workers)
+    if adom is None:
+        adom = default_active_domain(cinstance, master, constraints)
+    return spec.create(
+        cinstance,
+        master,
+        constraints,
+        adom,
+        workers=workers,
+        checker=checker,
+        break_symmetry=existence and spec.capabilities.symmetry_breaking,
+        options=options,
+    )
 
 
 def default_active_domain(
@@ -89,12 +147,11 @@ def default_active_domain(
 
     Constants come from the c-instance, the master data, the CCs and (when
     supplied) the query; fresh values are added for the variables of the
-    c-instance and of the CCs (and of the query when supplied).
+    c-instance and of the CCs (and of the query when supplied, per the
+    explicit ``variables()`` contract of the query protocol).
     """
     query_consts = query_constants(query) if query is not None else frozenset()
-    query_vars = set()
-    if query is not None and hasattr(query, "variables"):
-        query_vars = set(query.variables())
+    query_vars = set(query_variables(query)) if query is not None else set()
     return build_active_domain(
         cinstance=cinstance,
         master=master,
@@ -109,32 +166,23 @@ def models_with_valuations(
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
+    checker: "ConstraintChecker | None" = None,
 ) -> Iterator[tuple[Valuation, GroundInstance]]:
     """Enumerate ``(µ, µ(T))`` pairs with ``µ(T) ∈ Mod_Adom(T, D_m, V)``.
 
-    ``workers`` sizes the process pool of ``engine="parallel"`` (default: one
-    worker per available CPU); the other engines ignore it.
+    ``workers`` sizes the worker pool of engines that support one (default:
+    one worker per available CPU); the other engines ignore it.  ``checker``
+    optionally shares a prebuilt
+    :class:`~repro.search.propagation.ConstraintChecker` with
+    checker-accepting engines — pass it explicitly for generator consumers
+    (the ambient :func:`repro.search.registry.use_checker` channel must not
+    be held open across generator suspension).
     """
-    engine = resolve_engine(engine)
-    if adom is None:
-        adom = default_active_domain(cinstance, master, constraints)
-    if engine == "naive":
-        for valuation in enumerate_valuations(cinstance, adom):
-            world = cinstance.apply(valuation)
-            if satisfies_all(world, master, constraints):
-                yield valuation, world
-        return
-    if engine == "sat":
-        yield from SATWorldSearch(cinstance, master, constraints, adom).search()
-        return
-    if engine == "parallel":
-        yield from ParallelWorldSearch(
-            cinstance, master, constraints, adom, workers=workers
-        ).search()
-        return
-    yield from WorldSearch(cinstance, master, constraints, adom).search()
+    yield from _make_search(
+        cinstance, master, constraints, adom, engine, workers, checker=checker
+    ).search()
 
 
 def models(
@@ -143,42 +191,21 @@ def models(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     deduplicate: bool = True,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
+    checker: "ConstraintChecker | None" = None,
 ) -> Iterator[GroundInstance]:
     """Enumerate ``Mod_Adom(T, D_m, V)``.
 
     Distinct valuations may induce the same ground instance; by default the
     duplicates are suppressed so callers iterate over the set of worlds.
-    ``workers`` sizes the process pool of ``engine="parallel"``.
+    ``workers`` sizes the worker pool of engines that support one;
+    ``checker`` shares a prebuilt constraint checker (see
+    :func:`models_with_valuations`).
     """
-    engine = resolve_engine(engine)
-    if adom is None:
-        adom = default_active_domain(cinstance, master, constraints)
-    if engine == "naive":
-        seen: set[GroundInstance] = set()
-        for _valuation, world in models_with_valuations(
-            cinstance, master, constraints, adom, engine="naive"
-        ):
-            if deduplicate:
-                if world in seen:
-                    continue
-                seen.add(world)
-            yield world
-        return
-    if engine == "sat":
-        yield from SATWorldSearch(cinstance, master, constraints, adom).worlds(
-            deduplicate=deduplicate
-        )
-        return
-    if engine == "parallel":
-        yield from ParallelWorldSearch(
-            cinstance, master, constraints, adom, workers=workers
-        ).worlds(deduplicate=deduplicate)
-        return
-    yield from WorldSearch(cinstance, master, constraints, adom).worlds(
-        deduplicate=deduplicate
-    )
+    yield from _make_search(
+        cinstance, master, constraints, adom, engine, workers, checker=checker
+    ).worlds(deduplicate=deduplicate)
 
 
 def has_model(
@@ -186,35 +213,23 @@ def has_model(
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
+    checker: "ConstraintChecker | None" = None,
 ) -> bool:
     """Whether ``Mod(T, D_m, V)`` is non-empty (the consistency property).
 
     By the correctness argument of Proposition 3.3, emptiness over ``Adom``
-    coincides with emptiness over all valuations.  The propagating engine
-    additionally applies fresh-value symmetry breaking here, which preserves
-    (non-)emptiness but not the world multiset — existence is all this
-    function reports.  The parallel engine races its shards and cancels the
-    losers as soon as one shard reports a model.
+    coincides with emptiness over all valuations.  Engines whose
+    capabilities declare ``symmetry_breaking`` are asked to apply fresh-value
+    symmetry reduction here, which preserves (non-)emptiness but not the
+    world multiset — existence is all this function reports.  Engines with
+    ``supports_cancellation`` abandon in-flight work as soon as an answer is
+    known (the parallel engine races its shards and cancels the losers).
     """
-    engine = resolve_engine(engine)
-    if engine == "naive":
-        for _ in models_with_valuations(
-            cinstance, master, constraints, adom, engine="naive"
-        ):
-            return True
-        return False
-    if adom is None:
-        adom = default_active_domain(cinstance, master, constraints)
-    if engine == "sat":
-        return SATWorldSearch(cinstance, master, constraints, adom).has_world()
-    if engine == "parallel":
-        return ParallelWorldSearch(
-            cinstance, master, constraints, adom, workers=workers
-        ).has_world()
-    return WorldSearch(
-        cinstance, master, constraints, adom, break_symmetry=True
+    return _make_search(
+        cinstance, master, constraints, adom, engine, workers,
+        existence=True, checker=checker,
     ).has_world()
 
 
@@ -223,13 +238,23 @@ def model_count(
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
-    engine: str | None = None,
+    engine: EngineConfig | str | None = None,
     workers: int | None = None,
+    checker: "ConstraintChecker | None" = None,
 ) -> int:
-    """The number of distinct worlds in ``Mod_Adom(T, D_m, V)``."""
-    return sum(
-        1
-        for _ in models(
-            cinstance, master, constraints, adom, engine=engine, workers=workers
-        )
+    """The number of distinct worlds in ``Mod_Adom(T, D_m, V)``.
+
+    Engines whose capabilities declare ``counts_natively`` count without
+    materialising the worlds through :func:`models` — the SAT engine counts
+    canonical forms over its blocking-clause valuation enumeration, the
+    parallel engine merges per-shard world-key sets — which is both faster
+    and lighter on memory for wide instances.
+    """
+    spec, resolved_workers, _options = _engine_plan(engine, workers)
+    search = _make_search(
+        cinstance, master, constraints, adom, engine, resolved_workers,
+        checker=checker,
     )
+    if spec.capabilities.counts_natively:
+        return search.count_worlds()
+    return sum(1 for _ in search.worlds(deduplicate=True))

@@ -1,0 +1,281 @@
+"""Rich decision results: the :class:`Decision` object every decider returns.
+
+Historically every decision procedure in :mod:`repro.completeness` returned a
+bare ``bool``, and callers that wanted more — the witness world refuting
+strong completeness, the certain answers behind a weak-completeness verdict,
+how much work the world-search engine did — had to call a second,
+problem-specific function (``find_*_witness``, ``weak_completeness_report``,
+``rcqp_bounded_search``).  :class:`Decision` unifies those surfaces:
+
+* ``holds`` — the verdict; ``__bool__`` returns it, so every old call site
+  (``if is_consistent(...)``, ``assert not rcdp(...)``) keeps working;
+* ``witness`` — the concrete evidence, when one exists: a possible world for
+  consistency, a :class:`~repro.completeness.strong.StrongIncompletenessWitness`
+  counterexample for the strong model, a complete ground instance for RCQP;
+* ``value`` — the non-boolean payload of counting/report problems (a model
+  count, the certain-answer pair of the weak model);
+* ``engine_used`` / ``stats`` — which world-search engine ran and what it
+  did (search nodes, CNF clauses, worlds enumerated, wall time);
+* ``details`` — the legacy report dataclass, where one existed, reachable
+  through deprecation-shimmed properties (``.found``,
+  ``.certain_over_models``, …) so pre-redesign attribute access still works
+  but warns.
+
+Equality is *verdict* equality: two :class:`Decision` objects compare equal
+when they answer the same problem the same way, regardless of which engine
+produced them or which witness it happened to find first.  This is what lets
+differential tests assert ``decide(engine="sat") == decide(engine="naive")``
+even though the engines surface different (equally valid) witnesses.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.completeness.models import CompletenessModel
+
+
+@dataclass(frozen=True)
+class DecisionStats:
+    """What the engines did while a decision was being computed.
+
+    ``None`` fields mean "not applicable to the engine(s) that ran" — the
+    naive scan has no CNF clauses, the SAT engine no search nodes.
+    """
+
+    wall_time: float = 0.0
+    searches: int = 0
+    nodes: int | None = None
+    clauses: int | None = None
+    worlds: int | None = None
+    candidates_examined: int | None = None
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"Decision.{old} is a deprecation shim for the pre-2.0 report "
+        f"dataclasses; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class Decision:
+    """The outcome of one decision procedure, with evidence attached.
+
+    ``bool(decision)`` is the verdict; ``decision == True`` and
+    ``decision == other_decision`` compare verdicts (see the module
+    docstring), so both old boolean call sites and cross-engine differential
+    assertions keep working unchanged.
+    """
+
+    holds: bool
+    problem: str
+    model: "CompletenessModel | None" = None
+    witness: Any = None
+    value: Any = None
+    details: Any = None
+    engine_used: str | None = None
+    exact: bool = True
+    stats: DecisionStats = field(default_factory=DecisionStats)
+
+    # ------------------------------------------------------------------
+    # boolean compatibility
+    # ------------------------------------------------------------------
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Decision):
+            return self.holds == other.holds and self.value == other.value
+        if isinstance(other, bool):
+            return self.holds is other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.holds)
+
+    def __repr__(self) -> str:
+        parts = [f"holds={self.holds}"]
+        if self.model is not None:
+            parts.append(f"model={self.model.value}")
+        if self.value is not None:
+            parts.append(f"value={self.value!r}")
+        if not self.exact:
+            parts.append("exact=False")
+        # The witness and engine are deliberately omitted: equal verdicts
+        # from different engines must read identically in differential logs.
+        return f"Decision({self.problem}: {', '.join(parts)})"
+
+    def __str__(self) -> str:
+        return str(self.holds)
+
+    def with_(self, **changes: Any) -> "Decision":
+        """A copy of the decision with the given fields replaced."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # deprecation shims for the pre-2.0 report dataclasses
+    # ------------------------------------------------------------------
+    @property
+    def found(self) -> bool:
+        """Deprecated alias of ``holds`` (was ``RCQPWitness.found``)."""
+        _deprecated("found", "Decision.holds")
+        return self.holds
+
+    @property
+    def instances_examined(self) -> int | None:
+        """Deprecated (was ``RCQPWitness.instances_examined``)."""
+        _deprecated("instances_examined", "Decision.stats.candidates_examined")
+        return self.stats.candidates_examined
+
+    @property
+    def is_weakly_complete(self) -> bool:
+        """Deprecated alias of ``holds`` (was ``WeakCompletenessReport.is_weakly_complete``)."""
+        _deprecated("is_weakly_complete", "Decision.holds")
+        return self.holds
+
+    @property
+    def certain_over_models(self):
+        """Deprecated (was ``WeakCompletenessReport.certain_over_models``)."""
+        _deprecated("certain_over_models", "Decision.details.certain_over_models")
+        return self.details.certain_over_models
+
+    @property
+    def certain_over_extensions(self):
+        """Deprecated (was ``WeakCompletenessReport.certain_over_extensions``)."""
+        _deprecated(
+            "certain_over_extensions", "Decision.details.certain_over_extensions"
+        )
+        return self.details.certain_over_extensions
+
+    @property
+    def no_world_has_extensions(self) -> bool:
+        """Deprecated (was ``WeakCompletenessReport.no_world_has_extensions``)."""
+        _deprecated(
+            "no_world_has_extensions", "Decision.details.no_world_has_extensions"
+        )
+        return self.details.no_world_has_extensions
+
+
+# ---------------------------------------------------------------------------
+# recording decider runs
+# ---------------------------------------------------------------------------
+def aggregate_search_stats(searches: list, wall_time: float) -> DecisionStats:
+    """Fold the stats of every engine object a decider created into one record.
+
+    Works across the heterogeneous per-engine stats shapes: ``nodes`` comes
+    from the tree-search engines, ``clauses`` from SAT encodings, ``worlds``
+    from any engine that enumerated.
+    """
+    nodes: int | None = None
+    clauses: int | None = None
+    worlds: int | None = None
+    for search in searches:
+        stats = getattr(search, "stats", None)
+        if stats is None:
+            continue
+        got_nodes = getattr(stats, "nodes", None)
+        if got_nodes is not None:
+            nodes = (nodes or 0) + got_nodes
+        encoding = getattr(stats, "encoding", None)
+        if encoding is not None and getattr(encoding, "clauses", None) is not None:
+            clauses = (clauses or 0) + encoding.clauses
+        got_worlds = getattr(stats, "worlds", None)
+        if got_worlds is not None:
+            worlds = (worlds or 0) + got_worlds
+    return DecisionStats(
+        wall_time=wall_time,
+        searches=len(searches),
+        nodes=nodes,
+        clauses=clauses,
+        worlds=worlds,
+    )
+
+
+#: Sentinel distinguishing "this decider never consults a world-search
+#: engine" (leave the parameter at the default) from "the caller asked for
+#: the default engine" (pass ``engine=None`` through).
+NO_ENGINE = object()
+
+
+class DecisionRecorder:
+    """Times a decider run and collects the engine objects it creates.
+
+    Used as a context manager around the body of a decision procedure::
+
+        rec = DecisionRecorder("consistency", engine)
+        with rec:
+            witness = ...        # any engine created inside is recorded
+        return rec.decision(witness is not None, witness=witness)
+
+    Engine creation is observed through the registry's ambient collector
+    (:func:`repro.search.registry.collect_searches`), so nothing needs to be
+    threaded through intermediate calls; nested recorders each see every
+    engine created within their own scope.
+    """
+
+    def __init__(
+        self,
+        problem: str,
+        engine: Any = NO_ENGINE,
+        *,
+        model: "CompletenessModel | None" = None,
+        exact: bool = True,
+    ) -> None:
+        from repro.search.registry import resolve_engine_name
+
+        self.problem = problem
+        self.model = model
+        self.exact = exact
+        self.engine_used = (
+            None if engine is NO_ENGINE else resolve_engine_name(engine)
+        )
+        self._searches: list = []
+        self._start = 0.0
+        self.wall_time = 0.0
+        self._collector: Any = None
+
+    def __enter__(self) -> "DecisionRecorder":
+        from repro.search.registry import collect_searches
+
+        self._collector = collect_searches(self._searches)
+        self._collector.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall_time = time.perf_counter() - self._start
+        assert self._collector is not None
+        self._collector.__exit__(exc_type, exc, tb)
+        self._collector = None
+
+    def decision(
+        self,
+        holds: bool,
+        *,
+        witness: Any = None,
+        value: Any = None,
+        details: Any = None,
+        candidates_examined: int | None = None,
+    ) -> Decision:
+        """Build the :class:`Decision` for the recorded run."""
+        stats = aggregate_search_stats(self._searches, self.wall_time)
+        if candidates_examined is not None:
+            stats = replace(stats, candidates_examined=candidates_examined)
+        return Decision(
+            holds=bool(holds),
+            problem=self.problem,
+            model=self.model,
+            witness=witness,
+            value=value,
+            details=details,
+            engine_used=self.engine_used,
+            exact=self.exact,
+            stats=stats,
+        )

@@ -18,7 +18,7 @@ they enumerate, so a naive exact evaluator is the right tool.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Iterator, Mapping, Union
+from typing import Iterable, Iterator, Mapping, Protocol, Union, runtime_checkable
 
 from repro.exceptions import ArityError, EvaluationError, QueryError
 from repro.queries.atoms import Comparison, ComparisonOp, RelationAtom
@@ -51,6 +51,27 @@ Query = Union[
     NativeQuery,
 ]
 
+
+@runtime_checkable
+class QueryProtocol(Protocol):
+    """The structural contract every query representation satisfies.
+
+    All six built-in representations implement this protocol, and code that
+    accepts a :data:`Query` relies on exactly these members — in particular
+    ``variables()`` is an explicit part of the contract (the Adom
+    constructions provision fresh values for it), not an optional attribute
+    to be probed with ``hasattr``.  ``variables()`` returns the variables the
+    query exposes to the active domain: for CQ/UCQ/FP all rule variables, for
+    ∃FO⁺/FO the free variables of the formula plus the head variables
+    (quantifier-bound variables range over the active domain at evaluation
+    time), and for native queries the empty set (they carry no syntax).
+    """
+
+    @property
+    def arity(self) -> int: ...
+
+    def variables(self) -> "set[Variable] | frozenset[Variable]": ...
+
 #: Internal fact-store representation: relation name → set of rows.
 FactStore = Mapping[str, frozenset[Row]]
 
@@ -72,6 +93,17 @@ def query_constants(query: Query) -> frozenset[Constant]:
     if isinstance(query, NativeQuery):
         return frozenset()
     return frozenset(query.constants())
+
+
+def query_variables(query: Query) -> frozenset[Variable]:
+    """The variables of a query, per the :class:`QueryProtocol` contract.
+
+    These are the variables for which the ``Adom`` constructions of
+    Proposition 3.3 / Theorem 4.1 provision fresh values.  Every query type
+    implements ``variables()`` directly; this helper only normalises the
+    result to a frozen set.
+    """
+    return frozenset(query.variables())
 
 
 def query_arity(query: Query) -> int:

@@ -50,6 +50,17 @@ class FirstOrderQuery:
         """Variables occurring in the head."""
         return {t for t in self.head if isinstance(t, Variable)}
 
+    def variables(self) -> set[Variable]:
+        """Free variables of the formula plus head variables.
+
+        Part of the query protocol's explicit ``variables()`` contract (see
+        :class:`repro.queries.evaluation.QueryProtocol`): the variables for
+        which the ``Adom`` construction of Proposition 3.3 provisions fresh
+        values.  Quantifier-bound variables range over the active domain at
+        evaluation time and need no provisioning, exactly as for ∃FO⁺.
+        """
+        return self.formula.free_variables() | self.head_variables()
+
     def constants(self) -> set[ConstantTerm]:
         """Constants of the head and the formula."""
         head_consts = {t for t in self.head if not isinstance(t, Variable)}
@@ -110,6 +121,15 @@ class NativeQuery:
     def is_boolean(self) -> bool:
         """Whether the query is Boolean."""
         return self.arity == 0
+
+    def variables(self) -> set[Variable]:
+        """Native queries carry no syntax, hence no variables.
+
+        Part of the query protocol's explicit ``variables()`` contract;
+        callers that need fresh Adom values for a native query must extend
+        the active domain themselves.
+        """
+        return set()
 
     def __repr__(self) -> str:
         return f"NativeQuery({self.name!r}, arity={self.arity})"

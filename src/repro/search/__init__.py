@@ -19,10 +19,16 @@ engines behind that enumeration:
   the serial propagating engine, early cancellation of outstanding shards
   for existence checks, and a serial fallback for small searches.
 
-:mod:`repro.ctables.possible_worlds` routes through the propagating engine
-by default (``engine="propagating"``); the SAT route is ``engine="sat"``,
-the sharded route is ``engine="parallel"`` (with a ``workers=`` knob) and
-the cross-product reference path remains available as ``engine="naive"``.
+All engines are registered in the pluggable registry of
+:mod:`repro.search.registry` (the cross-product reference path included, as
+:class:`repro.search.naive.NaiveWorldSearch`);
+:mod:`repro.ctables.possible_worlds` resolves the ``engine`` keyword —
+a name string or an :class:`~repro.search.registry.EngineConfig` — through
+:func:`repro.search.registry.get_engine`, so third-party engines registered
+with :func:`repro.search.registry.register_engine` are selectable everywhere
+without touching core modules.  The default is ``engine="propagating"``; the
+SAT route is ``engine="sat"``, the sharded route is ``engine="parallel"``
+(with a ``workers=`` knob) and the reference path is ``engine="naive"``.
 """
 
 from repro.search.cnf_encoding import (
@@ -31,6 +37,7 @@ from repro.search.cnf_encoding import (
     encode_world_search,
 )
 from repro.search.engine import SearchStats, WorldSearch, world_key
+from repro.search.naive import NaiveSearchStats, NaiveWorldSearch
 from repro.search.ordering import order_variables
 from repro.search.parallel import (
     ParallelSearchStats,
@@ -39,11 +46,28 @@ from repro.search.parallel import (
     shutdown_pools,
 )
 from repro.search.propagation import ConstraintChecker
+from repro.search.registry import (
+    DEFAULT_ENGINE,
+    EngineCapabilities,
+    EngineConfig,
+    EngineSpec,
+    engine_names,
+    get_engine,
+    register_engine,
+    resolve_engine_name,
+    unregister_engine,
+)
 from repro.search.sat_engine import SATSearchStats, SATWorldSearch
 
 __all__ = [
     "ConstraintChecker",
+    "DEFAULT_ENGINE",
     "EncodingStats",
+    "EngineCapabilities",
+    "EngineConfig",
+    "EngineSpec",
+    "NaiveSearchStats",
+    "NaiveWorldSearch",
     "ParallelSearchStats",
     "ParallelWorldSearch",
     "SATSearchStats",
@@ -52,8 +76,13 @@ __all__ = [
     "WorldEncoding",
     "WorldSearch",
     "encode_world_search",
+    "engine_names",
+    "get_engine",
     "order_variables",
+    "register_engine",
+    "resolve_engine_name",
     "resolve_workers",
     "shutdown_pools",
+    "unregister_engine",
     "world_key",
 ]

@@ -181,6 +181,26 @@ def _run_chunk_pairs(
     return results
 
 
+def _run_chunk_keys(
+    payload: _Payload, chunk: Sequence[tuple[int, dict]]
+) -> list[tuple[int, set, int]]:
+    """Count-support worker: per-shard canonical world keys, no worlds.
+
+    Returns ``(index, world_key set, nodes)`` per shard.  Shipping only the
+    canonical forms (per-relation frozen row sets) back to the parent keeps
+    the pickled payload proportional to the number of *distinct* worlds in
+    the shard rather than the number of satisfying valuations, which is what
+    makes the parallel engine's native ``count_worlds`` cheaper than
+    streaming the full enumeration through :meth:`ParallelWorldSearch.worlds`.
+    """
+    results: list[tuple[int, set, int]] = []
+    for prefix_index, prefix in chunk:
+        search = _shard_search(payload, prefix)
+        keys = {world_key(world) for _valuation, world in search.search()}
+        results.append((prefix_index, keys, search.stats.nodes))
+    return results
+
+
 def _run_chunk_exists(
     payload: _Payload, chunk: Sequence[tuple[int, dict]], generation: int
 ) -> list[tuple[int, bool, bool, int]]:
@@ -442,8 +462,54 @@ class ParallelWorldSearch:
         return outcome
 
     def count_worlds(self) -> int:
-        """The number of distinct worlds."""
-        return sum(1 for _ in self.worlds(deduplicate=True))
+        """The number of distinct worlds, by cross-shard key-set merging.
+
+        Every shard reduces its subtree to the set of canonical world forms
+        (:func:`repro.search.engine.world_key`); the parent unions the sets,
+        so duplicates within *and across* shards collapse exactly as the
+        serial deduplication would collapse them.  This is the engine's
+        ``counts_natively`` registry capability: no
+        :class:`~repro.relational.instance.GroundInstance` objects cross the
+        process boundary.
+        """
+        prefixes = self._prefixes()
+        if self._use_serial(prefixes):
+            self.stats.serial_fallback = True
+            serial = WorldSearch(
+                self._cinstance, self._master, self._constraints, self._adom,
+                checker=self._checker,
+            )
+            count = serial.count_worlds()
+            self.stats.nodes += serial.stats.nodes
+            self.stats.worlds += count
+            return count
+        self._record_plan(prefixes)
+        chunks = self._chunks(prefixes)
+        self.stats.chunks = len(chunks)
+        payload = self._payload(break_symmetry=False)
+        handle = _pool_for(self._workers)
+        merged: set = set()
+        try:
+            futures = [
+                handle.executor.submit(_run_chunk_keys, payload, chunk)
+                for chunk in chunks
+            ]
+            for future in as_completed(futures):
+                for _prefix_index, keys, nodes in future.result():
+                    self.stats.nodes += nodes
+                    merged |= keys
+        except BrokenProcessPool:
+            _discard_pool(self._workers)
+            serial = WorldSearch(
+                self._cinstance, self._master, self._constraints, self._adom,
+                checker=self._checker,
+            )
+            count = serial.count_worlds()
+            self.stats.nodes += serial.stats.nodes
+            self.stats.worlds += count
+            return count
+        self.stats.worlds += len(merged)
+        return len(merged)
 
     # ------------------------------------------------------------------
     # execution

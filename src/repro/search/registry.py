@@ -1,0 +1,400 @@
+"""The pluggable world-search engine registry.
+
+Before this module existed, every engine was wired in by hand: adding one
+meant growing string ``if/elif`` chains in
+:mod:`repro.ctables.possible_worlds` *and* in the RCQP witness search, plus
+per-call-site ``workers=`` threading.  The registry replaces those chains
+with a single object model, in the spirit of object registries in
+long-running server codebases: an engine is a **name**, a **factory** and a
+set of declared **capabilities**, and everything downstream (the
+:mod:`possible_worlds <repro.ctables.possible_worlds>` front-ends, the
+deciders, the :class:`repro.api.Database` facade) resolves engines through
+:func:`get_engine` alone.
+
+Third-party or experimental engines become drop-ins::
+
+    from repro.search.registry import EngineCapabilities, register_engine
+
+    register_engine(
+        "my-engine",
+        lambda cinstance, master, constraints, adom, *, workers, checker,
+               break_symmetry, **options: MySearch(...),
+        capabilities=EngineCapabilities(counts_natively=True),
+    )
+
+after which ``engine="my-engine"`` works everywhere an engine keyword is
+accepted — no core module is touched.
+
+Capability flags let callers pick fast paths without knowing engine
+internals: ``counts_natively`` routes ``model_count`` to the engine's own
+counting (SAT blocking-clause enumeration, parallel shard-count merging),
+``symmetry_breaking`` tells existence checks to request the fresh-value
+symmetry reduction, ``order_identical`` marks engines whose enumeration
+order matches the serial propagating engine, and ``supports_cancellation``
+marks engines that can abandon work early once an answer is known.
+
+The module also hosts two *ambient* channels that avoid parameter
+threading through the decision procedures:
+
+* :func:`collect_searches` — every engine object created through the
+  registry inside the ``with`` block is appended to the caller's sink, which
+  is how :class:`repro.decision.DecisionRecorder` attributes search nodes /
+  CNF clauses to the :class:`~repro.decision.Decision` it builds;
+* :func:`use_checker` — a prebuilt
+  :class:`~repro.search.propagation.ConstraintChecker` handed to every
+  checker-accepting engine created inside the block, which is how the
+  :class:`repro.api.Database` facade shares one checker across calls.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Protocol, Sequence
+
+from repro.constraints.containment import ContainmentConstraint
+from repro.ctables.adom import ActiveDomain
+from repro.ctables.cinstance import CInstance
+from repro.ctables.valuation import Valuation
+from repro.exceptions import SearchError
+from repro.relational.instance import GroundInstance
+from repro.relational.master import MasterData
+from repro.search.engine import WorldSearch
+from repro.search.naive import NaiveWorldSearch
+from repro.search.parallel import ParallelWorldSearch
+from repro.search.propagation import ConstraintChecker
+from repro.search.sat_engine import SATWorldSearch
+
+#: Engine used when callers do not request one explicitly.
+DEFAULT_ENGINE = "propagating"
+
+
+class WorldSearchLike(Protocol):
+    """The object shape every registered engine factory must produce."""
+
+    stats: Any
+
+    def search(self) -> Iterator[tuple[Valuation, GroundInstance]]: ...
+
+    def worlds(self, deduplicate: bool = True) -> Iterator[GroundInstance]: ...
+
+    def has_world(self) -> bool: ...
+
+    def count_worlds(self) -> int: ...
+
+
+#: ``factory(cinstance, master, constraints, adom, *, workers, checker,
+#: break_symmetry, **options) -> WorldSearchLike``.  Factories are free to
+#: ignore hints that do not apply to them (the SAT factory ignores
+#: ``workers``); unknown ``options`` keys should raise.
+EngineFactory = Callable[..., WorldSearchLike]
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """Declared properties of an engine, consulted for fast paths.
+
+    Attributes
+    ----------
+    counts_natively:
+        ``count_worlds()`` is cheaper than draining ``worlds()`` — e.g. the
+        SAT engine counts over blocking-clause enumeration without
+        materialising :class:`~repro.relational.instance.GroundInstance`
+        objects, and the parallel engine merges per-shard world-key sets.
+        ``model_count`` routes through the native path when set.
+    order_identical:
+        ``worlds()`` enumerates in exactly the serial propagating engine's
+        order (the parallel engine's merge guarantee).
+    supports_workers:
+        The factory honours the ``workers`` hint.
+    supports_cancellation:
+        Existence checks can abandon in-flight work once an answer is known.
+    symmetry_breaking:
+        The factory honours ``break_symmetry=True`` for existence checks.
+    accepts_checker:
+        The factory reuses a prebuilt
+        :class:`~repro.search.propagation.ConstraintChecker`.
+    """
+
+    counts_natively: bool = False
+    order_identical: bool = False
+    supports_workers: bool = False
+    supports_cancellation: bool = False
+    symmetry_breaking: bool = False
+    accepts_checker: bool = True
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A registered engine: name + factory + capabilities."""
+
+    name: str
+    factory: EngineFactory
+    capabilities: EngineCapabilities = field(default_factory=EngineCapabilities)
+
+    def create(
+        self,
+        cinstance: CInstance,
+        master: MasterData,
+        constraints: Sequence[ContainmentConstraint],
+        adom: ActiveDomain | None,
+        *,
+        workers: int | None = None,
+        checker: ConstraintChecker | None = None,
+        break_symmetry: bool = False,
+        options: Mapping[str, Any] | None = None,
+    ) -> WorldSearchLike:
+        """Instantiate the engine, honouring ambient checker/stat channels."""
+        if checker is None and self.capabilities.accepts_checker:
+            checker = ambient_checker()
+        search = self.factory(
+            cinstance,
+            master,
+            constraints,
+            adom,
+            workers=workers,
+            checker=checker,
+            break_symmetry=break_symmetry,
+            **dict(options or {}),
+        )
+        record_search(search)
+        return search
+
+
+# ---------------------------------------------------------------------------
+# the registry proper
+# ---------------------------------------------------------------------------
+_REGISTRY: dict[str, EngineSpec] = {}
+
+
+def register_engine(
+    name: str,
+    factory: EngineFactory,
+    capabilities: EngineCapabilities | None = None,
+    *,
+    replace: bool = False,
+) -> EngineSpec:
+    """Register a world-search engine under ``name``.
+
+    The engine becomes selectable everywhere an ``engine=`` keyword (or an
+    :class:`EngineConfig`) is accepted.  Re-registering an existing name
+    raises unless ``replace=True`` is passed.
+    """
+    if not name or not isinstance(name, str):
+        raise SearchError(f"engine name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY and not replace:
+        raise SearchError(
+            f"engine {name!r} is already registered; pass replace=True to override"
+        )
+    spec = EngineSpec(
+        name=name,
+        factory=factory,
+        capabilities=capabilities or EngineCapabilities(),
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def unregister_engine(name: str) -> None:
+    """Remove a registered engine (built-in engines can be removed too)."""
+    if name not in _REGISTRY:
+        raise SearchError(f"engine {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+def get_engine(name: str) -> EngineSpec:
+    """Look up a registered engine by name."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise SearchError(
+            f"unknown world-search engine {name!r}; registered engines: "
+            f"{tuple(sorted(_REGISTRY))}"
+        )
+    return spec
+
+
+def engine_names() -> tuple[str, ...]:
+    """The registered engine names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# engine configuration
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class EngineConfig:
+    """A resolved-at-call-time engine selection.
+
+    ``name=None`` means the registry default (:data:`DEFAULT_ENGINE`);
+    ``workers`` sizes worker pools for engines that support them;
+    ``options`` are passed through to the engine factory verbatim (e.g.
+    ``{"shard_order": "reversed"}`` for the parallel engine).
+
+    Every ``engine=`` keyword in the library accepts a plain name string, an
+    :class:`EngineConfig`, or ``None`` — :meth:`coerce` normalises all
+    three.
+    """
+
+    name: str | None = None
+    workers: int | None = None
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "options", dict(self.options))
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.workers, tuple(sorted(self.options))))
+
+    @classmethod
+    def coerce(cls, value: "EngineConfig | str | None") -> "EngineConfig":
+        """Normalise ``None`` / engine-name / config into an :class:`EngineConfig`."""
+        if value is None:
+            return cls()
+        if isinstance(value, EngineConfig):
+            return value
+        if isinstance(value, str):
+            return cls(name=value)
+        raise SearchError(
+            f"engine must be a name, an EngineConfig or None, got {value!r}"
+        )
+
+    def spec(self) -> EngineSpec:
+        """The registered engine this config selects (validating the name)."""
+        return get_engine(self.name or DEFAULT_ENGINE)
+
+
+def resolve_engine_name(engine: "EngineConfig | str | None") -> str:
+    """Normalise an engine selection to a validated registered name."""
+    return EngineConfig.coerce(engine).spec().name
+
+
+# ---------------------------------------------------------------------------
+# ambient channels (no parameter threading through the deciders)
+# ---------------------------------------------------------------------------
+# Both channels are context variables holding immutable tuples: each thread
+# (and each asyncio task) sees its own stack, and the token-based reset
+# restores the exact previous state even if context managers are exited out
+# of the ideal LIFO order (e.g. a close()d generator).
+_SEARCH_SINKS: ContextVar[tuple[list, ...]] = ContextVar(
+    "repro_search_sinks", default=()
+)
+_AMBIENT_CHECKERS: ContextVar[tuple[ConstraintChecker, ...]] = ContextVar(
+    "repro_ambient_checkers", default=()
+)
+
+
+def record_search(search: WorldSearchLike) -> None:
+    """Report an engine instantiation to every active collector."""
+    for sink in _SEARCH_SINKS.get():
+        sink.append(search)
+
+
+@contextmanager
+def collect_searches(sink: list):
+    """Collect every engine object created through the registry in ``sink``."""
+    token = _SEARCH_SINKS.set(_SEARCH_SINKS.get() + (sink,))
+    try:
+        yield sink
+    finally:
+        _SEARCH_SINKS.reset(token)
+
+
+def ambient_checker() -> ConstraintChecker | None:
+    """The innermost checker installed by :func:`use_checker`, if any."""
+    checkers = _AMBIENT_CHECKERS.get()
+    return checkers[-1] if checkers else None
+
+
+@contextmanager
+def use_checker(checker: ConstraintChecker):
+    """Hand a prebuilt constraint checker to every engine created inside.
+
+    The checker depends only on ``(master, constraints)``, so a caller that
+    runs many searches against the same pair (the :class:`repro.api.Database`
+    facade, the RCQP composition sweep) installs it once instead of paying
+    the right-hand-side CQ evaluation per search.
+
+    Hold the context only around *synchronous* work: a generator that
+    suspends inside the ``with`` block would leave the checker installed for
+    unrelated callers until it resumes.  Code that hands out generators
+    passes the checker explicitly (the ``checker=`` parameter of the
+    :mod:`repro.ctables.possible_worlds` front-ends) instead.
+    """
+    token = _AMBIENT_CHECKERS.set(_AMBIENT_CHECKERS.get() + (checker,))
+    try:
+        yield checker
+    finally:
+        _AMBIENT_CHECKERS.reset(token)
+
+
+# ---------------------------------------------------------------------------
+# built-in engines
+# ---------------------------------------------------------------------------
+def _propagating_factory(
+    cinstance, master, constraints, adom, *, workers, checker, break_symmetry, **options
+):
+    del workers  # serial engine
+    return WorldSearch(
+        cinstance,
+        master,
+        constraints,
+        adom,
+        break_symmetry=break_symmetry,
+        checker=checker,
+        **options,
+    )
+
+
+def _sat_factory(
+    cinstance, master, constraints, adom, *, workers, checker, break_symmetry, **options
+):
+    del workers, break_symmetry  # one SAT call decides existence anyway
+    return SATWorldSearch(cinstance, master, constraints, adom, checker=checker, **options)
+
+
+def _parallel_factory(
+    cinstance, master, constraints, adom, *, workers, checker, break_symmetry, **options
+):
+    del break_symmetry  # applied internally, per front-end
+    return ParallelWorldSearch(
+        cinstance, master, constraints, adom, workers=workers, checker=checker, **options
+    )
+
+
+def _naive_factory(
+    cinstance, master, constraints, adom, *, workers, checker, break_symmetry, **options
+):
+    del workers, checker, break_symmetry  # the reference path optimises nothing
+    return NaiveWorldSearch(cinstance, master, constraints, adom, **options)
+
+
+register_engine(
+    "propagating",
+    _propagating_factory,
+    EngineCapabilities(
+        supports_cancellation=True,
+        symmetry_breaking=True,
+        order_identical=True,
+    ),
+)
+register_engine(
+    "sat",
+    _sat_factory,
+    EngineCapabilities(counts_natively=True),
+)
+register_engine(
+    "parallel",
+    _parallel_factory,
+    EngineCapabilities(
+        counts_natively=True,
+        order_identical=True,
+        supports_workers=True,
+        supports_cancellation=True,
+    ),
+)
+register_engine(
+    "naive",
+    _naive_factory,
+    EngineCapabilities(accepts_checker=False),
+)

@@ -132,5 +132,30 @@ class SATWorldSearch:
         return self._solver().solve() is not None
 
     def count_worlds(self) -> int:
-        """The number of distinct worlds."""
-        return sum(1 for _ in self.worlds(deduplicate=True))
+        """The number of distinct worlds, counted natively.
+
+        Runs the blocking-clause valuation enumeration but never builds a
+        :class:`~repro.relational.instance.GroundInstance`: each valuation is
+        reduced directly to the canonical world form of
+        :func:`repro.search.engine.world_key` (the per-relation ground row
+        sets) and counting is over the set of canonical forms.  This is the
+        ``counts_natively`` capability the engine registry advertises.
+        """
+        if self._encoding.trivially_unsat:
+            return 0
+        names = list(self._cinstance.schema.relation_names)
+        rows = [(name, row) for name, _index, row in self._cinstance.rows()]
+        seen: set[tuple[frozenset[Row], ...]] = set()
+        for valuation in iter_solver_models(self._encoding, self._solver()):
+            self.stats.worlds += 1
+            facts: dict[str, set[Row]] = {name: set() for name in names}
+            for name, row in rows:
+                ground = row.apply(valuation)
+                if ground is not None:
+                    facts[name].add(ground)
+            key = tuple(frozenset(facts[name]) for name in names)
+            if key in seen:
+                self.stats.duplicate_worlds += 1
+            else:
+                seen.add(key)
+        return len(seen)

@@ -1,0 +1,45 @@
+"""Public-API stability gate.
+
+Snapshots ``repro.__all__``, the :class:`repro.api.Database` method
+signatures, the :class:`~repro.decision.Decision` /
+:class:`~repro.search.registry.EngineConfig` field lists and the built-in
+engine set against ``public_api_snapshot.json``.  An accidental surface
+change (a renamed method, a dropped export, a reordered required parameter)
+fails this test; a *deliberate* change is made by regenerating the snapshot::
+
+    python scripts/update_api_snapshot.py
+
+and reviewing the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from surface import build_surface
+
+SNAPSHOT_PATH = Path(__file__).parent / "public_api_snapshot.json"
+
+
+def test_public_surface_matches_snapshot():
+    recorded = json.loads(SNAPSHOT_PATH.read_text())
+    current = build_surface()
+    assert current.keys() == recorded.keys(), (
+        "snapshot sections changed; run scripts/update_api_snapshot.py"
+    )
+    for section in recorded:
+        assert current[section] == recorded[section], (
+            f"public API surface drifted in section {section!r}.\n"
+            f"  recorded: {recorded[section]!r}\n"
+            f"  current:  {current[section]!r}\n"
+            "If the change is deliberate, regenerate with "
+            "scripts/update_api_snapshot.py and commit the diff."
+        )
+
+
+def test_registered_builtin_engines_present():
+    from repro.search.registry import engine_names
+
+    for name in json.loads(SNAPSHOT_PATH.read_text())["builtin_engines"]:
+        assert name in engine_names()

@@ -343,4 +343,4 @@ class TestRequireConsistentInterplay:
             base_cinstance, query, MASTER_PAIR, [BOUND_CC]
         )
         # (0,0) can always be added, adding answer 0: not weakly complete.
-        assert verdict is False
+        assert verdict.holds is False

@@ -143,10 +143,10 @@ class TestMinimalCInstances:
     def test_unified_front_end(self, figure1_cinstance, q1, patient_master, patient_ccs):
         trimmed = figure1_cinstance.without_row("MVisit", 1)
         for model in CompletenessModel:
-            assert isinstance(
-                is_minimal_complete(trimmed, q1, patient_master, patient_ccs, model),
-                bool,
+            decision = is_minimal_complete(
+                trimmed, q1, patient_master, patient_ccs, model
             )
+            assert decision.problem == "minp" and isinstance(decision.holds, bool)
 
     def test_fo_query_rejected(self, figure1_cinstance, patient_master, patient_ccs):
         q = fo("Q", [na], rel("MVisit", JOHN_NHS, na, "EDI", 2000))
@@ -196,8 +196,8 @@ class TestExample55WeakMinimality:
         i0 = CInstance.from_ground_instance(
             instance(two_rel_schema, R1=[(0,)], R2=[(1,)])
         )
-        assert is_minimal_weakly_complete_cq(empty, example_query, md, []) is True
-        assert is_minimal_weakly_complete_cq(i0, example_query, md, []) is False
+        assert is_minimal_weakly_complete_cq(empty, example_query, md, []).holds is True
+        assert is_minimal_weakly_complete_cq(i0, example_query, md, []).holds is False
 
     def test_lemma_57_rejects_non_cq(self, two_rel_schema, md):
         u = ucq("U", cq("Q1", [x], atoms=[atom("R1", x)]))
@@ -244,9 +244,9 @@ class TestWeakMinimalitySingleton:
 
 class TestRCQP:
     def test_weak_rcqp_constant_true(self, q1):
-        assert weak_rcqp(q1) is True
+        assert weak_rcqp(q1).holds is True
         fp = fixpoint_query("P", output="P", rules=[rule(atom("P", x), atom("R", x))])
-        assert weak_rcqp(fp) is True
+        assert weak_rcqp(fp).holds is True
 
     def test_weak_rcqp_refuses_fo(self):
         q = fo("Q", [x], rel("R", x))
@@ -288,7 +288,7 @@ class TestRCQP:
         constraint = relation_containment_cc("R", bool_schema, "Rm")
         q = cq("Q", [x], atoms=[atom("R", x)], comparisons=[eq(x, 1)])
         result = rcqp_bounded_search(q, bool_schema, bool_master, [constraint], max_size=1)
-        assert result.found
+        assert result.holds
         assert is_relatively_complete(
             result.witness, q, bool_master, [constraint], CompletenessModel.STRONG
         )
@@ -301,7 +301,7 @@ class TestRCQP:
         md = empty_master(database_schema(schema("M", "A")))
         q = cq("Q", [x], atoms=[atom("S", x)])
         result = rcqp_bounded_search(q, free_schema, md, [], max_size=2)
-        assert not result.found
+        assert not result.holds
 
     def test_rcqp_front_end(self, bool_schema, bool_master):
         ind_cc = relation_containment_cc("R", bool_schema, "Rm")

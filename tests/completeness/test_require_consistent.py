@@ -54,7 +54,7 @@ class TestBoundedVariants:
         assert (
             is_strongly_complete_bounded(
                 T, query, master, constraints, require_consistent=False
-            )
+            ).holds
             is True
         )
 
@@ -65,7 +65,7 @@ class TestBoundedVariants:
         assert (
             is_weakly_complete_bounded(
                 T, query, master, constraints, require_consistent=False
-            )
+            ).holds
             is True
         )
 
@@ -76,7 +76,7 @@ class TestBoundedVariants:
         assert (
             is_viably_complete_bounded(
                 T, query, master, constraints, require_consistent=False
-            )
+            ).holds
             is False
         )
 
@@ -87,7 +87,7 @@ class TestExactVariants:
         with pytest.raises(InconsistentCInstanceError):
             is_strongly_complete(T, query, master, constraints)
         assert (
-            is_strongly_complete(T, query, master, constraints, require_consistent=False)
+            is_strongly_complete(T, query, master, constraints, require_consistent=False).holds
             is True
         )
 
@@ -96,20 +96,20 @@ class TestExactVariants:
         with pytest.raises(InconsistentCInstanceError):
             is_weakly_complete(T, query, master, constraints)
         assert (
-            is_weakly_complete(T, query, master, constraints, require_consistent=False)
+            is_weakly_complete(T, query, master, constraints, require_consistent=False).holds
             is True
         )
         report = weak_completeness_report(
             T, query, master, constraints, require_consistent=False
         )
-        assert report.is_weakly_complete and report.no_world_has_extensions
+        assert report.holds and report.details.no_world_has_extensions
 
     def test_viable_exact_flag(self, inconsistent_input):
         T, query, master, constraints = inconsistent_input
         with pytest.raises(InconsistentCInstanceError):
             is_viably_complete(T, query, master, constraints)
         assert (
-            is_viably_complete(T, query, master, constraints, require_consistent=False)
+            is_viably_complete(T, query, master, constraints, require_consistent=False).holds
             is False
         )
         assert (
@@ -134,7 +134,7 @@ class TestFrontEndThreading:
         assert (
             is_relatively_complete(
                 T, query, master, constraints, model, require_consistent=False
-            )
+            ).holds
             is vacuous
         )
 
@@ -150,6 +150,6 @@ class TestFrontEndThreading:
                 CompletenessModel.STRONG,
                 require_consistent=False,
                 engine=engine,
-            )
+            ).holds
             is True
         )

@@ -41,8 +41,8 @@ class TestWeakModelPatients:
         )
         # The certain answer over the possible worlds is exactly John: Bob's row
         # only matches Q4 in the worlds where his year of birth is 2000.
-        assert report.certain_over_models == {("John",)}
-        assert report.is_weakly_complete
+        assert report.details.certain_over_models == {("John",)}
+        assert report.holds
 
     def test_weakly_complete_for_q1(
         self, figure1_cinstance, q1, patient_master, patient_ccs
@@ -217,7 +217,7 @@ class TestWeakModelFP:
         constraint = relation_containment_cc("E", edge_schema, "Em")
         partial = CInstance.from_ground_instance(instance(edge_schema, E=[(0, 0)]))
         report = weak_completeness_report(partial, reach_query, edge_master, [constraint])
-        assert report.is_weakly_complete
+        assert report.holds
 
     def test_partial_graph_not_weakly_complete(self, edge_schema, reach_query):
         # When the master data pins down a single possible new edge (0,1), every
@@ -232,8 +232,8 @@ class TestWeakModelFP:
         constraint = relation_containment_cc("E", edge_schema, "Em")
         partial = CInstance.from_ground_instance(instance(edge_schema, E=[(0, 0)]))
         report = weak_completeness_report(partial, reach_query, forced_master, [constraint])
-        assert report.certain_over_extensions == {(0, 0), (0, 1)}
-        assert not report.is_weakly_complete
+        assert report.details.certain_over_extensions == {(0, 0), (0, 1)}
+        assert not report.holds
 
 
 class TestExample53:

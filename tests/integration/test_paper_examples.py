@@ -97,15 +97,15 @@ class TestExample23CompletenessModels:
             )
             for model in CompletenessModel
         }
-        assert verdicts[STRONG] is False
-        assert verdicts[WEAK] is True
-        assert verdicts[VIABLE] is True
+        assert verdicts[STRONG].holds is False
+        assert verdicts[WEAK].holds is True
+        assert verdicts[VIABLE].holds is True
 
     def test_q4_certain_answer_is_john(self, scenario):
         report = weak_completeness_report(
             scenario.figure1, scenario.q4, scenario.master, scenario.constraints
         )
-        assert report.certain_over_models == {("John",)}
+        assert report.details.certain_over_models == {("John",)}
 
     def test_strong_implies_weak_and_viable(self, scenario):
         for query in (scenario.q1, scenario.q2_absent):

@@ -205,8 +205,8 @@ class TestDeciderParity:
                 query, bool_schema, master, [constraint], max_size=max_size,
                 engine=engine_name,
             )
-            assert naive.found == engine.found, engine_name
-            if engine.found:
+            assert naive.holds == engine.holds, engine_name
+            if engine.holds:
                 # Engine witnesses are drawn from the same candidate space and
                 # must themselves be complete.
                 from repro.completeness.ground import is_ground_complete
@@ -221,7 +221,7 @@ class TestDeciderParity:
             result = rcqp_bounded_search(
                 query, free_schema, master, [], max_size=2, engine=engine
             )
-            assert not result.found
+            assert not result.holds
 
 
 # ---------------------------------------------------------------------------
@@ -389,13 +389,14 @@ class TestEngineInternals:
 # ---------------------------------------------------------------------------
 class TestEngineSelection:
     def test_default_engine_is_propagating(self):
-        from repro.ctables.possible_worlds import DEFAULT_ENGINE, resolve_engine
+        from repro.ctables.possible_worlds import DEFAULT_ENGINE
+        from repro.search.registry import resolve_engine_name
 
         assert DEFAULT_ENGINE == "propagating"
-        assert resolve_engine(None) == "propagating"
-        assert resolve_engine("naive") == "naive"
-        assert resolve_engine("sat") == "sat"
-        assert resolve_engine("parallel") == "parallel"
+        assert resolve_engine_name(None) == "propagating"
+        assert resolve_engine_name("naive") == "naive"
+        assert resolve_engine_name("sat") == "sat"
+        assert resolve_engine_name("parallel") == "parallel"
 
     def test_worldsearch_builds_default_adom(self):
         workload = registry_workload(master_size=2, db_rows=2, variable_count=1)
