@@ -17,7 +17,14 @@ sweep, and extends the sweeps to regimes each engine targets:
   engine refutes by unit propagation and conflict learning, and
 * the wide-pool family (:func:`repro.workloads.generator.wide_pool_workload`),
   whose root-wide, pruning-heavy search tree is the sharding regime of the
-  parallel engine.
+  parallel engine, and
+* the wide-constraint family
+  (:func:`repro.workloads.generator.wide_constraint_workload`), whose
+  many-atom constraint left-hand sides make the per-node constraint check
+  the dominant cost — the regime of the semi-naive **delta** checker
+  (:class:`repro.search.propagation.ConstraintChecker`), compared here
+  against its recompute-from-scratch ``mode="full"`` oracle on identical
+  search trees.
 
 Each case first asserts *parity* (identical verdict / model count from every
 engine that runs it) and then reports the timings.  Three gates are enforced:
@@ -30,7 +37,17 @@ engine that runs it) and then reports the timings.  Three gates are enforced:
   propagating engine on the wide-pool family (the ISSUE 3 criterion) —
   enforced whenever the host has at least 4 CPUs (a single-core host cannot
   physically exhibit a process-parallel speedup; the gate is then reported
-  as skipped).
+  as skipped), and
+* the delta checker must be ≥ 2x faster **per search node** than the full
+  checker on the wide-constraint family (the ISSUE 5 criterion; both modes
+  drive the identical propagating search tree, so the node counts match by
+  construction and the per-node ratio is a pure constraint-checking
+  comparison).
+
+With ``--json`` every decider case additionally records the per-engine
+``Decision.stats`` (search ``nodes``, CNF ``clauses``, ``wall`` seconds,
+engine instantiations and worlds enumerated) next to the timings, so the
+perf-trajectory artifact keeps the work counters, not only wall clocks.
 
 Run directly (the file deliberately does not match pytest's ``test_*``
 collection patterns)::
@@ -64,10 +81,13 @@ from repro.reductions.consistency_reduction import (  # noqa: E402
     build_consistency_reduction,
 )
 from repro.reductions.sat import random_forall_exists_instance  # noqa: E402
+from repro.search.engine import WorldSearch  # noqa: E402
 from repro.search.parallel import shutdown_pools  # noqa: E402
+from repro.search.propagation import ConstraintChecker  # noqa: E402
 from repro.workloads.generator import (  # noqa: E402
     inequality_chain_workload,
     registry_workload,
+    wide_constraint_workload,
     wide_pool_workload,
 )
 
@@ -79,6 +99,9 @@ REQUIRED_SAT_WIN = 1.0
 #: wide-pool family (ISSUE 3 criterion), at the worker count below.
 REQUIRED_PARALLEL_SPEEDUP = 2.0
 PARALLEL_GATE_WORKERS = 4
+#: The delta checker must reach this per-node speedup over the full checker
+#: on the wide-constraint family (the ISSUE 5 criterion).
+REQUIRED_DELTA_SPEEDUP = 2.0
 
 ALL_ENGINES = ("naive", "propagating", "sat", "parallel")
 
@@ -108,6 +131,8 @@ class Outcome:
     case: Case
     verdict: object
     seconds: dict[str, float] = field(default_factory=dict)
+    #: Per-engine ``Decision.stats`` payloads (empty for non-Decision verdicts).
+    stats: dict[str, dict] = field(default_factory=dict)
 
     def speedup(self, engine: str, over: str) -> float | None:
         base = self.seconds.get(over)
@@ -121,6 +146,20 @@ def _timed(function: Callable[[], object]) -> tuple[object, float]:
     start = time.perf_counter()
     result = function()
     return result, time.perf_counter() - start
+
+
+def _decision_stats(verdict: object) -> dict | None:
+    """The JSON-able ``Decision.stats`` payload of a decider verdict."""
+    stats = getattr(verdict, "stats", None)
+    if stats is None:
+        return None
+    return {
+        "nodes": stats.nodes,
+        "clauses": stats.clauses,
+        "wall": round(stats.wall_time, 6),
+        "searches": stats.searches,
+        "worlds": stats.worlds,
+    }
 
 
 def _registry_cases(smoke: bool) -> list[Case]:
@@ -304,16 +343,92 @@ def _wide_pool_cases(smoke: bool) -> list[Case]:
     return cases
 
 
+def _checker_sweep(smoke: bool) -> list[tuple[str, object]]:
+    sweep = [(12, 3)] if smoke else [(12, 3), (18, 3), (24, 3)]
+    return [
+        (
+            f"rows={ground_rows} width={width}",
+            wide_constraint_workload(ground_rows=ground_rows, width=width),
+        )
+        for ground_rows, width in sweep
+    ]
+
+
+def run_checker_comparison(smoke: bool) -> list[dict] | None:
+    """Delta-vs-full ConstraintChecker on identical propagating search trees.
+
+    Both modes drive :class:`repro.search.engine.WorldSearch` over the same
+    wide-constraint instance; the enumerated ``(valuation, world)`` streams
+    and the node/prune counters must be identical (a parity failure returns
+    ``None``), so the per-node wall-clock ratio isolates the constraint-
+    checking cost the delta evaluation removes.
+    """
+    results: list[dict] = []
+    for label, workload in _checker_sweep(smoke):
+        adom = default_active_domain(
+            workload.cinstance, workload.master, workload.constraints
+        )
+        observed: dict[str, tuple] = {}
+        for mode in ("delta", "full"):
+            checker = ConstraintChecker(workload.master, workload.constraints, mode=mode)
+            search = WorldSearch(
+                workload.cinstance, workload.master, workload.constraints, adom,
+                checker=checker,
+            )
+            (pairs, elapsed) = _timed(lambda s=search: list(s.search()))
+            observed[mode] = (pairs, search.stats.nodes, elapsed)
+        delta_pairs, delta_nodes, delta_s = observed["delta"]
+        full_pairs, full_nodes, full_s = observed["full"]
+        if delta_pairs != full_pairs or delta_nodes != full_nodes:
+            print(
+                f"PARITY FAILURE in checker (wide constraints) [{label}]: "
+                f"delta nodes={delta_nodes} worlds={len(delta_pairs)}, "
+                f"full nodes={full_nodes} worlds={len(full_pairs)}"
+            )
+            return None
+        results.append(
+            {
+                "label": label,
+                "nodes": delta_nodes,
+                "worlds": len(delta_pairs),
+                "delta_seconds": round(delta_s, 6),
+                "full_seconds": round(full_s, 6),
+                "per_node_speedup": (full_s / delta_s) if delta_s > 0 else None,
+            }
+        )
+    return results
+
+
+def print_checker_report(results: list[dict]) -> None:
+    print("\n== checker: delta vs full (wide constraints, per-node) ==")
+    width = max(len(f"[{r['label']}]") for r in results)
+    for r in results:
+        name = f"[{r['label']}]".ljust(width)
+        per_node_delta = r["delta_seconds"] / max(1, r["nodes"]) * 1e6
+        per_node_full = r["full_seconds"] / max(1, r["nodes"]) * 1e6
+        speedup = r["per_node_speedup"]
+        ratio = "n/a (below timer resolution)" if speedup is None else f"{speedup:.2f}x"
+        print(
+            f"{name}  nodes={r['nodes']:5d}  delta={per_node_delta:9.1f}us/node  "
+            f"full={per_node_full:9.1f}us/node  "
+            f"delta/full={ratio}"
+        )
+
+
 def run_cases(cases: list[Case]) -> list[Outcome] | None:
     """Time every case on its engines; ``None`` signals a parity failure."""
     outcomes: list[Outcome] = []
     for case in cases:
         seconds: dict[str, float] = {}
         verdicts: dict[str, object] = {}
+        stats: dict[str, dict] = {}
         for engine in case.engines:
             verdict, elapsed = _timed(lambda e=engine: case.run(e))
             seconds[engine] = elapsed
             verdicts[engine] = verdict
+            decision_stats = _decision_stats(verdict)
+            if decision_stats is not None:
+                stats[engine] = decision_stats
         distinct = {repr(v) for v in verdicts.values()}
         if len(distinct) > 1:
             print(
@@ -322,7 +437,12 @@ def run_cases(cases: list[Case]) -> list[Outcome] | None:
             )
             return None
         outcomes.append(
-            Outcome(case=case, verdict=next(iter(verdicts.values())), seconds=seconds)
+            Outcome(
+                case=case,
+                verdict=next(iter(verdicts.values())),
+                seconds=seconds,
+                stats=stats,
+            )
         )
     return outcomes
 
@@ -372,8 +492,10 @@ def print_report(outcomes: list[Outcome]) -> None:
         )
 
 
-def evaluate_gates(outcomes: list[Outcome], smoke: bool) -> tuple[dict, int]:
-    """Compute the two acceptance gates; returns (summary, exit code)."""
+def evaluate_gates(
+    outcomes: list[Outcome], smoke: bool, checker_results: list[dict] | None = None
+) -> tuple[dict, int]:
+    """Compute the acceptance gates; returns (summary, exit code)."""
     headline = [
         o.speedup("propagating", over="naive")
         for o in outcomes
@@ -399,6 +521,15 @@ def evaluate_gates(outcomes: list[Outcome], smoke: bool) -> tuple[dict, int]:
     host_cpus = _host_cpus()
     parallel_gate_enforced = host_cpus >= PARALLEL_GATE_WORKERS
 
+    checker_results = checker_results or []
+    delta_by_case = {
+        f"checker (wide constraints) [{r['label']}]": r["per_node_speedup"]
+        for r in checker_results
+    }
+    worst_delta = min(
+        (s for s in delta_by_case.values() if s is not None), default=None
+    )
+
     summary = {
         "propagating_vs_naive_headline": worst_headline,
         "required_headline_speedup": REQUIRED_SPEEDUP,
@@ -411,6 +542,10 @@ def evaluate_gates(outcomes: list[Outcome], smoke: bool) -> tuple[dict, int]:
         "parallel_gate_workers": PARALLEL_GATE_WORKERS,
         "host_cpus": host_cpus,
         "parallel_gate_enforced": parallel_gate_enforced,
+        "delta_vs_full_checker_by_case": delta_by_case,
+        "worst_delta_vs_full_checker": worst_delta,
+        "required_delta_speedup": REQUIRED_DELTA_SPEEDUP,
+        "checker_cases": checker_results,
     }
 
     print()
@@ -460,6 +595,20 @@ def evaluate_gates(outcomes: list[Outcome], smoke: bool) -> tuple[dict, int]:
             "demonstrated here (parity above still covered the engine)"
         )
 
+    if worst_delta is None:
+        print("No delta-vs-full checker case ran")
+        return summary, 1
+    print(
+        "Worst delta-vs-full checker per-node speedup on the wide-constraint "
+        f"family: {worst_delta:.2f}x (required >= {REQUIRED_DELTA_SPEEDUP:.0f}x)"
+    )
+    if worst_delta < REQUIRED_DELTA_SPEEDUP:
+        print(
+            "FAILED: the delta checker did not reach the required per-node "
+            "speedup over the full checker on the wide-constraint family"
+        )
+        return summary, 1
+
     print("All parity checks and perf gates passed.")
     return summary, 0
 
@@ -487,6 +636,7 @@ def write_json(
                         "parallel", over="propagating"
                     ),
                 },
+                "stats": o.stats,
                 "headline": o.case.headline,
                 "sat_showcase": o.case.sat_showcase,
                 "parallel_showcase": o.case.parallel_showcase,
@@ -512,8 +662,12 @@ def run_benchmark(smoke: bool, json_path: str | None = None) -> int:
         outcomes = run_cases(cases)
         if outcomes is None:
             return 1
+        checker_results = run_checker_comparison(smoke)
+        if checker_results is None:
+            return 1
         print_report(outcomes)
-        summary, status = evaluate_gates(outcomes, smoke)
+        print_checker_report(checker_results)
+        summary, status = evaluate_gates(outcomes, smoke, checker_results)
         if json_path:
             write_json(json_path, outcomes, summary, smoke, status)
         return status

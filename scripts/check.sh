@@ -8,15 +8,20 @@
 #      EngineConfig field lists and the built-in engine set must match the
 #      reviewed snapshot (regenerate deliberately with
 #      scripts/update_api_snapshot.py),
-#   3. the tier-1 test suite (includes the four-way engine-parity tests and
-#      the facade-vs-functional parity suite), with `-p no:cacheprovider` so
-#      runs are stateless, and with coverage
-#      (`--cov=repro --cov-fail-under=$COV_FAIL_UNDER`) when pytest-cov is
-#      installed, so a PR cannot silently drop tested lines,
-#   4. the engine smoke benchmark (four-way parity + the propagating-vs-naive,
-#      SAT-vs-propagating and parallel-vs-propagating perf gates; the
-#      parallel gate needs >= 4 host CPUs and reports itself as skipped on
-#      smaller machines), writing machine-readable results to
+#   3. the tier-1 test suite (includes the four-way engine-parity tests, the
+#      extension-search parity suite and the facade-vs-functional parity
+#      suite), with `-p no:cacheprovider` so runs are stateless, and with
+#      coverage (`--cov=repro --cov-fail-under=$COV_FAIL_UNDER`) when
+#      pytest-cov is installed, so a PR cannot silently drop tested lines,
+#   4. the delta-vs-full checker differential suite (the tests carrying the
+#      `delta_differential` marker) as its own loudly-labelled step, so a
+#      semantics drift between the incremental and the recompute-from-scratch
+#      constraint checkers fails CI with an unambiguous banner even though
+#      the same tests also run inside the tier-1 suite,
+#   5. the engine smoke benchmark (four-way parity + the propagating-vs-naive,
+#      SAT-vs-propagating, parallel-vs-propagating and delta-vs-full checker
+#      perf gates; the parallel gate needs >= 4 host CPUs and reports itself
+#      as skipped on smaller machines), writing machine-readable results to
 #      BENCH_ENGINE.json,
 # so a regression in lint, API surface, correctness, coverage or engine
 # speed fails one command:
@@ -33,8 +38,9 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 # Set just below the measured line coverage of the seed of this PR, so
 # future PRs can lower it only deliberately (override via env if a PR
-# legitimately shifts the base).
-COV_FAIL_UNDER="${COV_FAIL_UNDER:-90}"
+# legitimately shifts the base).  Raised 90 -> 91 when the delta-checker and
+# extension-routing modules landed with their differential suites.
+COV_FAIL_UNDER="${COV_FAIL_UNDER:-91}"
 
 echo "== lint: ruff =="
 if [ "${SKIP_LINT:-}" = "1" ]; then
@@ -64,6 +70,10 @@ else
          "(CI enforces it in the coverage job)"
 fi
 python -m pytest -x -q -p no:cacheprovider "${COV_ARGS[@]}"
+
+echo
+echo "== delta-vs-full checker differential suite (semantics gate) =="
+python -m pytest -q -p no:cacheprovider -m delta_differential
 
 echo
 echo "== engine smoke benchmark (four-way parity + speedup gates) =="

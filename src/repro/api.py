@@ -89,6 +89,12 @@ class Database:
         The facade-level default engine selection — a registered engine name,
         an :class:`~repro.search.registry.EngineConfig`, or ``None`` for the
         registry default.  Every method takes an ``engine=`` override.
+    checker_mode:
+        Evaluation mode of the shared
+        :class:`~repro.search.propagation.ConstraintChecker`: ``"delta"``
+        (the default) for semi-naive incremental constraint checking inside
+        the tree-search engines, ``"full"`` for the recompute-from-scratch
+        oracle path (debugging / differential runs).
     """
 
     def __init__(
@@ -98,12 +104,13 @@ class Database:
         constraints: Sequence[ContainmentConstraint] = (),
         *,
         engine: EngineConfig | str | None = None,
+        checker_mode: str = "delta",
     ) -> None:
         self._cinstance = as_cinstance(database)
         self._master = master
         self._constraints: tuple[ContainmentConstraint, ...] = tuple(constraints)
         self._default_engine = EngineConfig.coerce(engine)
-        self._checker = ConstraintChecker(master, self._constraints)
+        self._checker = ConstraintChecker(master, self._constraints, mode=checker_mode)
         self._base_adom: ActiveDomain | None = None
         self._query_adoms: dict[Any, ActiveDomain] = {}
 

@@ -21,6 +21,7 @@ from repro.completeness.consistency import (
 )
 from repro.completeness.extensions import (
     bounded_extensions,
+    candidate_pools,
     candidate_rows,
     has_partially_closed_extension,
     is_partially_closed,
@@ -92,6 +93,7 @@ __all__ = [
     "WeakCompletenessReport",
     "as_cinstance",
     "bounded_extensions",
+    "candidate_pools",
     "candidate_rows",
     "certain_answer_over_extensions",
     "certain_answer_over_models",

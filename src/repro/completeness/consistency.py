@@ -120,30 +120,38 @@ def is_extensible(
     limit: int | None = None,
     *,
     witness: bool = False,
+    engine: EngineConfig | str | None = None,
+    workers: int | None = None,
 ) -> Decision:
     """Whether ``Ext(I, D_m, V)`` is non-empty (the extensibility problem).
 
     Because the CCs are defined by monotone CQ queries, an extension exists
     iff a *single* tuple with values from ``Adom`` can be added without
-    violating ``V`` (the argument in the proof of Proposition 3.3).
+    violating ``V`` (the argument in the proof of Proposition 3.3).  The
+    single-tuple search is engine-routed
+    (:func:`~repro.completeness.extensions.single_tuple_extensions`), so
+    ``engine``/``workers`` select the world-search engine exactly as for the
+    consistency problem.
 
     Returns a :class:`~repro.decision.Decision`; with ``witness=True`` a
     positive decision carries a single-tuple partially closed extension of
     ``I`` in ``.witness``.
     """
-    rec = DecisionRecorder("extensibility")
+    rec = DecisionRecorder("extensibility", engine)
     with rec:
         if adom is None:
             adom = extensibility_active_domain(instance, master, constraints)
         extended: GroundInstance | None = None
         if witness:
             extended = extension_witness(
-                instance, master, constraints, adom, limit=limit
+                instance, master, constraints, adom, limit=limit,
+                engine=engine, workers=workers,
             )
             holds = extended is not None
         else:
             holds = has_partially_closed_extension(
-                instance, master, constraints, adom, limit=limit
+                instance, master, constraints, adom, limit=limit,
+                engine=engine, workers=workers,
             )
     return rec.decision(holds, witness=extended)
 
@@ -154,12 +162,15 @@ def extension_witness(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
+    engine: EngineConfig | str | None = None,
+    workers: int | None = None,
 ) -> GroundInstance | None:
     """A single-tuple partially closed extension of ``I``, or ``None``."""
     if adom is None:
         adom = extensibility_active_domain(instance, master, constraints)
     for extended in single_tuple_extensions(
-        instance, master, constraints, adom, limit=limit
+        instance, master, constraints, adom, limit=limit,
+        engine=engine, workers=workers,
     ):
         return extended
     return None

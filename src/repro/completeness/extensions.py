@@ -12,18 +12,39 @@ domain ``Adom``:
 * *query-tableau extensions* ``I ∪ ν(T_Q)`` — sufficient for the strong-model
   characterisation (Lemma 4.2 / 4.3).
 
+Both searches are **engine-routed**: an extension search *is* a world search
+over the c-instance obtained by adjoining candidate rows with fresh variables
+(one all-variable row for the single-tuple case, the query tableau's atoms
+for the tableau case) to the ground instance ``I``.  Every enumerator below
+therefore accepts the same ``engine=`` / ``workers=`` selection as the rest
+of the library (a registered engine name, an
+:class:`~repro.search.registry.EngineConfig`, or ``None`` for the default)
+and resolves it through the engine registry — the propagating engine prunes
+constraint-violating candidates without materialising the cross product the
+original scan walked, the SAT and parallel engines apply their own
+machinery, and the naive engine reproduces the original scan as the
+reference the parity harness compares against.
+
+:func:`candidate_rows` survives as a thin cross product over
+:func:`candidate_pools`, the *pool provider* the engine routing and the
+remaining direct consumers (the certain-answer short-circuit sweep, the RCQP
+combination scan) share.
+
 Both enumerations are exponential in the worst case (that is the content of
-the lower bounds); the generators below accept an optional budget so callers
-can fail fast instead of looping silently.
+the lower bounds); the generators accept an optional ``limit`` budget on the
+candidate universe — the product of the candidate pools — so callers fail
+fast instead of looping silently.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Sequence
+import math
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.constraints.containment import ContainmentConstraint, satisfies_all
 from repro.ctables.adom import ActiveDomain
+from repro.ctables.cinstance import CInstance
 from repro.exceptions import BoundExceededError
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.terms import Variable, is_variable
@@ -31,6 +52,10 @@ from repro.relational.domains import Constant
 from repro.relational.instance import GroundInstance, Row
 from repro.relational.master import MasterData
 from repro.relational.schema import RelationSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle
+    # through repro.reductions.implication, which consumes candidate_rows)
+    from repro.search.registry import EngineConfig
 
 
 def is_partially_closed(
@@ -42,21 +67,24 @@ def is_partially_closed(
     return satisfies_all(instance, master, constraints)
 
 
-def candidate_rows(
+def candidate_pools(
     relation: RelationSchema, adom: ActiveDomain, fresh_first: bool = False
-) -> Iterator[Row]:
-    """All tuples over ``Adom`` conforming to a relation schema.
+) -> list[list[Constant]]:
+    """Per-attribute candidate pools over ``Adom`` for a relation schema.
 
     Attributes with finite domains range over their finite domain, other
     attributes over the whole active domain, exactly as in the paper's
-    extensibility algorithm (Proposition 3.3).
+    extensibility algorithm (Proposition 3.3).  This is the pool provider
+    behind :func:`candidate_rows` and the engine-routed extension searches —
+    by construction it produces exactly the pools the world-search engines
+    derive for an adjoined all-variable row, which is what makes the two
+    enumeration strategies interchangeable.
 
-    With ``fresh_first=True`` the enumeration visits the fresh (``New``)
-    constants of ``Adom`` before the input constants.  This does not change
-    the set of rows produced, only their order; callers that search for *one*
-    satisfying tuple (extensibility, the "unhelpful extension" short-circuit
-    of the weak model) typically find fresh-valued tuples acceptable first,
-    because fresh values rarely trigger containment-constraint violations.
+    With ``fresh_first=True`` each pool visits the fresh (``New``) constants
+    of ``Adom`` before the input constants.  This does not change the pools'
+    contents, only their order; callers that search for *one* satisfying
+    tuple typically find fresh-valued tuples acceptable first, because fresh
+    values rarely trigger containment-constraint violations.
     """
     fresh = set(adom.fresh_values)
 
@@ -65,11 +93,39 @@ def candidate_rows(
             return pool
         return sorted(pool, key=lambda value: (value not in fresh, repr(value)))
 
-    pools = []
-    for attribute in relation.attributes:
-        pools.append(order(adom.pool_for(attribute.domain)))
-    for combo in itertools.product(*pools):
+    return [
+        order(adom.pool_for(attribute.domain)) for attribute in relation.attributes
+    ]
+
+
+def candidate_rows(
+    relation: RelationSchema, adom: ActiveDomain, fresh_first: bool = False
+) -> Iterator[Row]:
+    """All tuples over ``Adom`` conforming to a relation schema.
+
+    The cross product of :func:`candidate_pools`; kept for consumers that
+    genuinely want the raw candidate universe in pool order (the
+    certain-answer sweep's fresh-first short-circuit, the RCQP combination
+    scan, oracles in tests).
+    """
+    for combo in itertools.product(*candidate_pools(relation, adom, fresh_first)):
         yield tuple(combo)
+
+
+def _budget_exceeded(limit: int | None, what: str) -> BoundExceededError:
+    return BoundExceededError(f"{what} enumeration exceeded {limit} candidates")
+
+
+def _extension_variables(name: str, relation: RelationSchema) -> tuple[Variable, ...]:
+    """One fresh variable per attribute of the adjoined candidate row.
+
+    The names cannot collide with anything in the search: the base instance
+    is ground, so the adjoined row's variables are the only variables of the
+    augmented c-instance.
+    """
+    return tuple(
+        Variable(f"_ext_{name}_{i}") for i in range(relation.arity)
+    )
 
 
 def single_tuple_extensions(
@@ -79,8 +135,16 @@ def single_tuple_extensions(
     adom: ActiveDomain,
     relations: Sequence[str] | None = None,
     limit: int | None = None,
+    engine: EngineConfig | str | None = None,
+    workers: int | None = None,
 ) -> Iterator[GroundInstance]:
     """Partially closed extensions of ``I`` obtained by adding one Adom tuple.
+
+    Routed through the world-search engine registry: for each target relation
+    the search runs over ``I`` adjoined with one all-variable row, whose
+    satisfying valuations are exactly the addable tuples (valuations that
+    ground the row onto an existing tuple reproduce ``I`` itself and are
+    filtered out — extensions are strict).
 
     Parameters
     ----------
@@ -88,26 +152,55 @@ def single_tuple_extensions(
         Restrict the relation the new tuple is added to (all relations of the
         schema by default).
     limit:
-        Optional cap on the number of *candidate* tuples inspected; exceeding
-        it raises :class:`BoundExceededError`.
+        Optional cap on the number of candidate tuples inspected; exceeding
+        it raises :class:`BoundExceededError`.  A relation whose candidate
+        universe fits the remaining budget is searched through the engine
+        (the whole universe is charged up front — a draining consumer would
+        inspect exactly that many candidates); a relation that could not be
+        drained within the budget falls back to the lazy per-candidate scan,
+        preserving the historical semantics where an early witness is found
+        and returned before the budget runs out.
+    engine, workers:
+        World-search engine selection, as accepted everywhere else in the
+        library.
     """
+    from repro.ctables.possible_worlds import models_with_valuations
+
     names = list(relations) if relations is not None else list(
         instance.schema.relation_names
     )
+    base = CInstance.from_ground_instance(instance)
     inspected = 0
     for name in names:
+        rel_schema = instance.schema[name]
+        pools = candidate_pools(rel_schema, adom)
+        universe = math.prod(len(pool) for pool in pools)
         existing = instance.relation(name).rows
-        for row in candidate_rows(instance.schema[name], adom):
-            inspected += 1
-            if limit is not None and inspected > limit:
-                raise BoundExceededError(
-                    f"single-tuple extension enumeration exceeded {limit} candidates"
-                )
+        if limit is not None and inspected + universe > limit:
+            # The budget cannot cover this relation's universe: inspect
+            # candidates one at a time so a witness early in pool order is
+            # still found, and the bound trips exactly where it used to.
+            for row in itertools.product(*pools):
+                inspected += 1
+                if inspected > limit:
+                    raise _budget_exceeded(limit, "single-tuple extension")
+                if row in existing:
+                    continue
+                extended = instance.with_tuple(name, row)
+                if satisfies_all(extended, master, constraints):
+                    yield extended
+            continue
+        inspected += universe
+        variables = _extension_variables(name, rel_schema)
+        augmented = base.with_row(name, variables)
+        for valuation, _world in models_with_valuations(
+            augmented, master, constraints, adom,
+            engine=engine, workers=workers,
+        ):
+            row = tuple(valuation[variable] for variable in variables)
             if row in existing:
                 continue
-            extended = instance.with_tuple(name, row)
-            if satisfies_all(extended, master, constraints):
-                yield extended
+            yield instance.with_tuple(name, row)
 
 
 def has_partially_closed_extension(
@@ -116,6 +209,8 @@ def has_partially_closed_extension(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain,
     limit: int | None = None,
+    engine: EngineConfig | str | None = None,
+    workers: int | None = None,
 ) -> bool:
     """Whether ``Ext(I, D_m, V)`` is non-empty.
 
@@ -123,22 +218,25 @@ def has_partially_closed_extension(
     tuple* can be added without violating ``V`` (Proposition 3.3), and the
     added tuple may be assumed to take values in ``Adom``.
     """
-    for _ in single_tuple_extensions(instance, master, constraints, adom, limit=limit):
+    for _ in single_tuple_extensions(
+        instance, master, constraints, adom, limit=limit,
+        engine=engine, workers=workers,
+    ):
         return True
     return False
 
 
-def tableau_valuations(
+def _tableau_pools(
     query: ConjunctiveQuery,
     adom: ActiveDomain,
-    instance: GroundInstance | None = None,
-) -> Iterator[dict[Variable, Constant]]:
-    """All valuations of a query tableau's variables over ``Adom``.
+    instance: GroundInstance | None,
+) -> tuple[list[Variable], list[list[Constant]]]:
+    """The (sorted) query variables and their candidate pools over ``Adom``.
 
-    The valuations produced satisfy the query's comparison atoms (a valuation
-    violating them can never witness a new query answer).  Variables occurring
-    in finite-domain attribute positions are restricted to those domains when
-    the relation is part of the instance schema.
+    Variables occurring in finite-domain attribute positions are restricted
+    to those domains when the relation is part of the instance schema — the
+    same restriction the world-search engines derive from the augmented
+    c-instance's ``variable_domains``.
     """
     variables = sorted(query.variables(), key=lambda v: v.name)
     restrictions: dict[Variable, list[Constant]] = {}
@@ -156,6 +254,22 @@ def tableau_valuations(
                         pool if current is None else [v for v in current if v in pool]
                     )
     pools = [restrictions.get(v, adom.ordered()) for v in variables]
+    return variables, pools
+
+
+def tableau_valuations(
+    query: ConjunctiveQuery,
+    adom: ActiveDomain,
+    instance: GroundInstance | None = None,
+) -> Iterator[dict[Variable, Constant]]:
+    """All valuations of a query tableau's variables over ``Adom``.
+
+    The valuations produced satisfy the query's comparison atoms (a valuation
+    violating them can never witness a new query answer).  Variables occurring
+    in finite-domain attribute positions are restricted to those domains when
+    the relation is part of the instance schema.
+    """
+    variables, pools = _tableau_pools(query, adom, instance)
     for combo in itertools.product(*pools):
         valuation = dict(zip(variables, combo))
         if all(c.evaluate(valuation) for c in query.comparisons):
@@ -169,6 +283,8 @@ def tableau_extensions(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain,
     limit: int | None = None,
+    engine: EngineConfig | str | None = None,
+    workers: int | None = None,
 ) -> Iterator[tuple[dict[Variable, Constant], GroundInstance]]:
     """Partially closed extensions ``I ∪ ν(T_Q)`` for Adom-valuations ``ν``.
 
@@ -176,19 +292,74 @@ def tableau_extensions(
     extension is partially closed.  The extension need not be *strict*: if
     ``ν(T_Q) ⊆ I`` the pair is still yielded (the strong-model check compares
     query answers, for which equality is then immediate).
+
+    Engine-routed: the search runs over ``I`` adjoined with the query
+    tableau's atoms as c-table rows, so the engines prune
+    constraint-violating valuations instead of testing ``satisfies_all`` per
+    cross-product point.  Query variables bound only through equality atoms
+    (they occur in no tableau row) are enumerated directly over their pools,
+    and the query's comparison atoms are applied to the merged valuation —
+    exactly the :func:`tableau_valuations` semantics.
+
+    ``limit`` caps the number of candidate valuations inspected.  When the
+    valuation universe fits the budget the engine search runs (and the whole
+    universe is charged); otherwise the lazy per-valuation scan runs so that
+    witnesses early in enumeration order are still produced before the bound
+    trips, exactly as before the engine routing.
     """
+    from repro.ctables.possible_worlds import models_with_valuations
     from repro.queries.tableau import freeze
 
-    inspected = 0
-    for valuation in tableau_valuations(query, adom, instance):
-        inspected += 1
-        if limit is not None and inspected > limit:
-            raise BoundExceededError(
-                f"tableau extension enumeration exceeded {limit} valuations"
-            )
-        additions = freeze(query.atoms, valuation)
-        extended = instance.with_tuples(additions)
-        if satisfies_all(extended, master, constraints):
+    variables, pools = _tableau_pools(query, adom, instance)
+    if limit is not None and math.prod(len(pool) for pool in pools) > limit:
+        inspected = 0
+        for valuation in tableau_valuations(query, adom, instance):
+            inspected += 1
+            if inspected > limit:
+                raise _budget_exceeded(limit, "tableau extension")
+            additions = freeze(query.atoms, valuation)
+            extended = instance.with_tuples(additions)
+            if satisfies_all(extended, master, constraints):
+                yield valuation, extended
+        return
+    row_variables: set[Variable] = set()
+    for atom in query.atoms:
+        row_variables |= atom.variables()
+    free = [
+        (variable, pool)
+        for variable, pool in zip(variables, pools)
+        if variable not in row_variables
+    ]
+
+    def merged_valuations(engine_valuation) -> Iterator[dict[Variable, Constant]]:
+        if not free:
+            yield dict(engine_valuation)
+            return
+        for combo in itertools.product(*(pool for _variable, pool in free)):
+            merged = dict(engine_valuation)
+            merged.update(zip((variable for variable, _pool in free), combo))
+            yield merged
+
+    if not query.atoms:
+        # No tableau rows: the "extension" is I itself, kept iff partially
+        # closed; every comparison-satisfying valuation is a witness.
+        if not satisfies_all(instance, master, constraints):
+            return
+        for valuation in merged_valuations({}):
+            if all(c.evaluate(valuation) for c in query.comparisons):
+                yield valuation, instance
+        return
+
+    augmented = CInstance.from_ground_instance(instance)
+    for atom in query.atoms:
+        augmented = augmented.with_row(atom.relation, atom.terms)
+    for engine_valuation, _world in models_with_valuations(
+        augmented, master, constraints, adom, engine=engine, workers=workers
+    ):
+        for valuation in merged_valuations(engine_valuation):
+            if not all(c.evaluate(valuation) for c in query.comparisons):
+                continue
+            extended = instance.with_tuples(freeze(query.atoms, valuation))
             yield valuation, extended
 
 
@@ -199,6 +370,8 @@ def bounded_extensions(
     adom: ActiveDomain,
     max_new_tuples: int = 1,
     limit: int | None = None,
+    engine: EngineConfig | str | None = None,
+    workers: int | None = None,
 ) -> Iterator[GroundInstance]:
     """Partially closed extensions adding up to ``max_new_tuples`` Adom tuples.
 
@@ -206,23 +379,28 @@ def bounded_extensions(
     viable models, where the exact problems are undecidable: any extension
     found here that changes the query answer refutes completeness; finding
     none is necessary but not sufficient for completeness.
+
+    ``limit`` caps the number of **distinct** extension instances produced;
+    an extension reachable along several addition orders is counted (and
+    yielded) once, and a budget equal to the number of distinct extensions
+    completes normally instead of tripping on a trailing duplicate.
     """
     frontier: list[GroundInstance] = [instance]
     seen: set[GroundInstance] = {instance}
-    inspected = 0
+    produced = 0
     for _ in range(max_new_tuples):
         next_frontier: list[GroundInstance] = []
         for current in frontier:
             for extended in single_tuple_extensions(
-                current, master, constraints, adom
+                current, master, constraints, adom, engine=engine, workers=workers
             ):
-                inspected += 1
-                if limit is not None and inspected > limit:
+                if extended in seen:
+                    continue
+                produced += 1
+                if limit is not None and produced > limit:
                     raise BoundExceededError(
                         f"bounded extension enumeration exceeded {limit} instances"
                     )
-                if extended in seen:
-                    continue
                 seen.add(extended)
                 next_frontier.append(extended)
                 yield extended

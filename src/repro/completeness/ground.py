@@ -18,7 +18,7 @@ offers the sound-but-incomplete check that explores extensions by at most
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.completeness.extensions import bounded_extensions, tableau_extensions
 from repro.constraints.containment import (
@@ -39,6 +39,10 @@ from repro.queries.evaluation import (
 )
 from repro.relational.instance import GroundInstance
 from repro.relational.master import MasterData
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle
+    # through repro.reductions.implication, which consumes this module)
+    from repro.search.registry import EngineConfig
 
 
 @dataclass(frozen=True)
@@ -93,12 +97,17 @@ def find_ground_incompleteness_witness(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
+    engine: EngineConfig | str | None = None,
+    workers: int | None = None,
 ) -> IncompletenessWitness | None:
     """Search for a partially closed extension changing the query answer.
 
     Implements the characterisation of Lemma 4.2/4.3: only extensions of the
     form ``I ∪ ν(T_Qi)`` for Adom-valuations ``ν`` of a disjunct's tableau
     need to be considered.  Returns ``None`` when the instance is complete.
+    The tableau-extension search is engine-routed
+    (:func:`~repro.completeness.extensions.tableau_extensions`);
+    ``engine``/``workers`` select the world-search engine.
 
     Raises
     ------
@@ -123,7 +132,8 @@ def find_ground_incompleteness_witness(
     unfolded = as_union_of_cqs(query)
     for disjunct in unfolded.disjuncts:
         for _valuation, extended in tableau_extensions(
-            instance, disjunct, master, constraints, adom, limit=limit
+            instance, disjunct, master, constraints, adom, limit=limit,
+            engine=engine, workers=workers,
         ):
             extended_answer = evaluate(query, extended)
             if extended_answer != base_answer:
@@ -142,6 +152,8 @@ def is_ground_complete(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
+    engine: EngineConfig | str | None = None,
+    workers: int | None = None,
 ) -> Decision:
     """Whether a partially closed ground instance is complete for the query.
 
@@ -150,10 +162,11 @@ def is_ground_complete(
     :class:`IncompletenessWitness` counterexample when the verdict is
     negative.
     """
-    rec = DecisionRecorder("ground-completeness")
+    rec = DecisionRecorder("ground-completeness", engine)
     with rec:
         witness = find_ground_incompleteness_witness(
-            instance, query, master, constraints, adom=adom, limit=limit
+            instance, query, master, constraints, adom=adom, limit=limit,
+            engine=engine, workers=workers,
         )
     return rec.decision(witness is None, witness=witness)
 
@@ -166,6 +179,8 @@ def is_ground_complete_bounded(
     max_new_tuples: int = 1,
     adom: ActiveDomain | None = None,
     limit: int | None = None,
+    engine: EngineConfig | str | None = None,
+    workers: int | None = None,
 ) -> Decision:
     """Bounded completeness check usable for any query language.
 
@@ -177,7 +192,7 @@ def is_ground_complete_bounded(
     terminating exact procedure exists (Theorem 4.1), so this is the best a
     sound checker can do.  The decision is marked ``exact=False``.
     """
-    rec = DecisionRecorder("ground-completeness", exact=False)
+    rec = DecisionRecorder("ground-completeness", engine, exact=False)
     with rec:
         if not satisfies_all(instance, master, constraints):
             raise CompletenessError(
@@ -190,6 +205,7 @@ def is_ground_complete_bounded(
         for extended in bounded_extensions(
             instance, master, constraints, adom,
             max_new_tuples=max_new_tuples, limit=limit,
+            engine=engine, workers=workers,
         ):
             extended_answer = evaluate(query, extended)
             if extended_answer != base_answer:

@@ -50,6 +50,8 @@ def is_minimal_ground_complete(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     limit: int | None = None,
+    engine: EngineConfig | str | None = None,
+    workers: int | None = None,
 ) -> Decision:
     """Whether ``I`` is a minimal ground instance complete for ``Q``.
 
@@ -61,10 +63,11 @@ def is_minimal_ground_complete(
     evidence in ``.witness``: the incompleteness witness of ``I`` itself, or
     the smaller complete subinstance.
     """
-    rec = DecisionRecorder("minp")
+    rec = DecisionRecorder("minp", engine)
     with rec:
         complete = is_ground_complete(
-            instance, query, master, constraints, adom=adom, limit=limit
+            instance, query, master, constraints, adom=adom, limit=limit,
+            engine=engine, workers=workers,
         )
         if not complete:
             return_witness: object = complete.witness
@@ -74,7 +77,8 @@ def is_minimal_ground_complete(
             return_witness = None
             for smaller in instance.proper_subinstances():
                 if is_ground_complete(
-                    smaller, query, master, constraints, adom=adom, limit=limit
+                    smaller, query, master, constraints, adom=adom, limit=limit,
+                    engine=engine, workers=workers,
                 ):
                     holds = False
                     return_witness = smaller
@@ -116,7 +120,8 @@ def is_minimal_strongly_complete(
         ):
             saw_world = True
             if not is_minimal_ground_complete(
-                world, query, master, constraints, adom=adom, limit=limit
+                world, query, master, constraints, adom=adom, limit=limit,
+                engine=engine, workers=workers,
             ):
                 witness = world
                 break
@@ -159,7 +164,8 @@ def is_minimal_viably_complete(
         ):
             saw_world = True
             if is_minimal_ground_complete(
-                world, query, master, constraints, adom=adom, limit=limit
+                world, query, master, constraints, adom=adom, limit=limit,
+                engine=engine, workers=workers,
             ):
                 witness = world
                 break

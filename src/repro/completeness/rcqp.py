@@ -367,7 +367,10 @@ def _rcqp_engine_search(
                     # candidate built from fresh values needs further fresh
                     # values of its own to act as the "anything else"
                     # witnesses of Lemma 4.2.
-                    if is_ground_complete(candidate, query, master, constraints):
+                    if is_ground_complete(
+                        candidate, query, master, constraints,
+                        engine=spec.name, workers=workers,
+                    ):
                         return RCQPWitness(
                             found=True, witness=candidate,
                             instances_examined=examined,
@@ -459,7 +462,9 @@ def _rcqp_naive_search(
             # search Adom must not be reused, because a candidate built from
             # fresh values needs further fresh values of its own to act as the
             # "anything else" witnesses of Lemma 4.2.
-            if is_ground_complete(candidate, query, master, constraints):
+            if is_ground_complete(
+                candidate, query, master, constraints, engine="naive"
+            ):
                 return RCQPWitness(found=True, witness=candidate, instances_examined=examined)
     return RCQPWitness(found=False, witness=None, instances_examined=examined)
 

@@ -79,7 +79,8 @@ def find_strong_incompleteness_witness(
     for world in models(cinstance, master, constraints, adom, engine=engine, workers=workers):
         saw_world = True
         witness = find_ground_incompleteness_witness(
-            world, query, master, constraints, adom=adom, limit=limit
+            world, query, master, constraints, adom=adom, limit=limit,
+            engine=engine, workers=workers,
         )
         if witness is not None:
             return StrongIncompletenessWitness(world=world, ground_witness=witness)
@@ -168,6 +169,8 @@ def is_strongly_complete_bounded(
                 max_new_tuples=max_new_tuples,
                 adom=adom,
                 limit=limit,
+                engine=engine,
+                workers=workers,
             )
             if not ground:
                 witness = StrongIncompletenessWitness(

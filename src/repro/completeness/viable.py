@@ -59,7 +59,10 @@ def find_viable_witness(
     saw_world = False
     for world in models(cinstance, master, constraints, adom, engine=engine, workers=workers):
         saw_world = True
-        if is_ground_complete(world, query, master, constraints, adom=adom, limit=limit):
+        if is_ground_complete(
+            world, query, master, constraints, adom=adom, limit=limit,
+            engine=engine, workers=workers,
+        ):
             return world
     if not saw_world and require_consistent:
         raise InconsistentCInstanceError(
@@ -142,6 +145,8 @@ def is_viably_complete_bounded(
                 max_new_tuples=max_new_tuples,
                 adom=adom,
                 limit=limit,
+                engine=engine,
+                workers=workers,
             ):
                 witness = world
                 break

@@ -195,6 +195,7 @@ def is_weakly_complete_bounded(
             for extended in bounded_extensions(
                 world, master, constraints, adom,
                 max_new_tuples=max_new_tuples, limit=limit,
+                engine=engine, workers=workers,
             ):
                 any_extension = True
                 extended_answer = evaluate(query, extended)

@@ -152,12 +152,18 @@ def active_domain(
 # ---------------------------------------------------------------------------
 # conjunctive-body matching (shared by CQ, UCQ and FP rule bodies)
 # ---------------------------------------------------------------------------
-def _match_atom(
+def match_atom(
     atom: RelationAtom,
     row: Row,
     assignment: dict[Variable, Constant],
 ) -> dict[Variable, Constant] | None:
-    """Try to extend ``assignment`` so that ``atom`` maps onto ``row``."""
+    """Try to extend ``assignment`` so that ``atom`` maps onto ``row``.
+
+    Public companion of :func:`match_conjunction`: callers that seed a
+    conjunctive match from a known (atom, row) pair — e.g. the delta
+    constraint checker of :mod:`repro.search.propagation` — share the one
+    unification rule set instead of re-implementing it.
+    """
     if len(row) != atom.arity:
         raise ArityError(
             f"atom {atom!r} has arity {atom.arity} but relation row {row!r} "
@@ -277,8 +283,9 @@ def instantiate_head(
     return tuple(row)
 
 
-#: Internal alias kept for the evaluators below.
+#: Internal aliases kept for the evaluators below.
 _head_row = instantiate_head
+_match_atom = match_atom
 
 
 # ---------------------------------------------------------------------------

@@ -45,7 +45,7 @@ from repro.search.parallel import (
     resolve_workers,
     shutdown_pools,
 )
-from repro.search.propagation import ConstraintChecker
+from repro.search.propagation import CHECKER_MODES, CheckerSession, ConstraintChecker
 from repro.search.registry import (
     DEFAULT_ENGINE,
     EngineCapabilities,
@@ -60,6 +60,8 @@ from repro.search.registry import (
 from repro.search.sat_engine import SATSearchStats, SATWorldSearch
 
 __all__ = [
+    "CHECKER_MODES",
+    "CheckerSession",
     "ConstraintChecker",
     "DEFAULT_ENGINE",
     "EncodingStats",

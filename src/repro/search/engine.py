@@ -9,10 +9,11 @@ restriction (Proposition 3.3, Lemmas 4.2/5.2):
 
 * variables are assigned one at a time, ordered for early failure and early
   row completion (:mod:`repro.search.ordering`);
-* whenever a c-table row becomes fully grounded, its tuple joins the partial
-  world and the constraints touching that relation are re-checked
-  (:mod:`repro.search.propagation`) — a violated branch is pruned without
-  ever materialising its exponentially many completions;
+* whenever a c-table row becomes fully grounded, its tuple is *pushed* into
+  an incremental checker session (:mod:`repro.search.propagation`) that
+  delta-evaluates only the constraint answers the new tuple can produce — a
+  violated branch is pruned without ever materialising its exponentially
+  many completions, and without re-running any constraint's full CQ;
 * for pure existence checks (:meth:`WorldSearch.has_world`), the fresh
   ``New`` values of the active domain are interchangeable, so the search
   explores only one representative per permutation class of fresh values
@@ -45,7 +46,7 @@ from repro.relational.domains import Constant
 from repro.relational.instance import GroundInstance, Row
 from repro.relational.master import MasterData
 from repro.search.ordering import order_variables
-from repro.search.propagation import ConstraintChecker
+from repro.search.propagation import CheckerSession, ConstraintChecker
 
 #: How many search nodes may elapse between two ``stop_check`` polls.
 STOP_CHECK_STRIDE = 64
@@ -215,46 +216,51 @@ class WorldSearch:
     # ------------------------------------------------------------------
     def search(self) -> Iterator[tuple[Valuation, GroundInstance]]:
         """Enumerate ``(µ, µ(T))`` pairs with ``(µ(T), D_m) |= V``."""
-        facts: dict[str, set[Row]] = {
-            name: set() for name in self._schema.relation_names
-        }
-        self._apply_level(0, {}, facts)
-        if not self._checker.check(facts):
+        session = self._checker.session(self._schema.relation_names)
+        if not self._push_level(session, 0, {}):
             # The tuples fixed by the ground rows already violate a CC; by
             # monotonicity no valuation can repair that.
             self.stats.pruned += 1
             return
-        yield from self._descend(0, {}, facts, 0)
+        yield from self._descend(0, {}, session, 0)
 
     def __iter__(self) -> Iterator[tuple[Valuation, GroundInstance]]:
         return self.search()
 
-    def _apply_level(
+    def _push_level(
         self,
+        session: CheckerSession,
         level: int,
         valuation: Valuation,
-        facts: dict[str, set[Row]],
-    ) -> list[tuple[str, Row]]:
-        """Ground the rows completed at ``level``; return the tuples added."""
-        added: list[tuple[str, Row]] = []
+    ) -> bool:
+        """Push the rows completed at ``level``; ``False`` on a violation.
+
+        The caller unwinds via :meth:`CheckerSession.pop_to` against a mark
+        taken before the call, so a partially applied level needs no special
+        handling — pops are symmetric with pushes either way.
+        """
         for name, row in self._completions[level]:
             ground = row.apply(valuation)
-            if ground is None or ground in facts[name]:
+            if ground is None:
                 continue
-            facts[name].add(ground)
-            added.append((name, ground))
-        return added
+            if not session.push(name, ground):
+                return False
+        # A level may complete without a single push (no rows ground here),
+        # in which case the session's standing verdict decides: at the root
+        # this is where an atom-free constraint's base violation surfaces.
+        return session.is_satisfied
 
     def _descend(
         self,
         depth: int,
         valuation: Valuation,
-        facts: dict[str, set[Row]],
+        session: CheckerSession,
         used_fresh: int,
     ) -> Iterator[tuple[Valuation, GroundInstance]]:
         if depth == len(self._order):
             world = GroundInstance(
-                self._schema, {name: tuple(rows) for name, rows in facts.items()}
+                self._schema,
+                {name: tuple(rows) for name, rows in session.facts.items()},
             )
             self.stats.worlds += 1
             yield dict(valuation), world
@@ -279,15 +285,12 @@ class WorldSearch:
             ):
                 raise SearchCancelledError("world search cancelled by stop_check")
             valuation[variable] = value
-            added = self._apply_level(depth + 1, valuation, facts)
-            if not added or self._checker.check(
-                facts, touched={name for name, _row in added}
-            ):
-                yield from self._descend(depth + 1, valuation, facts, next_used)
+            mark = session.mark()
+            if self._push_level(session, depth + 1, valuation):
+                yield from self._descend(depth + 1, valuation, session, next_used)
             else:
                 self.stats.pruned += 1
-            for name, ground in added:
-                facts[name].discard(ground)
+            session.pop_to(mark)
             del valuation[variable]
 
     # ------------------------------------------------------------------

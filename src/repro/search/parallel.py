@@ -152,18 +152,37 @@ atexit.register(shutdown_pools)
 # ---------------------------------------------------------------------------
 # worker-side shard execution
 # ---------------------------------------------------------------------------
-#: ``(cinstance, master, constraints, adom, order, break_symmetry)``.
+#: ``(cinstance, master, constraints, adom, order, break_symmetry, checker_mode)``.
 _Payload = tuple
+
+# One-slot per-worker checker cache.  A run farms many shard chunks to each
+# worker, and every chunk used to rebuild the ConstraintChecker — paying the
+# right-hand-side CQ evaluation per shard.  Constraint contexts are value
+# objects (MasterData and ContainmentConstraint define structural equality),
+# so the worker keeps the checker of the last-seen ``(master, constraints)``
+# pair and reuses it whenever the next chunk carries an equal pair.
+_WORKER_CHECKER: tuple | None = None
+
+
+def _worker_checker(master, constraints, mode: str) -> ConstraintChecker:
+    global _WORKER_CHECKER
+    key = (master, tuple(constraints), mode)
+    if _WORKER_CHECKER is not None and _WORKER_CHECKER[0] == key:
+        return _WORKER_CHECKER[1]
+    checker = ConstraintChecker(master, constraints, mode=mode)
+    _WORKER_CHECKER = (key, checker)
+    return checker
 
 
 def _shard_search(payload: _Payload, prefix: Mapping[Variable, Constant], **kwargs):
-    cinstance, master, constraints, adom, order, break_symmetry = payload
+    cinstance, master, constraints, adom, order, break_symmetry, checker_mode = payload
     return WorldSearch(
         cinstance,
         master,
         constraints,
         adom,
         break_symmetry=break_symmetry,
+        checker=_worker_checker(master, constraints, checker_mode),
         order=order,
         pool_overrides={variable: [value] for variable, value in prefix.items()},
         **kwargs,
@@ -377,6 +396,9 @@ class ParallelWorldSearch:
         return total < self._min_parallel
 
     def _payload(self, break_symmetry: bool) -> _Payload:
+        # Workers rebuild (and cache) their own checkers; shipping the mode
+        # keeps a facade-configured mode="full" honest in every process.
+        mode = self._checker.mode if self._checker is not None else "delta"
         return (
             self._cinstance,
             self._master,
@@ -384,6 +406,7 @@ class ParallelWorldSearch:
             self._adom,
             self._order,
             break_symmetry,
+            mode,
         )
 
     def _chunks(self, prefixes: list[dict]) -> list[list[tuple[int, dict]]]:

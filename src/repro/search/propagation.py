@@ -10,44 +10,139 @@ from that partial valuation, so
     completion ``µ`` of the partial valuation,
 
 and the whole branch can be discarded.  :class:`ConstraintChecker`
-precomputes the (fixed) right-hand sides ``p(D_m)`` once and re-evaluates a
-constraint only when a relation mentioned by its left-hand side has gained a
-tuple since the last check.
+precomputes the (fixed) right-hand sides ``p(D_m)`` once.
+
+Two evaluation modes are available:
+
+* ``mode="delta"`` (the default) — **semi-naive delta evaluation**.  When a
+  tuple ``t`` joins relation ``R``, the only LHS answers that can newly
+  escape the right-hand side are those derived by a homomorphism using ``t``
+  somewhere.  For every LHS atom over ``R`` the checker seeds the CQ match
+  with ``atom ↦ t`` and joins the *remaining* atoms outward against the
+  already-grounded fact set; the union over seed positions covers exactly
+  the new answers.  The full left-hand side is never re-evaluated, which
+  cuts the per-tuple cost from ``O(|facts|^k)`` to ``O(|facts|^(k-1))`` for
+  a ``k``-atom constraint.
+* ``mode="full"`` — the original recompute-from-scratch path, kept as the
+  debug/oracle mode the differential test suite compares ``"delta"``
+  against: every touched constraint's whole CQ is re-evaluated via
+  :func:`~repro.queries.evaluation.evaluate_cq_on_facts`.
+
+The incremental surface is a :class:`CheckerSession` (created per search via
+:meth:`ConstraintChecker.session`): a ``push(relation, row)`` /- ``pop()``
+snapshot stack over a fact store owned by the session.  Sessions make the
+checker itself stateless, so one :class:`ConstraintChecker` can be shared by
+the :class:`repro.api.Database` facade, the parallel engine's workers and
+arbitrarily many concurrent searches.  Because CQ answers are monotone in
+the fact store, a push can only *add* violations and popping it removes
+exactly the violations it added — the session tracks per-push violation
+sets, so verdicts stay exact across any push/pop sequence (including pushes
+after a violation and pushes of already-present tuples).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import AbstractSet, Iterable, Mapping, Sequence
 
 from repro.constraints.containment import ContainmentConstraint
-from repro.queries.evaluation import evaluate_cq_on_facts
+from repro.exceptions import SearchError
+from repro.queries.atoms import Comparison, RelationAtom
+from repro.queries.evaluation import (
+    evaluate_cq_on_facts,
+    instantiate_head,
+    match_atom,
+    match_conjunction,
+)
+from repro.queries.terms import Term
 from repro.relational.instance import Row
 from repro.relational.master import MasterData
 
+#: The evaluation modes a :class:`ConstraintChecker` supports.
+CHECKER_MODES = ("delta", "full")
+
+
+@dataclass(frozen=True)
+class _Entry:
+    """One constraint with everything the delta evaluator precomputes."""
+
+    constraint: ContainmentConstraint
+    relations: frozenset[str]
+    rhs: frozenset[Row]
+    atoms: tuple[RelationAtom, ...]
+    comparisons: tuple[Comparison, ...]
+    head: tuple[Term, ...]
+    #: relation name → indices of the LHS atoms that can match a tuple of it.
+    seeds: Mapping[str, tuple[int, ...]]
+
 
 class ConstraintChecker:
-    """Containment-constraint checks with precomputed right-hand sides."""
+    """Containment-constraint checks with precomputed right-hand sides.
 
-    __slots__ = ("_entries",)
+    Parameters
+    ----------
+    master, constraints:
+        The constraint context; the right-hand sides ``p(D_m)`` are evaluated
+        once here and shared by every check and every session.
+    mode:
+        ``"delta"`` (default) for semi-naive incremental evaluation inside
+        sessions, ``"full"`` for the recompute-from-scratch oracle path.
+        Both modes agree on every verdict; ``"full"`` exists so differential
+        tests (and debugging) have an independent reference.
+    """
+
+    __slots__ = ("_entries", "_mode", "_base_violations", "_session")
 
     def __init__(
-        self, master: MasterData, constraints: Sequence[ContainmentConstraint]
+        self,
+        master: MasterData,
+        constraints: Sequence[ContainmentConstraint],
+        mode: str = "delta",
     ) -> None:
-        entries: list[tuple[ContainmentConstraint, frozenset[str], frozenset[Row]]] = []
-        for constraint in constraints:
-            entries.append(
-                (
-                    constraint,
-                    frozenset(constraint.query.relation_names()),
-                    constraint.right_answer(master),
-                )
+        if mode not in CHECKER_MODES:
+            raise SearchError(
+                f"checker mode must be one of {CHECKER_MODES}, got {mode!r}"
             )
+        entries: list[_Entry] = []
+        base_violations: frozenset[int]
+        base: set[int] = set()
+        for index, constraint in enumerate(constraints):
+            query = constraint.query
+            seeds: dict[str, tuple[int, ...]] = {}
+            for atom_index, atom in enumerate(query.atoms):
+                seeds[atom.relation] = seeds.get(atom.relation, ()) + (atom_index,)
+            entry = _Entry(
+                constraint=constraint,
+                relations=frozenset(query.relation_names()),
+                rhs=constraint.right_answer(master),
+                atoms=query.atoms,
+                comparisons=query.comparisons,
+                head=query.head,
+                seeds=seeds,
+            )
+            entries.append(entry)
+            if not entry.atoms:
+                # Atom-free constraints (constant/equality-only LHS) never
+                # touch a relation, so no push can ever re-check them; their
+                # verdict is fixed at construction time and seeded into every
+                # session as a base violation when it fails.
+                if not evaluate_cq_on_facts(query, {}) <= entry.rhs:
+                    base.add(index)
+        base_violations = frozenset(base)
         self._entries = entries
+        self._mode = mode
+        self._base_violations = base_violations
+        self._session: CheckerSession | None = None
+
+    @property
+    def mode(self) -> str:
+        """The evaluation mode (``"delta"`` or ``"full"``)."""
+        return self._mode
 
     @property
     def constraints(self) -> list[ContainmentConstraint]:
         """The constraints being checked, in input order."""
-        return [constraint for constraint, _relations, _rhs in self._entries]
+        return [entry.constraint for entry in self._entries]
 
     @property
     def entries(self) -> list[tuple[ContainmentConstraint, frozenset[str], frozenset[Row]]]:
@@ -57,8 +152,14 @@ class ConstraintChecker:
         :mod:`repro.search.cnf_encoding`) can share the per-master-data
         right-hand-side evaluation instead of redoing it.
         """
-        return list(self._entries)
+        return [
+            (entry.constraint, entry.relations, entry.rhs)
+            for entry in self._entries
+        ]
 
+    # ------------------------------------------------------------------
+    # stateless (full-evaluation) surface
+    # ------------------------------------------------------------------
     def check(
         self,
         facts: Mapping[str, AbstractSet[Row]],
@@ -71,12 +172,15 @@ class ConstraintChecker:
         whose left-hand side mentions one of those relations are re-evaluated;
         by the monotonicity argument above, the verdict for the others cannot
         have changed since they were last checked.
+
+        This surface always evaluates from scratch, regardless of the
+        checker's mode; incremental callers use a :class:`CheckerSession`.
         """
         touched_set = None if touched is None else set(touched)
-        for constraint, relations, rhs in self._entries:
-            if touched_set is not None and not (relations & touched_set):
+        for entry in self._entries:
+            if touched_set is not None and not (entry.relations & touched_set):
                 continue
-            if not evaluate_cq_on_facts(constraint.query, facts) <= rhs:
+            if not evaluate_cq_on_facts(entry.constraint.query, facts) <= entry.rhs:
                 return False
         return True
 
@@ -85,7 +189,174 @@ class ConstraintChecker:
     ) -> list[ContainmentConstraint]:
         """The constraints the fact store violates (diagnostic helper)."""
         return [
-            constraint
-            for constraint, _relations, rhs in self._entries
-            if not evaluate_cq_on_facts(constraint.query, facts) <= rhs
+            entry.constraint
+            for entry in self._entries
+            if not evaluate_cq_on_facts(entry.constraint.query, facts) <= entry.rhs
         ]
+
+    # ------------------------------------------------------------------
+    # incremental surface
+    # ------------------------------------------------------------------
+    def session(self, relation_names: Iterable[str] = ()) -> "CheckerSession":
+        """A fresh push/pop session over an (initially empty) fact store.
+
+        Sessions are independent: a shared checker can serve any number of
+        concurrent searches, each with its own session.
+        """
+        return CheckerSession(self, relation_names)
+
+    def reset(self, relation_names: Iterable[str] = ()) -> "CheckerSession":
+        """(Re)start the checker's own default session and return it.
+
+        Convenience for direct/interactive use (the engines create their own
+        sessions); :meth:`push` and :meth:`pop` delegate to this session.
+        """
+        self._session = self.session(relation_names)
+        return self._session
+
+    def push(self, relation: str, row: Row) -> bool:
+        """Push onto the default session (auto-created on first use)."""
+        if self._session is None:
+            self.reset()
+        return self._session.push(relation, row)
+
+    def pop(self) -> None:
+        """Pop the default session's most recent push."""
+        if self._session is None or not self._session.depth:
+            raise SearchError("pop() without a matching push()")
+        self._session.pop()
+
+    # ------------------------------------------------------------------
+    # per-push evaluation (used by sessions)
+    # ------------------------------------------------------------------
+    def _newly_violated(
+        self,
+        facts: Mapping[str, AbstractSet[Row]],
+        relation: str,
+        row: Row,
+        already: AbstractSet[int],
+    ) -> frozenset[int]:
+        """Indices of constraints newly violated by adding ``row`` to ``relation``.
+
+        ``facts`` must already contain the new row.  Constraints in
+        ``already`` are skipped — they were violated before this push, and by
+        monotonicity they stay violated until the pushes that violated them
+        are popped.
+        """
+        fresh: set[int] = set()
+        for index, entry in enumerate(self._entries):
+            if index in already or relation not in entry.seeds:
+                continue
+            if self._mode == "full":
+                if not evaluate_cq_on_facts(entry.constraint.query, facts) <= entry.rhs:
+                    fresh.add(index)
+            elif self._delta_violates(entry, facts, relation, row):
+                fresh.add(index)
+        return frozenset(fresh)
+
+    def _delta_violates(
+        self,
+        entry: _Entry,
+        facts: Mapping[str, AbstractSet[Row]],
+        relation: str,
+        row: Row,
+    ) -> bool:
+        """Whether some *new* LHS answer (one using ``row``) escapes the RHS.
+
+        Seeds the conjunctive match at every LHS atom over ``relation`` in
+        turn: a new homomorphism must map at least one such atom onto the new
+        tuple, and the remaining atoms join against the full fact store
+        (which already contains the tuple, covering homomorphisms that use it
+        several times).
+        """
+        for atom_index in entry.seeds[relation]:
+            seed = match_atom(entry.atoms[atom_index], row, {})
+            if seed is None:
+                continue
+            rest = entry.atoms[:atom_index] + entry.atoms[atom_index + 1:]
+            for assignment in match_conjunction(
+                rest, entry.comparisons, facts, initial=seed
+            ):
+                if instantiate_head(entry.head, assignment) not in entry.rhs:
+                    return True
+        return False
+
+
+#: Trail record of one push: ``(relation, row, added, newly_violated)``.
+_TrailEntry = tuple
+
+
+class CheckerSession:
+    """A push/pop snapshot stack over a session-owned fact store.
+
+    ``push(relation, row)`` adds a tuple and returns whether the store still
+    satisfies every constraint; ``pop()`` undoes the most recent push
+    exactly (facts *and* violation bookkeeping).  Pushing a tuple that is
+    already present is a recorded no-op: the verdict is unchanged and the
+    matching ``pop()`` does not remove the tuple.
+
+    The monotonicity of CQ answers in the fact store makes the bookkeeping
+    exact: a push can only introduce violations, never repair one, so the
+    set of violated constraints is the union of the per-push violation sets
+    on the trail (plus any atom-free base violations fixed at checker
+    construction).
+    """
+
+    __slots__ = ("_checker", "facts", "_trail", "_violated")
+
+    def __init__(
+        self, checker: ConstraintChecker, relation_names: Iterable[str] = ()
+    ) -> None:
+        self._checker = checker
+        self.facts: dict[str, set[Row]] = {name: set() for name in relation_names}
+        self._trail: list[_TrailEntry] = []
+        self._violated: set[int] = set(checker._base_violations)
+
+    @property
+    def depth(self) -> int:
+        """The number of pushes currently on the trail."""
+        return len(self._trail)
+
+    @property
+    def is_satisfied(self) -> bool:
+        """Whether the current fact store satisfies every constraint."""
+        return not self._violated
+
+    def violated_constraints(self) -> list[ContainmentConstraint]:
+        """The constraints currently violated, in input order."""
+        entries = self._checker._entries
+        return [entries[index].constraint for index in sorted(self._violated)]
+
+    def push(self, relation: str, row: Row) -> bool:
+        """Add ``row`` to ``relation``; return whether all constraints hold."""
+        store = self.facts.setdefault(relation, set())
+        if row in store:
+            self._trail.append((relation, row, False, frozenset()))
+            return not self._violated
+        store.add(row)
+        fresh = self._checker._newly_violated(self.facts, relation, row, self._violated)
+        self._violated |= fresh
+        self._trail.append((relation, row, True, fresh))
+        return not self._violated
+
+    def pop(self) -> None:
+        """Undo the most recent push (facts and violation state)."""
+        if not self._trail:
+            raise SearchError("pop() without a matching push()")
+        relation, row, added, fresh = self._trail.pop()
+        if added:
+            self.facts[relation].discard(row)
+        self._violated -= fresh
+
+    def mark(self) -> int:
+        """A snapshot token for :meth:`pop_to` (the current trail depth)."""
+        return len(self._trail)
+
+    def pop_to(self, mark: int) -> None:
+        """Pop until the trail is back at the given snapshot token."""
+        while len(self._trail) > mark:
+            self.pop()
+
+    def check_full(self) -> bool:
+        """Full re-evaluation of the current store (cross-check helper)."""
+        return self._checker.check(self.facts)

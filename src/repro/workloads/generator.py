@@ -22,6 +22,7 @@ All generators are deterministic given their ``seed``.
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass
 from typing import Sequence
@@ -39,7 +40,7 @@ from repro.queries.cq import ConjunctiveQuery, boolean_cq, cq
 from repro.queries.fp import FixpointQuery, fixpoint_query, rule
 from repro.queries.terms import Variable, var
 from repro.queries.ucq import UnionOfConjunctiveQueries, ucq_from
-from repro.relational.domains import BOOLEAN_DOMAIN
+from repro.relational.domains import BOOLEAN_DOMAIN, Domain
 from repro.relational.instance import GroundInstance, instance
 from repro.relational.master import MasterData, empty_master
 from repro.relational.schema import DatabaseSchema, RelationSchema, database_schema, schema
@@ -351,3 +352,92 @@ def point_queries_for_keys(keys: Sequence[str]) -> list[ConjunctiveQuery]:
     return [
         cq(f"Point_{key}", [v], atoms=[atom("Record", key, v)]) for key in keys
     ]
+
+
+@dataclass(frozen=True)
+class WideConstraintWorkload:
+    """A wide-LHS constraint workload (the delta checker's target regime)."""
+
+    schema: DatabaseSchema
+    master: MasterData
+    constraints: list[ContainmentConstraint]
+    cinstance: CInstance
+    ground_rows: int
+    variable_rows: int
+    width: int
+    values: int
+
+
+def wide_constraint_workload(
+    ground_rows: int = 18,
+    variable_rows: int = 3,
+    width: int = 3,
+    values: int = 3,
+) -> WideConstraintWorkload:
+    """Build the wide-constraint family targeted by the delta checker.
+
+    The schema is ``Record(key, value)`` with a finite ``values``-element
+    value domain; the c-instance holds ``ground_rows`` ground rows (one per
+    key, values cycling) plus ``variable_rows`` rows ``(kᵢ, wᵢ)`` with fresh
+    variables, and the single constraint is a **wide** containment
+
+        ``q(v₁, …, v_w) :- Record(x₁, v₁), …, Record(x_w, v_w)
+        ⊆ π(Allowed)``
+
+    whose ``Allowed`` master relation holds the full ``values^width`` value
+    combinations — the constraint never fires, so every engine walks the
+    same (small) search tree, but *checking* it on every new tuple is the
+    per-node cost the benchmark measures.  Re-evaluating the whole LHS per
+    grounded tuple joins ``|Record|^width`` atom combinations; the delta
+    checker seeds each of the ``width`` atoms with the new tuple and joins
+    only the remaining ``width - 1`` outward, an ``O(|Record|/width)``
+    per-node advantage that grows with the instance.  The benchmark gate
+    (`bench_engine.py`) requires the delta mode to be ≥ 2x faster per node
+    than ``mode="full"`` on this family.
+    """
+    value_domain = Domain(
+        name=f"values{values}", values=frozenset(f"v{j}" for j in range(values))
+    )
+    db_schema = database_schema(
+        RelationSchema("Record", ["key", ("value", value_domain)])
+    )
+    allowed_attrs = [f"V{i}" for i in range(width)]
+    master_schema = database_schema(schema("Allowed", *allowed_attrs))
+    combos = [
+        tuple(f"v{j}" for j in combo)
+        for combo in itertools.product(range(values), repeat=width)
+    ]
+    master = MasterData(master_schema, {"Allowed": combos})
+
+    value_vars = [var(f"v{i}") for i in range(width)]
+    key_vars = [var(f"x{i}") for i in range(width)]
+    wide = cc(
+        cq(
+            "wide_values",
+            value_vars,
+            atoms=[
+                atom("Record", key_vars[i], value_vars[i]) for i in range(width)
+            ],
+        ),
+        projection("Allowed", *allowed_attrs),
+        name=f"width-{width}-values",
+    )
+
+    rows: list[CTableRow] = [
+        CTableRow((f"k{i}", f"v{i % values}")) for i in range(ground_rows)
+    ]
+    rows += [
+        CTableRow((f"k{ground_rows + j}", Variable(f"w{j}")))
+        for j in range(variable_rows)
+    ]
+    cinst = CInstance(db_schema, {"Record": CTable(db_schema["Record"], rows)})
+    return WideConstraintWorkload(
+        schema=db_schema,
+        master=master,
+        constraints=[wide],
+        cinstance=cinst,
+        ground_rows=ground_rows,
+        variable_rows=variable_rows,
+        width=width,
+        values=values,
+    )

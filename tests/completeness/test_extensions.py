@@ -33,7 +33,7 @@ from repro.completeness.consistency import (
     extension_witness,
     is_consistent,
     is_extensible,
-)
+)  # noqa: F401  (is_extensible exercised in the lazy-limit regression)
 from repro.completeness.extensions import (
     bounded_extensions,
     candidate_rows,
@@ -42,7 +42,8 @@ from repro.completeness.extensions import (
     tableau_extensions,
     tableau_valuations,
 )
-from repro.completeness.strong import is_strongly_complete
+from repro.completeness.ground import is_ground_complete_bounded
+from repro.completeness.strong import is_strongly_complete, is_strongly_complete_bounded
 from repro.completeness.weak import is_weakly_complete
 from repro.constraints.containment import (
     cc,
@@ -53,7 +54,7 @@ from repro.constraints.containment import (
 )
 from repro.ctables.cinstance import cinstance
 from repro.exceptions import BoundExceededError, InconsistentCInstanceError
-from repro.queries.atoms import atom, neq
+from repro.queries.atoms import atom, eq, neq
 from repro.queries.cq import cq
 from repro.queries.tableau import freeze
 from repro.queries.terms import var
@@ -62,6 +63,14 @@ from repro.relational.instance import empty_instance, instance
 from repro.relational.master import MasterData, empty_master
 from repro.relational.schema import RelationSchema, database_schema, schema
 from repro.utils.naming import is_fresh_constant
+
+# The brute-force oracles are shared with the four-way extension-parity suite
+# (tests/search/test_extension_parity.py); one definition, two consumers.
+from tests.search.harness import (
+    oracle_bounded_extensions,
+    oracle_candidate_rows,
+    oracle_single_tuple_extensions,
+)
 
 x, y = var("x"), var("y")
 
@@ -76,46 +85,6 @@ BOUND_CC = cc(
     projection("Rm", "A", "B"),
     name="r⊆rm",
 )
-
-
-# ---------------------------------------------------------------------------
-# the oracle
-# ---------------------------------------------------------------------------
-def oracle_candidate_rows(relation, adom):
-    pools = [adom.pool_for(attribute.domain) for attribute in relation.attributes]
-    return [tuple(combo) for combo in itertools.product(*pools)]
-
-
-def oracle_single_tuple_extensions(base, master, constraints, adom):
-    """All partially closed ``I ∪ {t}`` with ``t`` an Adom tuple not in ``I``."""
-    extensions = set()
-    for name in base.schema.relation_names:
-        for row in oracle_candidate_rows(base.schema[name], adom):
-            if row in base.relation(name).rows:
-                continue
-            extended = base.with_tuple(name, row)
-            if satisfies_all(extended, master, constraints):
-                extensions.add(extended)
-    return extensions
-
-
-def oracle_bounded_extensions(base, master, constraints, adom, max_new_tuples):
-    """All partially closed supersets of ``I`` adding ≤ k Adom tuples."""
-    universe = [
-        (name, row)
-        for name in base.schema.relation_names
-        for row in oracle_candidate_rows(base.schema[name], adom)
-        if row not in base.relation(name).rows
-    ]
-    results = set()
-    for count in range(1, max_new_tuples + 1):
-        for combo in itertools.combinations(universe, count):
-            extended = base
-            for name, row in combo:
-                extended = extended.with_tuple(name, row)
-            if extended != base and satisfies_all(extended, master, constraints):
-                results.add(extended)
-    return results
 
 
 # ---------------------------------------------------------------------------
@@ -152,15 +121,16 @@ class TestCandidateRows:
 # single-tuple extensions vs the oracle
 # ---------------------------------------------------------------------------
 class TestSingleTupleExtensions:
+    @pytest.mark.parametrize("engine", ["naive", "propagating", "sat", "parallel"])
     @pytest.mark.parametrize(
         "base_rows",
         [[], [(0, 0)], [(0, 0), (1, 1)]],
     )
-    def test_matches_oracle(self, base_rows):
+    def test_matches_oracle(self, base_rows, engine):
         base = instance(BOOL_PAIR_SCHEMA, R=base_rows)
         adom = extensibility_active_domain(base, MASTER_PAIR, [BOUND_CC])
         produced = set(
-            single_tuple_extensions(base, MASTER_PAIR, [BOUND_CC], adom)
+            single_tuple_extensions(base, MASTER_PAIR, [BOUND_CC], adom, engine=engine)
         )
         assert produced == oracle_single_tuple_extensions(
             base, MASTER_PAIR, [BOUND_CC], adom
@@ -184,6 +154,22 @@ class TestSingleTupleExtensions:
         adom = extensibility_active_domain(base, MASTER_PAIR, [BOUND_CC])
         with pytest.raises(BoundExceededError):
             list(single_tuple_extensions(base, MASTER_PAIR, [BOUND_CC], adom, limit=1))
+
+    def test_early_witness_beats_a_tight_limit(self):
+        # Historical lazy-limit semantics: a valid extension that sits early
+        # in candidate-pool order is found and returned before the budget
+        # trips, even though the full universe (4) exceeds the budget (1);
+        # the same probe drained to exhaustion still raises.
+        base = instance(BOOL_PAIR_SCHEMA, R=[])
+        adom = extensibility_active_domain(base, MASTER_PAIR, [BOUND_CC])
+        first = next(
+            single_tuple_extensions(base, MASTER_PAIR, [BOUND_CC], adom, limit=1)
+        )
+        assert (0, 0) in first["R"]
+        assert has_partially_closed_extension(
+            base, MASTER_PAIR, [BOUND_CC], adom, limit=1
+        )
+        assert is_extensible(base, MASTER_PAIR, [BOUND_CC], adom, limit=1).holds
 
     def test_has_extension_agrees_with_oracle(self):
         # The full Rm-image base admits no strict extension inside Rm.
@@ -243,18 +229,33 @@ class TestTableauExtensions:
                 )
             )
 
+    def test_early_witness_beats_a_tight_limit(self):
+        # Lazy-limit semantics for the tableau route: the ν = {x↦0, y↦0}
+        # valuation is first in enumeration order and partially closed, so a
+        # budget of 1 still yields it; draining past the budget raises.
+        base = instance(BOOL_PAIR_SCHEMA, R=[(0, 0)])
+        adom = extensibility_active_domain(base, MASTER_PAIR, [BOUND_CC])
+        query = cq("Q", [x, y], atoms=[atom("R", x, y)])
+        valuation, extended = next(
+            tableau_extensions(base, query, MASTER_PAIR, [BOUND_CC], adom, limit=1)
+        )
+        assert valuation == {x: 0, y: 0}
+        assert extended == base
+
 
 # ---------------------------------------------------------------------------
 # bounded extensions vs the oracle
 # ---------------------------------------------------------------------------
 class TestBoundedExtensions:
+    @pytest.mark.parametrize("engine", ["naive", "propagating", "sat", "parallel"])
     @pytest.mark.parametrize("max_new_tuples", [1, 2])
-    def test_matches_oracle(self, max_new_tuples):
+    def test_matches_oracle(self, max_new_tuples, engine):
         base = instance(BOOL_PAIR_SCHEMA, R=[])
         adom = extensibility_active_domain(base, MASTER_PAIR, [BOUND_CC])
         produced = set(
             bounded_extensions(
-                base, MASTER_PAIR, [BOUND_CC], adom, max_new_tuples=max_new_tuples
+                base, MASTER_PAIR, [BOUND_CC], adom,
+                max_new_tuples=max_new_tuples, engine=engine,
             )
         )
         assert produced == oracle_bounded_extensions(
@@ -282,6 +283,77 @@ class TestBoundedExtensions:
                     max_new_tuples=2, limit=3,
                 )
             )
+
+
+# ---------------------------------------------------------------------------
+# regression: a bounded-extension budget hit exactly at the last candidate
+# ---------------------------------------------------------------------------
+class TestBoundedLimitExactRegression:
+    """``limit`` counts *distinct* extensions, so an exact budget completes.
+
+    Before the fix, ``bounded_extensions`` charged duplicate extensions (the
+    same 2-tuple superset reached along both addition orders) against the
+    budget, so a ``limit`` equal to the number of distinct extensions
+    spuriously raised :class:`BoundExceededError` on a trailing duplicate —
+    and that raise escaped the bounded deciders *before* they could return
+    their ``require_consistent``-aware verdict.
+    """
+
+    BOOL_UNARY = database_schema(RelationSchema("R", [("A", BOOLEAN_DOMAIN)]))
+
+    def _context(self):
+        base = empty_instance(self.BOOL_UNARY)
+        master = empty_master(database_schema(schema("M", "A")))
+        adom = extensibility_active_domain(base, master, [])
+        return base, master, adom
+
+    def test_exact_budget_completes_despite_trailing_duplicate(self):
+        base, master, adom = self._context()
+        # Distinct extensions of ∅ by ≤ 2 Boolean tuples: {0}, {1}, {0,1};
+        # the old per-candidate counter saw 4 (the duplicate {1,0} order).
+        produced = list(
+            bounded_extensions(base, master, [], adom, max_new_tuples=2, limit=3)
+        )
+        assert len(produced) == 3
+        assert produced == list(dict.fromkeys(produced))
+        with pytest.raises(BoundExceededError):
+            list(bounded_extensions(base, master, [], adom, max_new_tuples=2, limit=2))
+
+    def test_bounded_decider_survives_an_exact_budget(self):
+        base, master, adom = self._context()
+        # A constant-answer query: no extension changes it, so the decider
+        # must drain all three distinct extensions — exactly the budget.
+        constant_query = cq("Q", [], comparisons=[eq(1, 1)])
+        exact = is_ground_complete_bounded(
+            base, constant_query, master, [], max_new_tuples=2, adom=adom, limit=3
+        )
+        unlimited = is_ground_complete_bounded(
+            base, constant_query, master, [], max_new_tuples=2, adom=adom
+        )
+        assert exact.holds is True
+        assert exact == unlimited
+
+    def test_strong_bounded_with_exact_budget_and_require_consistent(self):
+        _base, master, _adom = self._context()
+        constant_query = cq("Q", [], comparisons=[eq(1, 1)])
+        T = cinstance(self.BOOL_UNARY)  # one world: the empty instance
+        verdict = is_strongly_complete_bounded(
+            T, constant_query, master, [], max_new_tuples=2, limit=3
+        )
+        assert verdict.holds is True
+        # The flag keeps working when the budget is tight: an inconsistent
+        # input still raises by default and goes vacuous with the flag off.
+        forbid_all = denial_cc(cq("forbid", [x], atoms=[atom("R", x)]))
+        bad = cinstance(self.BOOL_UNARY, R=[(x,)])
+        with pytest.raises(InconsistentCInstanceError):
+            is_strongly_complete_bounded(
+                bad, constant_query, master, [forbid_all],
+                max_new_tuples=2, limit=3,
+            )
+        assert is_strongly_complete_bounded(
+            bad, constant_query, master, [forbid_all],
+            max_new_tuples=2, limit=3, require_consistent=False,
+        ).holds is True
 
 
 # ---------------------------------------------------------------------------

@@ -11,7 +11,14 @@ reference enumeration in one call:
 * :func:`assert_decider_parity` — identical verdicts from an
   ``engine``-accepting decision procedure across engines;
 * :func:`assert_workers_independent` — the parallel engine's results do not
-  depend on the ``workers`` count or on the order shards are submitted in.
+  depend on the ``workers`` count or on the order shards are submitted in;
+* :func:`assert_extension_engine_parity` — the engine-routed extension
+  searches of :mod:`repro.completeness.extensions` (single-tuple, tableau,
+  bounded) produce identical results from every engine *and* agree with
+  independent brute-force oracles built straight from ``itertools.product``
+  over the Adom pools plus :func:`satisfies_all` on complete instances —
+  the :data:`EXTENSION_FIXTURES` family feeds it ground instances covering
+  finite domains, saturated bounds, joins and comparison-laden tableaux.
 
 New engines join the corpus by being added to :data:`ALL_ENGINES`; every
 parity test in ``tests/search`` routes through this module, so a fifth
@@ -21,10 +28,25 @@ construction.
 
 from __future__ import annotations
 
+import itertools
 from collections import Counter
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.completeness.consistency import extensibility_active_domain
+from repro.completeness.extensions import (
+    bounded_extensions,
+    has_partially_closed_extension,
+    single_tuple_extensions,
+    tableau_extensions,
+)
+from repro.constraints.containment import (
+    cc,
+    denial_cc,
+    projection,
+    relation_containment_cc,
+    satisfies_all,
+)
 from repro.ctables.possible_worlds import (
     default_active_domain,
     has_model,
@@ -32,6 +54,13 @@ from repro.ctables.possible_worlds import (
     models,
     models_with_valuations,
 )
+from repro.queries.atoms import atom, neq
+from repro.queries.cq import cq
+from repro.queries.terms import var
+from repro.relational.domains import BOOLEAN_DOMAIN
+from repro.relational.instance import instance
+from repro.relational.master import MasterData
+from repro.relational.schema import RelationSchema, database_schema, schema
 from repro.search.parallel import ParallelWorldSearch
 
 #: Every world-search engine the repository ships, reference first.
@@ -212,3 +241,244 @@ def assert_workers_independent(
                 reference = observed
             else:
                 assert observed == reference, (workers, shard_order)
+
+
+# ---------------------------------------------------------------------------
+# extension-search parity (engine-routed completeness/extensions.py)
+# ---------------------------------------------------------------------------
+def oracle_candidate_rows(relation, adom):
+    """The raw Adom candidate universe of a relation, straight from product."""
+    pools = [adom.pool_for(attribute.domain) for attribute in relation.attributes]
+    return [tuple(combo) for combo in itertools.product(*pools)]
+
+
+def oracle_single_tuple_extensions(base, master, constraints, adom):
+    """All partially closed ``I ∪ {t}`` with ``t`` an Adom tuple not in ``I``."""
+    extensions = set()
+    for name in base.schema.relation_names:
+        for row in oracle_candidate_rows(base.schema[name], adom):
+            if row in base.relation(name).rows:
+                continue
+            extended = base.with_tuple(name, row)
+            if satisfies_all(extended, master, constraints):
+                extensions.add(extended)
+    return extensions
+
+
+def oracle_tableau_extensions(base, query, master, constraints, adom):
+    """All ``(ν, I ∪ ν(T_Q))`` with comparisons satisfied and ``V`` preserved."""
+    from repro.queries.tableau import freeze
+
+    variables = sorted(query.variables(), key=lambda v: v.name)
+    pools = []
+    for variable in variables:
+        pool = adom.ordered()
+        for a in query.atoms:
+            if a.relation not in base.schema:
+                continue
+            rel_schema = base.schema[a.relation]
+            for attribute, term in zip(rel_schema.attributes, a.terms):
+                if term == variable and attribute.domain.is_finite:
+                    pool = [v for v in pool if v in adom.pool_for(attribute.domain)]
+        pools.append(pool)
+    results = set()
+    for combo in itertools.product(*pools):
+        valuation = dict(zip(variables, combo))
+        if not all(c.evaluate(valuation) for c in query.comparisons):
+            continue
+        extended = base.with_tuples(freeze(query.atoms, valuation))
+        if satisfies_all(extended, master, constraints):
+            results.add((frozenset(valuation.items()), extended))
+    return results
+
+
+def oracle_bounded_extensions(base, master, constraints, adom, max_new_tuples):
+    """All partially closed supersets of ``I`` adding ≤ k Adom tuples."""
+    universe = [
+        (name, row)
+        for name in base.schema.relation_names
+        for row in oracle_candidate_rows(base.schema[name], adom)
+        if row not in base.relation(name).rows
+    ]
+    results = set()
+    for count in range(1, max_new_tuples + 1):
+        for combo in itertools.combinations(universe, count):
+            extended = base
+            for name, row in combo:
+                extended = extended.with_tuple(name, row)
+            if extended != base and satisfies_all(extended, master, constraints):
+                results.add(extended)
+    return results
+
+
+@dataclass(frozen=True)
+class ExtensionFixture:
+    """One extension-search input: a ground instance plus its CC context."""
+
+    label: str
+    base: object  # GroundInstance
+    master: object  # MasterData
+    constraints: tuple
+    query: object  # ConjunctiveQuery driving the tableau search
+    max_new_tuples: int = 2
+
+
+def _extension_fixtures() -> list[ExtensionFixture]:
+    x, y = var("x"), var("y")
+    bool_pair = database_schema(
+        RelationSchema("R", [("A", BOOLEAN_DOMAIN), ("B", BOOLEAN_DOMAIN)])
+    )
+    master_pair = MasterData(
+        database_schema(schema("Rm", "A", "B")), {"Rm": [(0, 0), (1, 1)]}
+    )
+    bound = cc(
+        cq("bound", [x, y], atoms=[atom("R", x, y)]),
+        projection("Rm", "A", "B"),
+        name="r⊆rm",
+    )
+    two_rel = database_schema(schema("P", "A", "B"), schema("S", "A"))
+    two_master = MasterData(
+        database_schema(schema("Pm", "A", "B"), schema("Sm", "A")),
+        {"Pm": [("a", "b"), ("b", "c")], "Sm": [("a",), ("c",)]},
+    )
+    saturated_master = MasterData(
+        database_schema(
+            RelationSchema("Rm", [("A", BOOLEAN_DOMAIN), ("B", BOOLEAN_DOMAIN)])
+        ),
+        {"Rm": [(1, 1)]},
+    )
+    return [
+        ExtensionFixture(
+            label="bool-pair-empty",
+            base=instance(bool_pair, R=[]),
+            master=master_pair,
+            constraints=(bound,),
+            query=cq("Q", [x, y], atoms=[atom("R", x, y)]),
+        ),
+        ExtensionFixture(
+            label="bool-pair-seeded",
+            base=instance(bool_pair, R=[(0, 0)]),
+            master=master_pair,
+            constraints=(bound,),
+            query=cq("Q", [x], atoms=[atom("R", x, y)], comparisons=[neq(x, y)]),
+        ),
+        ExtensionFixture(
+            label="saturated-bound",
+            base=instance(bool_pair, R=[(1, 1)]),
+            master=saturated_master,
+            constraints=(relation_containment_cc("R", bool_pair, "Rm"),),
+            query=cq("Q", [x], atoms=[atom("R", x, x)]),
+        ),
+        ExtensionFixture(
+            label="two-relations-joined",
+            base=instance(two_rel, P=[("a", "b")], S=[("a",)]),
+            master=two_master,
+            constraints=(
+                cc(
+                    cq("p_bound", [x, y], atoms=[atom("P", x, y)]),
+                    projection("Pm", "A", "B"),
+                    name="p⊆pm",
+                ),
+                cc(
+                    cq("s_bound", [x], atoms=[atom("S", x)]),
+                    projection("Sm", "A"),
+                    name="s⊆sm",
+                ),
+                denial_cc(
+                    cq("no_join", [x], atoms=[atom("P", x, y), atom("S", y)]),
+                    name="p⋈s=∅",
+                ),
+            ),
+            query=cq("Q", [x, y], atoms=[atom("P", x, y), atom("S", x)]),
+            max_new_tuples=1,
+        ),
+    ]
+
+
+#: The extension-search fixture family every engine is run over.
+EXTENSION_FIXTURES = _extension_fixtures()
+
+
+@dataclass
+class ExtensionObservation:
+    """Everything one engine reports about one extension-search fixture."""
+
+    engine: str
+    single: frozenset
+    tableau: frozenset
+    bounded: frozenset
+    has_extension: bool
+
+
+def observe_extensions(
+    fixture: ExtensionFixture, engine: str, workers=None
+) -> ExtensionObservation:
+    """Run one fixture's three extension searches through one engine."""
+    adom = extensibility_active_domain(
+        fixture.base, fixture.master, list(fixture.constraints)
+    )
+    return ExtensionObservation(
+        engine=engine,
+        single=frozenset(
+            single_tuple_extensions(
+                fixture.base, fixture.master, fixture.constraints, adom,
+                engine=engine, workers=workers,
+            )
+        ),
+        tableau=frozenset(
+            (frozenset(valuation.items()), extended)
+            for valuation, extended in tableau_extensions(
+                fixture.base, fixture.query, fixture.master,
+                fixture.constraints, adom, engine=engine, workers=workers,
+            )
+        ),
+        bounded=frozenset(
+            bounded_extensions(
+                fixture.base, fixture.master, fixture.constraints, adom,
+                max_new_tuples=fixture.max_new_tuples,
+                engine=engine, workers=workers,
+            )
+        ),
+        has_extension=has_partially_closed_extension(
+            fixture.base, fixture.master, fixture.constraints, adom,
+            engine=engine, workers=workers,
+        ),
+    )
+
+
+def assert_extension_engine_parity(
+    fixture: ExtensionFixture,
+    engines: Sequence[str] = CHECKED_ENGINES,
+    workers=None,
+) -> dict[str, ExtensionObservation]:
+    """Every engine agrees with the naive reference *and* the oracles."""
+    adom = extensibility_active_domain(
+        fixture.base, fixture.master, list(fixture.constraints)
+    )
+    expected_single = oracle_single_tuple_extensions(
+        fixture.base, fixture.master, fixture.constraints, adom
+    )
+    expected_tableau = oracle_tableau_extensions(
+        fixture.base, fixture.query, fixture.master, fixture.constraints, adom
+    )
+    expected_bounded = oracle_bounded_extensions(
+        fixture.base, fixture.master, fixture.constraints, adom,
+        fixture.max_new_tuples,
+    )
+    reference = observe_extensions(fixture, REFERENCE_ENGINE, workers=workers)
+    assert reference.single == expected_single, fixture.label
+    assert reference.tableau == expected_tableau, fixture.label
+    assert reference.bounded == expected_bounded, fixture.label
+    assert reference.has_extension == bool(expected_single), fixture.label
+    observations = {REFERENCE_ENGINE: reference}
+    for engine in engines:
+        observed = observe_extensions(fixture, engine, workers=workers)
+        observations[engine] = observed
+        assert observed.single == reference.single, (fixture.label, engine)
+        assert observed.tableau == reference.tableau, (fixture.label, engine)
+        assert observed.bounded == reference.bounded, (fixture.label, engine)
+        assert observed.has_extension == reference.has_extension, (
+            fixture.label,
+            engine,
+        )
+    return observations
