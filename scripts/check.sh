@@ -3,22 +3,27 @@
 #
 # Runs, in order:
 #   1. ruff lint (skipped with a warning if ruff is not installed),
-#   2. the public-API stability check (tests/api/test_public_surface.py):
+#   2. static analysis: `mypy` under the strict profile of [tool.mypy] in
+#      pyproject.toml (skipped with a warning if mypy is not installed) and
+#      the reprolint AST invariant suite (pure stdlib, never skipped):
+#      determinism of world-enumeration order, CheckerSession push/pop
+#      balance, registry routing, Decision discipline, fork safety,
+#   3. the public-API stability check (tests/api/test_public_surface.py):
 #      repro.__all__, the Database facade signatures, the Decision /
 #      EngineConfig field lists and the built-in engine set must match the
 #      reviewed snapshot (regenerate deliberately with
 #      scripts/update_api_snapshot.py),
-#   3. the tier-1 test suite (includes the four-way engine-parity tests, the
+#   4. the tier-1 test suite (includes the four-way engine-parity tests, the
 #      extension-search parity suite and the facade-vs-functional parity
 #      suite), with `-p no:cacheprovider` so runs are stateless, and with
 #      coverage (`--cov=repro --cov-fail-under=$COV_FAIL_UNDER`) when
 #      pytest-cov is installed, so a PR cannot silently drop tested lines,
-#   4. the delta-vs-full checker differential suite (the tests carrying the
+#   5. the delta-vs-full checker differential suite (the tests carrying the
 #      `delta_differential` marker) as its own loudly-labelled step, so a
 #      semantics drift between the incremental and the recompute-from-scratch
 #      constraint checkers fails CI with an unambiguous banner even though
 #      the same tests also run inside the tier-1 suite,
-#   5. the engine smoke benchmark (four-way parity + the propagating-vs-naive,
+#   6. the engine smoke benchmark (four-way parity + the propagating-vs-naive,
 #      SAT-vs-propagating, parallel-vs-propagating and delta-vs-full checker
 #      perf gates; the parallel gate needs >= 4 host CPUs and reports itself
 #      as skipped on smaller machines), writing machine-readable results to
@@ -52,6 +57,24 @@ elif python -m ruff --version >/dev/null 2>&1; then
 else
     echo "ruff not installed; skipping lint (CI runs it in the lint job)"
 fi
+
+echo
+echo "== static analysis: mypy (strict profile) =="
+if [ "${SKIP_MYPY:-}" = "1" ]; then
+    echo "SKIP_MYPY=1; skipping mypy (CI runs it in the static-analysis job)"
+elif command -v mypy >/dev/null 2>&1; then
+    mypy
+elif python -c "import mypy" >/dev/null 2>&1; then
+    python -m mypy
+else
+    echo "mypy not installed; skipping (CI runs it in the static-analysis job)"
+fi
+
+echo
+echo "== static analysis: reprolint (repo-invariant AST lints) =="
+# Pure stdlib — always runs.  PYTHONPATH already carries src; the repo root
+# is needed so the tools/ package resolves.
+PYTHONPATH=".:${PYTHONPATH}" python -m tools.reprolint src tests benchmarks
 
 echo
 echo "== public API surface (snapshot gate) =="

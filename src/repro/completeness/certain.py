@@ -25,7 +25,7 @@ from repro.ctables.cinstance import CInstance
 from repro.ctables.possible_worlds import default_active_domain, models
 from repro.exceptions import InconsistentCInstanceError, QueryError
 from repro.queries.evaluation import Query, evaluate, is_monotone
-from repro.relational.instance import Row
+from repro.relational.instance import GroundInstance, Row
 from repro.relational.master import MasterData
 from repro.search.registry import EngineConfig
 
@@ -78,7 +78,7 @@ def certain_answer_over_models(
 
 
 def _world_contribution(
-    world,
+    world: GroundInstance,
     query: Query,
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],

@@ -176,6 +176,8 @@ def extension_witness(
     return None
 
 
+# reprolint: disable=R004 -- world-level predicate over one ground instance,
+# not a decider entry point; callers wrap it in Decision where needed.
 def is_partially_closed_world(
     instance: GroundInstance,
     master: MasterData,

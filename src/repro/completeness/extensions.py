@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 
 from repro.constraints.containment import ContainmentConstraint, satisfies_all
 from repro.ctables.adom import ActiveDomain
@@ -58,6 +58,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle
     from repro.search.registry import EngineConfig
 
 
+# reprolint: disable=R004 -- world-level predicate (one instance against V),
+# not a decider; Decision wrapping happens in consistency/ground deciders.
 def is_partially_closed(
     instance: GroundInstance,
     master: MasterData,
@@ -88,7 +90,7 @@ def candidate_pools(
     """
     fresh = set(adom.fresh_values)
 
-    def order(pool: list) -> list:
+    def order(pool: list[Constant]) -> list[Constant]:
         if not fresh_first:
             return pool
         return sorted(pool, key=lambda value: (value not in fresh, repr(value)))
@@ -203,6 +205,8 @@ def single_tuple_extensions(
             yield instance.with_tuple(name, row)
 
 
+# reprolint: disable=R004 -- boolean existence probe consumed by
+# is_extensible(), which wraps the verdict in a Decision with stats.
 def has_partially_closed_extension(
     instance: GroundInstance,
     master: MasterData,
@@ -331,7 +335,9 @@ def tableau_extensions(
         if variable not in row_variables
     ]
 
-    def merged_valuations(engine_valuation) -> Iterator[dict[Variable, Constant]]:
+    def merged_valuations(
+        engine_valuation: Mapping[Variable, Constant],
+    ) -> Iterator[dict[Variable, Constant]]:
         if not free:
             yield dict(engine_valuation)
             return

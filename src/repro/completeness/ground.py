@@ -37,7 +37,7 @@ from repro.queries.evaluation import (
     query_constants,
     query_variables,
 )
-from repro.relational.instance import GroundInstance
+from repro.relational.instance import GroundInstance, Row
 from repro.relational.master import MasterData
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle
@@ -56,7 +56,7 @@ class IncompletenessWitness:
 
     instance: GroundInstance
     extension: GroundInstance
-    new_answers: frozenset
+    new_answers: frozenset[Row]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

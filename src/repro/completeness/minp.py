@@ -22,7 +22,7 @@ The notion of minimality depends on the model (Section 2.2):
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.completeness.ground import is_ground_complete
 from repro.completeness.models import CompletenessModel
@@ -297,7 +297,7 @@ def minp(
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],
     model: CompletenessModel = CompletenessModel.STRONG,
-    **kwargs,
+    **kwargs: Any,
 ) -> Decision:
     """Alias of :func:`is_minimal_complete` using the paper's problem name."""
     return is_minimal_complete(database, query, master, constraints, model, **kwargs)

@@ -27,7 +27,7 @@ and the caller accepts heuristic answers for the undecidable cells.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.completeness.models import CompletenessModel
 from repro.completeness.strong import is_strongly_complete, is_strongly_complete_bounded
@@ -205,7 +205,7 @@ def rcdp(
     master: MasterData,
     constraints: Sequence[ContainmentConstraint],
     model: CompletenessModel = CompletenessModel.STRONG,
-    **kwargs,
+    **kwargs: Any,
 ) -> Decision:
     """Alias of :func:`is_relatively_complete` using the paper's problem name."""
     return is_relatively_complete(database, query, master, constraints, model, **kwargs)

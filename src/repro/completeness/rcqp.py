@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Iterator, Mapping, Sequence
 
 from repro.completeness.extensions import candidate_rows, tableau_valuations
 from repro.completeness.ground import ground_active_domain, is_ground_complete
@@ -39,7 +39,7 @@ from repro.ctables.cinstance import CInstance
 from repro.ctables.ctable import CTable, CTableRow
 from repro.decision import Decision, DecisionRecorder
 from repro.exceptions import QueryError
-from repro.search.engine import world_key
+from repro.search.engine import WorldKey, world_key
 from repro.search.propagation import ConstraintChecker
 from repro.search.registry import (
     EngineConfig,
@@ -149,6 +149,8 @@ def _ind_bounded_positions(
     return positions
 
 
+# reprolint: disable=R004 -- static query-shape classification (Lemma 4.4
+# boundedness), no search involved; not a decision procedure.
 def is_query_bounded(
     query: ConjunctiveQuery,
     schema: DatabaseSchema,
@@ -272,7 +274,7 @@ class RCQPWitness:
     instances_examined: int
 
 
-def _size_compositions(total: int, names: Sequence[str]):
+def _size_compositions(total: int, names: Sequence[str]) -> Iterator[dict[str, int]]:
     """All distributions of ``total`` tuples over the named relations."""
     if not names:
         if total == 0:
@@ -315,7 +317,7 @@ def _rcqp_engine_search(
     max_instances: int | None,
     spec: EngineSpec,
     workers: int | None = None,
-    options=None,
+    options: Mapping[str, Any] | None = None,
 ) -> RCQPWitness:
     """Witness search routed through a registered world-search engine.
 
@@ -339,7 +341,7 @@ def _rcqp_engine_search(
     # of re-evaluating the constraint right-hand sides per call.
     checker = ambient_checker() or ConstraintChecker(master, constraints)
     examined = 0
-    seen: set = set()
+    seen: set[WorldKey] = set()
     with use_checker(checker):
         for size in range(0, max_size + 1):
             for counts in _size_compositions(size, names):
@@ -452,7 +454,7 @@ def _rcqp_naive_search(
             examined += 1
             if max_instances is not None and examined > max_instances:
                 return RCQPWitness(found=False, witness=None, instances_examined=examined - 1)
-            grouped: dict[str, list] = {}
+            grouped: dict[str, list[Row]] = {}
             for name, row in combo:
                 grouped.setdefault(name, []).append(row)
             candidate = GroundInstance(schema, grouped)

@@ -133,7 +133,7 @@ class ContainmentConstraint:
     # ------------------------------------------------------------------
     # metadata used by the Adom construction and the deciders
     # ------------------------------------------------------------------
-    def constants(self) -> set:
+    def constants(self) -> set[Constant]:
         """Constants mentioned by the left-hand side query."""
         consts = set(self.query.constants())
         if isinstance(self.master_query, ConjunctiveQuery):
@@ -234,9 +234,11 @@ def violated_constraints(
     return [c for c in constraints if not c.is_satisfied(instance, master)]
 
 
-def constraint_set_constants(constraints: Iterable[ContainmentConstraint]) -> set:
+def constraint_set_constants(
+    constraints: Iterable[ContainmentConstraint],
+) -> set[Constant]:
     """All constants mentioned by a set of CCs."""
-    result: set = set()
+    result: set[Constant] = set()
     for c in constraints:
         result |= c.constants()
     return result

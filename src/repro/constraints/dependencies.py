@@ -53,7 +53,7 @@ class FunctionalDependency:
         schema = rel.schema
         lhs_pos = [schema.position_of(a) for a in self.lhs]
         rhs_pos = [schema.position_of(a) for a in self.rhs]
-        seen: dict[tuple, tuple] = {}
+        seen: dict[tuple[Constant, ...], tuple[Constant, ...]] = {}
         for row in rel.rows:
             key = tuple(row[p] for p in lhs_pos)
             value = tuple(row[p] for p in rhs_pos)
@@ -64,7 +64,7 @@ class FunctionalDependency:
 
     def violating_pairs(
         self, instance: GroundInstance
-    ) -> list[tuple[tuple, tuple]]:
+    ) -> list[tuple[tuple[Constant, ...], tuple[Constant, ...]]]:
         """Pairs of tuples witnessing a violation of the FD."""
         rel = instance.relation(self.relation)
         schema = rel.schema
@@ -180,7 +180,7 @@ class ConditionalFunctionalDependency:
         """The pattern components for the right-hand-side attributes."""
         return self.pattern[len(self.lhs):]
 
-    def _matches_lhs(self, row: tuple, positions: list[int]) -> bool:
+    def _matches_lhs(self, row: tuple[Constant, ...], positions: list[int]) -> bool:
         for value, pattern_value in zip(
             (row[p] for p in positions), self.lhs_pattern
         ):
@@ -203,7 +203,7 @@ class ConditionalFunctionalDependency:
                 if pattern_value != WILDCARD and value != pattern_value:
                     return False
         # Wildcard RHS components behave like an ordinary FD on the matching tuples.
-        seen: dict[tuple, tuple] = {}
+        seen: dict[tuple[Constant, ...], tuple[Constant, ...]] = {}
         for row in matching:
             key = tuple(row[p] for p in lhs_pos)
             value = tuple(row[p] for p in rhs_pos)
@@ -286,7 +286,7 @@ def satisfies_dependencies(
     return all(dep.is_satisfied(instance) for dep in dependencies)
 
 
-def schema_has_relation(schema: DatabaseSchema, dependency) -> bool:
+def schema_has_relation(schema: DatabaseSchema, dependency: Dependency) -> bool:
     """Whether the dependency's relation(s) exist in the schema."""
     if isinstance(dependency, InclusionDependency):
         return (

@@ -33,10 +33,12 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any
+from types import TracebackType
+from typing import TYPE_CHECKING, Any, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.completeness.models import CompletenessModel
+    from repro.protocols import WorldSearchEngine
 
 
 @dataclass(frozen=True)
@@ -141,13 +143,13 @@ class Decision:
         return self.holds
 
     @property
-    def certain_over_models(self):
+    def certain_over_models(self) -> Any:
         """Deprecated (was ``WeakCompletenessReport.certain_over_models``)."""
         _deprecated("certain_over_models", "Decision.details.certain_over_models")
         return self.details.certain_over_models
 
     @property
-    def certain_over_extensions(self):
+    def certain_over_extensions(self) -> Any:
         """Deprecated (was ``WeakCompletenessReport.certain_over_extensions``)."""
         _deprecated(
             "certain_over_extensions", "Decision.details.certain_over_extensions"
@@ -166,7 +168,9 @@ class Decision:
 # ---------------------------------------------------------------------------
 # recording decider runs
 # ---------------------------------------------------------------------------
-def aggregate_search_stats(searches: list, wall_time: float) -> DecisionStats:
+def aggregate_search_stats(
+    searches: "Sequence[WorldSearchEngine]", wall_time: float
+) -> DecisionStats:
     """Fold the stats of every engine object a decider created into one record.
 
     Works across the heterogeneous per-engine stats shapes: ``nodes`` comes
@@ -236,7 +240,7 @@ class DecisionRecorder:
         self.engine_used = (
             None if engine is NO_ENGINE else resolve_engine_name(engine)
         )
-        self._searches: list = []
+        self._searches: "list[WorldSearchEngine]" = []
         self._start = 0.0
         self.wall_time = 0.0
         self._collector: Any = None
@@ -249,7 +253,12 @@ class DecisionRecorder:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.wall_time = time.perf_counter() - self._start
         assert self._collector is not None
         self._collector.__exit__(exc_type, exc, tb)

@@ -18,7 +18,15 @@ they enumerate, so a naive exact evaluator is the right tool.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Iterator, Mapping, Protocol, Union, runtime_checkable
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Protocol,
+    Union,
+    runtime_checkable,
+)
 
 from repro.exceptions import ArityError, EvaluationError, QueryError
 from repro.queries.atoms import Comparison, ComparisonOp, RelationAtom
@@ -242,7 +250,9 @@ def match_conjunction(
     atoms = list(atoms)
     comparisons = list(comparisons)
 
-    def backtrack(index: int, assignment: dict[Variable, Constant]) -> Iterator[dict]:
+    def backtrack(
+        index: int, assignment: dict[Variable, Constant]
+    ) -> Iterator[dict[Variable, Constant]]:
         if index == len(atoms):
             completed = _propagate_equalities(comparisons, assignment)
             if completed is None:
@@ -365,7 +375,7 @@ def _quantify(
     facts: FactStore,
     domain: frozenset[Constant],
     env: dict[Variable, Constant],
-    combine,
+    combine: Callable[[Iterable[bool]], bool],
 ) -> bool:
     """Evaluate a block of quantified variables over the active domain."""
     ordered_domain = sorted(domain, key=repr)

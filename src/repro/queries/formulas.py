@@ -212,7 +212,9 @@ class _Quantifier(Formula):
     def relation_names(self) -> set[str]:
         return self.child.relation_names()
 
-    def _restricted(self, assignment: Mapping[Variable, ConstantTerm]) -> dict:
+    def _restricted(
+        self, assignment: Mapping[Variable, ConstantTerm]
+    ) -> dict[Variable, ConstantTerm]:
         return {v: c for v, c in assignment.items() if v not in set(self.variables)}
 
     def __repr__(self) -> str:

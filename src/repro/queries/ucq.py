@@ -8,7 +8,7 @@ answers of the disjuncts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.exceptions import QueryError
 from repro.queries.cq import ConjunctiveQuery
@@ -50,7 +50,7 @@ class UnionOfConjunctiveQueries:
     def __len__(self) -> int:
         return len(self.disjuncts)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
         return iter(self.disjuncts)
 
     def variables(self) -> set[Variable]:

@@ -66,22 +66,22 @@ def not_relation_schema(name: str = R_NOT) -> RelationSchema:
     return RelationSchema(name, [("A", BOOLEAN_DOMAIN), ("NotA", BOOLEAN_DOMAIN)])
 
 
-def bool_rows() -> list[tuple[int]]:
+def bool_rows() -> list[tuple[int, ...]]:
     """The rows of ``I_(0,1)`` (Figure 2)."""
     return [(1,), (0,)]
 
 
-def or_rows() -> list[tuple[int, int, int]]:
+def or_rows() -> list[tuple[int, ...]]:
     """The rows of ``I_∨`` (Figure 2)."""
     return [(a, b, int(bool(a) or bool(b))) for a, b in itertools.product((0, 1), repeat=2)]
 
 
-def and_rows() -> list[tuple[int, int, int]]:
+def and_rows() -> list[tuple[int, ...]]:
     """The rows of ``I_∧`` (Figure 2)."""
     return [(a, b, int(bool(a) and bool(b))) for a, b in itertools.product((0, 1), repeat=2)]
 
 
-def not_rows() -> list[tuple[int, int]]:
+def not_rows() -> list[tuple[int, ...]]:
     """The rows of ``I_¬`` (Figure 2)."""
     return [(0, 1), (1, 0)]
 
@@ -100,7 +100,7 @@ def gadget_relation(name: str, kind: str) -> Relation:
     return Relation(schema_builder(name), rows_builder())
 
 
-def gadget_rows() -> dict[str, list[tuple]]:
+def gadget_rows() -> dict[str, list[tuple[int, ...]]]:
     """Rows of all four gadget relations keyed by their canonical database names."""
     return {
         R_BOOL: bool_rows(),
@@ -110,7 +110,7 @@ def gadget_rows() -> dict[str, list[tuple]]:
     }
 
 
-def master_gadget_rows() -> dict[str, list[tuple]]:
+def master_gadget_rows() -> dict[str, list[tuple[int, ...]]]:
     """Rows of the master copies of the gadget relations (plus the empty relation)."""
     return {
         RM_BOOL: bool_rows(),

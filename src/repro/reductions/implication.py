@@ -54,7 +54,7 @@ class ImplicationReduction:
     query: ConjunctiveQuery
     master: MasterData
     constraints: list[ContainmentConstraint]
-    dependencies: list
+    dependencies: list["FunctionalDependency | InclusionDependency"]
     candidate: FunctionalDependency
     empty_db: GroundInstance
 

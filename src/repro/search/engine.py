@@ -63,7 +63,12 @@ class SearchStats:
     symmetry_skips: int = 0
 
 
-def world_key(world: GroundInstance) -> tuple[frozenset[Row], ...]:
+#: The canonical world form produced by :func:`world_key`: the relations'
+#: row sets in schema order.
+WorldKey = tuple[frozenset[Row], ...]
+
+
+def world_key(world: GroundInstance) -> WorldKey:
     """A canonical form for world deduplication.
 
     Two worlds over the same schema are equal iff their keys are equal; the
@@ -243,6 +248,8 @@ class WorldSearch:
             ground = row.apply(valuation)
             if ground is None:
                 continue
+            # reprolint: disable=R002 -- pops are the caller's contract: every
+            # caller unwinds via pop_to against a mark taken before this call.
             if not session.push(name, ground):
                 return False
         # A level may complete without a single push (no rows ground here),
@@ -286,12 +293,17 @@ class WorldSearch:
                 raise SearchCancelledError("world search cancelled by stop_check")
             valuation[variable] = value
             mark = session.mark()
-            if self._push_level(session, depth + 1, valuation):
-                yield from self._descend(depth + 1, valuation, session, next_used)
-            else:
-                self.stats.pruned += 1
-            session.pop_to(mark)
-            del valuation[variable]
+            try:
+                if self._push_level(session, depth + 1, valuation):
+                    yield from self._descend(depth + 1, valuation, session, next_used)
+                else:
+                    self.stats.pruned += 1
+            finally:
+                # Unwind even when SearchCancelledError (stop_check) or
+                # GeneratorExit (an abandoned enumeration) escapes mid-branch,
+                # so the session stays balanced for reuse after an abort.
+                session.pop_to(mark)
+                del valuation[variable]
 
     # ------------------------------------------------------------------
     # front-ends

@@ -44,7 +44,10 @@ from concurrent.futures import (
 )
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.sharedctypes import Synchronized
 
 from repro.constraints.containment import ContainmentConstraint
 from repro.ctables.adom import ActiveDomain
@@ -55,7 +58,7 @@ from repro.queries.terms import Variable
 from repro.relational.domains import Constant
 from repro.relational.instance import GroundInstance, Row
 from repro.relational.master import MasterData
-from repro.search.engine import WorldSearch, world_key
+from repro.search.engine import WorldKey, WorldSearch, world_key
 from repro.search.propagation import ConstraintChecker
 
 #: Valuation-space size below which the serial engine is used directly
@@ -96,17 +99,17 @@ class _PoolHandle:
     # generation, so concurrent runs sharing one pool can never cancel each
     # other into an unsound "no model" verdict (a cancel overwritten by
     # another run's cancel merely costs the loser its early exit).
-    cancel_generation: object  # multiprocessing.Value("Q")
+    cancel_generation: "Synchronized[int]"  # multiprocessing.Value("Q")
     next_generation: int = 0
 
 
 _POOLS: dict[int, _PoolHandle] = {}
 
 # Set in each worker process by :func:`_worker_init`.
-_WORKER_CANCEL_GENERATION = None
+_WORKER_CANCEL_GENERATION: "Synchronized[int] | None" = None
 
 
-def _worker_init(cancel_generation) -> None:
+def _worker_init(cancel_generation: "Synchronized[int]") -> None:
     global _WORKER_CANCEL_GENERATION
     _WORKER_CANCEL_GENERATION = cancel_generation
 
@@ -153,7 +156,18 @@ atexit.register(shutdown_pools)
 # worker-side shard execution
 # ---------------------------------------------------------------------------
 #: ``(cinstance, master, constraints, adom, order, break_symmetry, checker_mode)``.
-_Payload = tuple
+_Payload = tuple[
+    CInstance,
+    MasterData,
+    list[ContainmentConstraint],
+    ActiveDomain,
+    list[Variable],
+    bool,
+    str,
+]
+
+#: One shard prefix: the pinned values of the shard variables.
+_Prefix = dict[Variable, Constant]
 
 # One-slot per-worker checker cache.  A run farms many shard chunks to each
 # worker, and every chunk used to rebuild the ConstraintChecker — paying the
@@ -161,10 +175,15 @@ _Payload = tuple
 # objects (MasterData and ContainmentConstraint define structural equality),
 # so the worker keeps the checker of the last-seen ``(master, constraints)``
 # pair and reuses it whenever the next chunk carries an equal pair.
-_WORKER_CHECKER: tuple | None = None
+_CheckerKey = tuple[MasterData, tuple[ContainmentConstraint, ...], str]
+_WORKER_CHECKER: tuple[_CheckerKey, ConstraintChecker] | None = None
 
 
-def _worker_checker(master, constraints, mode: str) -> ConstraintChecker:
+def _worker_checker(
+    master: MasterData, constraints: Sequence[ContainmentConstraint], mode: str
+) -> ConstraintChecker:
+    # reprolint: disable=R005 -- deliberate per-process memo cache: each forked
+    # worker keeps its own slot; the parent never reads or depends on it.
     global _WORKER_CHECKER
     key = (master, tuple(constraints), mode)
     if _WORKER_CHECKER is not None and _WORKER_CHECKER[0] == key:
@@ -174,7 +193,9 @@ def _worker_checker(master, constraints, mode: str) -> ConstraintChecker:
     return checker
 
 
-def _shard_search(payload: _Payload, prefix: Mapping[Variable, Constant], **kwargs):
+def _shard_search(
+    payload: _Payload, prefix: Mapping[Variable, Constant], **kwargs: Any
+) -> WorldSearch:
     cinstance, master, constraints, adom, order, break_symmetry, checker_mode = payload
     return WorldSearch(
         cinstance,
@@ -190,10 +211,10 @@ def _shard_search(payload: _Payload, prefix: Mapping[Variable, Constant], **kwar
 
 
 def _run_chunk_pairs(
-    payload: _Payload, chunk: Sequence[tuple[int, dict]]
+    payload: _Payload, chunk: Sequence[tuple[int, _Prefix]]
 ) -> list[tuple[int, list[tuple[Valuation, GroundInstance]], int]]:
     """Enumerate every shard of a chunk; returns (index, pairs, nodes)."""
-    results = []
+    results: list[tuple[int, list[tuple[Valuation, GroundInstance]], int]] = []
     for prefix_index, prefix in chunk:
         search = _shard_search(payload, prefix)
         results.append((prefix_index, list(search.search()), search.stats.nodes))
@@ -201,8 +222,8 @@ def _run_chunk_pairs(
 
 
 def _run_chunk_keys(
-    payload: _Payload, chunk: Sequence[tuple[int, dict]]
-) -> list[tuple[int, set, int]]:
+    payload: _Payload, chunk: Sequence[tuple[int, _Prefix]]
+) -> list[tuple[int, set[WorldKey], int]]:
     """Count-support worker: per-shard canonical world keys, no worlds.
 
     Returns ``(index, world_key set, nodes)`` per shard.  Shipping only the
@@ -212,7 +233,7 @@ def _run_chunk_keys(
     makes the parallel engine's native ``count_worlds`` cheaper than
     streaming the full enumeration through :meth:`ParallelWorldSearch.worlds`.
     """
-    results: list[tuple[int, set, int]] = []
+    results: list[tuple[int, set[WorldKey], int]] = []
     for prefix_index, prefix in chunk:
         search = _shard_search(payload, prefix)
         keys = {world_key(world) for _valuation, world in search.search()}
@@ -221,7 +242,7 @@ def _run_chunk_keys(
 
 
 def _run_chunk_exists(
-    payload: _Payload, chunk: Sequence[tuple[int, dict]], generation: int
+    payload: _Payload, chunk: Sequence[tuple[int, _Prefix]], generation: int
 ) -> list[tuple[int, bool, bool, int]]:
     """Probe every shard of a chunk; returns (index, found, cancelled, nodes).
 
@@ -231,13 +252,17 @@ def _run_chunk_exists(
     other shard of *this run* (identified by ``generation``) has reported a
     model.
     """
+    # reprolint: disable=R005 -- fork-inherited cancellation slot installed by
+    # the pool initializer; workers only read it (writes go through its lock).
     slot = _WORKER_CANCEL_GENERATION
+    stop_check: Callable[[], bool] | None = None
+    if slot is not None:  # initializer always ran; guard narrows the type
+        cancel_slot = slot
 
-    def stop_check() -> bool:
-        return slot.value == generation
+        def _stop_check() -> bool:
+            return cancel_slot.value == generation
 
-    if slot is None:  # pragma: no cover - initializer always ran
-        stop_check = None
+        stop_check = _stop_check
     results: list[tuple[int, bool, bool, int]] = []
     for prefix_index, prefix in chunk:
         if stop_check is not None and stop_check():
@@ -372,13 +397,13 @@ class ParallelWorldSearch:
             return [first]
         return [self._order[0], self._order[1]]
 
-    def _prefixes(self) -> list[dict[Variable, Constant]]:
+    def _prefixes(self) -> list[_Prefix]:
         """Shard prefixes in serial enumeration order (lexicographic in the
         ordered shard variables' pool positions)."""
         shard_vars = self._shard_variables()
         if not shard_vars:
             return []
-        prefixes: list[dict[Variable, Constant]] = [{}]
+        prefixes: list[_Prefix] = [{}]
         for variable in shard_vars:
             prefixes = [
                 {**prefix, variable: value}
@@ -387,7 +412,7 @@ class ParallelWorldSearch:
             ]
         return prefixes
 
-    def _use_serial(self, prefixes: list[dict]) -> bool:
+    def _use_serial(self, prefixes: list[_Prefix]) -> bool:
         if self._workers <= 1 or len(prefixes) < 2 or not _fork_available():
             return True
         total = 1
@@ -409,9 +434,9 @@ class ParallelWorldSearch:
             mode,
         )
 
-    def _chunks(self, prefixes: list[dict]) -> list[list[tuple[int, dict]]]:
+    def _chunks(self, prefixes: list[_Prefix]) -> list[list[tuple[int, _Prefix]]]:
         count = min(len(prefixes), self._workers * self._chunks_per_worker)
-        chunks: list[list[tuple[int, dict]]] = [[] for _ in range(count)]
+        chunks: list[list[tuple[int, _Prefix]]] = [[] for _ in range(count)]
         indexed = list(enumerate(prefixes))
         if self._shard_order == "reversed":
             indexed = indexed[::-1]
@@ -443,7 +468,7 @@ class ParallelWorldSearch:
 
     def worlds(self, deduplicate: bool = True) -> Iterator[GroundInstance]:
         """Enumerate the worlds; duplicates (also across shards) suppressed."""
-        seen: set[tuple[frozenset[Row], ...]] = set()
+        seen: set[WorldKey] = set()
         for _valuation, world in self.search():
             if deduplicate:
                 key = world_key(world)
@@ -511,7 +536,7 @@ class ParallelWorldSearch:
         self.stats.chunks = len(chunks)
         payload = self._payload(break_symmetry=False)
         handle = _pool_for(self._workers)
-        merged: set = set()
+        merged: set[WorldKey] = set()
         try:
             futures = [
                 handle.executor.submit(_run_chunk_keys, payload, chunk)
@@ -552,18 +577,18 @@ class ParallelWorldSearch:
         self.stats.serial_fallback = True
         self.stats.nodes += serial.stats.nodes
 
-    def _record_plan(self, prefixes: list[dict]) -> None:
+    def _record_plan(self, prefixes: list[_Prefix]) -> None:
         self.stats.shards = len(prefixes)
         self.stats.shard_variables = self._shard_variables()
 
     def _stream_pairs(
-        self, prefixes: list[dict]
+        self, prefixes: list[_Prefix]
     ) -> Iterator[tuple[Valuation, GroundInstance]]:
         chunks = self._chunks(prefixes)
         self.stats.chunks = len(chunks)
         payload = self._payload(break_symmetry=False)
         handle = _pool_for(self._workers)
-        buffered: dict[int, list] = {}
+        buffered: dict[int, list[tuple[Valuation, GroundInstance]]] = {}
         next_index = 0
         try:
             futures = [
@@ -589,7 +614,7 @@ class ParallelWorldSearch:
                 ) from None
             yield from self._serial_search()
 
-    def _collect_exists(self, prefixes: list[dict]) -> bool | None:
+    def _collect_exists(self, prefixes: list[_Prefix]) -> bool | None:
         chunks = self._chunks(prefixes)
         self.stats.chunks = len(chunks)
         payload = self._payload(break_symmetry=True)

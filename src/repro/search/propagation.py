@@ -218,6 +218,8 @@ class ConstraintChecker:
         """Push onto the default session (auto-created on first use)."""
         if self._session is None:
             self.reset()
+        # reprolint: disable=R002 -- interactive convenience shim: the default
+        # session's balance is the caller's contract, via ConstraintChecker.pop().
         return self._session.push(relation, row)
 
     def pop(self) -> None:
@@ -283,7 +285,8 @@ class ConstraintChecker:
 
 
 #: Trail record of one push: ``(relation, row, added, newly_violated)``.
-_TrailEntry = tuple
+#: One trail frame: ``(relation, row, actually_added, newly_violated_ids)``.
+_TrailEntry = tuple[str, "Row", bool, frozenset[int]]
 
 
 class CheckerSession:

@@ -51,15 +51,14 @@ from __future__ import annotations
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Mapping, Protocol, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.constraints.containment import ContainmentConstraint
 from repro.ctables.adom import ActiveDomain
 from repro.ctables.cinstance import CInstance
-from repro.ctables.valuation import Valuation
 from repro.exceptions import SearchError
-from repro.relational.instance import GroundInstance
 from repro.relational.master import MasterData
+from repro.protocols import SearchSink, WorldSearchEngine
 from repro.search.engine import WorldSearch
 from repro.search.naive import NaiveWorldSearch
 from repro.search.parallel import ParallelWorldSearch
@@ -69,19 +68,10 @@ from repro.search.sat_engine import SATWorldSearch
 #: Engine used when callers do not request one explicitly.
 DEFAULT_ENGINE = "propagating"
 
-
-class WorldSearchLike(Protocol):
-    """The object shape every registered engine factory must produce."""
-
-    stats: Any
-
-    def search(self) -> Iterator[tuple[Valuation, GroundInstance]]: ...
-
-    def worlds(self, deduplicate: bool = True) -> Iterator[GroundInstance]: ...
-
-    def has_world(self) -> bool: ...
-
-    def count_worlds(self) -> int: ...
+#: The object shape every registered engine factory must produce.  Kept as
+#: an alias of :class:`repro.protocols.WorldSearchEngine`, where the
+#: protocol now lives alongside the other structural contracts.
+WorldSearchLike = WorldSearchEngine
 
 
 #: ``factory(cinstance, master, constraints, adom, *, workers, checker,
@@ -276,7 +266,7 @@ def resolve_engine_name(engine: "EngineConfig | str | None") -> str:
 # (and each asyncio task) sees its own stack, and the token-based reset
 # restores the exact previous state even if context managers are exited out
 # of the ideal LIFO order (e.g. a close()d generator).
-_SEARCH_SINKS: ContextVar[tuple[list, ...]] = ContextVar(
+_SEARCH_SINKS: ContextVar[tuple[SearchSink, ...]] = ContextVar(
     "repro_search_sinks", default=()
 )
 _AMBIENT_CHECKERS: ContextVar[tuple[ConstraintChecker, ...]] = ContextVar(
@@ -291,7 +281,7 @@ def record_search(search: WorldSearchLike) -> None:
 
 
 @contextmanager
-def collect_searches(sink: list):
+def collect_searches(sink: list[WorldSearchEngine]) -> Iterator[list[WorldSearchEngine]]:
     """Collect every engine object created through the registry in ``sink``."""
     token = _SEARCH_SINKS.set(_SEARCH_SINKS.get() + (sink,))
     try:
@@ -307,7 +297,7 @@ def ambient_checker() -> ConstraintChecker | None:
 
 
 @contextmanager
-def use_checker(checker: ConstraintChecker):
+def use_checker(checker: ConstraintChecker) -> Iterator[ConstraintChecker]:
     """Hand a prebuilt constraint checker to every engine created inside.
 
     The checker depends only on ``(master, constraints)``, so a caller that
@@ -332,8 +322,16 @@ def use_checker(checker: ConstraintChecker):
 # built-in engines
 # ---------------------------------------------------------------------------
 def _propagating_factory(
-    cinstance, master, constraints, adom, *, workers, checker, break_symmetry, **options
-):
+    cinstance: CInstance,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None,
+    *,
+    workers: int | None,
+    checker: ConstraintChecker | None,
+    break_symmetry: bool,
+    **options: Any,
+) -> WorldSearchEngine:
     del workers  # serial engine
     return WorldSearch(
         cinstance,
@@ -347,15 +345,31 @@ def _propagating_factory(
 
 
 def _sat_factory(
-    cinstance, master, constraints, adom, *, workers, checker, break_symmetry, **options
-):
+    cinstance: CInstance,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None,
+    *,
+    workers: int | None,
+    checker: ConstraintChecker | None,
+    break_symmetry: bool,
+    **options: Any,
+) -> WorldSearchEngine:
     del workers, break_symmetry  # one SAT call decides existence anyway
     return SATWorldSearch(cinstance, master, constraints, adom, checker=checker, **options)
 
 
 def _parallel_factory(
-    cinstance, master, constraints, adom, *, workers, checker, break_symmetry, **options
-):
+    cinstance: CInstance,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None,
+    *,
+    workers: int | None,
+    checker: ConstraintChecker | None,
+    break_symmetry: bool,
+    **options: Any,
+) -> WorldSearchEngine:
     del break_symmetry  # applied internally, per front-end
     return ParallelWorldSearch(
         cinstance, master, constraints, adom, workers=workers, checker=checker, **options
@@ -363,8 +377,16 @@ def _parallel_factory(
 
 
 def _naive_factory(
-    cinstance, master, constraints, adom, *, workers, checker, break_symmetry, **options
-):
+    cinstance: CInstance,
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    adom: ActiveDomain | None,
+    *,
+    workers: int | None,
+    checker: ConstraintChecker | None,
+    break_symmetry: bool,
+    **options: Any,
+) -> WorldSearchEngine:
     del workers, checker, break_symmetry  # the reference path optimises nothing
     return NaiveWorldSearch(cinstance, master, constraints, adom, **options)
 

@@ -38,7 +38,7 @@ from repro.ctables.ctable import CTable, CTableRow
 from repro.queries.atoms import RelationAtom, atom, eq, neq
 from repro.queries.cq import ConjunctiveQuery, boolean_cq, cq
 from repro.queries.fp import FixpointQuery, fixpoint_query, rule
-from repro.queries.terms import Variable, var
+from repro.queries.terms import Term, Variable, var
 from repro.queries.ucq import UnionOfConjunctiveQueries, ucq_from
 from repro.relational.domains import BOOLEAN_DOMAIN, Domain
 from repro.relational.instance import GroundInstance, instance
@@ -155,7 +155,7 @@ def random_cinstance(
     built_rows: list[CTableRow] = []
     variables_remaining = variable_count
     for row_index in range(rows):
-        terms: list = []
+        terms: list[Term] = []
         for position in range(rel_schema.arity):
             if variables_remaining > 0 and rng.random() < 0.5:
                 terms.append(Variable(f"v{row_index}_{position}"))
@@ -190,8 +190,7 @@ def chain_fp_query(length: int = 2, relation: str = "Record") -> FixpointQuery:
             RelationAtom(relation, (y, z)),
         ),
     ]
-    query = fixpoint_query(f"Chain{length}", output="Path", rules=rules)
-    return query
+    return fixpoint_query(f"Chain{length}", output="Path", rules=rules)
 
 
 @dataclass(frozen=True)

@@ -226,7 +226,7 @@ class TestFacadeStateCaching:
         workload = registry_workload(master_size=2, db_rows=2, variable_count=1)
         db = Database(workload.cinstance, workload.master, workload.constraints)
         assert db.checker is db.checker
-        assert [c for c in db.checker.constraints] == list(workload.constraints)
+        assert list(db.checker.constraints) == list(workload.constraints)
 
     def test_default_engine_config_applies(self):
         workload = registry_workload(master_size=2, db_rows=2, variable_count=1)

@@ -1,0 +1,91 @@
+"""The ``python -m tools.reprolint`` command line: output formats, filters,
+exit codes — and the acceptance gate that the repository itself lints clean."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from tools.reprolint import all_rules, lint_paths
+from tools.reprolint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CLEAN = "x = sorted({1, 2, 3})\n"
+DIRTY = "for row in {1, 2, 3}:\n    print(row)\n"
+
+
+def _tree(tmp_path, name, source):
+    # Recreate the scoped layout so path-sensitive rules apply.
+    target = tmp_path / "src" / "repro" / "search" / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return target
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    _tree(tmp_path, "clean.py", CLEAN)
+    assert main([str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out and "1 file" in out
+
+
+def test_dirty_tree_exits_one_and_prints_findings(tmp_path, capsys):
+    target = _tree(tmp_path, "dirty.py", DIRTY)
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert f"{target}:1:" in out
+    assert "R001" in out
+
+
+def test_json_format(tmp_path, capsys):
+    _tree(tmp_path, "dirty.py", DIRTY)
+    assert main([str(tmp_path), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    assert payload["violations"][0]["rule"] == "R001"
+    assert {r["code"] for r in payload["rules"]} >= {"R001", "R002"}
+
+
+def test_rule_filter_restricts_checks(tmp_path):
+    _tree(tmp_path, "dirty.py", DIRTY)
+    assert main([str(tmp_path), "--rule", "R003"]) == 0
+    assert main([str(tmp_path), "--rule", "R001"]) == 1
+
+
+def test_no_waivers_flag(tmp_path):
+    _tree(
+        tmp_path,
+        "waived.py",
+        "for row in {1, 2}:  # reprolint: disable=R001\n    print(row)\n",
+    )
+    assert main([str(tmp_path)]) == 0
+    assert main([str(tmp_path), "--no-waivers"]) == 1
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.code in out
+
+
+def test_module_entry_point_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.reprolint", "--list-rules"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert proc.returncode == 0
+    assert "R001" in proc.stdout
+
+
+def test_repository_lints_clean():
+    """The acceptance gate: src/tests/benchmarks carry no unwaived findings."""
+    violations, checked = lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT / "benchmarks"]
+    )
+    assert checked > 100  # sanity: the walk actually found the tree
+    assert not violations, "\n".join(v.format() for v in violations)

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m tools.reprolint``."""
+
+import sys
+
+from tools.reprolint.cli import main
+
+sys.exit(main())

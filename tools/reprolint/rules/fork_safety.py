@@ -1,0 +1,238 @@
+"""R005 — pool workers must not capture module-level mutable state.
+
+The parallel engine forks worker processes; anything a submitted callable
+reads from module scope is a *fork-time snapshot* that silently diverges
+from the parent (and from other workers) the moment either side mutates it.
+A bound method or lambda additionally drags its ``self``/closure through
+pickle — or refuses to pickle at all under the spawn start method.
+
+For every call submitting work to an executor/pool (``submit``,
+``apply_async``, ``map_async``, ``imap``, ``imap_unordered``, ``starmap``,
+``starmap_async``, and ``map`` on receivers named like pools/executors), the
+rule requires the callable to be a module-level function, then walks it —
+and everything it calls in the same module — and flags:
+
+* ``global`` statements (workers mutating module state);
+* reads of module-level names that are mutable: bound to a ``list`` /
+  ``dict`` / ``set`` literal or comprehension, rebound via ``global``
+  anywhere in the module, or holding an ``open(...)`` handle.
+
+State that is *deliberately* process-local (a per-worker memo cache, a
+fork-inherited cancellation slot installed by the pool initializer) carries
+a waiver explaining exactly that.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.core import Rule, Violation, register_rule
+
+_SUBMIT_METHODS = frozenset(
+    {"submit", "apply_async", "map_async", "imap", "imap_unordered", "starmap", "starmap_async"}
+)
+_POOLISH_HINTS = ("pool", "executor")
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+
+
+def _module_functions(tree: ast.Module) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in tree.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _mutable_module_bindings(tree: ast.Module) -> set[str]:
+    """Module-level names a forked worker must not rely on."""
+    mutable: set[str] = set()
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        is_mutable = isinstance(value, _MUTABLE_LITERALS) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("open", "set", "dict", "list", "bytearray")
+        )
+        if is_mutable:
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    mutable.add(target.id)
+    # Names rebound via ``global`` anywhere are module-level mutable slots
+    # even when their module-level binding looks inert (e.g. ``X = None``).
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Global):
+            mutable.update(node.names)
+    return mutable
+
+
+@register_rule
+class ForkSafetyRule(Rule):
+    code = "R005"
+    name = "fork-unsafe-worker"
+    rationale = (
+        "callables submitted to the process pool must be module-level "
+        "functions free of module-level mutable state (fork-time snapshots "
+        "diverge silently between parent and workers)"
+    )
+    fixture_path = "src/repro/search/example.py"
+
+    must_flag = (
+        # worker reads a module-level dict (fork-time snapshot)
+        "_CACHE = {}\n"
+        "def work(item):\n"
+        "    return _CACHE.get(item)\n"
+        "def run(executor, items):\n"
+        "    return [executor.submit(work, item) for item in items]\n",
+        # lambdas do not survive pickling / carry closures
+        "def run(executor):\n"
+        "    return executor.submit(lambda: 1)\n",
+        # worker mutates module state via global (reached transitively)
+        "_LAST = None\n"
+        "def _remember(item):\n"
+        "    global _LAST\n"
+        "    _LAST = item\n"
+        "def work(item):\n"
+        "    _remember(item)\n"
+        "    return item\n"
+        "def run(pool, items):\n"
+        "    return pool.map_async(work, items)\n",
+    )
+    must_pass = (
+        # immutable module constants are fork-safe
+        "STRIDE = 64\n"
+        "def work(item):\n"
+        "    return item * STRIDE\n"
+        "def run(executor, items):\n"
+        "    return [executor.submit(work, item) for item in items]\n",
+        # builtin map on a non-pool receiver is not a submission
+        "def run(items):\n"
+        "    return list(map(str, items))\n",
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Violation]:
+        functions = _module_functions(tree)
+        mutable = _mutable_module_bindings(tree)
+        flagged: set[tuple[str, str]] = set()
+        for node in ast.walk(tree):
+            callable_arg = self._submitted_callable(node)
+            if callable_arg is None:
+                continue
+            if isinstance(callable_arg, ast.Lambda):
+                yield self.violation(
+                    callable_arg,
+                    path,
+                    "lambda submitted to a process pool; submit a "
+                    "module-level function (lambdas pickle poorly and "
+                    "capture closures)",
+                )
+                continue
+            if isinstance(callable_arg, ast.Attribute):
+                yield self.violation(
+                    callable_arg,
+                    path,
+                    f"bound method/attribute {ast.unparse(callable_arg)!r} "
+                    "submitted to a process pool; submit a module-level "
+                    "function",
+                )
+                continue
+            if not isinstance(callable_arg, ast.Name):
+                continue
+            entry = functions.get(callable_arg.id)
+            if entry is None:
+                # Imported or locally defined elsewhere; cross-module
+                # analysis is out of scope for this rule.
+                continue
+            yield from self._check_worker(entry, functions, mutable, flagged, path)
+
+    # ------------------------------------------------------------------
+    def _submitted_callable(self, node: ast.AST) -> ast.expr | None:
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            return None
+        attr = node.func.attr
+        if attr in _SUBMIT_METHODS:
+            return node.args[0] if node.args else None
+        if attr == "map":
+            # Only simple receivers count (``pool.map``, ``self._executor.map``)
+            # so strategy/iterator ``.map`` chains never false-positive.
+            receiver = node.func.value
+            if isinstance(receiver, (ast.Name, ast.Attribute)):
+                text = ast.unparse(receiver).lower()
+                if any(hint in text for hint in _POOLISH_HINTS):
+                    return node.args[0] if node.args else None
+        return None
+
+    def _check_worker(
+        self,
+        entry: ast.FunctionDef | ast.AsyncFunctionDef,
+        functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef],
+        mutable: set[str],
+        flagged: set[tuple[str, str]],
+        path: str,
+    ) -> Iterator[Violation]:
+        """Flag fork hazards in ``entry`` and its same-module callees."""
+        pending = [entry]
+        visited: set[str] = set()
+        while pending:
+            function = pending.pop()
+            if function.name in visited:
+                continue
+            visited.add(function.name)
+            local_names = self._local_names(function)
+            for node in ast.walk(function):
+                if isinstance(node, ast.Global):
+                    key = (function.name, ",".join(node.names))
+                    if key not in flagged:
+                        flagged.add(key)
+                        yield self.violation(
+                            node,
+                            path,
+                            f"worker {function.name}() mutates module-level "
+                            f"state ({', '.join(node.names)}); fork-time "
+                            "snapshots diverge between processes",
+                        )
+                elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                    if node.id in mutable and node.id not in local_names:
+                        key = (function.name, node.id)
+                        if key not in flagged:
+                            flagged.add(key)
+                            yield self.violation(
+                                node,
+                                path,
+                                f"worker {function.name}() reads module-level "
+                                f"mutable state {node.id!r}; pass it through "
+                                "the task payload instead",
+                            )
+                    elif node.id in functions and node.id not in visited:
+                        pending.append(functions[node.id])
+
+    def _local_names(
+        self, function: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> set[str]:
+        """Names bound locally in ``function`` (params, assignments, loops)."""
+        names: set[str] = set()
+        args = function.args
+        for arg in (
+            args.posonlyargs
+            + args.args
+            + args.kwonlyargs
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            names.add(arg.arg)
+        for node in ast.walk(function):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                names.add(node.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not function:
+                names.add(node.name)
+        return names
+    # Note: a name listed in a ``global`` statement is also "stored" locally
+    # by the walk above, but the Global check already flagged the function,
+    # so the read-side suppression does not hide anything new.

@@ -1,0 +1,233 @@
+"""R002 — ``CheckerSession.push()`` must unwind via ``finally`` (or ``with``).
+
+The delta-evaluating :class:`repro.search.propagation.CheckerSession` keeps a
+push/pop trail whose balance is the correctness contract of every search
+built on it: a push left behind after an exception (``SearchCancelledError``
+from a ``stop_check`` poll, ``GeneratorExit`` from an abandoned enumeration)
+silently corrupts the fact store and the violation bookkeeping for whoever
+touches the session next.
+
+The rule therefore requires every ``*.push(...)`` call on a session-like
+receiver to be lexically protected: inside the body of a ``try`` whose
+``finally`` pops the *same* receiver (``.pop()`` / ``.pop_to(mark)``), or
+inside a ``with`` block entered on that receiver.  A receiver is
+session-like when its source text contains ``session`` (case-insensitive)
+or when the name was bound from a ``.session(...)`` /
+``CheckerSession(...)`` call.
+
+Code whose pops live in the *caller* by design (e.g. a push helper that
+callers unwind with ``pop_to`` against a pre-call mark) states that contract
+with a waiver.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.core import Rule, Violation, register_rule
+
+_POP_METHODS = frozenset({"pop", "pop_to", "pop_all"})
+
+_TRY_NODES: tuple[type[ast.stmt], ...] = (ast.Try,)
+if hasattr(ast, "TryStar"):  # pragma: no branch - py311+
+    _TRY_NODES = (ast.Try, ast.TryStar)
+
+
+def _is_session_binding_call(node: ast.expr) -> bool:
+    """Whether ``node`` is a ``*.session(...)`` or ``CheckerSession(...)`` call."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "session":
+        return True
+    if isinstance(func, ast.Name) and func.id == "CheckerSession":
+        return True
+    return False
+
+
+class _ModuleState:
+    """Per-module memory of names bound from session-producing calls."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.session_names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and _is_session_binding_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.session_names.add(target.id)
+            elif isinstance(node, ast.withitem) and _is_session_binding_call(
+                node.context_expr
+            ):
+                if isinstance(node.optional_vars, ast.Name):
+                    self.session_names.add(node.optional_vars.id)
+
+    def is_session_receiver(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return "session" in node.id.lower() or node.id in self.session_names
+        if isinstance(node, ast.Attribute):
+            return "session" in node.attr.lower() or self.is_session_receiver(node.value)
+        return False
+
+
+@register_rule
+class SessionBalanceRule(Rule):
+    code = "R002"
+    name = "unbalanced-session-push"
+    rationale = (
+        "CheckerSession push/pop must stay balanced across exceptions; a "
+        "push needs a finally-pop on the same receiver or a with block"
+    )
+    fixture_path = "src/repro/search/example.py"
+
+    must_flag = (
+        # pop on the success path only: an exception leaks the push
+        "def probe(checker, row):\n"
+        "    session = checker.session()\n"
+        "    session.push('R', row)\n"
+        "    session.pop()\n",
+        # finally pops a *different* receiver
+        "def probe(session, other_session, row):\n"
+        "    try:\n"
+        "        session.push('R', row)\n"
+        "    finally:\n"
+        "        other_session.pop()\n",
+    )
+    must_pass = (
+        # the canonical mark / finally-pop_to shape
+        "def probe(checker, row):\n"
+        "    session = checker.session()\n"
+        "    mark = session.mark()\n"
+        "    try:\n"
+        "        session.push('R', row)\n"
+        "    finally:\n"
+        "        session.pop_to(mark)\n",
+        # a context-managed session owns its own balance
+        "def probe(checker, row):\n"
+        "    with checker.session() as session:\n"
+        "        session.push('R', row)\n",
+        # pushes on non-session receivers (stacks, lists) are not our business
+        "def collect(stack, row):\n"
+        "    stack.push(row)\n",
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return "src/repro/" in path
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Violation]:
+        state = _ModuleState(tree)
+        yield from self._visit(tree.body, state, path, protected=frozenset())
+
+    # ------------------------------------------------------------------
+    def _visit(
+        self,
+        body: list[ast.stmt],
+        state: _ModuleState,
+        path: str,
+        protected: frozenset[str],
+    ) -> Iterator[Violation]:
+        for stmt in body:
+            yield from self._visit_stmt(stmt, state, path, protected)
+
+    def _visit_stmt(
+        self,
+        stmt: ast.stmt,
+        state: _ModuleState,
+        path: str,
+        protected: frozenset[str],
+    ) -> Iterator[Violation]:
+        if isinstance(stmt, _TRY_NODES):
+            finally_pops = self._finally_pop_receivers(stmt.finalbody, state)
+            inner = protected | finally_pops
+            for part in (stmt.body, *[h.body for h in stmt.handlers], stmt.orelse):
+                yield from self._visit(part, state, path, inner)
+            yield from self._visit(stmt.finalbody, state, path, protected)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = set(protected)
+            for item in stmt.items:
+                if state.is_session_receiver(item.context_expr) or _is_session_binding_call(
+                    item.context_expr
+                ):
+                    inner.add(ast.unparse(item.context_expr))
+                    if isinstance(item.optional_vars, ast.Name):
+                        inner.add(item.optional_vars.id)
+            yield from self._visit(stmt.body, state, path, frozenset(inner))
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # A new scope: finally/with protections do not cross it.
+            yield from self._visit(stmt.body, state, path, frozenset())
+            return
+        # Check expression-level pushes in this statement (not nested scopes).
+        for node in self._iter_statement_exprs(stmt):
+            violation = self._check_push(node, state, path, protected)
+            if violation is not None:
+                yield violation
+        # Recurse into compound-statement bodies (if/for/while/with arms).
+        for child_body in self._child_bodies(stmt):
+            yield from self._visit(child_body, state, path, protected)
+
+    def _child_bodies(self, stmt: ast.stmt) -> list[list[ast.stmt]]:
+        bodies: list[list[ast.stmt]] = []
+        for field in ("body", "orelse"):
+            value = getattr(stmt, field, None)
+            if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+                bodies.append(value)
+        return bodies
+
+    def _iter_statement_exprs(self, stmt: ast.stmt) -> Iterator[ast.Call]:
+        """Every call in ``stmt`` outside nested statements/scopes."""
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        stack: list[ast.AST] = []
+        for field, value in ast.iter_fields(stmt):
+            if field in ("body", "orelse", "finalbody", "handlers"):
+                continue
+            if isinstance(value, list):
+                stack.extend(v for v in value if isinstance(v, ast.AST))
+            elif isinstance(value, ast.AST):
+                stack.append(value)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _finally_pop_receivers(
+        self, finalbody: list[ast.stmt], state: _ModuleState
+    ) -> frozenset[str]:
+        receivers: set[str] = set()
+        for stmt in finalbody:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _POP_METHODS
+                    and state.is_session_receiver(node.func.value)
+                ):
+                    receivers.add(ast.unparse(node.func.value))
+        return frozenset(receivers)
+
+    def _check_push(
+        self,
+        node: ast.Call,
+        state: _ModuleState,
+        path: str,
+        protected: frozenset[str],
+    ) -> Violation | None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "push"):
+            return None
+        if not state.is_session_receiver(func.value):
+            return None
+        if ast.unparse(func.value) in protected:
+            return None
+        return self.violation(
+            node,
+            path,
+            "CheckerSession.push() without a finally-pop on the same "
+            "receiver (or a with block); an exception would leave the "
+            "session unbalanced",
+        )
