@@ -22,12 +22,17 @@ sweep, and extends the sweeps to regimes each engine targets:
   (:func:`repro.workloads.generator.wide_constraint_workload`), whose
   many-atom constraint left-hand sides make the per-node constraint check
   the dominant cost — the regime of the semi-naive **delta** checker
-  (:class:`repro.search.propagation.ConstraintChecker`), compared here
-  against its recompute-from-scratch ``mode="full"`` oracle on identical
-  search trees.
+  (:class:`repro.search.propagation.ConstraintChecker`), compared here in
+  three configurations (hash-indexed delta / linear-scan delta / recompute-
+  from-scratch ``mode="full"``) on identical search trees, and
+* the hub-skewed graph family
+  (:func:`repro.workloads.generator.skewed_join_workload`), whose hot
+  source bucket, projected-away tag column and empty buckets are the
+  regime of the hash-join planner (:mod:`repro.search.joinplan`) behind
+  the indexed delta checker.
 
 Each case first asserts *parity* (identical verdict / model count from every
-engine that runs it) and then reports the timings.  Three gates are enforced:
+engine that runs it) and then reports the timings.  Five gates are enforced:
 
 * the propagating engine must keep its ≥ 3x headline speedup over naive on
   the largest naive-feasible registry cases (the ISSUE 1 criterion),
@@ -38,11 +43,15 @@ engine that runs it) and then reports the timings.  Three gates are enforced:
   enforced whenever the host has at least 4 CPUs (a single-core host cannot
   physically exhibit a process-parallel speedup; the gate is then reported
   as skipped), and
-* the delta checker must be ≥ 2x faster **per search node** than the full
-  checker on the wide-constraint family (the ISSUE 5 criterion; both modes
-  drive the identical propagating search tree, so the node counts match by
-  construction and the per-node ratio is a pure constraint-checking
-  comparison).
+* the (indexed) delta checker must be ≥ 3x faster **per search node** than
+  the full checker on the wide-constraint family (the ISSUE 5 criterion,
+  raised from 2x now that the delta joins run over hash indexes; all
+  configurations drive the identical propagating search tree, so the node
+  counts match by construction and the per-node ratio is a pure
+  constraint-checking comparison), and
+* the indexed delta checker must be ≥ 3x faster per node than the PR 5
+  linear-scan delta baseline (``indexed=False``) on both the
+  wide-constraint family and the skew family (the ISSUE 7 criterion).
 
 With ``--json`` every decider case additionally records the per-engine
 ``Decision.stats`` (search ``nodes``, CNF ``clauses``, ``wall`` seconds,
@@ -87,6 +96,7 @@ from repro.search.propagation import ConstraintChecker  # noqa: E402
 from repro.workloads.generator import (  # noqa: E402
     inequality_chain_workload,
     registry_workload,
+    skewed_join_workload,
     wide_constraint_workload,
     wide_pool_workload,
 )
@@ -99,9 +109,24 @@ REQUIRED_SAT_WIN = 1.0
 #: wide-pool family (ISSUE 3 criterion), at the worker count below.
 REQUIRED_PARALLEL_SPEEDUP = 2.0
 PARALLEL_GATE_WORKERS = 4
-#: The delta checker must reach this per-node speedup over the full checker
-#: on the wide-constraint family (the ISSUE 5 criterion).
-REQUIRED_DELTA_SPEEDUP = 2.0
+#: The indexed delta checker must reach this per-node speedup over the full
+#: checker on the wide-constraint family (the ISSUE 5 criterion, raised from
+#: 2x by ISSUE 7 once the delta joins became hash-indexed).
+REQUIRED_DELTA_SPEEDUP = 3.0
+#: The indexed delta checker must reach this per-node speedup over the
+#: linear-scan delta baseline on the wide-constraint and skew families (the
+#: ISSUE 7 criterion).
+REQUIRED_INDEX_SPEEDUP = 3.0
+
+#: The three ConstraintChecker configurations the checker comparison drives:
+#: ``(mode, indexed)`` per label.  "delta-linear" is the PR 5 baseline
+#: (semi-naive delta with per-atom linear scans); "full" is the PR 4
+#: recompute-from-scratch oracle.
+CHECKER_CONFIGS: dict[str, tuple[str, bool]] = {
+    "delta-indexed": ("delta", True),
+    "delta-linear": ("delta", False),
+    "full": ("full", False),
+}
 
 ALL_ENGINES = ("naive", "propagating", "sat", "parallel")
 
@@ -159,6 +184,7 @@ def _decision_stats(verdict: object) -> dict | None:
         "wall": round(stats.wall_time, 6),
         "searches": stats.searches,
         "worlds": stats.worlds,
+        "uses_indexes": stats.uses_indexes,
     }
 
 
@@ -343,75 +369,160 @@ def _wide_pool_cases(smoke: bool) -> list[Case]:
     return cases
 
 
-def _checker_sweep(smoke: bool) -> list[tuple[str, object]]:
-    sweep = [(12, 3)] if smoke else [(12, 3), (18, 3), (24, 3)]
-    return [
-        (
-            f"rows={ground_rows} width={width}",
-            wide_constraint_workload(ground_rows=ground_rows, width=width),
-        )
-        for ground_rows, width in sweep
+@dataclass
+class CheckerCase:
+    """One checker comparison: a workload plus the configurations to race.
+
+    ``gate_delta_full`` marks the case for the delta-vs-full gate (the full
+    recompute only runs there: its per-node cost grows as ``|R|^width`` and
+    is intractable on the deeper/skewed cases), ``gate_index`` for the
+    indexed-vs-linear gate.
+    """
+
+    label: str
+    workload: object
+    configs: tuple[str, ...]
+    gate_delta_full: bool = False
+    gate_index: bool = False
+
+
+def _checker_sweep(smoke: bool) -> list[CheckerCase]:
+    cases = [
+        CheckerCase(
+            label="wide rows=12 width=3",
+            workload=wide_constraint_workload(ground_rows=12, width=3),
+            configs=("delta-indexed", "delta-linear", "full"),
+            gate_delta_full=True,
+            gate_index=True,
+        ),
+        CheckerCase(
+            label="wide rows=12 width=4",
+            workload=wide_constraint_workload(ground_rows=12, width=4),
+            configs=("delta-indexed", "delta-linear"),
+            gate_index=True,
+        ),
+        CheckerCase(
+            label="skew hub=24",
+            workload=skewed_join_workload(hub_degree=24),
+            configs=("delta-indexed", "delta-linear"),
+            gate_index=True,
+        ),
     ]
+    if not smoke:
+        cases += [
+            CheckerCase(
+                label=f"wide rows={ground_rows} width=3",
+                workload=wide_constraint_workload(ground_rows=ground_rows, width=3),
+                configs=("delta-indexed", "delta-linear", "full"),
+                gate_delta_full=True,
+                gate_index=True,
+            )
+            for ground_rows in (18, 24)
+        ]
+        cases += [
+            CheckerCase(
+                label="wide rows=18 width=4",
+                workload=wide_constraint_workload(ground_rows=18, width=4),
+                configs=("delta-indexed", "delta-linear"),
+                gate_index=True,
+            ),
+            CheckerCase(
+                label="skew hub=48",
+                workload=skewed_join_workload(hub_degree=48),
+                configs=("delta-indexed", "delta-linear"),
+                gate_index=True,
+            ),
+        ]
+    return cases
 
 
 def run_checker_comparison(smoke: bool) -> list[dict] | None:
-    """Delta-vs-full ConstraintChecker on identical propagating search trees.
+    """Race the ConstraintChecker configurations on identical search trees.
 
-    Both modes drive :class:`repro.search.engine.WorldSearch` over the same
-    wide-constraint instance; the enumerated ``(valuation, world)`` streams
-    and the node/prune counters must be identical (a parity failure returns
-    ``None``), so the per-node wall-clock ratio isolates the constraint-
-    checking cost the delta evaluation removes.
+    Every configuration of :data:`CHECKER_CONFIGS` drives
+    :class:`repro.search.engine.WorldSearch` over the same instance; the
+    enumerated ``(valuation, world)`` streams and the node counters must be
+    identical (a parity failure returns ``None``), so the per-node
+    wall-clock ratios isolate the constraint-checking cost: indexed delta vs
+    the full recompute (the ISSUE 5 gate) and indexed delta vs the PR 5
+    linear-scan delta (the ISSUE 7 gate).
     """
     results: list[dict] = []
-    for label, workload in _checker_sweep(smoke):
+    for case in _checker_sweep(smoke):
+        workload = case.workload
         adom = default_active_domain(
             workload.cinstance, workload.master, workload.constraints
         )
         observed: dict[str, tuple] = {}
-        for mode in ("delta", "full"):
-            checker = ConstraintChecker(workload.master, workload.constraints, mode=mode)
+        for config in case.configs:
+            mode, indexed = CHECKER_CONFIGS[config]
+            checker = ConstraintChecker(
+                workload.master, workload.constraints, mode=mode, indexed=indexed
+            )
             search = WorldSearch(
                 workload.cinstance, workload.master, workload.constraints, adom,
                 checker=checker,
             )
             (pairs, elapsed) = _timed(lambda s=search: list(s.search()))
-            observed[mode] = (pairs, search.stats.nodes, elapsed)
-        delta_pairs, delta_nodes, delta_s = observed["delta"]
-        full_pairs, full_nodes, full_s = observed["full"]
-        if delta_pairs != full_pairs or delta_nodes != full_nodes:
-            print(
-                f"PARITY FAILURE in checker (wide constraints) [{label}]: "
-                f"delta nodes={delta_nodes} worlds={len(delta_pairs)}, "
-                f"full nodes={full_nodes} worlds={len(full_pairs)}"
-            )
-            return None
+            observed[config] = (pairs, search.stats.nodes, elapsed)
+        reference = case.configs[0]
+        ref_pairs, ref_nodes, _ = observed[reference]
+        for config in case.configs[1:]:
+            pairs, nodes, _ = observed[config]
+            if pairs != ref_pairs or nodes != ref_nodes:
+                print(
+                    f"PARITY FAILURE in checker [{case.label}]: "
+                    f"{reference} nodes={ref_nodes} worlds={len(ref_pairs)}, "
+                    f"{config} nodes={nodes} worlds={len(pairs)}"
+                )
+                return None
+        seconds = {config: observed[config][2] for config in case.configs}
+
+        def _ratio(slow: str, fast: str) -> float | None:
+            if slow not in seconds or seconds[fast] <= 0:
+                return None
+            return seconds[slow] / seconds[fast]
+
         results.append(
             {
-                "label": label,
-                "nodes": delta_nodes,
-                "worlds": len(delta_pairs),
-                "delta_seconds": round(delta_s, 6),
-                "full_seconds": round(full_s, 6),
-                "per_node_speedup": (full_s / delta_s) if delta_s > 0 else None,
+                "label": case.label,
+                "nodes": ref_nodes,
+                "worlds": len(ref_pairs),
+                "seconds": {k: round(v, 6) for k, v in seconds.items()},
+                "indexed_vs_linear": _ratio("delta-linear", "delta-indexed"),
+                "indexed_vs_full": _ratio("full", "delta-indexed"),
+                "gate_delta_full": case.gate_delta_full,
+                "gate_index": case.gate_index,
             }
         )
     return results
 
 
 def print_checker_report(results: list[dict]) -> None:
-    print("\n== checker: delta vs full (wide constraints, per-node) ==")
+    print("\n== checker: indexed delta vs linear delta vs full (per-node) ==")
     width = max(len(f"[{r['label']}]") for r in results)
     for r in results:
         name = f"[{r['label']}]".ljust(width)
-        per_node_delta = r["delta_seconds"] / max(1, r["nodes"]) * 1e6
-        per_node_full = r["full_seconds"] / max(1, r["nodes"]) * 1e6
-        speedup = r["per_node_speedup"]
-        ratio = "n/a (below timer resolution)" if speedup is None else f"{speedup:.2f}x"
+        cells = []
+        for config in CHECKER_CONFIGS:
+            elapsed = r["seconds"].get(config)
+            if elapsed is None:
+                cells.append(f"{config}=        -")
+                continue
+            per_node = elapsed / max(1, r["nodes"]) * 1e6
+            cells.append(f"{config}={per_node:9.1f}us/node")
+        annotations = []
+        if r["indexed_vs_linear"] is not None:
+            annotations.append(f"idx/lin={r['indexed_vs_linear']:.2f}x")
+        if r["indexed_vs_full"] is not None:
+            annotations.append(f"idx/full={r['indexed_vs_full']:.2f}x")
+        if r["gate_index"]:
+            annotations.append("<== index gate")
+        if r["gate_delta_full"]:
+            annotations.append("<== delta gate")
         print(
-            f"{name}  nodes={r['nodes']:5d}  delta={per_node_delta:9.1f}us/node  "
-            f"full={per_node_full:9.1f}us/node  "
-            f"delta/full={ratio}"
+            f"{name}  nodes={r['nodes']:5d}  " + "  ".join(cells) + "  "
+            + " ".join(annotations)
         )
 
 
@@ -523,11 +634,20 @@ def evaluate_gates(
 
     checker_results = checker_results or []
     delta_by_case = {
-        f"checker (wide constraints) [{r['label']}]": r["per_node_speedup"]
+        f"checker [{r['label']}]": r["indexed_vs_full"]
         for r in checker_results
+        if r["gate_delta_full"]
     }
     worst_delta = min(
         (s for s in delta_by_case.values() if s is not None), default=None
+    )
+    index_by_case = {
+        f"checker [{r['label']}]": r["indexed_vs_linear"]
+        for r in checker_results
+        if r["gate_index"]
+    }
+    worst_index = min(
+        (s for s in index_by_case.values() if s is not None), default=None
     )
 
     summary = {
@@ -545,6 +665,9 @@ def evaluate_gates(
         "delta_vs_full_checker_by_case": delta_by_case,
         "worst_delta_vs_full_checker": worst_delta,
         "required_delta_speedup": REQUIRED_DELTA_SPEEDUP,
+        "indexed_vs_linear_delta_by_case": index_by_case,
+        "worst_indexed_vs_linear_delta": worst_index,
+        "required_index_speedup": REQUIRED_INDEX_SPEEDUP,
         "checker_cases": checker_results,
     }
 
@@ -599,13 +722,29 @@ def evaluate_gates(
         print("No delta-vs-full checker case ran")
         return summary, 1
     print(
-        "Worst delta-vs-full checker per-node speedup on the wide-constraint "
-        f"family: {worst_delta:.2f}x (required >= {REQUIRED_DELTA_SPEEDUP:.0f}x)"
+        "Worst indexed-delta-vs-full checker per-node speedup on the "
+        f"wide-constraint family: {worst_delta:.2f}x "
+        f"(required >= {REQUIRED_DELTA_SPEEDUP:.0f}x)"
     )
     if worst_delta < REQUIRED_DELTA_SPEEDUP:
         print(
             "FAILED: the delta checker did not reach the required per-node "
             "speedup over the full checker on the wide-constraint family"
+        )
+        return summary, 1
+
+    if worst_index is None:
+        print("No indexed-vs-linear checker case ran")
+        return summary, 1
+    print(
+        "Worst indexed-vs-linear delta checker per-node speedup on the "
+        f"wide-constraint and skew families: {worst_index:.2f}x "
+        f"(required >= {REQUIRED_INDEX_SPEEDUP:.0f}x)"
+    )
+    if worst_index < REQUIRED_INDEX_SPEEDUP:
+        print(
+            "FAILED: the indexed delta checker did not reach the required "
+            "per-node speedup over the linear-scan delta baseline"
         )
         return summary, 1
 

@@ -23,11 +23,14 @@
 #      semantics drift between the incremental and the recompute-from-scratch
 #      constraint checkers fails CI with an unambiguous banner even though
 #      the same tests also run inside the tier-1 suite,
-#   6. the engine smoke benchmark (four-way parity + the propagating-vs-naive,
-#      SAT-vs-propagating, parallel-vs-propagating and delta-vs-full checker
-#      perf gates; the parallel gate needs >= 4 host CPUs and reports itself
-#      as skipped on smaller machines), writing machine-readable results to
-#      BENCH_ENGINE.json,
+#   6. the doc-snippet runner (scripts/run_doc_snippets.py): every fenced
+#      `python` block in README.md and docs/*.md is executed, so the
+#      documentation code cannot rot (tag a fence `python no-run` to skip),
+#   7. the engine smoke benchmark (four-way parity + the propagating-vs-naive,
+#      SAT-vs-propagating, parallel-vs-propagating, indexed-delta-vs-full and
+#      indexed-vs-linear-delta checker perf gates; the parallel gate needs
+#      >= 4 host CPUs and reports itself as skipped on smaller machines),
+#      writing machine-readable results to BENCH_ENGINE.json,
 # so a regression in lint, API surface, correctness, coverage or engine
 # speed fails one command:
 #
@@ -97,6 +100,10 @@ python -m pytest -x -q -p no:cacheprovider "${COV_ARGS[@]}"
 echo
 echo "== delta-vs-full checker differential suite (semantics gate) =="
 python -m pytest -q -p no:cacheprovider -m delta_differential
+
+echo
+echo "== doc snippets (README.md + docs/*.md) =="
+python scripts/run_doc_snippets.py
 
 echo
 echo "== engine smoke benchmark (four-way parity + speedup gates) =="

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Execute every fenced ``python`` code block in README.md and docs/*.md.
+
+Documentation code rots silently; this runner makes the docs part of the
+test surface.  The convention:
+
+* a fence opened with exactly ```` ```python ```` is **executed**;
+* a fence opened with ```` ```python no-run ```` (or any other extra token)
+  is rendered with Python highlighting on GitHub but skipped here — for
+  fragments that are deliberately not self-contained (e.g. an inline
+  excerpt of repository source);
+* all other fences (```` ```bash ````, plain ```` ``` ````, …) are ignored.
+
+Blocks from the same file share one namespace, executed top to bottom, so a
+page can build on its earlier snippets.  Each file starts fresh.  Snippets
+run with the repository root as the working directory and ``src/`` on
+``sys.path`` — the same environment as ``PYTHONPATH=src python``.
+
+Run directly (used by ``scripts/check.sh`` and CI)::
+
+    python scripts/run_doc_snippets.py            # README.md + docs/*.md
+    python scripts/run_doc_snippets.py docs/engines.md   # explicit files
+"""
+
+from __future__ import annotations
+
+import sys
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+@dataclass
+class Snippet:
+    """One runnable fenced block: its source plus where it came from."""
+
+    path: Path
+    line: int  # 1-based line of the opening fence
+    source: str
+
+
+def extract_snippets(path: Path) -> list[Snippet]:
+    """The runnable ``python`` fences of one markdown file, in order."""
+    snippets: list[Snippet] = []
+    fence_line = 0
+    collecting = False
+    runnable = False
+    lines: list[str] = []
+    for number, raw in enumerate(path.read_text().splitlines(), start=1):
+        stripped = raw.strip()
+        if not collecting:
+            if stripped.startswith("```"):
+                collecting = True
+                fence_line = number
+                runnable = stripped[3:].strip() == "python"
+                lines = []
+            continue
+        if stripped.startswith("```"):
+            if runnable:
+                snippets.append(Snippet(path, fence_line, "\n".join(lines)))
+            collecting = False
+            continue
+        lines.append(raw)
+    return snippets
+
+
+def run_file(path: Path) -> list[tuple[Snippet, str]]:
+    """Execute a file's snippets in one shared namespace; return failures."""
+    failures: list[tuple[Snippet, str]] = []
+    namespace: dict[str, object] = {"__name__": f"doc_snippet:{path.name}"}
+    for snippet in extract_snippets(path):
+        # Pad with blank lines so tracebacks point at the markdown line.
+        padded = "\n" * snippet.line + snippet.source
+        try:
+            exec(compile(padded, str(path), "exec"), namespace)  # noqa: S102
+        except Exception:
+            failures.append((snippet, traceback.format_exc()))
+            break  # later snippets in the file may depend on this one
+    return failures
+
+
+def main(arguments: list[str]) -> int:
+    if arguments:
+        paths = [REPO_ROOT / argument for argument in arguments]
+    else:
+        paths = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    total = 0
+    failures: list[tuple[Snippet, str]] = []
+    for path in paths:
+        snippets = extract_snippets(path)
+        total += len(snippets)
+        file_failures = run_file(path)
+        failures.extend(file_failures)
+        status = "FAIL" if file_failures else "ok"
+        print(
+            f"{path.relative_to(REPO_ROOT)}: {len(snippets)} snippet(s) {status}"
+        )
+    for snippet, trace in failures:
+        location = f"{snippet.path.relative_to(REPO_ROOT)}:{snippet.line}"
+        print(f"\nFAILED snippet at {location}:\n{trace}", file=sys.stderr)
+    if failures:
+        print(f"{len(failures)} of {total} doc snippet(s) failed", file=sys.stderr)
+        return 1
+    print(f"All {total} doc snippet(s) passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

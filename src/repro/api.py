@@ -95,6 +95,12 @@ class Database:
         (the default) for semi-naive incremental constraint checking inside
         the tree-search engines, ``"full"`` for the recompute-from-scratch
         oracle path (debugging / differential runs).
+    checker_indexed:
+        Whether the shared checker's delta joins run over the hash indexes
+        of :class:`~repro.relational.indexing.IndexedFactStore` (the
+        default) or over linear scans (``False``; the measurable baseline
+        the benchmark gates against).  All configurations agree on every
+        verdict.
     """
 
     def __init__(
@@ -105,12 +111,15 @@ class Database:
         *,
         engine: EngineConfig | str | None = None,
         checker_mode: str = "delta",
+        checker_indexed: bool = True,
     ) -> None:
         self._cinstance = as_cinstance(database)
         self._master = master
         self._constraints: tuple[ContainmentConstraint, ...] = tuple(constraints)
         self._default_engine = EngineConfig.coerce(engine)
-        self._checker = ConstraintChecker(master, self._constraints, mode=checker_mode)
+        self._checker = ConstraintChecker(
+            master, self._constraints, mode=checker_mode, indexed=checker_indexed
+        )
         self._base_adom: ActiveDomain | None = None
         self._query_adoms: dict[Any, ActiveDomain] = {}
 

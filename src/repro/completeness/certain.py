@@ -84,6 +84,8 @@ def _world_contribution(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain,
     limit: int | None,
+    engine: EngineConfig | str | None = None,
+    workers: int | None = None,
 ) -> tuple[frozenset[Row] | None, bool]:
     """``⋂_{I' ∈ Ext(I)} Q(I')`` for one possible world ``I`` (monotone ``Q``).
 
@@ -96,41 +98,40 @@ def _world_contribution(
     * if some valid extension leaves the answer unchanged ("unhelpful"
       extension), the intersection is exactly ``Q(I)``.
 
-    Candidate tuples are visited with fresh constants first because an
-    all-fresh tuple is very often such an unhelpful valid extension.
+    The extension sweep is routed through
+    :func:`~repro.completeness.extensions.single_tuple_extensions` with
+    ``fresh_first=True``: an all-fresh tuple is very often such an unhelpful
+    valid extension, and now that pool ordering is a pluggable engine hint
+    the sweep shares the engine-routed (and engine-selectable) extension
+    search instead of a private candidate scan.  The short-circuits make the
+    result order-independent, so any engine yields the same contribution.
     """
-    from repro.completeness.extensions import candidate_rows
-    from repro.constraints.containment import satisfies_all
-    from repro.exceptions import BoundExceededError
+    from repro.completeness.extensions import single_tuple_extensions
 
     base = evaluate(query, world)
     contribution: frozenset[Row] | None = None
     found_extension = False
-    inspected = 0
-    for name in world.schema.relation_names:
-        existing = world.relation(name).rows
-        for row in candidate_rows(world.schema[name], adom, fresh_first=True):
-            inspected += 1
-            if limit is not None and inspected > limit:
-                raise BoundExceededError(
-                    f"extension enumeration exceeded {limit} candidates"
-                )
-            if row in existing:
-                continue
-            extended = world.with_tuple(name, row)
-            if not satisfies_all(extended, master, constraints):
-                continue
-            found_extension = True
-            extended_answer = evaluate(query, extended)
-            if extended_answer == base:
-                return base, True
-            contribution = (
-                extended_answer
-                if contribution is None
-                else contribution & extended_answer
-            )
-            if contribution == base:
-                return base, True
+    for extended in single_tuple_extensions(
+        world,
+        master,
+        constraints,
+        adom,
+        limit=limit,
+        engine=engine,
+        workers=workers,
+        fresh_first=True,
+    ):
+        found_extension = True
+        extended_answer = evaluate(query, extended)
+        if extended_answer == base:
+            return base, True
+        contribution = (
+            extended_answer
+            if contribution is None
+            else contribution & extended_answer
+        )
+        if contribution == base:
+            return base, True
     if not found_extension:
         return None, False
     return contribution, True
@@ -173,7 +174,7 @@ def certain_answer_over_extensions(
     for world in models(cinstance, master, constraints, adom, engine=engine, workers=workers):
         saw_world = True
         contribution, has_extensions = _world_contribution(
-            world, query, master, constraints, adom, limit
+            world, query, master, constraints, adom, limit, engine, workers
         )
         if not has_extensions:
             continue

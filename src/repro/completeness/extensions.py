@@ -139,6 +139,7 @@ def single_tuple_extensions(
     limit: int | None = None,
     engine: EngineConfig | str | None = None,
     workers: int | None = None,
+    fresh_first: bool = False,
 ) -> Iterator[GroundInstance]:
     """Partially closed extensions of ``I`` obtained by adding one Adom tuple.
 
@@ -165,8 +166,32 @@ def single_tuple_extensions(
     engine, workers:
         World-search engine selection, as accepted everywhere else in the
         library.
+    fresh_first:
+        Order the candidate sweep with the fresh ``New`` values of the
+        active domain first (stably).  Fresh values are the candidates most
+        likely to produce genuinely new tuples, so consumers that stop at
+        the first (or first *unhelpful*) extension find one sooner.  On the
+        engine-routed path the hint travels as the ``pool_order`` engine
+        option; engines that do not declare
+        :attr:`~repro.search.registry.EngineCapabilities.pool_order_hints`
+        cannot honour it, so the sweep falls back to the direct fresh-first
+        candidate scan instead — the extension *set* is identical on every
+        path, only the discovery order differs.
     """
     from repro.ctables.possible_worlds import models_with_valuations
+    from repro.search.registry import EngineConfig as _EngineConfig
+
+    engine_selection: EngineConfig | str | None = engine
+    engine_honours_order = True
+    if fresh_first:
+        config = _EngineConfig.coerce(engine)
+        engine_honours_order = config.spec().capabilities.pool_order_hints
+        if engine_honours_order:
+            engine_selection = _EngineConfig(
+                config.name,
+                config.workers,
+                {**dict(config.options), "pool_order": "fresh_first"},
+            )
 
     names = list(relations) if relations is not None else list(
         instance.schema.relation_names
@@ -175,16 +200,20 @@ def single_tuple_extensions(
     inspected = 0
     for name in names:
         rel_schema = instance.schema[name]
-        pools = candidate_pools(rel_schema, adom)
+        pools = candidate_pools(rel_schema, adom, fresh_first=fresh_first)
         universe = math.prod(len(pool) for pool in pools)
         existing = instance.relation(name).rows
-        if limit is not None and inspected + universe > limit:
-            # The budget cannot cover this relation's universe: inspect
-            # candidates one at a time so a witness early in pool order is
-            # still found, and the bound trips exactly where it used to.
+        if (limit is not None and inspected + universe > limit) or (
+            fresh_first and not engine_honours_order
+        ):
+            # Direct scan: either the budget cannot cover this relation's
+            # universe (inspect candidates one at a time so a witness early
+            # in pool order is still found, and the bound trips exactly
+            # where it used to), or a fresh-first sweep was requested and
+            # the selected engine cannot honour the pool-order hint.
             for row in itertools.product(*pools):
                 inspected += 1
-                if inspected > limit:
+                if limit is not None and inspected > limit:
                     raise _budget_exceeded(limit, "single-tuple extension")
                 if row in existing:
                     continue
@@ -197,7 +226,7 @@ def single_tuple_extensions(
         augmented = base.with_row(name, variables)
         for valuation, _world in models_with_valuations(
             augmented, master, constraints, adom,
-            engine=engine, workers=workers,
+            engine=engine_selection, workers=workers,
         ):
             row = tuple(valuation[variable] for variable in variables)
             if row in existing:

@@ -55,6 +55,10 @@ class DecisionStats:
     clauses: int | None = None
     worlds: int | None = None
     candidates_examined: int | None = None
+    #: whether any engine run joined its delta checks over hash indexes
+    #: (:mod:`repro.relational.indexing`); ``None`` when no engine that ran
+    #: reports the flag (e.g. SAT or naive enumeration).
+    uses_indexes: bool | None = None
 
 
 def _deprecated(old: str, new: str) -> None:
@@ -180,6 +184,7 @@ def aggregate_search_stats(
     nodes: int | None = None
     clauses: int | None = None
     worlds: int | None = None
+    uses_indexes: bool | None = None
     for search in searches:
         stats = getattr(search, "stats", None)
         if stats is None:
@@ -193,12 +198,16 @@ def aggregate_search_stats(
         got_worlds = getattr(stats, "worlds", None)
         if got_worlds is not None:
             worlds = (worlds or 0) + got_worlds
+        got_indexes = getattr(stats, "uses_indexes", None)
+        if got_indexes is not None:
+            uses_indexes = bool(uses_indexes) or bool(got_indexes)
     return DecisionStats(
         wall_time=wall_time,
         searches=len(searches),
         nodes=nodes,
         clauses=clauses,
         worlds=worlds,
+        uses_indexes=uses_indexes,
     )
 
 

@@ -235,6 +235,28 @@ def _comparisons_hold(
     return True
 
 
+def finalize_assignment(
+    comparisons: Iterable[Comparison],
+    assignment: dict[Variable, Constant],
+) -> dict[Variable, Constant] | None:
+    """Complete a fully atom-matched assignment against the comparisons.
+
+    Public companion of :func:`match_conjunction` for callers that enumerate
+    atom matches themselves (e.g. the indexed join of
+    :mod:`repro.search.joinplan`): propagates equality atoms into the
+    assignment, then checks every comparison.  Returns the completed
+    assignment, or ``None`` if an equality conflicts or a comparison fails —
+    exactly the acceptance rule :func:`match_conjunction` applies at its
+    leaves.
+    """
+    completed = _propagate_equalities(comparisons, assignment)
+    if completed is None:
+        return None
+    if not _comparisons_hold(comparisons, completed):
+        return None
+    return completed
+
+
 def match_conjunction(
     atoms: Iterable[RelationAtom],
     comparisons: Iterable[Comparison],
@@ -254,10 +276,8 @@ def match_conjunction(
         index: int, assignment: dict[Variable, Constant]
     ) -> Iterator[dict[Variable, Constant]]:
         if index == len(atoms):
-            completed = _propagate_equalities(comparisons, assignment)
-            if completed is None:
-                return
-            if _comparisons_hold(comparisons, completed):
+            completed = finalize_assignment(comparisons, assignment)
+            if completed is not None:
                 yield completed
             return
         atom = atoms[index]

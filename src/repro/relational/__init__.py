@@ -15,6 +15,12 @@ from repro.relational.domains import (
     finite_domain,
     infinite_domain,
 )
+from repro.relational.indexing import (
+    FactIndex,
+    IndexedFactStore,
+    Signature,
+    instance_index,
+)
 from repro.relational.instance import (
     GroundInstance,
     Relation,
@@ -38,16 +44,20 @@ __all__ = [
     "Constant",
     "DatabaseSchema",
     "Domain",
+    "FactIndex",
     "GroundInstance",
+    "IndexedFactStore",
     "MasterData",
     "Relation",
     "RelationSchema",
     "Row",
+    "Signature",
     "database_schema",
     "empty_instance",
     "empty_master",
     "finite_domain",
     "infinite_domain",
     "instance",
+    "instance_index",
     "schema",
 ]

@@ -1,0 +1,216 @@
+"""Hash indexes over ground facts, keyed by bound-position signatures.
+
+The delta constraint checker (:mod:`repro.search.propagation`) turns every
+pushed tuple into a handful of conjunctive-query joins: the remaining atoms of
+each constraint CQ must be matched against the facts grounded so far.  Before
+this module those joins were linear scans over per-relation tuple sets; the
+classes here replace them with hash lookups.
+
+A :class:`FactIndex` materialises one *signature* of a relation: a pair
+``(key_positions, out_positions)`` of column indexes.  For every stored row it
+groups the projection onto ``out_positions`` under the projection onto
+``key_positions``.  Looking up the current binding of an atom's bound columns
+then yields exactly the candidate continuations, already projected onto the
+columns the rest of the join can still use — columns carrying variables that
+occur nowhere else in the query (and not in the head or comparisons) are
+projected away entirely, which collapses duplicate continuations into one
+bucket entry.  Because two distinct rows may project onto the same out-tuple,
+buckets are *multisets* (out-tuple → multiplicity): removing one of the two
+rows must not delete the shared continuation.
+
+:class:`IndexedFactStore` is the mutable fact store used by
+:class:`~repro.search.propagation.CheckerSession`.  It subclasses
+``dict[str, set[Row]]`` so every existing consumer of the plain
+``facts`` mapping keeps working unchanged, and adds:
+
+* :meth:`IndexedFactStore.add_row` / :meth:`IndexedFactStore.discard_row` —
+  the only mutators; they keep every built index in sync with the base sets,
+  so index entries added on push are unwound exactly on pop.
+* :meth:`IndexedFactStore.index` — lazily builds (then incrementally
+  maintains) the :class:`FactIndex` for a signature.  Nothing is indexed
+  until a join first asks for a signature, so non-indexed sessions pay only
+  an empty-tuple lookup per mutation.
+* attribute-value interning: equal constants pushed through the store are
+  canonicalised to one representative object, so the hash of a hot value is
+  computed against the same object identity in every bucket.
+
+:class:`GroundInstance <repro.relational.instance.GroundInstance>` exposes the
+same machinery for immutable instances via
+:func:`instance_index`, caching built indexes per (instance, signature).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.relational.domains import Constant
+from repro.relational.instance import GroundInstance, Row
+
+#: A bound-position signature: column indexes the join has bindings for
+#: (lookup key) and column indexes the join still needs (projected output).
+Signature = tuple[tuple[int, ...], tuple[int, ...]]
+
+_EMPTY_BUCKET: Mapping[Row, int] = {}
+
+
+class FactIndex:
+    """One hash index over one relation for one bound-position signature.
+
+    ``buckets`` maps each key projection to the multiset of out projections
+    of the rows sharing that key; ``entries`` counts distinct out-tuples
+    across all buckets (used for selectivity estimates by the join planner).
+    """
+
+    __slots__ = ("key_positions", "out_positions", "buckets", "entries")
+
+    def __init__(
+        self,
+        key_positions: tuple[int, ...],
+        out_positions: tuple[int, ...],
+        rows: Iterable[Row] = (),
+    ) -> None:
+        self.key_positions = key_positions
+        self.out_positions = out_positions
+        self.buckets: dict[Row, dict[Row, int]] = {}
+        self.entries = 0
+        for row in rows:
+            self.add(row)
+
+    def add(self, row: Row) -> None:
+        """Register one stored row with the index."""
+        key = tuple(row[p] for p in self.key_positions)
+        out = tuple(row[p] for p in self.out_positions)
+        bucket = self.buckets.setdefault(key, {})
+        count = bucket.get(out, 0)
+        if count == 0:
+            self.entries += 1
+        bucket[out] = count + 1
+
+    def discard(self, row: Row) -> None:
+        """Unregister one previously :meth:`add`-ed row."""
+        key = tuple(row[p] for p in self.key_positions)
+        out = tuple(row[p] for p in self.out_positions)
+        bucket = self.buckets[key]
+        count = bucket[out] - 1
+        if count:
+            bucket[out] = count
+        else:
+            del bucket[out]
+            self.entries -= 1
+            if not bucket:
+                del self.buckets[key]
+
+    def group(self, key: Row) -> Mapping[Row, int]:
+        """The out-tuple multiset stored under ``key`` (empty if absent)."""
+        return self.buckets.get(key, _EMPTY_BUCKET)
+
+    def estimate(self) -> float:
+        """Estimated bucket size: mean distinct out-tuples per key."""
+        return self.entries / max(1, len(self.buckets))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FactIndex(key={self.key_positions}, out={self.out_positions}, "
+            f"{len(self.buckets)} buckets, {self.entries} entries)"
+        )
+
+
+class IndexedFactStore(dict[str, set[Row]]):
+    """Mutable per-relation fact sets with lazily built hash indexes.
+
+    The mapping interface is the plain ``{relation: set-of-rows}`` store the
+    rest of the search stack already consumes; mutation must go through
+    :meth:`add_row` / :meth:`discard_row` so the built indexes stay
+    consistent with the base sets.
+    """
+
+    __slots__ = ("_indexes", "_relation_indexes", "_interned", "_intern_values")
+
+    def __init__(
+        self, relation_names: Iterable[str] = (), *, intern_values: bool = True
+    ) -> None:
+        super().__init__({name: set() for name in relation_names})
+        # signature-keyed view plus a per-relation list for O(#indexes)
+        # maintenance on the mutation path.
+        self._indexes: dict[tuple[str, Signature], FactIndex] = {}
+        self._relation_indexes: dict[str, list[FactIndex]] = {}
+        self._interned: dict[Constant, Constant] = {}
+        self._intern_values = intern_values
+
+    # ------------------------------------------------------------------
+    # interning
+    # ------------------------------------------------------------------
+    def intern_row(self, row: Row) -> Row:
+        """Canonicalise the attribute values of ``row`` to one object each."""
+        if not self._intern_values:
+            return row
+        interned = self._interned
+        return tuple(interned.setdefault(value, value) for value in row)
+
+    # ------------------------------------------------------------------
+    # mutation (the only writers; keep base sets and indexes in sync)
+    # ------------------------------------------------------------------
+    def add_row(self, relation: str, row: Row) -> tuple[Row, bool]:
+        """Add ``row`` to ``relation``; return ``(stored row, was added)``.
+
+        The returned row is the interned representative actually stored —
+        callers should record *that* object (e.g. on an undo trail) so a
+        later :meth:`discard_row` hits the same dictionary entries.
+        """
+        store = self.setdefault(relation, set())
+        row = self.intern_row(row)
+        if row in store:
+            return row, False
+        store.add(row)
+        for index in self._relation_indexes.get(relation, ()):
+            index.add(row)
+        return row, True
+
+    def discard_row(self, relation: str, row: Row) -> None:
+        """Remove a previously added row, unwinding its index entries."""
+        store = self.get(relation)
+        if store is None or row not in store:
+            return
+        store.discard(row)
+        for index in self._relation_indexes.get(relation, ()):
+            index.discard(row)
+
+    # ------------------------------------------------------------------
+    # index access
+    # ------------------------------------------------------------------
+    def index(self, relation: str, signature: Signature) -> FactIndex:
+        """The :class:`FactIndex` for ``(relation, signature)``.
+
+        Built lazily from the rows currently stored, then maintained
+        incrementally by :meth:`add_row` / :meth:`discard_row`.
+        """
+        key = (relation, signature)
+        index = self._indexes.get(key)
+        if index is None:
+            index = FactIndex(*signature, rows=self.get(relation, ()))
+            self._indexes[key] = index
+            self._relation_indexes.setdefault(relation, []).append(index)
+        return index
+
+    @property
+    def built_indexes(self) -> int:
+        """How many signatures have been materialised (observability)."""
+        return len(self._indexes)
+
+
+def instance_index(
+    instance: GroundInstance, relation: str, signature: Signature
+) -> FactIndex:
+    """A lazily built, cached :class:`FactIndex` over a ground instance.
+
+    Ground instances are immutable, so the index is built once per
+    ``(instance, relation, signature)`` and cached on the instance itself;
+    repeated lookups are dictionary hits.
+    """
+    cache = instance.fact_indexes()
+    key = (relation, signature)
+    index = cache.get(key)
+    if index is None:
+        index = FactIndex(*signature, rows=instance.relation(relation).rows)
+        cache[key] = index
+    return index

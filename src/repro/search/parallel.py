@@ -155,7 +155,8 @@ atexit.register(shutdown_pools)
 # ---------------------------------------------------------------------------
 # worker-side shard execution
 # ---------------------------------------------------------------------------
-#: ``(cinstance, master, constraints, adom, order, break_symmetry, checker_mode)``.
+#: ``(cinstance, master, constraints, adom, order, break_symmetry,
+#: checker_mode, checker_indexed)``.
 _Payload = tuple[
     CInstance,
     MasterData,
@@ -164,6 +165,7 @@ _Payload = tuple[
     list[Variable],
     bool,
     str,
+    bool,
 ]
 
 #: One shard prefix: the pinned values of the shard variables.
@@ -175,20 +177,23 @@ _Prefix = dict[Variable, Constant]
 # objects (MasterData and ContainmentConstraint define structural equality),
 # so the worker keeps the checker of the last-seen ``(master, constraints)``
 # pair and reuses it whenever the next chunk carries an equal pair.
-_CheckerKey = tuple[MasterData, tuple[ContainmentConstraint, ...], str]
+_CheckerKey = tuple[MasterData, tuple[ContainmentConstraint, ...], str, bool]
 _WORKER_CHECKER: tuple[_CheckerKey, ConstraintChecker] | None = None
 
 
 def _worker_checker(
-    master: MasterData, constraints: Sequence[ContainmentConstraint], mode: str
+    master: MasterData,
+    constraints: Sequence[ContainmentConstraint],
+    mode: str,
+    indexed: bool,
 ) -> ConstraintChecker:
     # reprolint: disable=R005 -- deliberate per-process memo cache: each forked
     # worker keeps its own slot; the parent never reads or depends on it.
     global _WORKER_CHECKER
-    key = (master, tuple(constraints), mode)
+    key = (master, tuple(constraints), mode, indexed)
     if _WORKER_CHECKER is not None and _WORKER_CHECKER[0] == key:
         return _WORKER_CHECKER[1]
-    checker = ConstraintChecker(master, constraints, mode=mode)
+    checker = ConstraintChecker(master, constraints, mode=mode, indexed=indexed)
     _WORKER_CHECKER = (key, checker)
     return checker
 
@@ -196,14 +201,26 @@ def _worker_checker(
 def _shard_search(
     payload: _Payload, prefix: Mapping[Variable, Constant], **kwargs: Any
 ) -> WorldSearch:
-    cinstance, master, constraints, adom, order, break_symmetry, checker_mode = payload
+    # Hash indexes are session-local state (IndexedFactStore lives inside
+    # each CheckerSession), so nothing index-shaped crosses the fork: every
+    # worker's searches rebuild their indexes lazily from their own pushes.
+    (
+        cinstance,
+        master,
+        constraints,
+        adom,
+        order,
+        break_symmetry,
+        checker_mode,
+        checker_indexed,
+    ) = payload
     return WorldSearch(
         cinstance,
         master,
         constraints,
         adom,
         break_symmetry=break_symmetry,
-        checker=_worker_checker(master, constraints, checker_mode),
+        checker=_worker_checker(master, constraints, checker_mode, checker_indexed),
         order=order,
         pool_overrides={variable: [value] for variable, value in prefix.items()},
         **kwargs,
@@ -300,6 +317,8 @@ class ParallelSearchStats:
     worlds: int = 0
     duplicate_worlds: int = 0
     shard_variables: list[Variable] = field(default_factory=list)
+    #: whether the shards' delta checkers joined through hash indexes.
+    uses_indexes: bool = False
 
 
 class ParallelWorldSearch:
@@ -367,7 +386,10 @@ class ParallelWorldSearch:
         self._chunks_per_worker = max(1, chunks_per_worker)
         self._shard_order = shard_order
         self._checker = checker
-        self.stats = ParallelSearchStats(workers=self._workers)
+        self.stats = ParallelSearchStats(
+            workers=self._workers,
+            uses_indexes=checker.uses_indexes if checker is not None else True,
+        )
 
         # The serial engine's order/pools are the ground truth the shards
         # reproduce; computing them here costs one ordering pass, no search.
@@ -422,8 +444,10 @@ class ParallelWorldSearch:
 
     def _payload(self, break_symmetry: bool) -> _Payload:
         # Workers rebuild (and cache) their own checkers; shipping the mode
-        # keeps a facade-configured mode="full" honest in every process.
+        # and the indexed flag keeps a facade-configured mode="full" (or
+        # indexed=False baseline) honest in every process.
         mode = self._checker.mode if self._checker is not None else "delta"
+        indexed = self._checker.indexed if self._checker is not None else True
         return (
             self._cinstance,
             self._master,
@@ -432,6 +456,7 @@ class ParallelWorldSearch:
             self._order,
             break_symmetry,
             mode,
+            indexed,
         )
 
     def _chunks(self, prefixes: list[_Prefix]) -> list[list[tuple[int, _Prefix]]]:

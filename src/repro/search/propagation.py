@@ -28,6 +28,15 @@ Two evaluation modes are available:
   against: every touched constraint's whole CQ is re-evaluated via
   :func:`~repro.queries.evaluation.evaluate_cq_on_facts`.
 
+The delta mode additionally comes in two join strategies, selected by the
+``indexed`` flag: ``indexed=True`` (the default) routes the remaining-atom
+join through the hash indexes of
+:class:`~repro.relational.indexing.IndexedFactStore` with the
+selectivity-greedy planner of :mod:`repro.search.joinplan`;
+``indexed=False`` keeps the linear scans of
+:func:`~repro.queries.evaluation.match_conjunction` as the measurable
+baseline (and second oracle) the benchmark gates the indexed path against.
+
 The incremental surface is a :class:`CheckerSession` (created per search via
 :meth:`ConstraintChecker.session`): a ``push(relation, row)`` /- ``pop()``
 snapshot stack over a fact store owned by the session.  Sessions make the
@@ -54,9 +63,11 @@ from repro.queries.evaluation import (
     match_atom,
     match_conjunction,
 )
-from repro.queries.terms import Term
+from repro.queries.terms import Term, Variable
+from repro.relational.indexing import IndexedFactStore
 from repro.relational.instance import Row
 from repro.relational.master import MasterData
+from repro.search.joinplan import join_escapes_rhs, relevant_variables
 
 #: The evaluation modes a :class:`ConstraintChecker` supports.
 CHECKER_MODES = ("delta", "full")
@@ -74,6 +85,9 @@ class _Entry:
     head: tuple[Term, ...]
     #: relation name → indices of the LHS atoms that can match a tuple of it.
     seeds: Mapping[str, tuple[int, ...]]
+    #: variables the indexed join must keep (head/comparison/shared); the
+    #: rest are existentially projected away by the index buckets.
+    relevant: frozenset[Variable]
 
 
 class ConstraintChecker:
@@ -89,15 +103,23 @@ class ConstraintChecker:
         sessions, ``"full"`` for the recompute-from-scratch oracle path.
         Both modes agree on every verdict; ``"full"`` exists so differential
         tests (and debugging) have an independent reference.
+    indexed:
+        With ``mode="delta"``: ``True`` (default) joins the remaining atoms
+        through the session store's hash indexes
+        (:mod:`repro.search.joinplan`); ``False`` keeps the linear-scan
+        join as a measurable baseline.  Ignored by ``mode="full"``.  All
+        three configurations agree on every verdict.
     """
 
-    __slots__ = ("_entries", "_mode", "_base_violations", "_session")
+    __slots__ = ("_entries", "_mode", "_indexed", "_base_violations", "_session")
 
     def __init__(
         self,
         master: MasterData,
         constraints: Sequence[ContainmentConstraint],
         mode: str = "delta",
+        *,
+        indexed: bool = True,
     ) -> None:
         if mode not in CHECKER_MODES:
             raise SearchError(
@@ -119,6 +141,9 @@ class ConstraintChecker:
                 comparisons=query.comparisons,
                 head=query.head,
                 seeds=seeds,
+                relevant=relevant_variables(
+                    query.atoms, query.comparisons, query.head
+                ),
             )
             entries.append(entry)
             if not entry.atoms:
@@ -131,6 +156,7 @@ class ConstraintChecker:
         base_violations = frozenset(base)
         self._entries = entries
         self._mode = mode
+        self._indexed = bool(indexed)
         self._base_violations = base_violations
         self._session: CheckerSession | None = None
 
@@ -138,6 +164,16 @@ class ConstraintChecker:
     def mode(self) -> str:
         """The evaluation mode (``"delta"`` or ``"full"``)."""
         return self._mode
+
+    @property
+    def indexed(self) -> bool:
+        """Whether delta joins run over hash indexes (vs linear scans)."""
+        return self._indexed
+
+    @property
+    def uses_indexes(self) -> bool:
+        """Whether sessions of this checker actually exercise the indexes."""
+        return self._indexed and self._mode == "delta"
 
     @property
     def constraints(self) -> list[ContainmentConstraint]:
@@ -246,11 +282,16 @@ class ConstraintChecker:
         are popped.
         """
         fresh: set[int] = set()
+        use_indexes = self._indexed and isinstance(facts, IndexedFactStore)
         for index, entry in enumerate(self._entries):
             if index in already or relation not in entry.seeds:
                 continue
             if self._mode == "full":
                 if not evaluate_cq_on_facts(entry.constraint.query, facts) <= entry.rhs:
+                    fresh.add(index)
+            elif use_indexes:
+                assert isinstance(facts, IndexedFactStore)
+                if self._delta_violates_indexed(entry, facts, relation, row):
                     fresh.add(index)
             elif self._delta_violates(entry, facts, relation, row):
                 fresh.add(index)
@@ -283,6 +324,37 @@ class ConstraintChecker:
                     return True
         return False
 
+    def _delta_violates_indexed(
+        self,
+        entry: _Entry,
+        facts: IndexedFactStore,
+        relation: str,
+        row: Row,
+    ) -> bool:
+        """Indexed-join counterpart of :meth:`_delta_violates`.
+
+        Same seed enumeration, but the remaining atoms are joined through
+        the store's hash indexes in greedy selectivity order
+        (:func:`repro.search.joinplan.join_escapes_rhs`) instead of by
+        linear scans.  The two strategies agree on every verdict.
+        """
+        for atom_index in entry.seeds[relation]:
+            seed = match_atom(entry.atoms[atom_index], row, {})
+            if seed is None:
+                continue
+            rest = entry.atoms[:atom_index] + entry.atoms[atom_index + 1:]
+            if join_escapes_rhs(
+                facts,
+                rest,
+                entry.comparisons,
+                entry.head,
+                entry.rhs,
+                seed,
+                entry.relevant,
+            ):
+                return True
+        return False
+
 
 #: Trail record of one push: ``(relation, row, added, newly_violated)``.
 #: One trail frame: ``(relation, row, actually_added, newly_violated_ids)``.
@@ -311,7 +383,12 @@ class CheckerSession:
         self, checker: ConstraintChecker, relation_names: Iterable[str] = ()
     ) -> None:
         self._checker = checker
-        self.facts: dict[str, set[Row]] = {name: set() for name in relation_names}
+        # A dict[str, set[Row]] subclass: plain mapping reads everywhere,
+        # with lazily built hash indexes (and value interning) maintained by
+        # the push/pop mutators when the checker runs indexed delta joins.
+        self.facts: IndexedFactStore = IndexedFactStore(
+            relation_names, intern_values=checker.uses_indexes
+        )
         self._trail: list[_TrailEntry] = []
         self._violated: set[int] = set(checker._base_violations)
 
@@ -332,23 +409,31 @@ class CheckerSession:
 
     def push(self, relation: str, row: Row) -> bool:
         """Add ``row`` to ``relation``; return whether all constraints hold."""
-        store = self.facts.setdefault(relation, set())
-        if row in store:
+        row, added = self.facts.add_row(relation, row)
+        if not added:
             self._trail.append((relation, row, False, frozenset()))
             return not self._violated
-        store.add(row)
-        fresh = self._checker._newly_violated(self.facts, relation, row, self._violated)
+        try:
+            fresh = self._checker._newly_violated(
+                self.facts, relation, row, self._violated
+            )
+        except BaseException:
+            # Exception-safe unwind (reprolint R002): the row — and every
+            # index entry it contributed — must not outlive a failed push,
+            # or the trail would no longer mirror the store.
+            self.facts.discard_row(relation, row)
+            raise
         self._violated |= fresh
         self._trail.append((relation, row, True, fresh))
         return not self._violated
 
     def pop(self) -> None:
-        """Undo the most recent push (facts and violation state)."""
+        """Undo the most recent push (facts, index entries, violation state)."""
         if not self._trail:
             raise SearchError("pop() without a matching push()")
         relation, row, added, fresh = self._trail.pop()
         if added:
-            self.facts[relation].discard(row)
+            self.facts.discard_row(relation, row)
         self._violated -= fresh
 
     def mark(self) -> int:

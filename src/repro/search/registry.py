@@ -105,6 +105,13 @@ class EngineCapabilities:
     accepts_checker:
         The factory reuses a prebuilt
         :class:`~repro.search.propagation.ConstraintChecker`.
+    uses_indexes:
+        The engine's delta checker joins over the hash indexes of
+        :class:`~repro.relational.indexing.IndexedFactStore` (reported per
+        run as ``uses_indexes`` in :class:`~repro.decision.DecisionStats`).
+    pool_order_hints:
+        The factory honours the ``pool_order`` option (e.g.
+        ``"fresh_first"``) for value-order hints on the candidate pools.
     """
 
     counts_natively: bool = False
@@ -113,6 +120,8 @@ class EngineCapabilities:
     supports_cancellation: bool = False
     symmetry_breaking: bool = False
     accepts_checker: bool = True
+    uses_indexes: bool = False
+    pool_order_hints: bool = False
 
 
 @dataclass(frozen=True)
@@ -398,6 +407,8 @@ register_engine(
         supports_cancellation=True,
         symmetry_breaking=True,
         order_identical=True,
+        uses_indexes=True,
+        pool_order_hints=True,
     ),
 )
 register_engine(
@@ -413,6 +424,7 @@ register_engine(
         order_identical=True,
         supports_workers=True,
         supports_cancellation=True,
+        uses_indexes=True,
     ),
 )
 register_engine(

@@ -16,6 +16,11 @@ size can be swept:
 * :func:`inequality_chain_workload` — the inequality-heavy family targeted
   by the SAT engine: FD-forced equalities plus a ≠-chain of denial CCs over
   a Boolean value column, closable into an (odd ⇒ inconsistent) cycle.
+* :func:`skewed_join_workload` — a hub-skewed graph family targeted by the
+  *indexed* delta checker: a three-hop chain constraint over an ``Edge``
+  relation whose rows pile into one hot source bucket, so a linear scan
+  touches every row per join step while a hash index touches one bucket
+  (often a projected or empty one).
 
 All generators are deterministic given their ``seed``.
 """
@@ -390,9 +395,12 @@ def wide_constraint_workload(
     grounded tuple joins ``|Record|^width`` atom combinations; the delta
     checker seeds each of the ``width`` atoms with the new tuple and joins
     only the remaining ``width - 1`` outward, an ``O(|Record|/width)``
-    per-node advantage that grows with the instance.  The benchmark gate
-    (`bench_engine.py`) requires the delta mode to be ≥ 2x faster per node
-    than ``mode="full"`` on this family.
+    per-node advantage that grows with the instance.  The benchmark gates
+    (`bench_engine.py`) require the indexed delta mode to be ≥ 3x faster per
+    node than ``mode="full"`` at ``width=3``, and ≥ 3x faster than the
+    linear-scan delta baseline (``indexed=False``) at ``width=4``, where the
+    remaining-atom join is deep enough for the hash-join planner to dominate
+    the shared per-node search overhead.
     """
     value_domain = Domain(
         name=f"values{values}", values=frozenset(f"v{j}" for j in range(values))
@@ -438,5 +446,112 @@ def wide_constraint_workload(
         ground_rows=ground_rows,
         variable_rows=variable_rows,
         width=width,
+        values=values,
+    )
+
+
+@dataclass(frozen=True)
+class SkewedJoinWorkload:
+    """A hub-skewed join workload (the indexed delta checker's target regime)."""
+
+    schema: DatabaseSchema
+    master: MasterData
+    constraints: list[ContainmentConstraint]
+    cinstance: CInstance
+    hub_degree: int
+    medium_degree: int
+    variable_rows: int
+    values: int
+
+
+def skewed_join_workload(
+    hub_degree: int = 24,
+    variable_rows: int = 3,
+    values: int = 3,
+    medium_degree: int = 4,
+) -> SkewedJoinWorkload:
+    """Build the skew family that punishes linear constraint-check scans.
+
+    The schema is a graph relation ``Edge(src, tag, dst)`` whose ``dst``
+    column ranges over the finite domain ``{d0, …, d_{values-1}}``, and the
+    single constraint is a three-hop chain containment
+
+        ``q(x0, x3) :- Edge(x0, t1, x1), Edge(x1, t2, x2), Edge(x2, t3, x3)
+        ⊆ π(Reach)``
+
+    whose ``Reach`` master relation holds every source/destination pair, so
+    the constraint never fires and every checker walks the identical search
+    tree while doing maximal join work per pushed tuple.  The ground rows
+    are deliberately *skewed*:
+
+    * ``hub_degree`` rows fan out of the hot hub ``d0`` (destinations
+      cycling over the domain),
+    * ``medium_degree`` rows point from ``d1`` back to the hub, and
+    * ``d2, …`` have **no** outgoing edges at all.
+
+    Each ``tag`` value is unique to its row and appears nowhere else in the
+    constraint, so the hash indexes of :mod:`repro.relational.indexing`
+    project it away: the hot bucket collapses from ``hub_degree`` rows to at
+    most ``values`` distinct ``(dst,)`` continuations, an empty ``d2``
+    bucket refutes a join step in one dict lookup, and seeding the chain's
+    middle atom with a fresh ``gⱼ`` vertex dead-ends immediately because no
+    edge *enters* ``gⱼ``.  A linear scan re-walks all ``hub_degree +
+    medium_degree + variable_rows`` rows at every join step in all of those
+    situations, which is exactly the per-node gap the
+    ``REQUIRED_INDEX_SPEEDUP`` gate in ``bench_engine.py`` measures.
+
+    The c-instance adds ``variable_rows`` rows ``(gⱼ, tⱼ, wⱼ)`` with fresh
+    source vertices and a missing destination each, giving the search
+    ``values^variable_rows`` leaves with one delta check per node.
+    """
+    dst_domain = Domain(
+        name=f"dst{values}", values=frozenset(f"d{j}" for j in range(values))
+    )
+    db_schema = database_schema(
+        RelationSchema("Edge", ["src", "tag", ("dst", dst_domain)])
+    )
+    master_schema = database_schema(schema("Reach", "src", "dst"))
+    sources = [f"d{j}" for j in range(values)] + [
+        f"g{j}" for j in range(variable_rows)
+    ]
+    destinations = [f"d{j}" for j in range(values)]
+    master = MasterData(
+        master_schema,
+        {"Reach": [(a, b) for a in sources for b in destinations]},
+    )
+
+    x0, x1, x2, x3 = var("x0"), var("x1"), var("x2"), var("x3")
+    t1, t2, t3 = var("t1"), var("t2"), var("t3")
+    chain = cc(
+        cq(
+            "three_hop",
+            [x0, x3],
+            atoms=[
+                atom("Edge", x0, t1, x1),
+                atom("Edge", x1, t2, x2),
+                atom("Edge", x2, t3, x3),
+            ],
+        ),
+        projection("Reach", "src", "dst"),
+        name="three-hop⊆reach",
+    )
+
+    rows: list[CTableRow] = [
+        CTableRow(("d0", f"e{i}", f"d{i % values}")) for i in range(hub_degree)
+    ]
+    rows += [CTableRow(("d1", f"f{i}", "d0")) for i in range(medium_degree)]
+    rows += [
+        CTableRow((f"g{j}", f"t{j}", Variable(f"w{j}")))
+        for j in range(variable_rows)
+    ]
+    cinst = CInstance(db_schema, {"Edge": CTable(db_schema["Edge"], rows)})
+    return SkewedJoinWorkload(
+        schema=db_schema,
+        master=master,
+        constraints=[chain],
+        cinstance=cinst,
+        hub_degree=hub_degree,
+        medium_degree=medium_degree,
+        variable_rows=variable_rows,
         values=values,
     )
