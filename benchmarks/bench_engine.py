@@ -32,7 +32,7 @@ sweep, and extends the sweeps to regimes each engine targets:
   the indexed delta checker.
 
 Each case first asserts *parity* (identical verdict / model count from every
-engine that runs it) and then reports the timings.  Five gates are enforced:
+engine that runs it) and then reports the timings.  Six gates are enforced:
 
 * the propagating engine must keep its ≥ 3x headline speedup over naive on
   the largest naive-feasible registry cases (the ISSUE 1 criterion),
@@ -51,7 +51,12 @@ engine that runs it) and then reports the timings.  Five gates are enforced:
   constraint-checking comparison), and
 * the indexed delta checker must be ≥ 3x faster per node than the PR 5
   linear-scan delta baseline (``indexed=False``) on both the
-  wide-constraint family and the skew family (the ISSUE 7 criterion).
+  wide-constraint family and the skew family (the ISSUE 7 criterion), and
+* an incremental ``Database.update`` stream — warm decision caches plus the
+  live assumption-guarded DPLL solver — must answer consistency and the
+  model count ≥ 3x faster than rebuilding the facade and re-deciding from
+  scratch at every step of the 50-step registry update stream (the ISSUE 8
+  criterion; both sides are parity-checked step by step first).
 
 With ``--json`` every decider case additionally records the per-engine
 ``Decision.stats`` (search ``nodes``, CNF ``clauses``, ``wall`` seconds,
@@ -79,8 +84,10 @@ from typing import Callable
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.api import Database  # noqa: E402
 from repro.completeness.consistency import is_consistent  # noqa: E402
 from repro.completeness.strong import is_strongly_complete  # noqa: E402
+from repro.ctables.cinstance import CInstance  # noqa: E402
 from repro.ctables.possible_worlds import (  # noqa: E402
     default_active_domain,
     model_count,
@@ -97,6 +104,7 @@ from repro.workloads.generator import (  # noqa: E402
     inequality_chain_workload,
     registry_workload,
     skewed_join_workload,
+    update_stream_workload,
     wide_constraint_workload,
     wide_pool_workload,
 )
@@ -117,6 +125,12 @@ REQUIRED_DELTA_SPEEDUP = 3.0
 #: linear-scan delta baseline on the wide-constraint and skew families (the
 #: ISSUE 7 criterion).
 REQUIRED_INDEX_SPEEDUP = 3.0
+#: An incremental ``Database.update`` stream (warm decision caches + live
+#: SAT solver) must beat rebuilding the facade and re-deciding from scratch
+#: at every step by this factor on the 50-step registry stream (the ISSUE 8
+#: criterion).
+REQUIRED_UPDATE_STREAM_SPEEDUP = 3.0
+UPDATE_STREAM_STEPS = 50
 
 #: The three ConstraintChecker configurations the checker comparison drives:
 #: ``(mode, indexed)`` per label.  "delta-linear" is the PR 5 baseline
@@ -188,13 +202,16 @@ def _decision_stats(verdict: object) -> dict | None:
     }
 
 
-def _registry_cases(smoke: bool) -> list[Case]:
+def _registry_cases(smoke: bool, seed: int) -> list[Case]:
     consistency_sweep = [2, 3] if smoke else [2, 3, 4, 5]
     strong_sweep = [1, 2] if smoke else [1, 2, 3]
     cases: list[Case] = []
     for variable_count in consistency_sweep:
         workload = registry_workload(
-            master_size=3, db_rows=max(3, variable_count), variable_count=variable_count
+            master_size=3,
+            db_rows=max(3, variable_count),
+            variable_count=variable_count,
+            seed=seed,
         )
         cases.append(
             Case(
@@ -208,7 +225,10 @@ def _registry_cases(smoke: bool) -> list[Case]:
         )
     for variable_count in strong_sweep:
         workload = registry_workload(
-            master_size=3, db_rows=max(3, variable_count), variable_count=variable_count
+            master_size=3,
+            db_rows=max(3, variable_count),
+            variable_count=variable_count,
+            seed=seed,
         )
         cases.append(
             Case(
@@ -223,11 +243,11 @@ def _registry_cases(smoke: bool) -> list[Case]:
     return cases
 
 
-def _reduction_cases(smoke: bool) -> list[Case]:
+def _reduction_cases(smoke: bool, seed: int) -> list[Case]:
     sweep = [(1, 1, 2), (2, 1, 3)] if smoke else [(1, 1, 2), (2, 1, 3), (2, 2, 4)]
     cases = []
     for dimensions in sweep:
-        formula = random_forall_exists_instance(*dimensions, seed=7)
+        formula = random_forall_exists_instance(*dimensions, seed=seed + 7)
         reduction = build_consistency_reduction(formula)
         universal, existential, clauses = dimensions
         cases.append(
@@ -242,12 +262,15 @@ def _reduction_cases(smoke: bool) -> list[Case]:
     return cases
 
 
-def _model_count_cases(smoke: bool) -> list[Case]:
+def _model_count_cases(smoke: bool, seed: int) -> list[Case]:
     sweep = [2, 3] if smoke else [2, 3, 4]
     cases = []
     for variable_count in sweep:
         workload = registry_workload(
-            master_size=4, db_rows=max(3, variable_count), variable_count=variable_count
+            master_size=4,
+            db_rows=max(3, variable_count),
+            variable_count=variable_count,
+            seed=seed,
         )
         cases.append(
             Case(
@@ -290,13 +313,16 @@ def _inequality_cases(smoke: bool) -> list[Case]:
     return cases
 
 
-def _scale_up_cases(smoke: bool) -> list[Case]:
+def _scale_up_cases(smoke: bool, seed: int) -> list[Case]:
     """Sizes whose cross product the naive path cannot materialise."""
     sweep = [(6, 6, 6)] if smoke else [(6, 6, 6), (8, 8, 8), (10, 10, 10)]
     cases = []
     for master_size, db_rows, variable_count in sweep:
         workload = registry_workload(
-            master_size=master_size, db_rows=db_rows, variable_count=variable_count
+            master_size=master_size,
+            db_rows=db_rows,
+            variable_count=variable_count,
+            seed=seed,
         )
         adom = default_active_domain(
             workload.cinstance, workload.master, workload.constraints
@@ -526,6 +552,162 @@ def print_checker_report(results: list[dict]) -> None:
         )
 
 
+@dataclass
+class UpdateStreamCase:
+    """One update-stream comparison: workload parameters for both sides."""
+
+    label: str
+    steps: int
+    master_size: int
+    db_rows: int
+    variable_count: int
+
+
+def _update_stream_sweep(smoke: bool) -> list[UpdateStreamCase]:
+    cases = [
+        UpdateStreamCase(
+            label=f"registry steps={UPDATE_STREAM_STEPS} master=4 vars=1",
+            steps=UPDATE_STREAM_STEPS,
+            master_size=4,
+            db_rows=3,
+            variable_count=1,
+        )
+    ]
+    if not smoke:
+        cases.append(
+            UpdateStreamCase(
+                label=f"registry steps={UPDATE_STREAM_STEPS} master=6 vars=2",
+                steps=UPDATE_STREAM_STEPS,
+                master_size=6,
+                db_rows=4,
+                variable_count=2,
+            )
+        )
+    return cases
+
+
+def run_update_stream_comparison(smoke: bool, seed: int) -> list[dict] | None:
+    """Race an incremental facade against rebuild-and-redecide per step.
+
+    Both sides see the identical ground add/drop script
+    (:func:`repro.workloads.generator.update_stream_workload`; adds stay
+    inside the registry constants, so the Prop. 3.3 Adom never changes and
+    the incremental side's live SAT solver survives the whole stream).  At
+    every step each side answers consistency (witness-free) and the model
+    count on ``engine="sat"``:
+
+    * **incremental** — one :class:`repro.api.Database` absorbs the step via
+      :meth:`~repro.api.Database.update` (warm decision caches, incremental
+      re-encode, live DPLL solver under assumption flips);
+    * **rebuild** — a fresh facade is constructed over the post-step
+      c-instance and decides from scratch (Adom + checker + CNF + solver).
+
+    The per-step verdict/count streams must be identical (``None`` on a
+    parity failure); the wall-clock ratio is the ISSUE 8 gate.
+    """
+    results: list[dict] = []
+    for case in _update_stream_sweep(smoke):
+        workload = update_stream_workload(
+            steps=case.steps,
+            master_size=case.master_size,
+            db_rows=case.db_rows,
+            variable_count=case.variable_count,
+            seed=seed,
+        )
+        base = workload.base
+
+        def apply(db: Database, step) -> None:
+            rows = {step.relation: [step.row]}
+            if step.kind == "add":
+                db.update(add_rows=rows)
+            else:
+                db.update(drop_rows=rows)
+
+        # Pre-compute the post-step c-instances outside both timed loops (the
+        # rebuild side is charged for facade construction + deciding, not for
+        # mutating row lists; the incremental side is charged for the update
+        # itself too).
+        mutator = Database(base.cinstance, base.master, base.constraints)
+        step_instances: list[CInstance] = []
+        for step in workload.script:
+            apply(mutator, step)
+            step_instances.append(mutator.cinstance)
+
+        incremental = Database(
+            base.cinstance, base.master, base.constraints, engine="sat"
+        )
+        incremental.is_consistent(witness=False)  # prime encoder + solver
+        incremental_answers: list[tuple[bool, int]] = []
+
+        def run_incremental() -> None:
+            for step in workload.script:
+                apply(incremental, step)
+                verdict = incremental.is_consistent(witness=False)
+                count = incremental.count()
+                incremental_answers.append((bool(verdict), count.value))
+
+        _, incremental_seconds = _timed(run_incremental)
+        final = incremental.is_consistent(witness=False)
+
+        rebuild_answers: list[tuple[bool, int]] = []
+
+        def run_rebuild() -> None:
+            for cinst in step_instances:
+                db = Database(cinst, base.master, base.constraints, engine="sat")
+                verdict = db.is_consistent(witness=False)
+                count = db.count()
+                rebuild_answers.append((bool(verdict), count.value))
+
+        _, rebuild_seconds = _timed(run_rebuild)
+
+        if incremental_answers != rebuild_answers:
+            first = next(
+                i
+                for i, (a, b) in enumerate(zip(incremental_answers, rebuild_answers))
+                if a != b
+            )
+            print(
+                f"PARITY FAILURE in update stream [{case.label}] at step "
+                f"{first}: incremental={incremental_answers[first]} "
+                f"rebuild={rebuild_answers[first]}"
+            )
+            return None
+
+        results.append(
+            {
+                "label": case.label,
+                "steps": case.steps,
+                "seconds": {
+                    "incremental": round(incremental_seconds, 6),
+                    "rebuild": round(rebuild_seconds, 6),
+                },
+                "speedup": (
+                    rebuild_seconds / incremental_seconds
+                    if incremental_seconds > 0
+                    else None
+                ),
+                "reused_solver": final.stats.reused_solver,
+                "final_cache_hit": final.stats.cache_hit,
+            }
+        )
+    return results
+
+
+def print_update_stream_report(results: list[dict]) -> None:
+    print("\n== update stream: incremental Database.update vs rebuild ==")
+    width = max(len(f"[{r['label']}]") for r in results)
+    for r in results:
+        name = f"[{r['label']}]".ljust(width)
+        seconds = r["seconds"]
+        speedup = r["speedup"]
+        print(
+            f"{name}  incremental={seconds['incremental'] * 1e3:8.2f}ms  "
+            f"rebuild={seconds['rebuild'] * 1e3:8.2f}ms  "
+            f"speedup={speedup:.2f}x  "
+            f"reused_solver={r['reused_solver']}  <== update gate"
+        )
+
+
 def run_cases(cases: list[Case]) -> list[Outcome] | None:
     """Time every case on its engines; ``None`` signals a parity failure."""
     outcomes: list[Outcome] = []
@@ -604,7 +786,10 @@ def print_report(outcomes: list[Outcome]) -> None:
 
 
 def evaluate_gates(
-    outcomes: list[Outcome], smoke: bool, checker_results: list[dict] | None = None
+    outcomes: list[Outcome],
+    smoke: bool,
+    checker_results: list[dict] | None = None,
+    update_results: list[dict] | None = None,
 ) -> tuple[dict, int]:
     """Compute the acceptance gates; returns (summary, exit code)."""
     headline = [
@@ -650,6 +835,14 @@ def evaluate_gates(
         (s for s in index_by_case.values() if s is not None), default=None
     )
 
+    update_results = update_results or []
+    update_by_case = {
+        f"update stream [{r['label']}]": r["speedup"] for r in update_results
+    }
+    worst_update = min(
+        (s for s in update_by_case.values() if s is not None), default=None
+    )
+
     summary = {
         "propagating_vs_naive_headline": worst_headline,
         "required_headline_speedup": REQUIRED_SPEEDUP,
@@ -669,6 +862,10 @@ def evaluate_gates(
         "worst_indexed_vs_linear_delta": worst_index,
         "required_index_speedup": REQUIRED_INDEX_SPEEDUP,
         "checker_cases": checker_results,
+        "update_stream_by_case": update_by_case,
+        "worst_update_stream_speedup": worst_update,
+        "required_update_stream_speedup": REQUIRED_UPDATE_STREAM_SPEEDUP,
+        "update_stream_cases": update_results,
     }
 
     print()
@@ -748,6 +945,21 @@ def evaluate_gates(
         )
         return summary, 1
 
+    if worst_update is None:
+        print("No update-stream case ran")
+        return summary, 1
+    print(
+        "Worst incremental-update-vs-rebuild speedup on the "
+        f"{UPDATE_STREAM_STEPS}-step registry stream: {worst_update:.2f}x "
+        f"(required >= {REQUIRED_UPDATE_STREAM_SPEEDUP:.0f}x)"
+    )
+    if worst_update < REQUIRED_UPDATE_STREAM_SPEEDUP:
+        print(
+            "FAILED: the incremental update path did not reach the required "
+            "speedup over rebuilding and re-deciding per step"
+        )
+        return summary, 1
+
     print("All parity checks and perf gates passed.")
     return summary, 0
 
@@ -788,13 +1000,13 @@ def write_json(
     print(f"Wrote machine-readable results to {path}")
 
 
-def run_benchmark(smoke: bool, json_path: str | None = None) -> int:
+def run_benchmark(smoke: bool, json_path: str | None = None, seed: int = 0) -> int:
     cases = (
-        _registry_cases(smoke)
-        + _reduction_cases(smoke)
-        + _model_count_cases(smoke)
+        _registry_cases(smoke, seed)
+        + _reduction_cases(smoke, seed)
+        + _model_count_cases(smoke, seed)
         + _inequality_cases(smoke)
-        + _scale_up_cases(smoke)
+        + _scale_up_cases(smoke, seed)
         + _wide_pool_cases(smoke)
     )
     try:
@@ -804,9 +1016,13 @@ def run_benchmark(smoke: bool, json_path: str | None = None) -> int:
         checker_results = run_checker_comparison(smoke)
         if checker_results is None:
             return 1
+        update_results = run_update_stream_comparison(smoke, seed)
+        if update_results is None:
+            return 1
         print_report(outcomes)
         print_checker_report(checker_results)
-        summary, status = evaluate_gates(outcomes, smoke, checker_results)
+        print_update_stream_report(update_results)
+        summary, status = evaluate_gates(outcomes, smoke, checker_results, update_results)
         if json_path:
             write_json(json_path, outcomes, summary, smoke, status)
         return status
@@ -827,8 +1043,16 @@ def main() -> int:
         default=None,
         help="write per-engine timings/speedups to PATH as JSON",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for every seeded workload builder (registry sweeps, the "
+        "random ∀∃ reduction instances, the update stream); the "
+        "deterministic families ignore it",
+    )
     args = parser.parse_args()
-    return run_benchmark(smoke=args.smoke, json_path=args.json)
+    return run_benchmark(smoke=args.smoke, json_path=args.json, seed=args.seed)
 
 
 if __name__ == "__main__":

@@ -23,10 +23,15 @@
 #      semantics drift between the incremental and the recompute-from-scratch
 #      constraint checkers fails CI with an unambiguous banner even though
 #      the same tests also run inside the tier-1 suite,
-#   6. the doc-snippet runner (scripts/run_doc_snippets.py): every fenced
+#   6. a 60-second smoke slice of the differential fuzz campaign
+#      (scripts/fuzz_differential.py, fixed seed): random four-way
+#      engine-parity cases interleaved with update-vs-rebuild streams
+#      through Database.update; the nightly CI job runs the same script for
+#      15 minutes with a rotating seed and uploads failing seeds,
+#   7. the doc-snippet runner (scripts/run_doc_snippets.py): every fenced
 #      `python` block in README.md and docs/*.md is executed, so the
 #      documentation code cannot rot (tag a fence `python no-run` to skip),
-#   7. the engine smoke benchmark (four-way parity + the propagating-vs-naive,
+#   8. the engine smoke benchmark (four-way parity + the propagating-vs-naive,
 #      SAT-vs-propagating, parallel-vs-propagating, indexed-delta-vs-full and
 #      indexed-vs-linear-delta checker perf gates; the parallel gate needs
 #      >= 4 host CPUs and reports itself as skipped on smaller machines),
@@ -100,6 +105,18 @@ python -m pytest -x -q -p no:cacheprovider "${COV_ARGS[@]}"
 echo
 echo "== delta-vs-full checker differential suite (semantics gate) =="
 python -m pytest -q -p no:cacheprovider -m delta_differential
+
+echo
+echo "== differential fuzz (smoke slice of the nightly campaign) =="
+# The nightly CI job runs scripts/fuzz_differential.py for 15 minutes with a
+# rotating seed; this slice keeps the harness itself honest on every run.
+# Override the budget with FUZZ_SECONDS (0 skips the slice entirely).
+FUZZ_SECONDS="${FUZZ_SECONDS:-60}"
+if [ "$FUZZ_SECONDS" = "0" ]; then
+    echo "FUZZ_SECONDS=0; skipping the fuzz smoke slice"
+else
+    python scripts/fuzz_differential.py --seconds "$FUZZ_SECONDS" --seed 0
+fi
 
 echo
 echo "== doc snippets (README.md + docs/*.md) =="

@@ -55,6 +55,7 @@ from __future__ import annotations
 
 from repro.api import Database
 from repro.decision import Decision, DecisionStats
+from repro.incremental import UpdateBatch, UpdateResult
 from repro.completeness import (
     STRONG,
     VIABLE,
@@ -98,7 +99,7 @@ from repro.ctables import (
     var_eq,
     var_neq,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import InconsistentUpdateError, ReproError, UpdateError
 from repro.search import (
     EngineCapabilities,
     EngineConfig,
@@ -160,11 +161,15 @@ __all__ = [
     "EngineConfig",
     "FixpointQuery",
     "GroundInstance",
+    "InconsistentUpdateError",
     "MasterData",
     "RelationSchema",
     "ReproError",
     "STRONG",
     "SearchStats",
+    "UpdateBatch",
+    "UpdateError",
+    "UpdateResult",
     "WorldSearch",
     "UnionOfConjunctiveQueries",
     "VIABLE",

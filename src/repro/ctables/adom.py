@@ -70,6 +70,18 @@ class ActiveDomain:
             finite_domain_values=self.finite_domain_values,
         )
 
+    def diff(self, other: "ActiveDomain") -> tuple[frozenset[Constant], frozenset[Constant]]:
+        """``(gained, lost)`` constants relative to another active domain.
+
+        Used by :meth:`repro.api.Database.update` to report the Adom delta
+        an update induced (constants entering or leaving ``S``, or a change
+        in the fresh-value supply when rows with variables come and go).
+        """
+        return (
+            self.constants - other.constants,
+            other.constants - self.constants,
+        )
+
 
 def finite_domain_values(schema: DatabaseSchema) -> frozenset[Constant]:
     """All values of finite attribute domains in a database schema (``df``)."""

@@ -135,6 +135,41 @@ class CInstance:
                         )
         return result
 
+    def relation_fingerprints(self) -> dict[str, int]:
+        """An order-insensitive content fingerprint per relation.
+
+        Two c-tables with the same *set* of rows get the same fingerprint
+        even when their insertion orders differ: row order never affects the
+        possible-world semantics, so a drop followed by a re-add restores the
+        fingerprint.  The incremental-update layer
+        (:meth:`repro.api.Database.update`) keys its decision cache on these
+        values and invalidates exactly the entries whose dependency relations
+        changed.
+        """
+        return {
+            name: hash((name, frozenset(table.rows)))
+            for name, table in self._tables.items()
+        }
+
+    def ground_tuples(self) -> dict[str, frozenset[tuple[Constant, ...]]]:
+        """The definite ground tuples per relation (rows with no variables).
+
+        These are the tuples present in *every* world.  The update layer
+        diffs them across an update to drive the incremental SAT session's
+        guard assumptions and the baseline checker session.
+        """
+        result: dict[str, set[tuple[Constant, ...]]] = {
+            name: set() for name in self._schema.relation_names
+        }
+        for name, table in self._tables.items():
+            for row in table.rows:
+                if row.variables():
+                    continue
+                ground = row.apply({})
+                if ground is not None:
+                    result[name].add(ground)
+        return {name: frozenset(rows) for name, rows in result.items()}
+
     # ------------------------------------------------------------------
     # functional updates
     # ------------------------------------------------------------------

@@ -59,6 +59,14 @@ class DecisionStats:
     #: (:mod:`repro.relational.indexing`); ``None`` when no engine that ran
     #: reports the flag (e.g. SAT or naive enumeration).
     uses_indexes: bool | None = None
+    #: whether the decision was served from the :class:`repro.api.Database`
+    #: decision cache (no engine ran; the other counters describe the
+    #: original run that populated the cache).
+    cache_hit: bool = False
+    #: whether a SAT run reused the live incremental solver kept across
+    #: :meth:`repro.api.Database.update` calls; ``None`` when no engine that
+    #: ran reports the flag (non-SAT engines, or a freshly built encoding).
+    reused_solver: bool | None = None
 
 
 def _deprecated(old: str, new: str) -> None:
@@ -185,6 +193,7 @@ def aggregate_search_stats(
     clauses: int | None = None
     worlds: int | None = None
     uses_indexes: bool | None = None
+    reused_solver: bool | None = None
     for search in searches:
         stats = getattr(search, "stats", None)
         if stats is None:
@@ -201,6 +210,9 @@ def aggregate_search_stats(
         got_indexes = getattr(stats, "uses_indexes", None)
         if got_indexes is not None:
             uses_indexes = bool(uses_indexes) or bool(got_indexes)
+        got_reused = getattr(stats, "reused_solver", None)
+        if got_reused is not None:
+            reused_solver = bool(reused_solver) or bool(got_reused)
     return DecisionStats(
         wall_time=wall_time,
         searches=len(searches),
@@ -208,6 +220,7 @@ def aggregate_search_stats(
         clauses=clauses,
         worlds=worlds,
         uses_indexes=uses_indexes,
+        reused_solver=reused_solver,
     )
 
 

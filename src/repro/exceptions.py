@@ -84,3 +84,20 @@ class SearchCancelledError(SearchError):
 
 class ReductionError(ReproError):
     """A lower-bound reduction was given malformed input."""
+
+
+class UpdateError(ReproError):
+    """An incremental update of a :class:`repro.api.Database` is malformed.
+
+    Raised for updates that reference unknown relations, drop rows that are
+    not present, or add rows violating the schema (the underlying
+    :class:`~repro.exceptions.CTableError` is chained as the cause).
+    """
+
+
+class InconsistentUpdateError(UpdateError):
+    """An :class:`repro.api.UpdateBatch` left ``Mod(T, D_m, V)`` empty.
+
+    The batch is rolled back to the state at ``batch()`` entry before this is
+    raised, so the database never remains in the inconsistent state.
+    """

@@ -1,0 +1,305 @@
+"""Incremental updates of a :class:`repro.api.Database`.
+
+The facade caches expensive analysis state — the Prop. 3.3 active domain,
+decision results, enumerated world lists, a live SAT session.  A naive
+mutation API would have to throw all of it away on every change; this module
+provides the machinery that lets :meth:`repro.api.Database.update` keep the
+parts an update provably cannot affect:
+
+* :class:`UpdateResult` — what one update did: the rows added/dropped, the
+  relations whose content actually changed (``touched``), the Adom delta,
+  how many cached decisions were invalidated, and a cheap definite
+  consistency signal from the ground-fact checker session.
+* :class:`DecisionCache` — memoised decision results keyed by (problem,
+  arguments, engine) and validated against per-relation content
+  fingerprints plus the active domain and the variable→finite-domain
+  restriction map.  Each entry records the *dependency relations* of its
+  problem; an update only evicts entries whose dependencies intersect the
+  touched relations.
+* :class:`UpdateBatch` — the transactional context manager behind
+  :meth:`repro.api.Database.batch`: updates applied inside the block are
+  rolled back wholesale if the block raises or if the net effect leaves
+  ``Mod(T, D_m, V)`` empty (raising
+  :class:`repro.exceptions.InconsistentUpdateError`).
+
+Soundness of the dependency-scoped invalidation rests on the validation
+context: a cache hit additionally requires the active domain *and* the
+variable-domain restriction map to be unchanged.  Those two equalities imply
+the variable set, the constant pool and every per-variable candidate pool
+are the same — so a change confined to relations outside an entry's
+dependency set cannot alter which Adom valuations exist, which ones the
+constraints accept, or what the dependency relations contribute to them.
+Entries with an *empty* dependency set (RCQP: the c-instance contents play
+no role at all) skip the content validation entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import TracebackType
+from typing import TYPE_CHECKING, Any, Hashable, Mapping, Sequence
+
+from repro.ctables.adom import ActiveDomain
+from repro.ctables.ctable import CTableRow
+from repro.exceptions import InconsistentUpdateError, UpdateError
+from repro.queries.terms import Term, Variable
+from repro.relational.domains import Constant, Domain
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.api import Database
+
+#: A row specification accepted by ``update(add_rows=..., drop_rows=...)``:
+#: either a full :class:`~repro.ctables.ctable.CTableRow` (terms plus local
+#: condition) or a bare term sequence (condition ``TRUE`` on add; matches any
+#: condition on drop).
+RowSpec = CTableRow | Sequence[Term]
+
+#: Sentinel returned by :meth:`DecisionCache.get` on a miss.  Distinct from
+#: ``None`` so that cached values which *are* ``None`` round-trip.
+MISS: Any = object()
+
+
+# ---------------------------------------------------------------------------
+# update results
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class UpdateResult:
+    """What one :meth:`repro.api.Database.update` call did.
+
+    ``added`` / ``dropped`` list the rows the call put in / took out (in
+    application order: drops first).  ``touched`` is the set of relations
+    whose row *set* actually changed — a drop immediately re-added in the
+    same call cancels out and touches nothing.
+    """
+
+    #: Rows appended, as ``(relation, row)`` pairs.
+    added: tuple[tuple[str, CTableRow], ...]
+    #: Rows removed, as ``(relation, row)`` pairs.
+    dropped: tuple[tuple[str, CTableRow], ...]
+    #: Relations whose content fingerprint changed.
+    touched: frozenset[str]
+    #: Constants that entered the active domain.
+    adom_gained: frozenset[Constant]
+    #: Constants that left the active domain.
+    adom_lost: frozenset[Constant]
+    #: Number of cached decisions evicted by this update.
+    invalidated: int
+    #: ``False`` when the definite ground facts already violate a constraint
+    #: (then *every* world does — the database is certainly inconsistent);
+    #: ``None`` when the cheap ground-fact check is inconclusive.  Never
+    #: ``True``: a full consistency verdict needs
+    #: :meth:`repro.api.Database.is_consistent`.
+    consistent: bool | None
+
+    @property
+    def adom_changed(self) -> bool:
+        """Whether the update changed the Prop. 3.3 active domain."""
+        return bool(self.adom_gained or self.adom_lost)
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether the update left every relation's row set unchanged."""
+        return not self.touched
+
+
+# ---------------------------------------------------------------------------
+# the fingerprint-validated decision cache
+# ---------------------------------------------------------------------------
+@dataclass
+class _CacheEntry:
+    value: Any
+    #: Relations the cached result depends on; ``None`` means *all*.
+    deps: frozenset[str] | None
+    #: Fingerprint snapshot restricted to the dependency relations.
+    fingerprints: Mapping[str, int]
+    adom: ActiveDomain
+    variable_domains: Mapping[Variable, Domain]
+
+    def valid(
+        self,
+        fingerprints: Mapping[str, int],
+        adom: ActiveDomain,
+        variable_domains: Mapping[Variable, Domain],
+    ) -> bool:
+        if self.deps is not None and not self.deps:
+            # Content-independent problems (RCQP) validate against nothing:
+            # schema, master data and constraints are fixed per facade.
+            return True
+        if self.adom != adom or self.variable_domains != variable_domains:
+            return False
+        return all(
+            fingerprints.get(name) == fingerprint
+            for name, fingerprint in self.fingerprints.items()
+        )
+
+
+class DecisionCache:
+    """Memoised per-facade decision results with dependency-scoped eviction.
+
+    Keys are built by the facade from ``(problem, arguments, engine)``;
+    unhashable arguments simply bypass the cache.  Entries self-validate on
+    lookup (see :class:`_CacheEntry`), so even an eviction the facade forgot
+    cannot surface a stale result — eager invalidation via
+    :meth:`invalidate` exists to keep the cache small and to report the
+    eviction count in :class:`UpdateResult`.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: dict[Hashable, _CacheEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self,
+        key: Hashable,
+        fingerprints: Mapping[str, int],
+        adom: ActiveDomain,
+        variable_domains: Mapping[Variable, Domain],
+    ) -> Any:
+        """The cached value, or :data:`MISS`.  Stale entries are dropped."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return MISS
+        if not entry.valid(fingerprints, adom, variable_domains):
+            del self._entries[key]
+            return MISS
+        return entry.value
+
+    def put(
+        self,
+        key: Hashable,
+        value: Any,
+        deps: frozenset[str] | None,
+        fingerprints: Mapping[str, int],
+        adom: ActiveDomain,
+        variable_domains: Mapping[Variable, Domain],
+    ) -> None:
+        """Store ``value`` with its dependency set and validation context."""
+        if deps is not None:
+            fingerprints = {
+                name: fingerprints[name] for name in sorted(deps) if name in fingerprints
+            }
+        else:
+            fingerprints = dict(fingerprints)
+        self._entries[key] = _CacheEntry(
+            value=value,
+            deps=deps,
+            fingerprints=fingerprints,
+            adom=adom,
+            variable_domains=dict(variable_domains),
+        )
+
+    def invalidate(self, touched: frozenset[str]) -> int:
+        """Evict entries whose dependencies intersect ``touched``.
+
+        Entries with ``deps=None`` depend on everything and go whenever any
+        relation changed; empty-dependency entries never go.
+        """
+        if not touched:
+            return 0
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if entry.deps is None or entry.deps & touched
+        ]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> int:
+        """Evict everything; returns the number of entries dropped."""
+        count = len(self._entries)
+        self._entries.clear()
+        return count
+
+    def snapshot(self) -> dict[Hashable, _CacheEntry]:
+        """A restorable copy of the entry map (for transactional rollback)."""
+        return dict(self._entries)
+
+    def restore(self, state: dict[Hashable, _CacheEntry]) -> None:
+        """Reset the entry map to a :meth:`snapshot`."""
+        self._entries = dict(state)
+
+
+# ---------------------------------------------------------------------------
+# transactional update batches
+# ---------------------------------------------------------------------------
+class UpdateBatch:
+    """A transactional group of updates with rollback on inconsistency.
+
+    Created by :meth:`repro.api.Database.batch`::
+
+        with db.batch() as batch:
+            batch.update(drop_rows={"R": [("a", "b")]})
+            batch.update(add_rows={"R": [("a", "c")]})
+        # commit point: raises InconsistentUpdateError (and rolls every
+        # update back) if the net effect left Mod(T, D_m, V) empty.
+
+    Inside the block reads observe the updated state immediately (the
+    updates really happen — :meth:`update` is plain
+    :meth:`repro.api.Database.update`).  On exit, a block that changed
+    anything is verified: if the ground facts already violate a constraint
+    the batch is rejected without running an engine, otherwise a
+    witness-free consistency check decides.  A block that raises is rolled
+    back and the exception propagates unchanged.
+
+    Rollback restores the c-instance, the Adom caches and the decision
+    cache to their pre-batch state and discards the incrementally-maintained
+    checker and SAT sessions (they were mutated in place; both are pure
+    caches and rebuild lazily).
+    """
+
+    def __init__(self, database: "Database") -> None:
+        self._database = database
+        self._state: tuple[Any, ...] | None = None
+
+    def update(
+        self,
+        add_rows: Mapping[str, Sequence[RowSpec]] | None = None,
+        drop_rows: Mapping[str, Sequence[RowSpec]] | None = None,
+    ) -> UpdateResult:
+        """Apply one update within the batch (delegates to ``Database.update``)."""
+        if self._state is None:
+            raise UpdateError("UpdateBatch.update() outside the with block")
+        return self._database.update(add_rows=add_rows, drop_rows=drop_rows)
+
+    def __enter__(self) -> "UpdateBatch":
+        if self._state is not None:
+            raise UpdateError("UpdateBatch is not reentrant")
+        self._state = self._database._update_snapshot()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        state, self._state = self._state, None
+        assert state is not None
+        database = self._database
+        if exc_type is not None:
+            database._update_restore(state)
+            return  # propagate the original exception
+        before = state[0].relation_fingerprints()
+        if database.cinstance.relation_fingerprints() == before:
+            # Nothing (net) changed: nothing to verify, and the decisions the
+            # intermediate updates eagerly evicted are still valid (entries
+            # self-validate against the very fingerprints that just matched),
+            # so re-instate the pre-batch cache alongside anything computed
+            # during the batch.
+            merged = database._cache.snapshot()
+            merged.update(state[3])
+            database._cache.restore(merged)
+            return
+        if database._ground_facts_violated() or not database.is_consistent(
+            witness=False
+        ):
+            database._update_restore(state)
+            raise InconsistentUpdateError(
+                "update batch rolled back: the batched updates left "
+                "Mod(T, D_m, V) empty"
+            )

@@ -268,14 +268,28 @@ class DPLLSolver:
     # ------------------------------------------------------------------
     # search
     # ------------------------------------------------------------------
-    def solve(self) -> dict[int, bool] | None:
+    def solve(self, assumptions: Sequence[int] = ()) -> dict[int, bool] | None:
         """A satisfying assignment of every variable, or ``None`` (UNSAT).
 
         Each call restarts the search from level 0 (clauses added since the
         previous call are picked up) while keeping learned clauses, variable
         activities and saved phases.
+
+        ``assumptions`` are literals the search must satisfy for *this call
+        only*: they are installed as the first decisions (in order), so a
+        ``None`` result means "unsatisfiable under the assumptions", not
+        necessarily globally.  Because conflict analysis learns the negation
+        of the decision sequence, clauses learned under assumptions contain
+        the negated assumption literals explicitly and remain globally sound
+        — they persist safely into later calls with different assumptions.
+        This is what lets one solver outlive a stream of incremental updates
+        (:mod:`repro.search.sat_engine`'s guarded re-encoding).
         """
         self.stats.solve_calls += 1
+        for lit in assumptions:
+            if lit == 0:
+                raise ReductionError("literal 0 is not allowed (DIMACS convention)")
+            self._vars.add(abs(lit))
         self._backtrack(0)
         # Reset level-0 state: re-assert all unit clauses from scratch so
         # clauses added between solve() calls take effect.
@@ -304,6 +318,23 @@ class DPLLSolver:
                         _RESTART_BASE
                         * _RESTART_FACTOR ** (self.stats.restarts)
                     )
+                continue
+            # Assumptions first: install each pending assumption as its own
+            # decision level before any heuristic branching.  A falsified
+            # assumption (by propagation or a learned clause) means UNSAT
+            # under the assumptions.
+            pending: int | None = None
+            for lit in assumptions:
+                value = self._value(lit)
+                if value is False:
+                    return None
+                if value is None:
+                    pending = lit
+                    break
+            if pending is not None:
+                self.stats.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(pending)
                 continue
             variable = self._pick_branch_variable()
             if variable is None:

@@ -166,14 +166,21 @@ class IndexedFactStore(dict[str, set[Row]]):
             index.add(row)
         return row, True
 
-    def discard_row(self, relation: str, row: Row) -> None:
-        """Remove a previously added row, unwinding its index entries."""
+    def discard_row(self, relation: str, row: Row) -> bool:
+        """Remove a previously added row, unwinding its index entries.
+
+        Returns whether the row was present (and therefore removed), so
+        callers batching removals — the incremental-update path of
+        :meth:`repro.api.Database.update` — can report exactly which drops
+        took effect without a separate membership probe.
+        """
         store = self.get(relation)
         if store is None or row not in store:
-            return
+            return False
         store.discard(row)
         for index in self._relation_indexes.get(relation, ()):
             index.discard(row)
+        return True
 
     # ------------------------------------------------------------------
     # index access

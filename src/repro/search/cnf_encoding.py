@@ -56,7 +56,7 @@ engine open up the inequality-heavy instances the monotone-CC pruner of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.reductions.dpll import DPLLSolver
@@ -66,7 +66,7 @@ from repro.ctables.adom import ActiveDomain, variable_pools
 from repro.ctables.cinstance import CInstance
 from repro.ctables.valuation import Valuation, enumerate_assignments
 from repro.exceptions import SearchError
-from repro.queries.evaluation import instantiate_head, match_conjunction
+from repro.queries.evaluation import instantiate_head, match_atom, match_conjunction
 from repro.queries.terms import Variable
 from repro.relational.domains import Constant
 from repro.relational.instance import Row
@@ -314,6 +314,258 @@ def encode_world_search(
         trivially_unsat=trivially_unsat,
         stats=stats,
     )
+
+
+class IncrementalEncoder:
+    """A :class:`WorldEncoding` that absorbs ground-tuple adds and drops.
+
+    The one-shot :func:`encode_world_search` hard-wires the fully ground rows
+    into the clauses (baseline facts contribute no literal), so any change to
+    the instance forces a re-encode.  This encoder instead gives every ground
+    tuple a **guard literal** ``g[R,t]`` and keeps the tuple's presence
+    conditional on it:
+
+    * presence definitions are *one-directional* — for every producer of a
+      tuple (a guard, or a selector conjunction grounding a variable row) one
+      clause ``producer → p[R,t]`` is emitted.  Presence literals occur only
+      negatively in the violation clauses, so the missing direction can never
+      flip a verdict: a model may set an unproduced ``p`` spuriously true,
+      which only *removes* satisfying assignments that another completion of
+      the same valuation still has, and a false ``p`` still implies every
+      producer is false.  One-directional definitions are what make the
+      clause set **monotone**: a new producer is one new clause, with nothing
+      to retract;
+    * whether a ground tuple is currently in the instance is expressed per
+      call through :meth:`assumptions` (``+g`` if present, ``-g`` if
+      dropped), not through clauses, so drops and re-adds touch no clause at
+      all;
+    * adding a *new* ground tuple extends the violation clauses semi-naively:
+      only matches of a constraint body that use the new tuple at least once
+      are joined (each LHS atom over the relation is seeded with it in turn,
+      exactly like the delta checker of :mod:`repro.search.propagation`), over
+      the universe of every tuple ever registered — dropped tuples included,
+      since their clauses are neutralised by their guards.
+
+    The growing clause list lives in :attr:`encoding` (a plain
+    :class:`WorldEncoding`, so decode/blocking/projection are shared);
+    consumers that keep a live solver feed themselves ``clauses[cursor:]``
+    before each solve.  Variable rows, the active domain and the candidate
+    pools are fixed at construction — changes to any of those are rebuild
+    events, which the owner (:class:`repro.search.sat_engine.IncrementalSATSession`
+    via :meth:`repro.api.Database.update`) detects and answers with a fresh
+    encoder.
+    """
+
+    def __init__(
+        self,
+        cinstance: CInstance,
+        master: MasterData,
+        constraints: Sequence[ContainmentConstraint],
+        adom: ActiveDomain | None = None,
+        checker: ConstraintChecker | None = None,
+    ) -> None:
+        if adom is None:
+            from repro.ctables.possible_worlds import default_active_domain
+
+            adom = default_active_domain(cinstance, master, constraints)
+        checker = checker or ConstraintChecker(master, constraints)
+        self._entries = [
+            (constraint, relations, rhs)
+            for constraint, relations, rhs in checker.entries
+        ]
+
+        variables = tuple(sorted(cinstance.variables(), key=lambda v: v.name))
+        pools = variable_pools(variables, adom, cinstance.variable_domains())
+
+        stats = EncodingStats()
+        clauses: list[tuple[int, ...]] = []
+        self._counter = 0
+        self.encoding = WorldEncoding(
+            variables=variables,
+            pools=pools,
+            selector={},
+            clauses=clauses,
+            trivially_unsat=False,
+            stats=stats,
+        )
+
+        # guard literal per registered ground tuple; activity drives the
+        # per-call assumptions, never the clause set.
+        self._guards: dict[tuple[str, Row], int] = {}
+        self._active: set[tuple[str, Row]] = set()
+        # presence literal per candidate tuple (aliased to the guard for
+        # tuples no variable row can produce).
+        self._presence: dict[tuple[str, Row], int] = {}
+        # every tuple ever registered, dropped or not — the delta-join
+        # universe (guards neutralise the clauses of inactive tuples).
+        self._universe: dict[str, set[Row]] = {
+            name: set() for name in cinstance.schema.relation_names
+        }
+        self._blocked: set[tuple[int, ...]] = set()
+
+        # --- selectors and exactly-one clauses (as in the one-shot path) ---
+        selector = self.encoding.selector
+        assert isinstance(selector, dict)
+        for variable in variables:
+            ids = []
+            for value in pools[variable]:
+                selector[(variable, value)] = self._fresh()
+                ids.append(selector[(variable, value)])
+            stats.selector_variables += len(ids)
+            if not ids:
+                # an empty candidate pool admits no valuation at all
+                self.encoding.trivially_unsat = True
+                return
+            clauses.append(tuple(ids))
+            for i in range(len(ids)):
+                for j in range(i + 1, len(ids)):
+                    clauses.append((-ids[i], -ids[j]))
+
+        # --- variable-row groundings: one-directional presence producers ---
+        for name, _index, row in cinstance.rows():
+            row_variables = sorted(row.variables(), key=lambda v: v.name)
+            if not row_variables:
+                continue  # ground rows are registered below, guarded
+            row_pools = {variable: pools[variable] for variable in row_variables}
+            for assignment in enumerate_assignments(row_pools):
+                ground = row.apply(assignment)
+                if ground is None:
+                    continue  # local condition falsified: the row drops out
+                key = (name, ground)
+                p = self._presence.get(key)
+                if p is None:
+                    p = self._fresh()
+                    stats.presence_variables += 1
+                    self._presence[key] = p
+                    self._universe[name].add(ground)
+                conjunction = tuple(
+                    -selector[(variable, assignment[variable])]
+                    for variable in row_variables
+                )
+                clauses.append(conjunction + (p,))
+
+        # --- ground rows: guard producers ----------------------------------
+        for name, _index, row in cinstance.rows():
+            if row.variables():
+                continue
+            ground = row.apply({})
+            if ground is not None:
+                self._register_ground(name, ground)
+
+        stats.baseline_tuples = len(self._guards)
+        stats.candidate_tuples = sum(len(rows) for rows in self._universe.values())
+
+        # --- violation clauses over the initial universe -------------------
+        for constraint, _relations, rhs in self._entries:
+            query = constraint.query
+            for match in match_conjunction(
+                query.atoms, query.comparisons, self._universe
+            ):
+                self._block_match(query, rhs, match)
+        stats.clauses = len(clauses)
+
+    # ------------------------------------------------------------------
+    # literal allocation and clause helpers
+    # ------------------------------------------------------------------
+    def _fresh(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def _block_match(
+        self, query: Any, rhs: frozenset[Row], match: Mapping[Variable, Constant]
+    ) -> None:
+        """Emit the violation clause for one uncovered match, deduplicated."""
+        head = instantiate_head(query.head, match)
+        if head in rhs:
+            return
+        self.encoding.stats.blocked_matches += 1
+        literals: set[int] = set()
+        for atom in query.atoms:
+            ground = tuple(
+                match[term] if isinstance(term, Variable) else term
+                for term in atom.terms
+            )
+            literals.add(-self._presence[(atom.relation, ground)])
+        clause = tuple(sorted(literals))
+        if clause not in self._blocked:
+            self._blocked.add(clause)
+            self.encoding.clauses.append(clause)
+
+    def _register_ground(self, relation: str, ground: Row) -> int:
+        """Allocate the guard for a never-seen ground tuple; return it."""
+        key = (relation, ground)
+        guard = self._fresh()
+        self._guards[key] = guard
+        self._active.add(key)
+        p = self._presence.get(key)
+        if p is None:
+            # no variable row can produce this tuple: the guard *is* the
+            # presence literal (a dedicated p would only restate it)
+            self._presence[key] = guard
+        else:
+            self.encoding.clauses.append((-guard, p))
+        self._universe[relation].add(ground)
+        return guard
+
+    # ------------------------------------------------------------------
+    # incremental surface
+    # ------------------------------------------------------------------
+    def add_ground(self, relation: str, ground: Row) -> None:
+        """Make a ground tuple present (re-activating or newly encoding it)."""
+        key = (relation, ground)
+        if key in self._guards:
+            self._active.add(key)  # re-add: flip the assumption, no clauses
+            return
+        if self.encoding.trivially_unsat:
+            # No valuation exists regardless of the instance contents (an
+            # empty candidate pool); clause bookkeeping is moot.
+            self._guards[key] = self._fresh()
+            self._active.add(key)
+            return
+        self._register_ground(relation, ground)
+        self.encoding.stats.baseline_tuples = len(self._guards)
+        self.encoding.stats.candidate_tuples = sum(
+            len(rows) for rows in self._universe.values()
+        )
+        # Semi-naive delta: every new violating match must use the new tuple
+        # in at least one LHS atom over its relation; seed each such atom in
+        # turn and join the rest over the full universe.
+        for constraint, relations, rhs in self._entries:
+            if relation not in relations:
+                continue
+            query = constraint.query
+            for atom_index, atom in enumerate(query.atoms):
+                if atom.relation != relation:
+                    continue
+                seed = match_atom(atom, ground, {})
+                if seed is None:
+                    continue
+                rest = query.atoms[:atom_index] + query.atoms[atom_index + 1:]
+                for match in match_conjunction(
+                    rest, query.comparisons, self._universe, initial=seed
+                ):
+                    self._block_match(query, rhs, match)
+        self.encoding.stats.clauses = len(self.encoding.clauses)
+
+    def drop_ground(self, relation: str, ground: Row) -> None:
+        """Make a registered ground tuple absent (assumption flip only)."""
+        key = (relation, ground)
+        if key not in self._guards:
+            raise SearchError(
+                f"drop of unregistered ground tuple {ground!r} in {relation!r}"
+            )
+        self._active.discard(key)
+
+    def is_active(self, relation: str, ground: Row) -> bool:
+        """Whether the tuple is currently present in the encoded instance."""
+        return (relation, ground) in self._active
+
+    def assumptions(self) -> list[int]:
+        """The guard literals expressing the current instance contents."""
+        return [
+            guard if key in self._active else -guard
+            for key, guard in sorted(self._guards.items(), key=lambda item: item[1])
+        ]
 
 
 def iter_solver_models(

@@ -377,7 +377,7 @@ class CheckerSession:
     construction).
     """
 
-    __slots__ = ("_checker", "facts", "_trail", "_violated")
+    __slots__ = ("_checker", "facts", "_trail", "_violated", "_retracted")
 
     def __init__(
         self, checker: ConstraintChecker, relation_names: Iterable[str] = ()
@@ -391,6 +391,7 @@ class CheckerSession:
         )
         self._trail: list[_TrailEntry] = []
         self._violated: set[int] = set(checker._base_violations)
+        self._retracted = False
 
     @property
     def depth(self) -> int:
@@ -429,12 +430,49 @@ class CheckerSession:
 
     def pop(self) -> None:
         """Undo the most recent push (facts, index entries, violation state)."""
+        if self._retracted:
+            raise SearchError(
+                "pop() after retract(): a retraction invalidates the per-push "
+                "violation attribution, so the trail no longer mirrors the "
+                "store; use a fresh session for push/pop search"
+            )
         if not self._trail:
             raise SearchError("pop() without a matching push()")
         relation, row, added, fresh = self._trail.pop()
         if added:
             self.facts.discard_row(relation, row)
         self._violated -= fresh
+
+    def retract(self, relation: str, row: Row) -> bool:
+        """Remove ``row`` from ``relation`` out of push order (update path).
+
+        Unlike :meth:`pop`, which unwinds the *most recent* push, a
+        retraction removes an arbitrary present tuple — the primitive the
+        incremental-update layer (:meth:`repro.api.Database.update`) needs
+        for drops.  CQ monotonicity means removing a tuple can only *repair*
+        violations, never introduce one, so the verdict is refreshed by
+        fully re-evaluating exactly the constraints whose left-hand side
+        mentions ``relation``.
+
+        Retraction trades the trail for flexibility: the per-push violation
+        attribution no longer matches the store afterwards, so subsequent
+        :meth:`pop` calls raise.  Sessions used for backtracking search
+        should never retract; sessions owned by the update layer never pop.
+
+        Returns whether the row was present (and therefore removed).
+        """
+        row = self.facts.intern_row(row)
+        if not self.facts.discard_row(relation, row):
+            return False
+        self._retracted = True
+        for index, entry in enumerate(self._checker._entries):
+            if relation not in entry.relations:
+                continue
+            if evaluate_cq_on_facts(entry.constraint.query, self.facts) <= entry.rhs:
+                self._violated.discard(index)
+            else:
+                self._violated.add(index)
+        return True
 
     def mark(self) -> int:
         """A snapshot token for :meth:`pop_to` (the current trail depth)."""

@@ -112,6 +112,11 @@ class EngineCapabilities:
     pool_order_hints:
         The factory honours the ``pool_order`` option (e.g.
         ``"fresh_first"``) for value-order hints on the candidate pools.
+    supports_incremental:
+        The engine can re-decide after an in-place
+        :meth:`repro.api.Database.update` without rebuilding its search
+        state (the SAT engine keeps its encoding and live solver across
+        updates via assumption-guarded tuple-presence literals).
     """
 
     counts_natively: bool = False
@@ -122,6 +127,7 @@ class EngineCapabilities:
     accepts_checker: bool = True
     uses_indexes: bool = False
     pool_order_hints: bool = False
+    supports_incremental: bool = False
 
 
 @dataclass(frozen=True)
@@ -414,7 +420,7 @@ register_engine(
 register_engine(
     "sat",
     _sat_factory,
-    EngineCapabilities(counts_natively=True),
+    EngineCapabilities(counts_natively=True, supports_incremental=True),
 )
 register_engine(
     "parallel",

@@ -24,7 +24,7 @@ and restarts instead of per-node conjunctive-query re-evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.constraints.containment import ContainmentConstraint
 from repro.ctables.adom import ActiveDomain
@@ -35,6 +35,7 @@ from repro.relational.instance import GroundInstance, Row
 from repro.relational.master import MasterData
 from repro.search.cnf_encoding import (
     EncodingStats,
+    IncrementalEncoder,
     WorldEncoding,
     encode_world_search,
     iter_solver_models,
@@ -51,6 +52,10 @@ class SATSearchStats:
     duplicate_worlds: int = 0
     encoding: EncodingStats | None = None
     solver: SolverStats | None = None
+    #: whether the most recent call was answered by a solver kept alive from
+    #: a previous call (the incremental session); ``None`` for the one-shot
+    #: :class:`SATWorldSearch`, which builds a fresh solver per search.
+    reused_solver: bool | None = None
 
 
 class SATWorldSearch:
@@ -147,6 +152,179 @@ class SATWorldSearch:
         rows = [(name, row) for name, _index, row in self._cinstance.rows()]
         seen: set[tuple[frozenset[Row], ...]] = set()
         for valuation in iter_solver_models(self._encoding, self._solver()):
+            self.stats.worlds += 1
+            facts: dict[str, set[Row]] = {name: set() for name in names}
+            for name, row in rows:
+                ground = row.apply(valuation)
+                if ground is not None:
+                    facts[name].add(ground)
+            key = tuple(frozenset(facts[name]) for name in names)
+            if key in seen:
+                self.stats.duplicate_worlds += 1
+            else:
+                seen.add(key)
+        return len(seen)
+
+
+class IncrementalSATSession:
+    """A SAT search that outlives a stream of ground-tuple updates.
+
+    Owned by the :class:`repro.api.Database` facade (one per facade when the
+    effective engine supports it): instead of re-encoding and re-solving from
+    scratch after every :meth:`~repro.api.Database.update`, the session keeps
+
+    * an :class:`~repro.search.cnf_encoding.IncrementalEncoder`, whose clause
+      set only ever grows (guards express drops through assumptions), and
+    * one **live DPLL solver** fed the new clauses before each existence
+      check and solved under the current guard assumptions, so learned
+      clauses, activities and saved phases accumulate across the whole
+      update stream (``reused_solver`` in the stats reports the reuse).
+
+    Existence checks are the only consumers of the live solver: model
+    *enumeration* adds blocking clauses, which are valuation-specific and
+    would poison a solver that must stay sound for later calls, so
+    :meth:`search` / :meth:`count_worlds` spin up a throwaway solver over the
+    live clause list plus the current assumptions as unit clauses (still
+    skipping the re-encode, which dominates).
+
+    The session only absorbs updates that keep the encoding's fixed parts
+    fixed: ground-tuple adds/drops under an unchanged active domain,
+    variable set and finite-domain restriction map.  The facade checks those
+    triggers (:meth:`compatible`) and rebuilds the session otherwise.
+    """
+
+    def __init__(
+        self,
+        cinstance: CInstance,
+        master: MasterData,
+        constraints: Sequence[ContainmentConstraint],
+        adom: ActiveDomain,
+        *,
+        checker: ConstraintChecker | None = None,
+    ) -> None:
+        self._cinstance = cinstance
+        self._adom = adom
+        self._variables = frozenset(cinstance.variables())
+        self._variable_domains = dict(cinstance.variable_domains())
+        self._encoder = IncrementalEncoder(
+            cinstance, master, constraints, adom, checker=checker
+        )
+        self._solver = DPLLSolver()
+        self._fed = 0
+        self.stats = SATSearchStats(
+            encoding=self._encoder.encoding.stats, solver=self._solver.stats
+        )
+
+    @property
+    def cinstance(self) -> CInstance:
+        """The c-instance the session currently encodes."""
+        return self._cinstance
+
+    @property
+    def encoding(self) -> WorldEncoding:
+        """The (growing) CNF encoding behind the session."""
+        return self._encoder.encoding
+
+    # ------------------------------------------------------------------
+    # update stream
+    # ------------------------------------------------------------------
+    def compatible(self, cinstance: CInstance, adom: ActiveDomain) -> bool:
+        """Whether an updated instance can be absorbed without a rebuild.
+
+        True when the variable set, the finite-domain restriction map and the
+        active domain — everything the selector pools and the variable-row
+        groundings were built from — are unchanged, so the instances can only
+        differ in their fully ground rows.
+        """
+        return (
+            adom == self._adom
+            and frozenset(cinstance.variables()) == self._variables
+            and dict(cinstance.variable_domains()) == self._variable_domains
+        )
+
+    def apply(
+        self,
+        cinstance: CInstance,
+        added: Iterable[tuple[str, Row]],
+        dropped: Iterable[tuple[str, Row]],
+    ) -> None:
+        """Absorb one update: tuple-level ground diffs against the old state.
+
+        ``added``/``dropped`` are the ground tuples that became present /
+        absent (the facade computes the set-level diff; duplicate rows of one
+        tuple collapse).  The caller must have checked :meth:`compatible`.
+        """
+        for relation, ground in dropped:
+            self._encoder.drop_ground(relation, ground)
+        for relation, ground in added:
+            self._encoder.add_ground(relation, ground)
+        self._cinstance = cinstance
+
+    # ------------------------------------------------------------------
+    # decision surfaces (API parity with SATWorldSearch where it matters)
+    # ------------------------------------------------------------------
+    def _feed_live_solver(self) -> None:
+        clauses = self._encoder.encoding.clauses
+        while self._fed < len(clauses):
+            self._solver.add_clause(clauses[self._fed])
+            self._fed += 1
+
+    def has_world(self) -> bool:
+        """Existence via the live solver, under the current guard assumptions."""
+        reused = self._solver.stats.solve_calls > 0
+        self.stats.reused_solver = reused
+        if self._encoder.encoding.trivially_unsat:
+            return False
+        self._feed_live_solver()
+        return self._solver.solve(self._encoder.assumptions()) is not None
+
+    def _throwaway_solver(self) -> DPLLSolver:
+        """A fresh solver over the live clauses + assumptions as units.
+
+        Enumeration must not touch the live solver: its blocking clauses are
+        sound only for the instance state they were generated under.
+        """
+        solver = DPLLSolver(self._encoder.encoding.clauses)
+        for literal in self._encoder.assumptions():
+            solver.add_clause((literal,))
+        return solver
+
+    def search(self) -> Iterator[tuple[Valuation, GroundInstance]]:
+        """Enumerate ``(µ, µ(T))`` for the *current* instance state."""
+        self.stats.reused_solver = False
+        encoding = self._encoder.encoding
+        if encoding.trivially_unsat:
+            return
+        cinstance = self._cinstance
+        for valuation in iter_solver_models(encoding, self._throwaway_solver()):
+            self.stats.worlds += 1
+            yield valuation, cinstance.apply(valuation)
+
+    def __iter__(self) -> Iterator[tuple[Valuation, GroundInstance]]:
+        return self.search()
+
+    def worlds(self, deduplicate: bool = True) -> Iterator[GroundInstance]:
+        """Enumerate the worlds, suppressing duplicates by canonical form."""
+        seen: set[tuple[frozenset[Row], ...]] = set()
+        for _valuation, world in self.search():
+            if deduplicate:
+                key = world_key(world)
+                if key in seen:
+                    self.stats.duplicate_worlds += 1
+                    continue
+                seen.add(key)
+            yield world
+
+    def count_worlds(self) -> int:
+        """Count distinct worlds natively (canonical forms, no instances)."""
+        self.stats.reused_solver = False
+        encoding = self._encoder.encoding
+        if encoding.trivially_unsat:
+            return 0
+        names = list(self._cinstance.schema.relation_names)
+        rows = [(name, row) for name, _index, row in self._cinstance.rows()]
+        seen: set[tuple[frozenset[Row], ...]] = set()
+        for valuation in iter_solver_models(encoding, self._throwaway_solver()):
             self.stats.worlds += 1
             facts: dict[str, set[Row]] = {name: set() for name in names}
             for name, row in rows:

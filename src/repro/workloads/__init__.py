@@ -3,11 +3,14 @@
 from repro.workloads.generator import (
     InequalityChainWorkload,
     RegistryWorkload,
+    UpdateStep,
+    UpdateStreamWorkload,
     chain_fp_query,
     inequality_chain_workload,
     point_queries_for_keys,
     random_cinstance,
     registry_workload,
+    update_stream_workload,
 )
 from repro.workloads.patients import (
     ABSENT_NHS,
@@ -26,6 +29,8 @@ __all__ = [
     "JOHN_NHS",
     "PatientScenario",
     "RegistryWorkload",
+    "UpdateStep",
+    "UpdateStreamWorkload",
     "build_patient_scenario",
     "chain_fp_query",
     "display_figure1_cinstance",
@@ -34,4 +39,5 @@ __all__ = [
     "point_queries_for_keys",
     "random_cinstance",
     "registry_workload",
+    "update_stream_workload",
 ]

@@ -45,7 +45,7 @@ from repro.queries.cq import ConjunctiveQuery, boolean_cq, cq
 from repro.queries.fp import FixpointQuery, fixpoint_query, rule
 from repro.queries.terms import Term, Variable, var
 from repro.queries.ucq import UnionOfConjunctiveQueries, ucq_from
-from repro.relational.domains import BOOLEAN_DOMAIN, Domain
+from repro.relational.domains import BOOLEAN_DOMAIN, Constant, Domain
 from repro.relational.instance import GroundInstance, instance
 from repro.relational.master import MasterData, empty_master
 from repro.relational.schema import DatabaseSchema, RelationSchema, database_schema, schema
@@ -555,3 +555,91 @@ def skewed_join_workload(
         variable_rows=variable_rows,
         values=values,
     )
+
+
+# ---------------------------------------------------------------------------
+# update-stream workloads (incremental Database.update benchmarks/tests)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class UpdateStep:
+    """One scripted update: add or drop one ground row of a relation."""
+
+    kind: str  # "add" | "drop"
+    relation: str
+    row: tuple[Constant, ...]
+
+
+@dataclass(frozen=True)
+class UpdateStreamWorkload:
+    """A registry workload plus a deterministic ground add/drop script.
+
+    The script only ever adds tuples built from the master registry's
+    constants, so the Prop. 3.3 active domain never changes across the
+    stream: the incremental SAT session of :class:`repro.api.Database` can
+    keep its encoding and live solver for the whole script (the property the
+    ``update_stream`` benchmark family measures).
+    """
+
+    base: RegistryWorkload
+    script: tuple[UpdateStep, ...]
+
+
+def update_stream_workload(
+    steps: int = 50,
+    master_size: int = 6,
+    db_rows: int = 3,
+    variable_count: int = 1,
+    with_fd: bool = True,
+    include_violations: bool = False,
+    seed: int = 0,
+) -> UpdateStreamWorkload:
+    """A registry workload with a ``steps``-long ground add/drop script.
+
+    Each step drops one currently present ground row (if any remain) or adds
+    one registry pair not currently present.  With ``include_violations`` the
+    script occasionally adds an off-registry pair — a ground row that
+    certainly violates the IND-shaped CC, driving the database through
+    inconsistent states (useful for differential fuzzing; the benchmark
+    keeps the default consistent stream).  Deterministic given ``seed``.
+    """
+    base = registry_workload(
+        master_size=master_size,
+        db_rows=db_rows,
+        variable_count=variable_count,
+        with_fd=with_fd,
+        seed=seed,
+    )
+    rng = random.Random(f"update-stream:{seed}")
+    registry_pairs = sorted(base.master.relation("Registry").rows)
+    off_registry = [
+        (key, "v-off") for key, _value in registry_pairs
+    ]  # value absent from the registry: certain CC violation once added
+    present: list[tuple[Constant, ...]] = sorted(
+        row.terms
+        for row in base.cinstance.table("Record").rows
+        if not row.variables()
+    )
+    script: list[UpdateStep] = []
+    for _step in range(steps):
+        can_drop = bool(present)
+        absent = [p for p in registry_pairs if p not in present]
+        if include_violations and rng.random() < 0.15:
+            candidates = [p for p in off_registry if p not in present]
+            if candidates:
+                row = rng.choice(candidates)
+                script.append(UpdateStep("add", "Record", row))
+                present.append(row)
+                continue
+        if can_drop and (not absent or rng.random() < 0.5):
+            row = rng.choice(present)
+            script.append(UpdateStep("drop", "Record", row))
+            present.remove(row)
+        elif absent:
+            row = rng.choice(absent)
+            script.append(UpdateStep("add", "Record", row))
+            present.append(row)
+        elif can_drop:
+            row = rng.choice(present)
+            script.append(UpdateStep("drop", "Record", row))
+            present.remove(row)
+    return UpdateStreamWorkload(base=base, script=tuple(script))

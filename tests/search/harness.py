@@ -61,7 +61,9 @@ from repro.relational.domains import BOOLEAN_DOMAIN
 from repro.relational.instance import instance
 from repro.relational.master import MasterData
 from repro.relational.schema import RelationSchema, database_schema, schema
+from repro.api import Database
 from repro.search.parallel import ParallelWorldSearch
+from repro.search.registry import EngineConfig
 
 #: Every world-search engine the repository ships, reference first.
 ALL_ENGINES = ("naive", "propagating", "sat", "parallel")
@@ -482,3 +484,76 @@ def assert_extension_engine_parity(
             engine,
         )
     return observations
+
+
+# ---------------------------------------------------------------------------
+# update-stream parity (incremental Database.update vs rebuild oracle)
+# ---------------------------------------------------------------------------
+def observe_database(db, engine, workers=None) -> tuple:
+    """One facade's observable surface under one engine, canonicalised.
+
+    Mirrors :func:`observe_engine` at the :class:`repro.api.Database` level:
+    world set, ``(valuation, world)`` pair set, model count and consistency
+    verdict.  Returned as a plain tuple so whole observations compare with
+    ``==`` across engines and across facades.
+    """
+    config = EngineConfig(engine, workers=workers)
+    worlds = frozenset(db.worlds(engine=config))
+    pairs = frozenset(
+        (frozenset(valuation.items()), world)
+        for valuation, world in db.valuations(engine=config)
+    )
+    count = db.count(engine=config).value
+    has = bool(db.is_consistent(engine=config, witness=False))
+    return (worlds, pairs, count, has)
+
+
+def assert_update_stream_parity(
+    cinst,
+    master,
+    constraints,
+    script,
+    engines: Sequence[str] = CHECKED_ENGINES,
+    workers: int | None = None,
+    fork_check: bool = True,
+):
+    """One incremental facade tracks a rebuild oracle across an update script.
+
+    A single :class:`repro.api.Database` (with the incremental-capable SAT
+    engine as its default) applies every :class:`UpdateStep` of ``script``
+    via :meth:`~repro.api.Database.update`.  After *each* step, a fresh
+    facade is rebuilt from scratch over the updated c-instance and both are
+    observed through the naive reference and every checked engine: the
+    incremental facade must be indistinguishable from the rebuild on world
+    sets, ``(valuation, world)`` pairs, model counts and consistency — i.e.
+    the mutated cached state (checker sessions, live SAT solver, decision
+    cache) never leaks a stale answer.
+
+    With ``fork_check`` the midpoint and final states are additionally run
+    through :func:`parallel_observation` (serial fallback disabled), so
+    fork-based parallel workers prove they observe the post-update state.
+
+    Returns the incremental facade so callers can assert on its final state.
+    """
+    db = Database(cinst, master, constraints, engine="sat")
+    steps = list(script)
+    fork_steps = {len(steps) // 2, len(steps) - 1} if (fork_check and steps) else set()
+    for index, step in enumerate(steps):
+        if step.kind == "add":
+            db.update(add_rows={step.relation: [step.row]})
+        else:
+            db.update(drop_rows={step.relation: [step.row]})
+        oracle = Database(db.cinstance, master, constraints, engine="sat")
+        reference = observe_database(oracle, REFERENCE_ENGINE, workers=workers)
+        for engine in engines:
+            incremental = observe_database(db, engine, workers=workers)
+            assert incremental == reference, (index, step, engine)
+            rebuilt = observe_database(oracle, engine, workers=workers)
+            assert rebuilt == reference, (index, step, engine)
+        if index in fork_steps:
+            pairs, has = parallel_observation(
+                db.cinstance, master, constraints, adom=db.adom(), workers=workers
+            )
+            assert frozenset(pairs) == reference[1], (index, step)
+            assert has == reference[3], (index, step)
+    return db
