@@ -31,19 +31,27 @@
 #   7. the doc-snippet runner (scripts/run_doc_snippets.py): every fenced
 #      `python` block in README.md and docs/*.md is executed, so the
 #      documentation code cannot rot (tag a fence `python no-run` to skip),
-#   8. the engine smoke benchmark (four-way parity + the propagating-vs-naive,
+#   8. the service smoke (scripts/service_smoke.py): boots the real
+#      `python -m repro.service` subprocess on an ephemeral port and asserts
+#      cache hits, single-flight collapse, NDJSON streaming, update
+#      invalidation and a clean SIGTERM drain over real sockets,
+#   9. the engine smoke benchmark (four-way parity + the propagating-vs-naive,
 #      SAT-vs-propagating, parallel-vs-propagating, indexed-delta-vs-full and
 #      indexed-vs-linear-delta checker perf gates; the parallel gate needs
 #      >= 4 host CPUs and reports itself as skipped on smaller machines),
 #      writing machine-readable results to BENCH_ENGINE.json,
-# so a regression in lint, API surface, correctness, coverage or engine
-# speed fails one command:
+#  10. the service smoke benchmark (benchmarks/bench_service.py --smoke):
+#      warm-cache speedup, single-flight engine-run count, first-world
+#      streaming latency and warm-service-vs-cold-rebuild gates, writing
+#      BENCH_SERVICE.json,
+# so a regression in lint, API surface, correctness, coverage, engine
+# speed or the decision service fails one command:
 #
 #     scripts/check.sh
 #
 # CI (.github/workflows/ci.yml) runs exactly this script and uploads
-# BENCH_ENGINE.json as the perf-trajectory artifact; a dedicated CI job
-# repeats the suite under pytest-cov.
+# BENCH_ENGINE.json + BENCH_SERVICE.json as the perf-trajectory artifacts;
+# a dedicated CI job repeats the suite under pytest-cov.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -123,8 +131,16 @@ echo "== doc snippets (README.md + docs/*.md) =="
 python scripts/run_doc_snippets.py
 
 echo
+echo "== service smoke (python -m repro.service subprocess lifecycle) =="
+python scripts/service_smoke.py
+
+echo
 echo "== engine smoke benchmark (four-way parity + speedup gates) =="
 python benchmarks/bench_engine.py --smoke --json BENCH_ENGINE.json
+
+echo
+echo "== service smoke benchmark (cache + single-flight + streaming gates) =="
+python benchmarks/bench_service.py --smoke --json BENCH_SERVICE.json
 
 echo
 echo "check.sh: all gates passed"

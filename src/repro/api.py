@@ -478,6 +478,59 @@ class Database:
             dict(self._cinstance.variable_domains()),
         )
 
+    def cache_probe(
+        self,
+        problem: str,
+        args_key: Any,
+        *,
+        engine: EngineConfig | str | None = None,
+    ) -> Any:
+        """Look up a decision-cache entry without computing anything.
+
+        Returns the cached value — validated against the current per-relation
+        fingerprints, Adom and variable domains — or the
+        :data:`repro.incremental.MISS` sentinel.  Cached
+        :class:`~repro.decision.Decision` objects come back with
+        ``stats.cache_hit=True``.  This is the probe half of the facade's
+        memoisation, exposed so embedding layers (the :mod:`repro.service`
+        pool, which computes on replicas in worker processes) can share one
+        cache with the facade's own methods: the ``(problem, args_key,
+        engine)`` identity is exactly what :meth:`is_consistent`,
+        :meth:`complete` &c. use internally.
+        """
+        config = self._engine(engine)
+        key = self._cache_key(problem, args_key, config)
+        if key is None:
+            return MISS
+        hit = self._cache.get(key, *self._cache_context())
+        if hit is MISS:
+            return MISS
+        if isinstance(hit, Decision):
+            return hit.with_(stats=replace(hit.stats, cache_hit=True))
+        return hit
+
+    def cache_store(
+        self,
+        problem: str,
+        args_key: Any,
+        value: Any,
+        *,
+        deps: frozenset[str] | None = None,
+        engine: EngineConfig | str | None = None,
+    ) -> None:
+        """Store a computed value under the facade's decision-cache rules.
+
+        ``deps`` is the dependency relation set governing invalidation
+        (``None`` = depends on every relation; ``frozenset()`` = survives all
+        updates, the RCQP discipline).  Unhashable identities are silently
+        not cached — the cache is an optimisation, never a requirement.
+        """
+        config = self._engine(engine)
+        key = self._cache_key(problem, args_key, config)
+        if key is None:
+            return
+        self._cache.put(key, value, deps, *self._cache_context())
+
     def _cached(
         self,
         problem: str,
@@ -488,25 +541,25 @@ class Database:
     ) -> Any:
         """Serve from the decision cache or compute-and-store.
 
-        ``deps`` is the dependency relation set (``None`` = all relations);
-        cached :class:`Decision` objects come back with
-        ``stats.cache_hit=True``.
+        Thin composition of :meth:`cache_probe` and :meth:`cache_store` —
+        kept internal because it takes a resolved :class:`EngineConfig` and a
+        thunk, which only the facade's own methods have at hand.
         """
-        key = self._cache_key(problem, args_key, config)
-        if key is None:
-            return compute()
-        context = self._cache_context()
-        hit = self._cache.get(key, *context)
+        hit = self.cache_probe(problem, args_key, engine=config)
         if hit is not MISS:
-            if isinstance(hit, Decision):
-                return hit.with_(stats=replace(hit.stats, cache_hit=True))
             return hit
         value = compute()
-        self._cache.put(key, value, deps, *context)
+        self.cache_store(problem, args_key, value, deps=deps, engine=config)
         return value
 
-    def _constraint_relations(self) -> frozenset[str]:
-        """Database relations mentioned by any constraint left-hand side."""
+    def constraint_relations(self) -> frozenset[str]:
+        """Database relations mentioned by any constraint left-hand side.
+
+        This is the dependency set of witness-free consistency verdicts and
+        one half of the certain-answer dependency set; public so embedding
+        layers can compute the same dependency-scoped invalidation rules the
+        facade applies internally.
+        """
         return frozenset(
             name
             for constraint in self._constraints
@@ -634,7 +687,7 @@ class Database:
         cached answer valid.
         """
         config = self._engine(engine)
-        deps = None if witness else self._constraint_relations()
+        deps = None if witness else self.constraint_relations()
 
         def compute() -> Decision:
             if not witness and self._uses_incremental_session(config):
@@ -846,7 +899,7 @@ class Database:
                     engine=config,
                 )
 
-        deps = self._constraint_relations() | query_relation_names(query)
+        deps = self.constraint_relations() | query_relation_names(query)
         result: frozenset[Row] = self._cached(
             "certain-answers", (query,), deps, config, compute
         )

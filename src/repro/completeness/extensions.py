@@ -250,12 +250,53 @@ def has_partially_closed_extension(
     For CCs defined by (monotone) CQs, an extension exists iff a *single
     tuple* can be added without violating ``V`` (Proposition 3.3), and the
     added tuple may be assumed to take values in ``Adom``.
+
+    The unbudgeted probe runs with ``has_model``-style fresh-value symmetry
+    breaking: per relation, the search over ``I`` adjoined with one
+    all-variable row enumerates one valuation per orbit of the fresh-value
+    permutation group (``break_symmetry=True``).  This is sound for the
+    strict-extension filter because the acceptance predicate — "the adjoined
+    row differs from every existing tuple of ``I``" — is invariant under
+    permutations of the unmentioned fresh Adom values: ``I`` is ground and
+    mentions no fresh value, so permuting fresh values maps strict-extension
+    witnesses to strict-extension witnesses within the same orbit.  A
+    relation with no existing tuples cannot produce a duplicate at all, so
+    there the probe collapses to a plain existence check and engines may
+    additionally cancel in-flight work at the first world.
+
+    A ``limit`` budget keeps the historical per-candidate accounting (and
+    its :class:`BoundExceededError` trip point), which is incompatible with
+    orbit-level enumeration, so the budgeted path scans unreduced.
     """
-    for _ in single_tuple_extensions(
-        instance, master, constraints, adom, limit=limit,
-        engine=engine, workers=workers,
-    ):
-        return True
+    if limit is not None:
+        for _ in single_tuple_extensions(
+            instance, master, constraints, adom, limit=limit,
+            engine=engine, workers=workers,
+        ):
+            return True
+        return False
+
+    from repro.ctables.possible_worlds import has_model, models_with_valuations
+
+    base = CInstance.from_ground_instance(instance)
+    for name in instance.schema.relation_names:
+        rel_schema = instance.schema[name]
+        existing = instance.relation(name).rows
+        variables = _extension_variables(name, rel_schema)
+        augmented = base.with_row(name, variables)
+        if not existing:
+            if has_model(
+                augmented, master, constraints, adom,
+                engine=engine, workers=workers,
+            ):
+                return True
+            continue
+        for valuation, _world in models_with_valuations(
+            augmented, master, constraints, adom,
+            engine=engine, workers=workers, break_symmetry=True,
+        ):
+            if tuple(valuation[variable] for variable in variables) not in existing:
+                return True
     return False
 
 

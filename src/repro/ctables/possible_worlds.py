@@ -169,6 +169,8 @@ def models_with_valuations(
     engine: EngineConfig | str | None = None,
     workers: int | None = None,
     checker: "ConstraintChecker | None" = None,
+    *,
+    break_symmetry: bool = False,
 ) -> Iterator[tuple[Valuation, GroundInstance]]:
     """Enumerate ``(µ, µ(T))`` pairs with ``µ(T) ∈ Mod_Adom(T, D_m, V)``.
 
@@ -179,9 +181,21 @@ def models_with_valuations(
     checker-accepting engines — pass it explicitly for generator consumers
     (the ambient :func:`repro.search.registry.use_checker` channel must not
     be held open across generator suspension).
+
+    ``break_symmetry=True`` asks engines that support it for fresh-value
+    symmetry reduction (value precedence over the interchangeable fresh Adom
+    values): the enumeration then yields exactly one representative per
+    orbit of the fresh-value permutation group instead of the full set of
+    valuations.  That is *not* the ``Mod_Adom`` multiset — only existence
+    probes whose acceptance predicate is invariant under fresh-value
+    permutation (e.g. the strict-extension filter of
+    :func:`repro.completeness.extensions.has_partially_closed_extension`)
+    may use it.  Engines without the capability ignore the flag, which is
+    sound: they enumerate a superset of the representatives.
     """
     yield from _make_search(
-        cinstance, master, constraints, adom, engine, workers, checker=checker
+        cinstance, master, constraints, adom, engine, workers,
+        existence=break_symmetry, checker=checker,
     ).search()
 
 

@@ -32,13 +32,37 @@ from __future__ import annotations
 
 import time
 import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from types import TracebackType
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.completeness.models import CompletenessModel
     from repro.protocols import WorldSearchEngine
+
+
+def json_safe(value: Any) -> Any:
+    """A best-effort JSON-safe projection of an arbitrary payload.
+
+    Scalars pass through, mappings become string-keyed dicts, sequences
+    become lists, and sets become deterministically sorted lists; anything
+    else (witness worlds, report dataclasses, …) is rendered through
+    ``repr`` so the projection never fails.  The result always survives
+    ``json.dumps`` — this is the folding :meth:`Decision.to_dict` and the
+    service wire format use instead of ad-hoc ``getattr`` chains.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {
+            str(key): json_safe(val)
+            for key, val in sorted(value.items(), key=lambda item: str(item[0]))
+        }
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((json_safe(item) for item in value), key=repr)
+    return repr(value)
 
 
 @dataclass(frozen=True)
@@ -67,6 +91,15 @@ class DecisionStats:
     #: :meth:`repro.api.Database.update` calls; ``None`` when no engine that
     #: ran reports the flag (non-SAT engines, or a freshly built encoding).
     reused_solver: bool | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """The stats as a JSON-serialisable dict (every field, ``None`` kept).
+
+        This is the wire format of :mod:`repro.service`: each response
+        carries the full stats record so clients can observe cache hits,
+        solver reuse and engine effort per request.
+        """
+        return asdict(self)
 
 
 def _deprecated(old: str, new: str) -> None:
@@ -132,6 +165,31 @@ class Decision:
     def with_(self, **changes: Any) -> "Decision":
         """A copy of the decision with the given fields replaced."""
         return replace(self, **changes)
+
+    def to_dict(self, *, include_witness: bool = False) -> dict[str, Any]:
+        """The decision as a JSON-serialisable dict.
+
+        ``value`` and (when requested) ``witness`` go through
+        :func:`json_safe`, so arbitrary payloads — frozensets of rows, a
+        witness :class:`~repro.relational.instances.GroundInstance`, the
+        weak-model report — degrade to deterministic JSON rather than
+        failing ``json.dumps``.  ``details`` (the deprecated pre-2.0 report
+        object) is deliberately not serialised; its information is already
+        in ``value``/``witness``.  The witness defaults to off because it
+        can be large and many callers only want the verdict and stats.
+        """
+        payload: dict[str, Any] = {
+            "holds": self.holds,
+            "problem": self.problem,
+            "model": None if self.model is None else self.model.value,
+            "value": json_safe(self.value),
+            "engine_used": self.engine_used,
+            "exact": self.exact,
+            "stats": self.stats.to_dict(),
+        }
+        if include_witness:
+            payload["witness"] = json_safe(self.witness)
+        return payload
 
     # ------------------------------------------------------------------
     # deprecation shims for the pre-2.0 report dataclasses

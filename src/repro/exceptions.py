@@ -101,3 +101,16 @@ class InconsistentUpdateError(UpdateError):
     The batch is rolled back to the state at ``batch()`` entry before this is
     raised, so the database never remains in the inconsistent state.
     """
+
+
+class ServiceError(ReproError):
+    """A :mod:`repro.service` request or configuration is invalid.
+
+    Carries the HTTP status the service maps the failure to (400 for
+    malformed requests, 404 for unknown sessions, 409 for conflicts, ...),
+    so the server layer can translate without pattern-matching messages.
+    """
+
+    def __init__(self, message: str, *, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status

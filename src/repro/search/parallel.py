@@ -227,14 +227,52 @@ def _shard_search(
     )
 
 
+def _worker_stop_check(generation: int | None) -> Callable[[], bool] | None:
+    """A worker-side stop check bound to one run's cancellation generation.
+
+    ``None`` when the run did not draw a generation (legacy callers) or the
+    worker was not initialised with the shared slot.
+    """
+    # reprolint: disable=R005 -- fork-inherited cancellation slot installed by
+    # the pool initializer; workers only read it (writes go through its lock).
+    slot = _WORKER_CANCEL_GENERATION
+    if generation is None or slot is None:
+        return None
+    cancel_slot = slot
+    bound_generation = generation
+
+    def _stop_check() -> bool:
+        return cancel_slot.value == bound_generation
+
+    return _stop_check
+
+
 def _run_chunk_pairs(
-    payload: _Payload, chunk: Sequence[tuple[int, _Prefix]]
+    payload: _Payload,
+    chunk: Sequence[tuple[int, _Prefix]],
+    generation: int | None = None,
 ) -> list[tuple[int, list[tuple[Valuation, GroundInstance]], int]]:
-    """Enumerate every shard of a chunk; returns (index, pairs, nodes)."""
+    """Enumerate every shard of a chunk; returns (index, pairs, nodes).
+
+    When the run drew a cancellation ``generation`` (the streaming driver
+    always does), the fork-inherited slot is polled between shards and —
+    via the serial engine's ``stop_check`` hook — inside each shard search,
+    so workers abandon in-flight enumeration promptly once the driver
+    cancels the run (consumer ``stop_check`` fired, or the consumer closed
+    the generator early).  Cancelled chunks return the shards completed so
+    far; the driver is unwinding and never merges them.
+    """
+    stop_check = _worker_stop_check(generation)
     results: list[tuple[int, list[tuple[Valuation, GroundInstance]], int]] = []
     for prefix_index, prefix in chunk:
-        search = _shard_search(payload, prefix)
-        results.append((prefix_index, list(search.search()), search.stats.nodes))
+        if stop_check is not None and stop_check():
+            break
+        search = _shard_search(payload, prefix, stop_check=stop_check)
+        try:
+            pairs = list(search.search())
+        except SearchCancelledError:
+            break
+        results.append((prefix_index, pairs, search.stats.nodes))
     return results
 
 
@@ -272,14 +310,7 @@ def _run_chunk_exists(
     # reprolint: disable=R005 -- fork-inherited cancellation slot installed by
     # the pool initializer; workers only read it (writes go through its lock).
     slot = _WORKER_CANCEL_GENERATION
-    stop_check: Callable[[], bool] | None = None
-    if slot is not None:  # initializer always ran; guard narrows the type
-        cancel_slot = slot
-
-        def _stop_check() -> bool:
-            return cancel_slot.value == generation
-
-        stop_check = _stop_check
+    stop_check = _worker_stop_check(generation)
     results: list[tuple[int, bool, bool, int]] = []
     for prefix_index, prefix in chunk:
         if stop_check is not None and stop_check():
@@ -346,6 +377,18 @@ class ParallelWorldSearch:
         serial-fallback search (worker processes build their own).  Callers
         running many searches against the same master data pass one, exactly
         as with :class:`~repro.search.engine.WorldSearch`.
+    stop_check:
+        Optional zero-argument cancellation predicate, mirroring the serial
+        engine's hook (the registry capability ``supports_cancellation``).
+        The driver polls it between merged results; once it returns true the
+        run's cancellation generation is broadcast through the fork-inherited
+        slot — every worker polls the slot between shards and (every
+        :data:`repro.search.engine.STOP_CHECK_STRIDE` nodes) inside shard
+        searches — and :class:`~repro.exceptions.SearchCancelledError` is
+        raised to the consumer.  Abandoning an enumeration generator early
+        (``close()``/``break``) broadcasts the same cancellation, so
+        in-flight chunks abort promptly instead of completing into the void.
+        Serial-fallback searches receive the predicate directly.
 
     Note on latency: this is a *throughput* engine.  Enumeration streams
     shard results as worker chunks complete, but the first result cannot
@@ -368,6 +411,7 @@ class ParallelWorldSearch:
         chunks_per_worker: int = CHUNKS_PER_WORKER,
         shard_order: str = "pool",
         checker: ConstraintChecker | None = None,
+        stop_check: Callable[[], bool] | None = None,
     ) -> None:
         if adom is None:
             from repro.ctables.possible_worlds import default_active_domain
@@ -386,6 +430,7 @@ class ParallelWorldSearch:
         self._chunks_per_worker = max(1, chunks_per_worker)
         self._shard_order = shard_order
         self._checker = checker
+        self._stop_check = stop_check
         self.stats = ParallelSearchStats(
             workers=self._workers,
             uses_indexes=checker.uses_indexes if checker is not None else True,
@@ -514,6 +559,7 @@ class ParallelWorldSearch:
                 self._adom,
                 break_symmetry=True,
                 checker=self._checker,
+                stop_check=self._stop_check,
             )
             found = serial.has_world()
             self._absorb_serial(serial)
@@ -528,6 +574,7 @@ class ParallelWorldSearch:
                 self._adom,
                 break_symmetry=True,
                 checker=self._checker,
+                stop_check=self._stop_check,
             )
             found = serial.has_world()
             self._absorb_serial(serial)
@@ -550,7 +597,7 @@ class ParallelWorldSearch:
             self.stats.serial_fallback = True
             serial = WorldSearch(
                 self._cinstance, self._master, self._constraints, self._adom,
-                checker=self._checker,
+                checker=self._checker, stop_check=self._stop_check,
             )
             count = serial.count_worlds()
             self.stats.nodes += serial.stats.nodes
@@ -575,7 +622,7 @@ class ParallelWorldSearch:
             _discard_pool(self._workers)
             serial = WorldSearch(
                 self._cinstance, self._master, self._constraints, self._adom,
-                checker=self._checker,
+                checker=self._checker, stop_check=self._stop_check,
             )
             count = serial.count_worlds()
             self.stats.nodes += serial.stats.nodes
@@ -591,7 +638,7 @@ class ParallelWorldSearch:
         self.stats.serial_fallback = True
         serial = WorldSearch(
             self._cinstance, self._master, self._constraints, self._adom,
-            checker=self._checker,
+            checker=self._checker, stop_check=self._stop_check,
         )
         for pair in serial.search():
             self.stats.worlds += 1
@@ -613,11 +660,14 @@ class ParallelWorldSearch:
         self.stats.chunks = len(chunks)
         payload = self._payload(break_symmetry=False)
         handle = _pool_for(self._workers)
+        handle.next_generation += 1
+        generation = handle.next_generation
         buffered: dict[int, list[tuple[Valuation, GroundInstance]]] = {}
         next_index = 0
+        drained = False
         try:
             futures = [
-                handle.executor.submit(_run_chunk_pairs, payload, chunk)
+                handle.executor.submit(_run_chunk_pairs, payload, chunk, generation)
                 for chunk in chunks
             ]
             for future in as_completed(futures):
@@ -626,9 +676,14 @@ class ParallelWorldSearch:
                     self.stats.nodes += nodes
                 while next_index in buffered:
                     for valuation, world in buffered.pop(next_index):
+                        if self._stop_check is not None and self._stop_check():
+                            raise SearchCancelledError(
+                                "parallel enumeration cancelled by stop_check"
+                            )
                         self.stats.worlds += 1
                         yield valuation, world
                     next_index += 1
+            drained = True
         except BrokenProcessPool:
             _discard_pool(self._workers)
             if next_index or buffered:
@@ -637,7 +692,17 @@ class ParallelWorldSearch:
                 raise SearchError(
                     "worker pool broke mid-enumeration; rerun the search"
                 ) from None
+            drained = True  # the serial path owns the rest of the run
             yield from self._serial_search()
+        finally:
+            if not drained:
+                # Cancelled by stop_check, or the consumer abandoned the
+                # generator: broadcast this run's generation so in-flight
+                # chunks abort at their next slot poll instead of searching
+                # into the void.  Later runs draw fresh generations, so a
+                # stale broadcast can never cancel them.
+                with handle.cancel_generation.get_lock():
+                    handle.cancel_generation.value = generation
 
     def _collect_exists(self, prefixes: list[_Prefix]) -> bool | None:
         chunks = self._chunks(prefixes)
@@ -652,8 +717,19 @@ class ParallelWorldSearch:
                 handle.executor.submit(_run_chunk_exists, payload, chunk, generation)
                 for chunk in chunks
             }
+            # With a caller stop_check the wait gets a short timeout so the
+            # predicate is polled even while every chunk is still running.
+            poll = None if self._stop_check is None else 0.05
             while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                if self._stop_check is not None and self._stop_check():
+                    with handle.cancel_generation.get_lock():
+                        handle.cancel_generation.value = generation
+                    raise SearchCancelledError(
+                        "parallel existence check cancelled by stop_check"
+                    )
+                done, pending = wait(
+                    pending, timeout=poll, return_when=FIRST_COMPLETED
+                )
                 for future in done:
                     for prefix_index, ok, cancelled, nodes in future.result():
                         self.stats.nodes += nodes

@@ -1,0 +1,81 @@
+"""Canonical request fingerprints for cross-request memoisation keys.
+
+The service keys its single-flight table (and its per-request telemetry) by
+``(session, problem, fingerprint(args), engine)``.  Two clients asking the
+same question must collapse onto one key even when their JSON bodies differ
+superficially — dict key order, a round-trip through a proxy that
+re-serialises the payload, insignificant whitespace.  The fingerprint is
+therefore computed over a *canonical form*: keys sorted, separators fixed,
+containers normalised, with dict keys coerced exactly the way ``json.dumps``
+coerces non-string keys (so ``fingerprint(x) ==
+fingerprint(json.loads(json.dumps(x)))`` holds for every JSON-serialisable
+``x``).  The property is locked down by a hypothesis suite
+(``tests/service/test_fingerprint.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+from repro.exceptions import ServiceError
+
+__all__ = ["canonical_fingerprint", "canonical_json"]
+
+
+def _key(key: Any) -> str:
+    """Coerce a dict key the way ``json.dumps`` does.
+
+    This is what makes fingerprints stable under a JSON round-trip: a
+    ``True`` key becomes the string ``"true"`` after ``dumps``/``loads``,
+    so it must fingerprint as ``"true"`` before the round-trip too.
+    """
+    if isinstance(key, str):
+        return key
+    if key is True:
+        return "true"
+    if key is False:
+        return "false"
+    if key is None:
+        return "null"
+    if isinstance(key, (int, float)):
+        return json.dumps(key)
+    raise ServiceError(f"unfingerprintable mapping key: {key!r}")
+
+
+def _normalise(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ServiceError(f"non-finite number in request payload: {value!r}")
+        return value
+    if isinstance(value, Mapping):
+        return {_key(key): _normalise(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalise(item) for item in value]
+    raise ServiceError(f"unfingerprintable request payload: {value!r}")
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical JSON text of a JSON-serialisable value.
+
+    Deterministic: key order, container type (list vs tuple) and formatting
+    cannot influence the output.  Raises
+    :class:`~repro.exceptions.ServiceError` for payloads outside the JSON
+    data model (the service only ever fingerprints parsed request bodies, so
+    hitting this means a server-side bug, not a client error).
+    """
+    return json.dumps(
+        _normalise(value), sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )
+
+
+def canonical_fingerprint(value: Any) -> str:
+    """A SHA-256 hex digest of :func:`canonical_json`.
+
+    Stable under JSON round-trips and mapping key-order permutations;
+    distinct canonical values get distinct digests (up to hash collision).
+    """
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()

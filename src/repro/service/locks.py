@@ -1,0 +1,79 @@
+"""An asyncio readers-writer lock for per-session update serialisation.
+
+Each service session holds one :class:`ReadWriteLock`: decision requests and
+world streams take the *read* side (they may overlap freely — the
+:class:`~repro.api.Database` facade's read surface is safe under concurrent
+readers because all engine work happens on immutable snapshots), while
+``update``/``batch`` take the *write* side, so an update never mutates the
+facade while an in-flight read is consulting it.
+
+The lock is writer-preferring: once a writer is waiting, new readers queue
+behind it.  Updates are short (row-level diffs plus dependency-scoped cache
+eviction) and reads can be long (an engine search), so without preference a
+steady read stream could starve updates forever.  Deadlock-freedom: readers
+never wait while holding the lock on anything a writer owns, writers hold
+nothing while waiting, and the single-flight layer's followers only await a
+future completed by a leader that holds a read lock of its own — no cycle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+from typing import AsyncIterator
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """Writer-preferring async readers-writer lock (single event loop)."""
+
+    def __init__(self) -> None:
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+        self._cond = asyncio.Condition()
+
+    @property
+    def readers(self) -> int:
+        """How many readers currently hold the lock (introspection/tests)."""
+        return self._readers
+
+    @property
+    def writer_active(self) -> bool:
+        """Whether a writer currently holds the lock (introspection/tests)."""
+        return self._writer_active
+
+    @asynccontextmanager
+    async def read_locked(self) -> AsyncIterator[None]:
+        """Hold the shared (read) side for the duration of the block."""
+        async with self._cond:
+            await self._cond.wait_for(
+                lambda: not self._writer_active and self._writers_waiting == 0
+            )
+            self._readers += 1
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._readers -= 1
+                self._cond.notify_all()
+
+    @asynccontextmanager
+    async def write_locked(self) -> AsyncIterator[None]:
+        """Hold the exclusive (write) side for the duration of the block."""
+        async with self._cond:
+            self._writers_waiting += 1
+            try:
+                await self._cond.wait_for(
+                    lambda: not self._writer_active and self._readers == 0
+                )
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()

@@ -1,0 +1,50 @@
+"""Single-flight deduplication of identical in-flight computations.
+
+When N clients concurrently ask the same question about the same session,
+exactly one of them (the *leader*) runs the engine search; the other N-1
+(*followers*) await the leader's future and receive the same
+:class:`~repro.decision.Decision`.  Decisions are frozen dataclasses, so
+sharing one object across responses is safe.
+
+The table only holds futures for computations that are *currently* running:
+the leader removes its key (in a ``finally``) once the future is resolved,
+so later arrivals start fresh — and find the result in the decision cache
+instead, which is the correct steady state (cache hits are cheaper than
+future plumbing and survive across time, not just across concurrency).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Hashable
+
+__all__ = ["SingleFlight"]
+
+
+class SingleFlight:
+    """An in-flight computation table keyed by hashable request identities."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[Hashable, asyncio.Future[Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def acquire(self, key: Hashable) -> tuple[bool, "asyncio.Future[Any]"]:
+        """Join the flight for ``key``, creating it if absent.
+
+        Returns ``(is_leader, future)``.  The leader must eventually resolve
+        the future (``set_result``/``set_exception``) and call
+        :meth:`release`; followers just await it.  Must be called from the
+        event loop thread — the dict is loop-confined, no lock needed.
+        """
+        future = self._inflight.get(key)
+        if future is not None:
+            return False, future
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        return True, future
+
+    def release(self, key: Hashable) -> None:
+        """Remove a completed flight (leader-side, idempotent)."""
+        self._inflight.pop(key, None)

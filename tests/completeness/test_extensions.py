@@ -171,6 +171,45 @@ class TestSingleTupleExtensions:
         )
         assert is_extensible(base, MASTER_PAIR, [BOUND_CC], adom, limit=1).holds
 
+    def test_unbudgeted_probe_engages_fresh_value_symmetry(self):
+        # The unbudgeted probe searches one valuation per orbit of the
+        # fresh-value permutation group (``break_symmetry=True``).  Observe
+        # the engine objects it creates through the registry collector and
+        # check the fresh-value ranking is actually installed — and that the
+        # verdict matches the budgeted (unreduced, per-candidate) path.
+        from repro.search.registry import collect_searches
+
+        two_schema = database_schema(schema("R", "A", "B"))
+        master = MasterData(
+            database_schema(schema("Rm", "A", "B")), {"Rm": [("m0", "m1")]}
+        )
+        # Forbid rows with A = B: the constraint's variables put two fresh,
+        # nothing-distinguishes-them values into the extensibility Adom.
+        forbid_equal = denial_cc(
+            cq("V", [], atoms=[atom("R", x, y)], comparisons=[eq(x, y)]),
+            two_schema,
+        )
+        base = instance(two_schema, R=[("m0", "m1")])
+        adom = extensibility_active_domain(base, master, [forbid_equal])
+        assert len(adom.fresh_values) >= 2
+
+        searches: list = []
+        with collect_searches(searches):
+            unbudgeted = has_partially_closed_extension(
+                base, master, [forbid_equal], adom
+            )
+        assert unbudgeted is True
+        ranked = [s for s in searches if getattr(s, "_fresh_rank", None)]
+        assert ranked, "probe never installed a fresh-value ranking"
+        assert all(
+            set(s._fresh_rank) <= set(adom.fresh_values) for s in ranked
+        )
+        # Parity with the historical budgeted scan (same verdict, no
+        # symmetry reduction there because of per-candidate accounting).
+        assert has_partially_closed_extension(
+            base, master, [forbid_equal], adom, limit=1000
+        ) is True
+
     def test_has_extension_agrees_with_oracle(self):
         # The full Rm-image base admits no strict extension inside Rm.
         saturated = instance(BOOL_PAIR_SCHEMA, R=[(0, 0), (1, 1)])

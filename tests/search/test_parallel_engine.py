@@ -410,6 +410,40 @@ class TestStopCheck:
         )
         assert plain == polled
 
+    def test_parallel_enumeration_cancelled_mid_stream(self):
+        # The streaming service rides on this: a consumer-side stop_check
+        # flipping true mid-enumeration must abort the *parallel* driver
+        # (not just the serial engine) with SearchCancelledError, well
+        # before the full world count is merged.
+        workload = wide_pool_workload(rows=3, values_per_key=4)  # 24 worlds
+        cancelled = {"flag": False}
+        search = forced(
+            workload.cinstance,
+            workload.master,
+            workload.constraints,
+            stop_check=lambda: cancelled["flag"],
+        )
+        seen = 0
+        with pytest.raises(SearchCancelledError):
+            for _valuation, _world in search.search():
+                seen += 1
+                if seen == 3:
+                    cancelled["flag"] = True
+        assert seen == 3
+        assert not search.stats.serial_fallback
+        assert search.stats.worlds < 24
+
+    def test_parallel_existence_check_honours_stop_check(self):
+        workload = wide_pool_workload(rows=3, values_per_key=4)
+        search = forced(
+            workload.cinstance,
+            workload.master,
+            workload.constraints,
+            stop_check=lambda: True,
+        )
+        with pytest.raises(SearchCancelledError):
+            search.has_world()
+
 
 # ---------------------------------------------------------------------------
 # engine-extension guards (forced order / pool overrides)

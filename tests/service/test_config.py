@@ -1,0 +1,98 @@
+"""Service configuration parsing: defaults, validation, config files."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.config import PluginSelection, ServiceConfig, SessionConfig
+
+
+def test_defaults():
+    config = ServiceConfig()
+    assert config.host == "127.0.0.1"
+    assert config.executor == "process"
+    assert config.request_timeout == 30.0
+    assert config.stream_buffer == 8
+    assert config.auth.name == "none"
+    assert config.result_backend.name == "memory"
+    assert config.sessions == {}
+
+
+def test_from_dict_full():
+    config = ServiceConfig.from_dict(
+        {
+            "host": "0.0.0.0",
+            "port": 9000,
+            "executor": "thread",
+            "executor_workers": 4,
+            "request_timeout": None,
+            "stream_buffer": 2,
+            "drain_timeout": 1.5,
+            "auth": {"name": "token", "options": {"token": "s3cret"}},
+            "rate_limit": "none",
+            "result_backend": {"name": "memory", "options": {"capacity": 16}},
+            "sessions": {
+                "demo": {
+                    "workload": "patients",
+                    "engine": "sat",
+                },
+                "synthetic": {
+                    "workload": "registry",
+                    "params": {"master_size": 3},
+                },
+            },
+        }
+    )
+    assert config.port == 9000
+    assert config.request_timeout is None
+    assert config.auth == PluginSelection("token", {"token": "s3cret"})
+    assert config.rate_limit == PluginSelection("none")
+    assert config.sessions["demo"] == SessionConfig("patients", {}, "sat")
+    assert config.sessions["synthetic"].params == {"master_size": 3}
+
+
+def test_unknown_keys_rejected():
+    with pytest.raises(ServiceError, match="unknown service config keys"):
+        ServiceConfig.from_dict({"prot": 1234})
+    with pytest.raises(ServiceError, match="unknown keys"):
+        ServiceConfig.from_dict(
+            {"sessions": {"s": {"workload": "patients", "engin": "sat"}}}
+        )
+    with pytest.raises(ServiceError, match="unknown keys"):
+        ServiceConfig.from_dict({"auth": {"name": "none", "option": {}}})
+
+
+def test_bad_values_rejected():
+    with pytest.raises(ServiceError, match="executor"):
+        ServiceConfig.from_dict({"executor": "fibers"})
+    with pytest.raises(ServiceError, match="stream_buffer"):
+        ServiceConfig.from_dict({"stream_buffer": 0})
+    with pytest.raises(ServiceError, match="must be an integer"):
+        ServiceConfig.from_dict({"port": "8080"})
+    with pytest.raises(ServiceError, match="must be an integer"):
+        ServiceConfig.from_dict({"port": True})
+    with pytest.raises(ServiceError, match="must be a number"):
+        ServiceConfig.from_dict({"drain_timeout": "fast"})
+
+
+def test_from_file_round_trip(tmp_path):
+    path = tmp_path / "service.json"
+    path.write_text(
+        json.dumps({"port": 0, "executor": "inline", "request_timeout": 5})
+    )
+    config = ServiceConfig.from_file(path)
+    assert config.port == 0
+    assert config.executor == "inline"
+    assert config.request_timeout == 5.0
+
+
+def test_from_file_errors(tmp_path):
+    with pytest.raises(ServiceError, match="cannot read"):
+        ServiceConfig.from_file(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{nope")
+    with pytest.raises(ServiceError, match="not valid JSON"):
+        ServiceConfig.from_file(bad)

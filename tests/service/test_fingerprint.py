@@ -1,0 +1,72 @@
+"""Canonical request fingerprints: JSON round-trip and key-order stability.
+
+The single-flight key dedups *identical wire requests*, so the fingerprint
+must be a pure function of the JSON value — invariant under key order,
+whitespace, and a serialise/parse round-trip (hypothesis-driven), and it
+must reject anything JSON cannot carry faithfully (NaN, infinities,
+non-JSON objects) rather than hash their reprs.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ServiceError
+from repro.service.fingerprint import canonical_fingerprint, canonical_json
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=12),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(json_values)
+def test_fingerprint_stable_under_json_round_trip(value):
+    round_tripped = json.loads(json.dumps(value))
+    assert canonical_fingerprint(value) == canonical_fingerprint(round_tripped)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.dictionaries(st.text(max_size=8), json_values, min_size=2, max_size=6),
+    st.randoms(use_true_random=False),
+)
+def test_fingerprint_stable_under_key_order(mapping, rng):
+    items = list(mapping.items())
+    rng.shuffle(items)
+    assert canonical_fingerprint(dict(items)) == canonical_fingerprint(mapping)
+
+
+def test_canonical_json_is_deterministic_text():
+    value = {"b": [1, 2], "a": {"y": None, "x": True}}
+    assert canonical_json(value) == canonical_json({"a": {"x": True, "y": None}, "b": [1, 2]})
+    assert canonical_json(value) == '{"a":{"x":true,"y":null},"b":[1,2]}'
+
+
+def test_non_string_keys_match_json_coercion():
+    """``json.dumps`` coerces scalar keys to strings; the fingerprint agrees."""
+    value = {1: "a", True and 2: "b", None: "c"}
+    round_tripped = json.loads(json.dumps(value))
+    assert canonical_fingerprint(value) == canonical_fingerprint(round_tripped)
+
+
+def test_distinct_values_fingerprint_differently():
+    assert canonical_fingerprint({"a": 1}) != canonical_fingerprint({"a": 2})
+    assert canonical_fingerprint([1, 2]) != canonical_fingerprint([2, 1])
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), {"x": object()}, {1, 2}])
+def test_unrepresentable_values_are_rejected(bad):
+    with pytest.raises(ServiceError):
+        canonical_fingerprint(bad)
