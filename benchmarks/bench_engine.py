@@ -100,7 +100,9 @@ from repro.reductions.sat import random_forall_exists_instance  # noqa: E402
 from repro.search.engine import WorldSearch  # noqa: E402
 from repro.search.parallel import shutdown_pools  # noqa: E402
 from repro.search.propagation import ConstraintChecker  # noqa: E402
+from repro.search.sat_engine import SATWorldSearch  # noqa: E402
 from repro.workloads.generator import (  # noqa: E402
+    disconnected_components_workload,
     inequality_chain_workload,
     registry_workload,
     skewed_join_workload,
@@ -131,6 +133,13 @@ REQUIRED_INDEX_SPEEDUP = 3.0
 #: criterion).
 REQUIRED_UPDATE_STREAM_SPEEDUP = 3.0
 UPDATE_STREAM_STEPS = 50
+#: The CEGAR lazy encoding must beat the eager encoding by this factor on
+#: existence checks over wide all-variable rows (build + has_world; the
+#: ISSUE 10 criterion — lazy encoding skips the universe-wide violation join).
+REQUIRED_CEGAR_SPEEDUP = 2.0
+#: Component-caching ``count_worlds`` must beat blocking-clause enumeration
+#: by this factor on instances with >= 3 independent components (ISSUE 10).
+REQUIRED_COMPONENT_SPEEDUP = 5.0
 
 #: The three ConstraintChecker configurations the checker comparison drives:
 #: ``(mode, indexed)`` per label.  "delta-linear" is the PR 5 baseline
@@ -553,6 +562,180 @@ def print_checker_report(results: list[dict]) -> None:
 
 
 @dataclass
+class SatGen2Case:
+    """One gen-2 SAT comparison on the disconnected-components family.
+
+    ``kind`` selects the race: ``"cegar"`` times build + ``has_world`` with
+    the eager vs the lazy (CEGAR) encoding on wide all-variable rows;
+    ``"components"`` times ``count_worlds`` via blocking-clause enumeration
+    vs component-caching counting on multi-component instances.
+    """
+
+    label: str
+    kind: str  # "cegar" | "components"
+    components: int
+    rows_per_component: int
+    values: int
+    row_width: int
+
+
+def _sat_gen2_sweep(smoke: bool) -> list[SatGen2Case]:
+    cases = [
+        SatGen2Case(
+            label="components=3 rows=3 values=4 width=2",
+            kind="cegar",
+            components=3, rows_per_component=3, values=4, row_width=2,
+        ),
+    ]
+    if smoke:
+        # Small enough to stay within the smoke budget while still giving the
+        # component path clear daylight over blocking-clause enumeration.
+        cases.append(
+            SatGen2Case(
+                label="components=3 rows=3 values=4 width=1",
+                kind="components",
+                components=3, rows_per_component=3, values=4, row_width=1,
+            )
+        )
+    else:
+        cases += [
+            SatGen2Case(
+                label="components=3 rows=3 values=5 width=1",
+                kind="components",
+                components=3, rows_per_component=3, values=5, row_width=1,
+            ),
+            SatGen2Case(
+                label="components=3 rows=4 values=5 width=2",
+                kind="cegar",
+                components=3, rows_per_component=4, values=5, row_width=2,
+            ),
+            SatGen2Case(
+                label="components=4 rows=3 values=4 width=1",
+                kind="components",
+                components=4, rows_per_component=3, values=4, row_width=1,
+            ),
+            SatGen2Case(
+                label="components=3 rows=3 values=6 width=1",
+                kind="components",
+                components=3, rows_per_component=3, values=6, row_width=1,
+            ),
+        ]
+    return cases
+
+
+def run_sat_gen2_comparison(smoke: bool) -> list[dict] | None:
+    """Race the gen-2 SAT stack against its gen-1 baselines (ISSUE 10 gates).
+
+    Parity first, timing second, per case of the disconnected-components
+    family: CEGAR existence verdicts must agree with the eager encoding and
+    with the propagating engine, component counts must agree with
+    blocking-clause enumeration and the workload's closed-form world count.
+    A parity failure returns ``None`` (the caller fails the run).
+    """
+    results: list[dict] = []
+    for case in _sat_gen2_sweep(smoke):
+        workload = disconnected_components_workload(
+            components=case.components,
+            rows_per_component=case.rows_per_component,
+            values=case.values,
+            row_width=case.row_width,
+        )
+        args = (workload.cinstance, workload.master, workload.constraints)
+        if case.kind == "cegar":
+            eager_verdict = SATWorldSearch(*args).has_world()
+            cegar_search = SATWorldSearch(*args, cegar=True)
+            cegar_verdict = cegar_search.has_world()
+            propagating = WorldSearch(*args).has_world()
+            if not (eager_verdict == cegar_verdict == propagating):
+                print(
+                    f"PARITY FAILURE in sat-gen2 [{case.label}]: "
+                    f"eager={eager_verdict} cegar={cegar_verdict} "
+                    f"propagating={propagating}"
+                )
+                return None
+            _, eager_seconds = _timed(
+                lambda a=args: SATWorldSearch(*a).has_world()
+            )
+            _, cegar_seconds = _timed(
+                lambda a=args: SATWorldSearch(*a, cegar=True).has_world()
+            )
+            results.append(
+                {
+                    "label": case.label,
+                    "kind": "cegar",
+                    "verdict": eager_verdict,
+                    "cegar_rounds": cegar_search.stats.encoding.cegar_rounds,
+                    "seconds": {
+                        "eager": round(eager_seconds, 6),
+                        "cegar": round(cegar_seconds, 6),
+                    },
+                    "speedup": (
+                        eager_seconds / cegar_seconds
+                        if cegar_seconds > 0 else None
+                    ),
+                }
+            )
+        else:
+            enum_search = SATWorldSearch(*args)
+            component_search = SATWorldSearch(*args, component_counting=True)
+            enum_count, enum_seconds = _timed(enum_search.count_worlds)
+            component_count, component_seconds = _timed(
+                component_search.count_worlds
+            )
+            if not (enum_count == component_count == workload.world_count):
+                print(
+                    f"PARITY FAILURE in sat-gen2 [{case.label}]: "
+                    f"enumeration={enum_count} components={component_count} "
+                    f"expected={workload.world_count}"
+                )
+                return None
+            results.append(
+                {
+                    "label": case.label,
+                    "kind": "components",
+                    "count": enum_count,
+                    "components": component_search.stats.components,
+                    "component_cache_hits": (
+                        component_search.stats.component_cache_hits
+                    ),
+                    "seconds": {
+                        "enumeration": round(enum_seconds, 6),
+                        "components": round(component_seconds, 6),
+                    },
+                    "speedup": (
+                        enum_seconds / component_seconds
+                        if component_seconds > 0 else None
+                    ),
+                }
+            )
+    return results
+
+
+def print_sat_gen2_report(results: list[dict]) -> None:
+    print("\n== sat gen-2: CEGAR vs eager encoding, component vs enumeration counting ==")
+    width = max(len(f"[{r['label']}]") for r in results)
+    for r in results:
+        name = f"[{r['label']}]".ljust(width)
+        seconds = r["seconds"]
+        if r["kind"] == "cegar":
+            detail = (
+                f"eager={seconds['eager'] * 1e3:8.2f}ms  "
+                f"cegar={seconds['cegar'] * 1e3:8.2f}ms  "
+                f"rounds={r['cegar_rounds']}"
+            )
+            gate = "<== cegar gate"
+        else:
+            detail = (
+                f"enum={seconds['enumeration'] * 1e3:8.2f}ms  "
+                f"comp={seconds['components'] * 1e3:8.2f}ms  "
+                f"count={r['count']} cache_hits={r['component_cache_hits']}"
+            )
+            gate = "<== component gate"
+        speedup = "-" if r["speedup"] is None else f"{r['speedup']:.2f}x"
+        print(f"{name}  {detail}  speedup={speedup}  {gate}")
+
+
+@dataclass
 class UpdateStreamCase:
     """One update-stream comparison: workload parameters for both sides."""
 
@@ -790,6 +973,7 @@ def evaluate_gates(
     smoke: bool,
     checker_results: list[dict] | None = None,
     update_results: list[dict] | None = None,
+    sat_gen2_results: list[dict] | None = None,
 ) -> tuple[dict, int]:
     """Compute the acceptance gates; returns (summary, exit code)."""
     headline = [
@@ -843,6 +1027,24 @@ def evaluate_gates(
         (s for s in update_by_case.values() if s is not None), default=None
     )
 
+    sat_gen2_results = sat_gen2_results or []
+    cegar_by_case = {
+        f"sat-gen2 [{r['label']}]": r["speedup"]
+        for r in sat_gen2_results
+        if r["kind"] == "cegar"
+    }
+    worst_cegar = min(
+        (s for s in cegar_by_case.values() if s is not None), default=None
+    )
+    component_by_case = {
+        f"sat-gen2 [{r['label']}]": r["speedup"]
+        for r in sat_gen2_results
+        if r["kind"] == "components"
+    }
+    worst_component = min(
+        (s for s in component_by_case.values() if s is not None), default=None
+    )
+
     summary = {
         "propagating_vs_naive_headline": worst_headline,
         "required_headline_speedup": REQUIRED_SPEEDUP,
@@ -866,6 +1068,13 @@ def evaluate_gates(
         "worst_update_stream_speedup": worst_update,
         "required_update_stream_speedup": REQUIRED_UPDATE_STREAM_SPEEDUP,
         "update_stream_cases": update_results,
+        "cegar_vs_eager_by_case": cegar_by_case,
+        "worst_cegar_vs_eager_speedup": worst_cegar,
+        "required_cegar_speedup": REQUIRED_CEGAR_SPEEDUP,
+        "component_vs_enumeration_by_case": component_by_case,
+        "worst_component_vs_enumeration_speedup": worst_component,
+        "required_component_speedup": REQUIRED_COMPONENT_SPEEDUP,
+        "sat_gen2_cases": sat_gen2_results,
     }
 
     print()
@@ -960,6 +1169,35 @@ def evaluate_gates(
         )
         return summary, 1
 
+    if worst_cegar is None:
+        print("No CEGAR-vs-eager case ran")
+        return summary, 1
+    print(
+        "Worst CEGAR-vs-eager existence speedup on wide all-variable rows: "
+        f"{worst_cegar:.2f}x (required >= {REQUIRED_CEGAR_SPEEDUP:.0f}x)"
+    )
+    if worst_cegar < REQUIRED_CEGAR_SPEEDUP:
+        print(
+            "FAILED: the CEGAR lazy encoding did not reach the required "
+            "speedup over the eager encoding on wide all-variable rows"
+        )
+        return summary, 1
+
+    if worst_component is None:
+        print("No component-counting case ran")
+        return summary, 1
+    print(
+        "Worst component-vs-enumeration counting speedup on multi-component "
+        f"instances: {worst_component:.2f}x "
+        f"(required >= {REQUIRED_COMPONENT_SPEEDUP:.0f}x)"
+    )
+    if worst_component < REQUIRED_COMPONENT_SPEEDUP:
+        print(
+            "FAILED: component-caching counting did not reach the required "
+            "speedup over blocking-clause enumeration"
+        )
+        return summary, 1
+
     print("All parity checks and perf gates passed.")
     return summary, 0
 
@@ -1019,10 +1257,16 @@ def run_benchmark(smoke: bool, json_path: str | None = None, seed: int = 0) -> i
         update_results = run_update_stream_comparison(smoke, seed)
         if update_results is None:
             return 1
+        sat_gen2_results = run_sat_gen2_comparison(smoke)
+        if sat_gen2_results is None:
+            return 1
         print_report(outcomes)
         print_checker_report(checker_results)
         print_update_stream_report(update_results)
-        summary, status = evaluate_gates(outcomes, smoke, checker_results, update_results)
+        print_sat_gen2_report(sat_gen2_results)
+        summary, status = evaluate_gates(
+            outcomes, smoke, checker_results, update_results, sat_gen2_results
+        )
         if json_path:
             write_json(json_path, outcomes, summary, smoke, status)
         return status

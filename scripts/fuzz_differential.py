@@ -13,7 +13,12 @@ randomly parameterised workloads, in two campaign families:
   :meth:`repro.api.Database.update` and checked against a
   rebuilt-from-scratch facade at every step through
   :func:`harness.assert_update_stream_parity` (the update-vs-rebuild
-  differential of this PR), violations included.
+  differential of this PR), violations included;
+* **components** — a randomly sized disconnected-components workload is
+  counted three ways (blocking-clause SAT enumeration, component-caching
+  SAT counting with and without CEGAR lazy clauses, and the propagating
+  engine) and every answer is checked against the closed-form
+  ``values ** (row_width * components)`` world count.
 
 Every case is reproduced by its printed seed::
 
@@ -45,7 +50,10 @@ from harness import (  # noqa: E402  (path set up above)
     assert_update_stream_parity,
     assert_workers_independent,
 )
+from repro.search.engine import WorldSearch  # noqa: E402
+from repro.search.sat_engine import SATWorldSearch  # noqa: E402
 from repro.workloads.generator import (  # noqa: E402
+    disconnected_components_workload,
     registry_workload,
     update_stream_workload,
 )
@@ -96,7 +104,43 @@ def run_stream_case(seed: int) -> str:
     return f"stream {params}"
 
 
-CASE_FAMILIES = (("static", run_static_case), ("stream", run_stream_case))
+def run_components_case(seed: int) -> str:
+    """One disconnected-components counting case across SAT counting modes."""
+    rng = random.Random(f"fuzz-components:{seed}")
+    params = dict(
+        components=rng.randint(1, 3),
+        rows_per_component=rng.randint(1, 3),
+        values=rng.randint(2, 4),
+        row_width=rng.randint(1, 2),
+    )
+    workload = disconnected_components_workload(**params)
+    args = (workload.cinstance, workload.master, workload.constraints)
+    expected = workload.world_count
+    counts = {
+        "sat-enumeration": SATWorldSearch(*args).count_worlds(),
+        "sat-components": SATWorldSearch(
+            *args, component_counting=True
+        ).count_worlds(),
+        "sat-components+cegar": SATWorldSearch(
+            *args, component_counting=True, cegar=True
+        ).count_worlds(),
+        "propagating": WorldSearch(*args).count_worlds(),
+    }
+    mismatched = {
+        label: count for label, count in counts.items() if count != expected
+    }
+    if mismatched:
+        raise AssertionError(
+            f"count mismatch vs closed form {expected}: {mismatched} ({params})"
+        )
+    return f"components {params}"
+
+
+CASE_FAMILIES = (
+    ("static", run_static_case),
+    ("stream", run_stream_case),
+    ("components", run_components_case),
+)
 
 
 def run_case(seed: int) -> str:

@@ -91,6 +91,12 @@ class DecisionStats:
     #: :meth:`repro.api.Database.update` calls; ``None`` when no engine that
     #: ran reports the flag (non-SAT engines, or a freshly built encoding).
     reused_solver: bool | None = None
+    #: counter-example rounds run by lazily encoded (CEGAR) SAT searches;
+    #: ``None`` when no lazy encoding ran.
+    cegar_rounds: int | None = None
+    #: clause-graph components counted independently by the SAT engine's
+    #: component-caching counter; ``None`` when that path never ran.
+    components: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """The stats as a JSON-serialisable dict (every field, ``None`` kept).
@@ -252,6 +258,8 @@ def aggregate_search_stats(
     worlds: int | None = None
     uses_indexes: bool | None = None
     reused_solver: bool | None = None
+    cegar_rounds: int | None = None
+    components: int | None = None
     for search in searches:
         stats = getattr(search, "stats", None)
         if stats is None:
@@ -262,6 +270,10 @@ def aggregate_search_stats(
         encoding = getattr(stats, "encoding", None)
         if encoding is not None and getattr(encoding, "clauses", None) is not None:
             clauses = (clauses or 0) + encoding.clauses
+        if encoding is not None and getattr(encoding, "lazy", False):
+            cegar_rounds = (cegar_rounds or 0) + getattr(
+                encoding, "cegar_rounds", 0
+            )
         got_worlds = getattr(stats, "worlds", None)
         if got_worlds is not None:
             worlds = (worlds or 0) + got_worlds
@@ -271,6 +283,9 @@ def aggregate_search_stats(
         got_reused = getattr(stats, "reused_solver", None)
         if got_reused is not None:
             reused_solver = bool(reused_solver) or bool(got_reused)
+        got_components = getattr(stats, "components", None)
+        if got_components is not None:
+            components = (components or 0) + got_components
     return DecisionStats(
         wall_time=wall_time,
         searches=len(searches),
@@ -279,6 +294,8 @@ def aggregate_search_stats(
         worlds=worlds,
         uses_indexes=uses_indexes,
         reused_solver=reused_solver,
+        cegar_rounds=cegar_rounds,
+        components=components,
     )
 
 

@@ -11,10 +11,15 @@ solvers:
   watches two of its literals and is only inspected when one of them is
   falsified, so propagation cost is proportional to the clauses that can
   actually become unit, not to the clause database size;
-* **conflict-driven clause learning (decision scheme)** — every conflict
-  learns the negation of the current decision sequence and backjumps to the
-  level where that clause asserts, so no decision prefix is ever explored
-  twice, even across restarts;
+* **first-UIP conflict-driven clause learning** — every propagation records
+  its reason clause, so a conflict is analysed on the implication graph:
+  resolving backwards over the current decision level until one literal of
+  that level remains (the first unique implication point) yields an
+  asserting clause, which is shrunk further by recursive self-subsumption
+  minimisation and installed with a non-chronological backjump to its
+  asserting level.  The previous decision-sequence scheme (learn the
+  negated decision prefix) is kept behind ``learning="decision"`` for
+  differential testing;
 * **conflict-driven restarts** — after a geometrically growing number of
   conflicts the trail is reset to level zero; the learned clauses (and the
   saved phases and variable activities) carry the progress across the
@@ -64,7 +69,19 @@ class SolverStats:
 class DPLLSolver:
     """Trail-based DPLL with watched literals, learning and restarts."""
 
-    def __init__(self, clauses: Iterable[Sequence[int]] = ()) -> None:
+    def __init__(
+        self,
+        clauses: Iterable[Sequence[int]] = (),
+        *,
+        learning: str = "first_uip",
+        stats: SolverStats | None = None,
+    ) -> None:
+        if learning not in ("first_uip", "decision"):
+            raise ReductionError(
+                f"unknown learning scheme {learning!r}; "
+                "expected 'first_uip' or 'decision'"
+            )
+        self._learning = learning
         self._clauses: list[list[int]] = []
         self._watches: dict[int, list[int]] = {}
         self._units: list[int] = []
@@ -73,6 +90,7 @@ class DPLLSolver:
 
         self._assign: dict[int, bool] = {}
         self._level: dict[int, int] = {}
+        self._reason: dict[int, list[int] | None] = {}
         self._trail: list[int] = []
         self._trail_lim: list[int] = []
         self._qhead = 0
@@ -81,7 +99,10 @@ class DPLLSolver:
         self._activity: dict[int, float] = {}
         self._activity_inc = 1.0
 
-        self.stats = SolverStats()
+        # A caller-supplied ``stats`` lets several solver instances fold
+        # their counters into one ledger (the world-search engines build a
+        # fresh solver per enumeration but report one set of totals).
+        self.stats = SolverStats() if stats is None else stats
         for clause in clauses:
             self.add_clause(clause)
 
@@ -145,14 +166,20 @@ class DPLLSolver:
             return None
         return value if lit > 0 else not value
 
-    def _enqueue(self, lit: int) -> bool:
-        """Assert a literal at the current level; ``False`` on conflict."""
+    def _enqueue(self, lit: int, reason: list[int] | None = None) -> bool:
+        """Assert a literal at the current level; ``False`` on conflict.
+
+        ``reason`` is the clause that forced the literal (``None`` for
+        decisions and assumption installs); first-UIP analysis resolves over
+        these antecedents to walk the implication graph.
+        """
         current = self._value(lit)
         if current is not None:
             return current
         var = abs(lit)
         self._assign[var] = lit > 0
         self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
         self._trail.append(lit)
         return True
 
@@ -165,6 +192,7 @@ class DPLLSolver:
             var = abs(lit)
             self._phase[var] = self._assign.pop(var)
             del self._level[var]
+            self._reason.pop(var, None)
         del self._trail[cut:]
         del self._trail_lim[target_level:]
         self._qhead = min(self._qhead, len(self._trail))
@@ -204,7 +232,7 @@ class DPLLSolver:
                         conflict = clause
                         break
                     self.stats.propagations += 1
-                    self._enqueue(other)
+                    self._enqueue(other, clause)
             self._watches[false_lit] = kept
             if conflict is not None:
                 return conflict
@@ -238,7 +266,7 @@ class DPLLSolver:
         return best
 
     # ------------------------------------------------------------------
-    # conflict handling (decision learning + backjumping)
+    # conflict handling (first-UIP / decision learning + backjumping)
     # ------------------------------------------------------------------
     def _decision_literals(self) -> list[int]:
         return [self._trail[position] for position in self._trail_lim]
@@ -246,10 +274,15 @@ class DPLLSolver:
     def _resolve_conflict(self, conflict: list[int]) -> bool:
         """Learn from a conflict; ``False`` when the instance is refuted."""
         self.stats.conflicts += 1
+        if not self._trail_lim:
+            return False  # conflict with no decisions: refuted at level 0
+        if self._learning == "decision":
+            return self._resolve_conflict_decision(conflict)
+        return self._resolve_conflict_first_uip(conflict)
+
+    def _resolve_conflict_decision(self, conflict: list[int]) -> bool:
         self._bump(abs(lit) for lit in conflict)
         decisions = self._decision_literals()
-        if not decisions:
-            return False  # conflict with no decisions: refuted at level 0
         self._bump(abs(lit) for lit in decisions)
         # Decision learning: no completion of (d_1 ∧ ... ∧ d_k) is a model,
         # so learn (¬d_k ∨ ¬d_{k-1} ∨ ... ∨ ¬d_1).  After backjumping to
@@ -265,6 +298,149 @@ class DPLLSolver:
             self._attach(learned)
         return self._enqueue(learned[0])
 
+    def _resolve_conflict_first_uip(self, conflict: list[int]) -> bool:
+        """First-UIP analysis over the implication graph.
+
+        Starting from the conflicting clause, repeatedly resolve out the
+        most recently assigned current-level literal against its reason
+        clause until exactly one current-level literal remains — the first
+        unique implication point.  The resulting clause is resolution-derived
+        from the clause database alone, so it is globally entailed even when
+        the conflict arose under assumptions.
+        """
+        current_level = len(self._trail_lim)
+        seen: set[int] = set()
+        others: list[int] = []  # learned literals below the current level
+        to_bump: list[int] = []
+        path = 0  # current-level literals still awaiting resolution
+        uip = 0
+        p = 0  # the trail literal just resolved out (skip it in its reason)
+        reason = conflict
+        index = len(self._trail) - 1
+        while True:
+            # Reason clauses alias the (watch-swapped, mutable) clause-DB
+            # lists, so the resolved literal is skipped by value, never by
+            # position.
+            for lit in reason:
+                if lit == p:
+                    continue
+                var = abs(lit)
+                if var in seen:
+                    continue
+                level = self._level.get(var, 0)
+                if level == 0:
+                    continue  # falsified at level 0: resolved away for free
+                seen.add(var)
+                to_bump.append(var)
+                if level >= current_level:
+                    path += 1
+                else:
+                    others.append(lit)
+            while abs(self._trail[index]) not in seen:
+                index -= 1
+            uip = self._trail[index]
+            index -= 1
+            seen.discard(abs(uip))
+            path -= 1
+            if path <= 0:
+                break
+            antecedent = self._reason.get(abs(uip))
+            if antecedent is None:  # pragma: no cover - decisions end the walk
+                raise ReductionError(
+                    "conflict analysis reached a decision before the UIP"
+                )
+            reason = antecedent
+            p = uip
+        self._bump(to_bump)
+        # ``seen`` now holds exactly the variables of ``others``; use it to
+        # drop literals whose negations are implied by the rest of the clause.
+        if others:
+            cache: dict[int, bool] = {}
+            others = [
+                lit
+                for lit in others
+                if not self._literal_redundant(lit, seen, cache)
+            ]
+        asserting = -uip
+        learned = [asserting, *others]
+        self.stats.learned_clauses += 1
+        if len(learned) == 1:
+            self._units.append(asserting)
+            self._backtrack(0)
+            return self._enqueue(asserting)
+        # Backjump to the asserting level: the deepest level among the other
+        # literals.  Put one literal of that level at position 1 so the two
+        # watches sit on the two deepest literals of the clause.
+        jump = 0
+        deepest = 1
+        for position in range(1, len(learned)):
+            level = self._level[abs(learned[position])]
+            if level > jump:
+                jump = level
+                deepest = position
+        learned[1], learned[deepest] = learned[deepest], learned[1]
+        self._backtrack(jump)
+        self._attach(learned)
+        return self._enqueue(asserting, learned)
+
+    def _literal_redundant(
+        self, lit: int, clause_vars: set[int], cache: dict[int, bool]
+    ) -> bool:
+        """Recursive learned-clause minimisation (iterative implementation).
+
+        A learned literal is redundant when every antecedent of its variable
+        is, transitively, either fixed at level 0 or another variable of the
+        learned clause — then the literal is self-subsumed by the rest of
+        the clause.  Implemented with an explicit stack: antecedent chains
+        can exceed Python's recursion limit on deep implication graphs.
+        """
+
+        def antecedent_vars(var: int) -> list[int] | None:
+            reason = self._reason.get(var)
+            if reason is None:
+                return None  # a decision (or assumption): not derivable
+            return [
+                abs(q)
+                for q in reason
+                if abs(q) != var and self._level.get(abs(q), 0) > 0
+            ]
+
+        root = abs(lit)
+        first = antecedent_vars(root)
+        if first is None:
+            return False
+        work: list[tuple[int, list[int], int]] = [(root, first, 0)]
+        while work:
+            var, ants, pos = work.pop()
+            descended = False
+            while pos < len(ants):
+                ant = ants[pos]
+                pos += 1
+                if ant in clause_vars or cache.get(ant) is True:
+                    continue
+                if cache.get(ant) is False:
+                    for frame_var, _ants, _pos in work:
+                        cache[frame_var] = False
+                    cache[var] = False
+                    return False
+                child = antecedent_vars(ant)
+                if child is None:
+                    # Bottoms out in a decision: everything on the stack
+                    # (including the root) fails.
+                    cache[ant] = False
+                    for frame_var, _ants, _pos in work:
+                        cache[frame_var] = False
+                    cache[var] = False
+                    return False
+                work.append((var, ants, pos))
+                work.append((ant, child, 0))
+                descended = True
+                break
+            if descended:
+                continue
+            cache[var] = True
+        return True
+
     # ------------------------------------------------------------------
     # search
     # ------------------------------------------------------------------
@@ -278,12 +454,15 @@ class DPLLSolver:
         ``assumptions`` are literals the search must satisfy for *this call
         only*: they are installed as the first decisions (in order), so a
         ``None`` result means "unsatisfiable under the assumptions", not
-        necessarily globally.  Because conflict analysis learns the negation
-        of the decision sequence, clauses learned under assumptions contain
-        the negated assumption literals explicitly and remain globally sound
-        — they persist safely into later calls with different assumptions.
-        This is what lets one solver outlive a stream of incremental updates
-        (:mod:`repro.search.sat_engine`'s guarded re-encoding).
+        necessarily globally.  Clauses learned under assumptions remain
+        globally sound under both learning schemes: first-UIP clauses are
+        resolution-derived from the clause database alone (assumptions enter
+        only as decisions, never as resolvents), and decision-scheme clauses
+        contain the negated assumption literals explicitly.  Either way the
+        learned clauses persist safely into later calls with different
+        assumptions — this is what lets one solver outlive a stream of
+        incremental updates (:mod:`repro.search.sat_engine`'s guarded
+        re-encoding).
         """
         self.stats.solve_calls += 1
         for lit in assumptions:
@@ -297,6 +476,7 @@ class DPLLSolver:
             self._phase[var] = self._assign.pop(var)
             self._level.pop(var, None)
         self._trail.clear()
+        self._reason.clear()
         self._qhead = 0
         if self._unsat:
             return None
@@ -350,8 +530,12 @@ class DPLLSolver:
 
         With ``project_onto`` given, models are enumerated up to their
         restriction to those variables (each projection appears exactly once);
-        otherwise full models are blocked one by one.  The blocking clauses
-        stay in the solver, so interleaving with :meth:`add_clause` is safe.
+        otherwise full models are blocked one by one.  Projected variables
+        the clause database has never seen are don't-care: they contribute no
+        blocking literal (and do not appear in the yielded models), so an
+        unconstrained selector cannot crash the enumeration.  The blocking
+        clauses stay in the solver, so interleaving with :meth:`add_clause`
+        is safe.
         """
         while True:
             model = self.solve()
@@ -359,7 +543,9 @@ class DPLLSolver:
                 return
             yield model
             scope = project_onto if project_onto is not None else sorted(model)
-            blocking = [-var if model[var] else var for var in scope]
+            blocking = [
+                -var if model[var] else var for var in scope if var in model
+            ]
             if not blocking:
                 return  # nothing to block: the projection admits one model
             self.add_clause(blocking)

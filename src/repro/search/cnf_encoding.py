@@ -85,6 +85,10 @@ class EncodingStats:
     candidate_tuples: int = 0
     baseline_tuples: int = 0
     blocked_matches: int = 0
+    #: Violation clauses were deferred to a CEGAR loop (lazy encoding).
+    lazy: bool = False
+    #: Counter-example rounds run against this encoding (CEGAR refinement).
+    cegar_rounds: int = 0
 
 
 @dataclass
@@ -103,6 +107,15 @@ class WorldEncoding:
     clauses: list[tuple[int, ...]]
     trivially_unsat: bool
     stats: EncodingStats = field(default_factory=EncodingStats)
+    #: Presence literal per candidate tuple (consumed by the CEGAR oracle
+    #: and the component counter; empty for encoders that predate them).
+    presence: Mapping[tuple[str, Row], int] = field(default_factory=dict)
+    #: Tuples present in every world, per relation (from fully ground rows).
+    baseline: Mapping[str, frozenset[Row]] = field(default_factory=dict)
+    #: Selector-conjunction producers per candidate tuple.
+    producers: Mapping[tuple[str, Row], tuple[tuple[int, ...], ...]] = field(
+        default_factory=dict
+    )
 
     def selector_scope(self) -> list[int]:
         """Selector variable identifiers, in deterministic order.
@@ -146,12 +159,21 @@ def encode_world_search(
     constraints: Sequence[ContainmentConstraint],
     adom: ActiveDomain | None = None,
     checker: ConstraintChecker | None = None,
+    *,
+    lazy_violations: bool = False,
 ) -> WorldEncoding:
     """Encode ``Mod_Adom(T, D_m, V)`` membership as CNF.
 
     ``checker`` may supply precomputed constraint right-hand sides (shared
     with the propagating engine); one is built from ``(master, constraints)``
     otherwise.
+
+    With ``lazy_violations`` the constraint-violation clauses are omitted:
+    models of the abstraction then over-approximate the valuation set, and a
+    :class:`LazyViolationOracle` refutes invalid candidates one counter-example
+    round at a time (CEGAR).  Deferring the violation pass skips the full
+    ``match_conjunction`` join over the candidate universe, which dominates
+    encoding time on wide all-variable rows.
     """
     if adom is None:
         from repro.ctables.possible_worlds import default_active_domain
@@ -162,7 +184,7 @@ def encode_world_search(
     variables = tuple(sorted(cinstance.variables(), key=lambda v: v.name))
     pools = variable_pools(variables, adom, cinstance.variable_domains())
 
-    stats = EncodingStats()
+    stats = EncodingStats(lazy=lazy_violations)
     clauses: list[tuple[int, ...]] = []
     counter = 0
 
@@ -266,44 +288,45 @@ def encode_world_search(
         clauses.append((-p,) + tuple(disjuncts))
 
     # --- constraint violation clauses --------------------------------------
-    # The candidate universe: everything any world could contain.
-    universe: dict[str, frozenset[Row]] = {}
-    for name in cinstance.schema.relation_names:
-        rows = set(baseline[name])
-        rows.update(ground for (rel, ground) in producers if rel == name)
-        universe[name] = frozenset(rows)
-
     trivially_unsat = False
-    blocked: set[tuple[int, ...]] = set()
-    for constraint, _relations, rhs in checker.entries:
-        query = constraint.query
-        for match in match_conjunction(query.atoms, query.comparisons, universe):
-            head = instantiate_head(query.head, match)
-            if head in rhs:
-                continue
-            stats.blocked_matches += 1
-            literals: set[int] = set()
-            baseline_only = True
-            for atom in query.atoms:
-                ground = tuple(
-                    match[term] if isinstance(term, Variable) else term
-                    for term in atom.terms
-                )
-                if ground in baseline[atom.relation]:
-                    continue  # always present: contributes no literal
-                baseline_only = False
-                literals.add(-presence[(atom.relation, ground)])
-            if baseline_only:
-                # The fixed part of the c-instance already violates the
-                # constraint: no valuation can repair it.
-                trivially_unsat = True
+    if not lazy_violations:
+        # The candidate universe: everything any world could contain.
+        universe: dict[str, frozenset[Row]] = {}
+        for name in cinstance.schema.relation_names:
+            rows = set(baseline[name])
+            rows.update(ground for (rel, ground) in producers if rel == name)
+            universe[name] = frozenset(rows)
+
+        blocked: set[tuple[int, ...]] = set()
+        for constraint, _relations, rhs in checker.entries:
+            query = constraint.query
+            for match in match_conjunction(query.atoms, query.comparisons, universe):
+                head = instantiate_head(query.head, match)
+                if head in rhs:
+                    continue
+                stats.blocked_matches += 1
+                literals: set[int] = set()
+                baseline_only = True
+                for atom in query.atoms:
+                    ground = tuple(
+                        match[term] if isinstance(term, Variable) else term
+                        for term in atom.terms
+                    )
+                    if ground in baseline[atom.relation]:
+                        continue  # always present: contributes no literal
+                    baseline_only = False
+                    literals.add(-presence[(atom.relation, ground)])
+                if baseline_only:
+                    # The fixed part of the c-instance already violates the
+                    # constraint: no valuation can repair it.
+                    trivially_unsat = True
+                    break
+                clause = tuple(sorted(literals))
+                if clause not in blocked:
+                    blocked.add(clause)
+                    clauses.append(clause)
+            if trivially_unsat:
                 break
-            clause = tuple(sorted(literals))
-            if clause not in blocked:
-                blocked.add(clause)
-                clauses.append(clause)
-        if trivially_unsat:
-            break
 
     stats.clauses = len(clauses)
     return WorldEncoding(
@@ -313,7 +336,73 @@ def encode_world_search(
         clauses=clauses,
         trivially_unsat=trivially_unsat,
         stats=stats,
+        presence=presence,
+        baseline={name: frozenset(rows) for name, rows in baseline.items()},
+        producers={key: tuple(value) for key, value in producers.items()},
     )
+
+
+class LazyViolationOracle:
+    """CEGAR counter-example oracle for a lazily encoded world search.
+
+    Built over a :func:`encode_world_search` result (typically one produced
+    with ``lazy_violations=True``).  :meth:`refute` takes the facts of a
+    candidate world — the c-instance grounded by a decoded valuation — and
+    emits the violation clauses for every uncovered constraint match over
+    those facts.  Each emitted clause is falsified by the candidate model
+    (its tuples are all present), so feeding the clauses back and re-solving
+    makes strict progress; a fixpoint with no new clauses certifies the
+    candidate as a real world.
+    """
+
+    def __init__(self, encoding: WorldEncoding, checker: ConstraintChecker) -> None:
+        self._encoding = encoding
+        self._entries = list(checker.entries)
+        self._blocked: set[tuple[int, ...]] = set()
+
+    def refute(
+        self, facts: Mapping[str, Any]
+    ) -> list[tuple[int, ...]] | None:
+        """Violation clauses refuting a candidate world.
+
+        Returns the newly added clauses (empty when the candidate satisfies
+        every constraint, i.e. it is a genuine world), or ``None`` when a
+        violated match consists solely of baseline facts — then no valuation
+        can repair the instance and the encoding is marked trivially unsat.
+        """
+        encoding = self._encoding
+        new_clauses: list[tuple[int, ...]] = []
+        for constraint, _relations, rhs in self._entries:
+            query = constraint.query
+            for match in match_conjunction(query.atoms, query.comparisons, facts):
+                head = instantiate_head(query.head, match)
+                if head in rhs:
+                    continue
+                encoding.stats.blocked_matches += 1
+                literals: set[int] = set()
+                baseline_only = True
+                for atom in query.atoms:
+                    ground = tuple(
+                        match[term] if isinstance(term, Variable) else term
+                        for term in atom.terms
+                    )
+                    if ground in encoding.baseline.get(atom.relation, frozenset()):
+                        continue  # always present: contributes no literal
+                    baseline_only = False
+                    literals.add(-encoding.presence[(atom.relation, ground)])
+                if baseline_only:
+                    # The fixed part of the c-instance already violates the
+                    # constraint: no valuation can repair it.
+                    encoding.trivially_unsat = True
+                    encoding.stats.clauses = len(encoding.clauses)
+                    return None
+                clause = tuple(sorted(literals))
+                if clause not in self._blocked:
+                    self._blocked.add(clause)
+                    encoding.clauses.append(clause)
+                    new_clauses.append(clause)
+        encoding.stats.clauses = len(encoding.clauses)
+        return new_clauses
 
 
 class IncrementalEncoder:
@@ -363,6 +452,8 @@ class IncrementalEncoder:
         constraints: Sequence[ContainmentConstraint],
         adom: ActiveDomain | None = None,
         checker: ConstraintChecker | None = None,
+        *,
+        lazy_violations: bool = False,
     ) -> None:
         if adom is None:
             from repro.ctables.possible_worlds import default_active_domain
@@ -373,11 +464,14 @@ class IncrementalEncoder:
             (constraint, relations, rhs)
             for constraint, relations, rhs in checker.entries
         ]
+        # Lazy mode defers all violation clauses to refute_facts() (CEGAR):
+        # neither the initial universe join nor the per-add delta joins run.
+        self._lazy = lazy_violations
 
         variables = tuple(sorted(cinstance.variables(), key=lambda v: v.name))
         pools = variable_pools(variables, adom, cinstance.variable_domains())
 
-        stats = EncodingStats()
+        stats = EncodingStats(lazy=lazy_violations)
         clauses: list[tuple[int, ...]] = []
         self._counter = 0
         self.encoding = WorldEncoding(
@@ -456,12 +550,13 @@ class IncrementalEncoder:
         stats.candidate_tuples = sum(len(rows) for rows in self._universe.values())
 
         # --- violation clauses over the initial universe -------------------
-        for constraint, _relations, rhs in self._entries:
-            query = constraint.query
-            for match in match_conjunction(
-                query.atoms, query.comparisons, self._universe
-            ):
-                self._block_match(query, rhs, match)
+        if not self._lazy:
+            for constraint, _relations, rhs in self._entries:
+                query = constraint.query
+                for match in match_conjunction(
+                    query.atoms, query.comparisons, self._universe
+                ):
+                    self._block_match(query, rhs, match)
         stats.clauses = len(clauses)
 
     # ------------------------------------------------------------------
@@ -530,6 +625,11 @@ class IncrementalEncoder:
         # Semi-naive delta: every new violating match must use the new tuple
         # in at least one LHS atom over its relation; seed each such atom in
         # turn and join the rest over the full universe.
+        if self._lazy:
+            # Deferred to refute_facts() counter-example rounds; only the
+            # guard-producer clause from _register_ground was added.
+            self.encoding.stats.clauses = len(self.encoding.clauses)
+            return
         for constraint, relations, rhs in self._entries:
             if relation not in relations:
                 continue
@@ -559,6 +659,26 @@ class IncrementalEncoder:
     def is_active(self, relation: str, ground: Row) -> bool:
         """Whether the tuple is currently present in the encoded instance."""
         return (relation, ground) in self._active
+
+    def refute_facts(self, facts: Mapping[str, Any]) -> int:
+        """Block every violated match over a candidate world's facts (CEGAR).
+
+        ``facts`` are the relations of one candidate world (the current
+        instance grounded by a decoded valuation); every tuple in them is
+        registered, so each uncovered match yields a clause over known
+        presence/guard literals.  Because those literals are all forced true
+        for the candidate (guards by assumption, produced tuples by their
+        producer clauses), each new clause refutes the candidate model —
+        re-solving after feeding them makes strict progress.  Returns the
+        number of clauses added; ``0`` certifies the candidate as a world.
+        """
+        before = len(self.encoding.clauses)
+        for constraint, _relations, rhs in self._entries:
+            query = constraint.query
+            for match in match_conjunction(query.atoms, query.comparisons, facts):
+                self._block_match(query, rhs, match)
+        self.encoding.stats.clauses = len(self.encoding.clauses)
+        return len(self.encoding.clauses) - before
 
     def assumptions(self) -> list[int]:
         """The guard literals expressing the current instance contents."""

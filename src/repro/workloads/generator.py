@@ -557,6 +557,104 @@ def skewed_join_workload(
     )
 
 
+@dataclass(frozen=True)
+class DisconnectedComponentsWorkload:
+    """A workload of independent sub-instances (the component counter's regime)."""
+
+    schema: DatabaseSchema
+    master: MasterData
+    constraints: list[ContainmentConstraint]
+    cinstance: CInstance
+    components: int
+    rows_per_component: int
+    values: int
+    row_width: int
+    #: the exact number of distinct worlds: ``values ** (row_width * components)``
+    world_count: int
+
+
+def disconnected_components_workload(
+    components: int = 3,
+    rows_per_component: int = 3,
+    values: int = 4,
+    row_width: int = 1,
+) -> DisconnectedComponentsWorkload:
+    """Build the disconnected-components family for the gen-2 SAT stack.
+
+    The schema is ``Record(key, v0, …, v_{row_width-1})`` with every value
+    column ranging over the shared finite domain ``{v0, …, v_{values-1}}``.
+    Component ``i`` contributes ``rows_per_component`` rows, all carrying the
+    component key ``cᵢ`` and fresh variables in every value column; one
+    FD-style denial CC per value column (``Record(k,…,u,…) ∧ Record(k,…,t,…)
+    ∧ u ≠ t ⊆ ∅``, joined on the key) forces the whole component to agree on
+    each column.  Constraint matches join on the key, so they never cross
+    components — the CNF clause graph splits into ``components`` independent
+    parts, one per key.
+
+    Every component therefore collapses to a single tuple ``(cᵢ, v⃗)`` with
+    ``values ** row_width`` choices of ``v⃗``, making the world count exactly
+    ``values ** (row_width * components)`` — which blocking-clause
+    enumeration pays in full while component-caching counting pays
+    ``components · values ** row_width`` (less, with isomorphic components
+    cached).  Widening ``row_width`` blows up the eager violation join
+    (``values ** (2·row_width)`` matches per column per component), the
+    regime where the CEGAR lazy encoding wins existence checks.
+    """
+    value_domain = Domain(
+        name=f"val{values}", values=frozenset(f"v{j}" for j in range(values))
+    )
+    db_schema = database_schema(
+        RelationSchema(
+            "Record",
+            ["key"] + [(f"v{c}", value_domain) for c in range(row_width)],
+        )
+    )
+    master = empty_master(database_schema(schema("M", "A")))
+
+    k = var("k")
+    constraints: list[ContainmentConstraint] = []
+    for column in range(row_width):
+        left = [var(f"u{c}") for c in range(row_width)]
+        right = [var(f"t{c}") for c in range(row_width)]
+        constraints.append(
+            denial_cc(
+                boolean_cq(
+                    f"fd_key_v{column}",
+                    atoms=[
+                        atom("Record", k, *left),
+                        atom("Record", k, *right),
+                    ],
+                    comparisons=[neq(left[column], right[column])],
+                ),
+                name=f"fd:key→v{column}",
+            )
+        )
+
+    rows: list[CTableRow] = []
+    for i in range(components):
+        for j in range(rows_per_component):
+            rows.append(
+                CTableRow(
+                    (f"c{i}",)
+                    + tuple(
+                        Variable(f"x{i}_{j}_{c}") for c in range(row_width)
+                    )
+                )
+            )
+    cinst = CInstance(db_schema, {"Record": CTable(db_schema["Record"], rows)})
+    return DisconnectedComponentsWorkload(
+        schema=db_schema,
+        master=master,
+        constraints=constraints,
+        cinstance=cinst,
+        components=components,
+        rows_per_component=rows_per_component,
+        values=values,
+        row_width=row_width,
+        world_count=values ** (row_width * components),
+    )
+
+
 # ---------------------------------------------------------------------------
 # update-stream workloads (incremental Database.update benchmarks/tests)
 # ---------------------------------------------------------------------------

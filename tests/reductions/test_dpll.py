@@ -80,6 +80,88 @@ def test_cnf_formula_dpll_agrees_with_brute_force(variable_count, clause_count):
 
 
 # ---------------------------------------------------------------------------
+# assumption soundness: one solver, interleaved clause adds and assumption
+# flips, in lockstep with an exhaustive oracle.  This is the contract the
+# incremental SAT session rests on — clauses learned (first-UIP) under one
+# set of assumptions must stay sound under every later set.
+# ---------------------------------------------------------------------------
+_ASSUMPTIONS = st.lists(_LITERALS, min_size=0, max_size=3).map(
+    lambda lits: tuple({abs(lit): lit for lit in lits}.values())
+)
+_BATCHES = st.lists(
+    st.tuples(st.lists(st.lists(_LITERALS, min_size=1, max_size=3), max_size=6), _ASSUMPTIONS),
+    min_size=1,
+    max_size=4,
+)
+
+
+@given(_BATCHES, st.sampled_from(["first_uip", "decision"]))
+@settings(max_examples=120, deadline=None)
+def test_assumption_soundness_across_interleaved_adds(batches, learning):
+    solver = DPLLSolver(learning=learning)
+    accumulated: list[list[int]] = []
+    for clauses, assumptions in batches:
+        for clause in clauses:
+            solver.add_clause(clause)
+            accumulated.append(list(clause))
+        model = solver.solve(assumptions)
+        expected = brute_force_satisfiable(
+            accumulated + [[lit] for lit in assumptions]
+        )
+        assert (model is not None) == expected
+        if model is not None:
+            assert _satisfies(accumulated, model)
+            assert all(model[abs(lit)] == (lit > 0) for lit in assumptions)
+
+
+@given(_CLAUSES)
+@settings(max_examples=100, deadline=None)
+def test_first_uip_and_decision_learning_agree(clauses):
+    first_uip = DPLLSolver(clauses, learning="first_uip").solve()
+    decision = DPLLSolver(clauses, learning="decision").solve()
+    assert (first_uip is None) == (decision is None)
+    if first_uip is not None:
+        assert _satisfies(clauses, first_uip)
+        assert _satisfies(clauses, decision)
+
+
+def test_unknown_learning_scheme_rejected():
+    with pytest.raises(ReductionError):
+        DPLLSolver(learning="second_uip")
+
+
+@given(_CLAUSES, st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=4))
+@settings(max_examples=80, deadline=None)
+def test_projected_enumeration_tolerates_unseen_variables(clauses, projection):
+    # Projected variables the solver never assigned (absent from every clause)
+    # are don't-cares: they contribute no blocking literal, so a projection
+    # full of unseen selectors must not crash (the pre-fix code KeyErrored)
+    # and each distinct restriction to the *seen* projected variables appears
+    # exactly once.
+    import itertools
+
+    variables = sorted({abs(lit) for clause in clauses for lit in clause})
+    seen_projection = [var for var in projection if var in variables]
+    expected_restrictions = set()
+    for values in itertools.product((False, True), repeat=len(variables)):
+        full = dict(zip(variables, values))
+        if _satisfies(clauses, full):
+            expected_restrictions.add(
+                tuple((var, full[var]) for var in sorted(set(seen_projection)))
+            )
+    models = list(DPLLSolver(clauses).enumerate_models(project_onto=projection))
+    restrictions = set()
+    for model in models:
+        assert _satisfies(clauses, model)
+        key = tuple(
+            (var, model[var]) for var in sorted(set(seen_projection))
+        )
+        assert key not in restrictions, "projection yielded twice"
+        restrictions.add(key)
+    assert restrictions == expected_restrictions
+
+
+# ---------------------------------------------------------------------------
 # structured instances
 # ---------------------------------------------------------------------------
 class TestSolverBasics:

@@ -12,7 +12,9 @@ Fan–Geerts deciders rest on:
 * public decider entry points return :class:`repro.decision.Decision` and
   never swallow ``SearchCancelledError`` (R004);
 * work submitted to the parallel process pool captures no module-level
-  mutable state (R005).
+  mutable state (R005);
+* stats ledgers accumulate in place and are never rebound to another
+  object's ``.stats`` outside ``__init__`` (R006).
 
 A rule is a :class:`Rule` subclass registered with :func:`register_rule`.
 Each rule carries its own *fixture snippets* (``must_flag`` / ``must_pass``)

@@ -6,4 +6,5 @@ from tools.reprolint.rules import (  # noqa: F401  (imported for registration)
     fork_safety,
     registry_contract,
     session_balance,
+    stats_rebinding,
 )
